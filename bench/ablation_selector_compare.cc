@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Ablation: hypothesis-bounding strategies head to head on the
+ * 90%-pruned workload — the paper's set-associative Max-Heap hash vs
+ * the accurate partial sort vs histogram pruning (Kaldi's "max-active",
+ * the classic software answer) vs the unbounded baseline. Reports WER,
+ * workload and the per-frame hardware cost character of each
+ * (single-pass/single-cycle vs second-pass vs full sort).
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_common.hh"
+#include "nbest/histogram_selector.hh"
+#include "nbest/selectors.hh"
+#include "util/csv.hh"
+#include "util/text_table.hh"
+
+using namespace darkside;
+
+int
+main()
+{
+    bench::printBanner("Ablation", "bounding strategies: hash vs sort "
+                                   "vs histogram pruning");
+    auto &ctx = bench::context();
+    const std::size_t n = ctx.setup.nbestEntries;
+
+    TextTable table;
+    table.header({"selector", "model", "WER %", "hyps/frame",
+                  "per-frame hardware cost"});
+    CsvWriter csv = CsvWriter::forBench("ablation_selector_compare");
+    csv.header({"selector", "model", "wer", "hyps_per_frame"});
+
+    const ViterbiDecoder decoder(
+        ctx.fst, DecoderConfig{ctx.setup.baselineBeam});
+
+    struct Entry
+    {
+        const char *label;
+        const char *cost;
+        std::unique_ptr<HypothesisSelector> selector;
+    };
+
+    for (PruneLevel level : {PruneLevel::None, PruneLevel::P90}) {
+        std::vector<AcousticScores> scores;
+        for (const auto &utt : ctx.testSet) {
+            scores.push_back(AcousticScores::fromMlp(
+                ctx.zoo.model(level), ctx.corpus.spliceUtterance(utt),
+                ctx.setup.platform.acousticScale));
+        }
+
+        Entry entries[4];
+        entries[0] = {"unbounded", "backup chains + DRAM overflow",
+                      std::make_unique<UnboundedSelector>(
+                          ctx.setup.platform.viterbiBaseline.hashEntries,
+                          ctx.setup.platform.viterbiBaseline
+                              .backupEntries)};
+        entries[1] = {"8-way max-heap hash", "1 cycle/insert",
+                      std::make_unique<SetAssociativeHash>(n, 8)};
+        entries[2] = {"accurate n-best", "O(M log N) partial sort",
+                      std::make_unique<AccurateNBest>(n)};
+        entries[3] = {"histogram pruning", "2nd pass over M hyps",
+                      std::make_unique<HistogramPruning>(n)};
+
+        for (auto &entry : entries) {
+            EditStats wer;
+            std::uint64_t survivors = 0, frames = 0;
+            for (std::size_t u = 0; u < ctx.testSet.size(); ++u) {
+                const auto result =
+                    decoder.decode(scores[u], *entry.selector);
+                wer.merge(alignSequences(ctx.testSet[u].words,
+                                         result.words));
+                survivors += result.totalSurvivors();
+                frames += result.frames.size();
+            }
+            const double hyps = static_cast<double>(survivors) /
+                static_cast<double>(frames);
+            table.row({entry.label, pruneLevelName(level),
+                       TextTable::num(100.0 * wer.wordErrorRate(), 2),
+                       TextTable::num(hyps, 0), entry.cost});
+            csv.row({entry.label, pruneLevelName(level),
+                     TextTable::num(wer.wordErrorRate(), 5),
+                     TextTable::num(hyps, 1)});
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("expected shape: all three bounded selectors keep WER "
+                "near the unbounded baseline at N=%zu; only the "
+                "max-heap hash does it in a single pass at one cycle "
+                "per hypothesis — the paper's hardware argument.\n",
+                n);
+    return 0;
+}

@@ -1,0 +1,61 @@
+#include "bench/bench_common.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+namespace darkside {
+namespace bench {
+
+namespace {
+
+std::size_t
+envUtterances()
+{
+    if (const char *v = std::getenv("DARKSIDE_BENCH_UTTS"))
+        return static_cast<std::size_t>(std::atoi(v));
+    return 12;
+}
+
+} // namespace
+
+ExperimentContext &
+context()
+{
+    static std::unique_ptr<ExperimentContext> ctx = [] {
+        ExperimentSetup setup = scaledSetup();
+        setup.testUtterances = envUtterances();
+        std::printf("# building experiment context "
+                    "(%zu test utterances; models cached in %s)\n",
+                    setup.testUtterances, setup.zoo.cacheDir.c_str());
+        return std::make_unique<ExperimentContext>(setup);
+    }();
+    return *ctx;
+}
+
+std::size_t
+testUtterances()
+{
+    return context().testSet.size();
+}
+
+TestSetResult
+runConfig(SearchMode mode, PruneLevel level)
+{
+    auto &ctx = context();
+    return ctx.system.runTestSet(ctx.testSet,
+                                 ctx.setup.configFor(mode, level));
+}
+
+void
+printBanner(const char *experiment_id, const char *description)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s — %s\n", experiment_id, description);
+    std::printf("reproduction of \"The Dark Side of DNN Pruning\" "
+                "(ISCA 2018)\n");
+    std::printf("==============================================================\n\n");
+}
+
+} // namespace bench
+} // namespace darkside

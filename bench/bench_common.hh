@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Shared helpers for the per-figure benchmark harnesses: lazy
+ * experiment context, the {mode} x {prune level} sweep, and uniform
+ * normalized-output printing. Every bench prints the same rows/series
+ * the paper reports, normalized the same way.
+ */
+
+#ifndef DARKSIDE_BENCH_BENCH_COMMON_HH
+#define DARKSIDE_BENCH_BENCH_COMMON_HH
+
+#include <vector>
+
+#include "system/defaults.hh"
+
+namespace darkside {
+namespace bench {
+
+/**
+ * Default experiment context for benches. Honours two environment
+ * variables: DARKSIDE_CACHE_DIR (model cache location) and
+ * DARKSIDE_BENCH_UTTS (test-set size, default 12).
+ */
+ExperimentContext &context();
+
+/** Number of test utterances the context was built with. */
+std::size_t testUtterances();
+
+/** Run one (mode, level) configuration on the shared test set. */
+TestSetResult runConfig(SearchMode mode, PruneLevel level);
+
+/** Pretty header naming the paper artefact being reproduced. */
+void printBanner(const char *experiment_id, const char *description);
+
+} // namespace bench
+} // namespace darkside
+
+#endif // DARKSIDE_BENCH_BENCH_COMMON_HH

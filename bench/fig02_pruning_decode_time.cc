@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 2: normalized execution time of the hardware ASR system
+ * (DNN accelerator + Viterbi accelerator breakdown) and Word Error Rate
+ * for the dense model and the 70/80/90%-pruned models, all under the
+ * baseline (unbounded) search. The paper's shape: WER is maintained,
+ * the DNN share shrinks, the Viterbi share grows, and at 90% pruning
+ * the total is ~33% SLOWER than the non-pruned baseline.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+#include "util/text_table.hh"
+
+using namespace darkside;
+
+int
+main()
+{
+    bench::printBanner("Figure 2", "normalized decoding time and WER "
+                                   "vs pruning (baseline search)");
+
+    const TestSetResult base =
+        bench::runConfig(SearchMode::Baseline, PruneLevel::None);
+    const double norm = base.totalSeconds();
+
+    TextTable table;
+    table.header({"config", "DNN time %", "Viterbi time %", "total %",
+                  "WER %"});
+    for (PruneLevel level : kAllPruneLevels) {
+        const TestSetResult r =
+            bench::runConfig(SearchMode::Baseline, level);
+        table.row({pruneLevelName(level),
+                   TextTable::num(100.0 * r.dnn.seconds / norm, 1),
+                   TextTable::num(100.0 * r.viterbi.seconds / norm, 1),
+                   TextTable::num(100.0 * r.totalSeconds() / norm, 1),
+                   TextTable::num(100.0 * r.wer.wordErrorRate(), 2)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("expected shape: DNN %% falls with pruning; Viterbi %% "
+                "rises enough that 90%% pruning is a net slowdown "
+                "(paper: +33%%); WER roughly flat until 90%%.\n");
+    return 0;
+}

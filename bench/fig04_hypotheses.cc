@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 4: normalized number of hypotheses (paths) explored during
+ * the Viterbi search for the pruned models, relative to the dense
+ * model, under the baseline (unbounded) search. The paper's series:
+ * 1.0x -> >1.5x -> ~2x -> >3x.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+#include "util/text_table.hh"
+
+using namespace darkside;
+
+int
+main()
+{
+    bench::printBanner("Figure 4", "normalized Viterbi hypotheses "
+                                   "explored vs pruning");
+
+    const TestSetResult base =
+        bench::runConfig(SearchMode::Baseline, PruneLevel::None);
+    const double norm = base.meanSurvivorsPerFrame();
+
+    TextTable table;
+    table.header({"model", "hyps/frame", "normalized", "generated/frame",
+                  "avg confidence"});
+    for (PruneLevel level : kAllPruneLevels) {
+        const TestSetResult r =
+            bench::runConfig(SearchMode::Baseline, level);
+        table.row({pruneLevelName(level),
+                   TextTable::num(r.meanSurvivorsPerFrame(), 0),
+                   TextTable::num(r.meanSurvivorsPerFrame() / norm, 2) +
+                       "x",
+                   TextTable::num(static_cast<double>(r.generated) /
+                                      static_cast<double>(r.frames), 0),
+                   TextTable::num(r.meanConfidence, 3)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("expected shape: hypotheses grow monotonically as "
+                "confidence falls (paper: 1x / >1.5x / ~2x / >3x).\n");
+    return 0;
+}

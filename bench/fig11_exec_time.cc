@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Figure 11: normalized execution time of the entire ASR system for
+ * the twelve configurations {Baseline, Beam, NBest} x {NP, 70, 80,
+ * 90}, with the DNN/Viterbi breakdown, normalized to Baseline-NP.
+ * Headline shapes: Baseline-90 is a net slowdown; Beam-* recovers part
+ * of it; NBest-90 is the fastest (paper: 4.2x vs Baseline-NP, 5.65x vs
+ * Baseline-90, 1.69x vs Beam-90). Also reports the per-utterance
+ * search-latency tail that motivates NBest over beam narrowing.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+#include "util/text_table.hh"
+
+using namespace darkside;
+
+int
+main()
+{
+    bench::printBanner("Figure 11", "normalized ASR execution time, "
+                                    "all configurations");
+
+    TestSetResult results[3][4];
+    for (int m = 0; m < 3; ++m) {
+        const auto mode = static_cast<SearchMode>(m);
+        for (int l = 0; l < 4; ++l)
+            results[m][l] = bench::runConfig(
+                mode, static_cast<PruneLevel>(l));
+    }
+    const double norm = results[0][0].totalSeconds();
+
+    TextTable table;
+    table.header({"config", "DNN t%", "Viterbi t%", "total t%",
+                  "speedup", "WER %", "search ms/s p50", "p99"});
+    for (int m = 0; m < 3; ++m) {
+        for (int l = 0; l < 4; ++l) {
+            TestSetResult &r = results[m][l];
+            table.row(
+                {r.config.label(),
+                 TextTable::num(100.0 * r.dnn.seconds / norm, 1),
+                 TextTable::num(100.0 * r.viterbi.seconds / norm, 1),
+                 TextTable::num(100.0 * r.totalSeconds() / norm, 1),
+                 TextTable::num(norm / r.totalSeconds(), 2) + "x",
+                 TextTable::num(100.0 * r.wer.wordErrorRate(), 2),
+                 TextTable::num(
+                     1e3 * r.searchLatencyPerSpeechSecond.percentile(50),
+                     2),
+                 TextTable::num(
+                     1e3 * r.searchLatencyPerSpeechSecond.percentile(99),
+                     2)});
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    const double nbest90 =
+        norm / results[2][3].totalSeconds();
+    const double vs_base90 = results[0][3].totalSeconds() /
+        results[2][3].totalSeconds();
+    const double vs_beam90 = results[1][3].totalSeconds() /
+        results[2][3].totalSeconds();
+    std::printf("headline: NBest-90 speedup vs Baseline-NP = %.2fx "
+                "(paper 4.2x), vs Baseline-90 = %.2fx (paper 5.65x), "
+                "vs Beam-90 = %.2fx (paper 1.69x)\n",
+                nbest90, vs_base90, vs_beam90);
+    std::printf("expected shape: Baseline-90 total > Baseline-NP "
+                "(the dark side); NBest rows flat in Viterbi time "
+                "across pruning; Beam rows keep a latency tail "
+                "(p99 >> p50) that NBest rows do not.\n");
+    return 0;
+}

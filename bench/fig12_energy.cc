@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 12: normalized energy of the entire ASR system for the twelve
+ * configurations, with the DNN/Viterbi breakdown, normalized to
+ * Baseline-NP. Headline shapes: pruning slashes DNN energy (paper:
+ * 3.3x/5.7x/11.8x) but inflates Viterbi energy up to 4.3x under the
+ * baseline search; NBest-90 delivers the overall savings (paper: 9x vs
+ * Baseline-NP, 5.25x vs Baseline-90, 1.67x vs Beam-90).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+#include "util/text_table.hh"
+
+using namespace darkside;
+
+int
+main()
+{
+    bench::printBanner("Figure 12",
+                       "normalized ASR energy, all configurations");
+
+    TestSetResult results[3][4];
+    for (int m = 0; m < 3; ++m) {
+        const auto mode = static_cast<SearchMode>(m);
+        for (int l = 0; l < 4; ++l)
+            results[m][l] = bench::runConfig(
+                mode, static_cast<PruneLevel>(l));
+    }
+    const double norm = results[0][0].totalJoules();
+    const double dnn_norm = results[0][0].dnn.joules;
+    const double vit_norm = results[0][0].viterbi.joules;
+
+    TextTable table;
+    table.header({"config", "DNN e%", "Viterbi e%", "total e%",
+                  "energy savings", "DNN sav", "Viterbi x"});
+    for (int m = 0; m < 3; ++m) {
+        for (int l = 0; l < 4; ++l) {
+            TestSetResult &r = results[m][l];
+            table.row(
+                {r.config.label(),
+                 TextTable::num(100.0 * r.dnn.joules / norm, 1),
+                 TextTable::num(100.0 * r.viterbi.joules / norm, 1),
+                 TextTable::num(100.0 * r.totalJoules() / norm, 1),
+                 TextTable::num(norm / r.totalJoules(), 2) + "x",
+                 TextTable::num(dnn_norm / r.dnn.joules, 2) + "x",
+                 TextTable::num(r.viterbi.joules / vit_norm, 2) + "x"});
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("headline: NBest-90 energy savings vs Baseline-NP = "
+                "%.2fx (paper 9x), vs Baseline-90 = %.2fx (paper "
+                "5.25x), vs Beam-90 = %.2fx (paper 1.67x)\n",
+                norm / results[2][3].totalJoules(),
+                results[0][3].totalJoules() /
+                    results[2][3].totalJoules(),
+                results[1][3].totalJoules() /
+                    results[2][3].totalJoules());
+    std::printf("expected shape: DNN energy falls steeply with "
+                "pruning; Viterbi energy rises under Baseline, is "
+                "partially contained by Beam, and stays flat under "
+                "NBest.\n");
+    return 0;
+}

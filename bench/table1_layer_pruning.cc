@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Table I: the Kaldi DNN layer structure (neurons + weights per layer,
+ * printed for the paper's exact full-size topology) and the achieved
+ * per-layer pruning percentages of the scaled trained model at the
+ * 70/80/90% global targets, with the quality parameters found for each
+ * (paper: 1.44 / 1.90 / 2.71).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+#include "util/text_table.hh"
+
+using namespace darkside;
+
+int
+main()
+{
+    bench::printBanner("Table I", "layer structure and per-layer "
+                                  "pruning percentages");
+
+    // Part 1: the full-size Table-I network structure (built, verified,
+    // not trained here — training it is out of laptop scope).
+    Rng rng(1);
+    Mlp full = KaldiTopology::build(KaldiTopology::full(), rng);
+    std::printf("full-size Kaldi topology (paper Table I):\n%s\n",
+                full.summary().c_str());
+    std::printf("total parameters: %zu (paper: >4.5M)\n\n",
+                full.parameterCount());
+
+    // Part 2: achieved per-layer pruning on the trained scaled model.
+    auto &ctx = bench::context();
+    for (PruneLevel level :
+         {PruneLevel::P70, PruneLevel::P80, PruneLevel::P90}) {
+        std::printf("--- global target %.0f%% (quality %.3f, "
+                    "paper used %.2f) ---\n",
+                    100.0 * pruneLevelTarget(level),
+                    ctx.zoo.quality(level),
+                    level == PruneLevel::P70
+                        ? 1.44
+                        : level == PruneLevel::P80 ? 1.90 : 2.71);
+        std::printf("%s\n", ctx.zoo.pruneReport(level).render().c_str());
+    }
+    std::printf("expected shape: FC0 fixed (never pruned); per-layer "
+                "percentages cluster around the global target with the "
+                "narrowest layer pruned hardest.\n");
+    return 0;
+}

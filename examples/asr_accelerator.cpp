@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Example: drive the full simulated hardware platform — DNN accelerator
+ * + Viterbi accelerator — across the paper's twelve configurations
+ * ({Baseline, Beam, NBest} x {NP, 70, 80, 90}) on the default scaled
+ * experiment, printing the per-stage time/energy split like Sec. V.
+ *
+ * The first run trains the four acoustic models (about a minute) and
+ * caches them in ./darkside_cache; later runs start instantly.
+ *
+ * Run:  ./build/examples/asr_accelerator [test_utterances]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "system/defaults.hh"
+#include "util/text_table.hh"
+
+using namespace darkside;
+
+int
+main(int argc, char **argv)
+{
+    ExperimentSetup setup = scaledSetup();
+    if (argc > 1)
+        setup.testUtterances = static_cast<std::size_t>(
+            std::atoi(argv[1]));
+
+    std::printf("building corpus, graph and models "
+                "(cached in %s)...\n",
+                setup.zoo.cacheDir.c_str());
+    ExperimentContext ctx(setup);
+    std::printf("graph: %s\n", ctx.fst.summary().c_str());
+    std::printf("model: %zu parameters\n\n",
+                ctx.zoo.model(PruneLevel::None).parameterCount());
+
+    const auto baseline_np = ctx.system.runTestSet(
+        ctx.testSet,
+        setup.configFor(SearchMode::Baseline, PruneLevel::None));
+    const double norm_t = baseline_np.totalSeconds();
+    const double norm_e = baseline_np.totalJoules();
+
+    TextTable table;
+    table.header({"config", "WER", "conf", "hyps/frm", "DNN t%",
+                  "Vit t%", "total t%", "energy%", "speedup",
+                  "energy sav"});
+
+    for (SearchMode mode : {SearchMode::Baseline, SearchMode::NarrowBeam,
+                            SearchMode::NBestHash}) {
+        for (PruneLevel level : kAllPruneLevels) {
+            const auto config = setup.configFor(mode, level);
+            const auto result =
+                ctx.system.runTestSet(ctx.testSet, config);
+            table.row(
+                {config.label(),
+                 TextTable::num(100.0 * result.wer.wordErrorRate(), 1) +
+                     "%",
+                 TextTable::num(result.meanConfidence, 2),
+                 TextTable::num(result.meanSurvivorsPerFrame(), 0),
+                 TextTable::num(100.0 * result.dnn.seconds / norm_t, 1),
+                 TextTable::num(100.0 * result.viterbi.seconds / norm_t,
+                                1),
+                 TextTable::num(100.0 * result.totalSeconds() / norm_t,
+                                1),
+                 TextTable::num(100.0 * result.totalJoules() / norm_e,
+                                1),
+                 TextTable::num(norm_t / result.totalSeconds(), 2) + "x",
+                 TextTable::num(norm_e / result.totalJoules(), 2) +
+                     "x"});
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("(time and energy normalized to Baseline-NP; the "
+                "paper's headline numbers are NBest-90's speedup and "
+                "energy savings vs. Baseline-NP)\n");
+    return 0;
+}

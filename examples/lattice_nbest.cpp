@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Example: word lattices and N-best transcripts. Decodes a few
+ * utterances while keeping every end-of-utterance alternative, prints
+ * the ranked candidate sentences, and reports oracle WER — how much
+ * accuracy is still *contained* in the surviving hypotheses. This is
+ * the quantity that justifies the loose N-best selection: as long as
+ * the correct path is among the kept hypotheses, hardware may discard
+ * the rest.
+ *
+ * Run:  ./build/examples/lattice_nbest
+ */
+
+#include <cstdio>
+
+#include "decoder/lattice.hh"
+#include "nbest/selectors.hh"
+#include "scoremodel/score_model.hh"
+#include "util/text_table.hh"
+#include "wfst/graph_builder.hh"
+
+using namespace darkside;
+
+int
+main()
+{
+    CorpusConfig corpus_config;
+    corpus_config.phonemes = 20;
+    corpus_config.words = 200;
+    corpus_config.grammarBranching = 15;
+    const Corpus corpus(corpus_config);
+
+    GraphConfig graph_config;
+    GraphBuilder builder(corpus.inventory(), corpus.lexicon(),
+                         corpus.grammar(), graph_config);
+    const Wfst fst = builder.build();
+    std::printf("graph: %s\n\n", fst.summary().c_str());
+
+    // Low-confidence scores (a pruned model's world view): the lattice
+    // carries many competitive alternatives.
+    ScoreModelConfig score_config;
+    score_config.targetConfidence = 0.45;
+    score_config.topErrorRate = 0.05;
+    const SyntheticScoreModel score_model(corpus.classCount(),
+                                          score_config);
+
+    const auto utts = corpus.sampleUtterances(6, 77);
+    const LatticeDecoder decoder(fst, DecoderConfig{13.0f});
+    Rng score_rng(4242);
+
+    EditStats onebest_wer, oracle_wer;
+    for (std::size_t i = 0; i < utts.size(); ++i) {
+        const auto &utt = utts[i];
+        const auto scores = AcousticScores::fromPosteriors(
+            score_model.posteriorsFor(utt.alignment, score_rng), 1.0f);
+
+        UnboundedSelector selector;
+        Lattice lattice;
+        const DecodeResult result =
+            decoder.decode(scores, selector, lattice);
+
+        onebest_wer.merge(alignSequences(utt.words, result.words));
+        oracle_wer.merge(lattice.oracle(utt.words));
+
+        std::printf("utterance %zu — reference:", i);
+        for (WordId w : utt.words)
+            std::printf(" %s", corpus.lexicon().spell(w).c_str());
+        std::printf("\n%zu alternatives in the lattice; top 3:\n",
+                    lattice.pathCount());
+        for (const auto &path : lattice.nBest(3)) {
+            std::printf("  [%7.2f]%s", path.cost,
+                        path.complete ? "" : " (incomplete)");
+            for (WordId w : path.words)
+                std::printf(" %s", corpus.lexicon().spell(w).c_str());
+            std::printf("\n");
+        }
+    }
+
+    std::printf("\n1-best WER: %.2f%%   lattice-oracle WER: %.2f%%\n",
+                100.0 * onebest_wer.wordErrorRate(),
+                100.0 * oracle_wer.wordErrorRate());
+    std::printf("the oracle gap is the headroom a smarter rescoring "
+                "pass (or a bounded N-best hardware selector) can "
+                "exploit without re-running the search.\n");
+    return 0;
+}

@@ -1,0 +1,204 @@
+#include "accel/dnn/dnn_accel.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace darkside {
+
+double
+DnnSimResult::utteranceSeconds(std::size_t frames) const
+{
+    return loadSeconds + secondsPerFrame * static_cast<double>(frames);
+}
+
+double
+DnnSimResult::utteranceJoules(std::size_t frames) const
+{
+    const double active_seconds =
+        secondsPerFrame * static_cast<double>(frames);
+    return loadJoules +
+        dynamicJoulesPerFrame * static_cast<double>(frames) +
+        activeLeakageWatts * (active_seconds + loadSeconds);
+}
+
+DnnAcceleratorSim::DnnAcceleratorSim(const DnnAccelConfig &config)
+    : config_(config),
+      weightsMem_(EnergyModel::edram(config.weightsBufferBytes)),
+      ioMem_(EnergyModel::sram(config.ioBufferBytes))
+{
+    ds_assert(config.multipliers > 0);
+    ds_assert(config.ioBanks > 0 && config.ioReadPorts > 0);
+    ds_assert(config.frequencyHz > 0.0);
+
+    // The weights buffer is heavily banked (Fig. 10): a read activates
+    // one bank, so the dynamic access energy is the *bank's*, not the
+    // whole array's. Leakage and area still scale with total capacity.
+    const MemoryCharacteristics bank = EnergyModel::edram(
+        config.weightsBufferBytes /
+        std::max<std::size_t>(config.weightsBufferBanks, 1));
+    weightsMem_.accessEnergy = bank.accessEnergy;
+}
+
+LayerSimResult
+DnnAcceleratorSim::simulateFc(const FullyConnected &fc,
+                              double &dynamic_joules) const
+{
+    LayerSimResult result;
+    result.name = fc.name();
+
+    // Output neurons are distributed round-robin over the tiles
+    // (Sec. III-D); each tile owns multipliers/tiles MAC lanes and
+    // ioBanks/tiles I/O-buffer banks, so a tile gathers one group of
+    // its own neuron's weights per cycle.
+    const std::size_t tiles = std::max<std::size_t>(config_.tiles, 1);
+    const std::size_t m =
+        std::max<std::size_t>(config_.multipliers / tiles, 1);
+    const std::size_t banks =
+        std::max<std::size_t>(config_.ioBanks / tiles, 1);
+    const SparseLayer sparse(fc);
+
+    // Per-weight storage: 4 B value + 2 B index.
+    const double weight_word_energy =
+        weightsMem_.accessEnergy * (6.0 / 8.0);
+    const double io_read_energy = ioMem_.accessEnergy / 2.0;
+
+    std::vector<std::size_t> bank_load(banks);
+    std::vector<std::uint64_t> tile_cycles(tiles, 0);
+    std::uint64_t stalls = 0;
+
+    for (std::size_t r = 0; r < sparse.outputSize(); ++r) {
+        const std::size_t tile = r % tiles;
+        const std::size_t row_begin = sparse.rowBegin(r);
+        const std::size_t row_end = sparse.rowEnd(r);
+        const std::size_t nnz = row_end - row_begin;
+        if (nnz == 0)
+            continue;
+
+        // The index stream of a row is prefetched ahead of the MAC
+        // groups (decoupled gather), so bank conflicts average over
+        // the whole row rather than stalling each m-wide group:
+        //   row cycles = max(ceil(nnz / lanes),
+        //                    max_b ceil(row load on bank b / ports)).
+        // Dense rows interleave perfectly and hit the first term.
+        std::fill(bank_load.begin(), bank_load.end(), 0);
+        std::size_t worst = 0;
+        for (std::size_t i = row_begin; i < row_end; ++i) {
+            const std::size_t bank = sparse.index(i) % banks;
+            worst = std::max(worst, ++bank_load[bank]);
+        }
+        const std::size_t ideal = (nnz + m - 1) / m;
+        const std::size_t gather =
+            (worst + config_.ioReadPorts - 1) / config_.ioReadPorts;
+        const std::size_t row_cycles = std::max(ideal, gather);
+        tile_cycles[tile] += row_cycles;
+        stalls += row_cycles - ideal;
+    }
+
+    result.cycles = std::max<std::uint64_t>(
+        *std::max_element(tile_cycles.begin(), tile_cycles.end()), 1);
+    result.macs = sparse.nonzeros();
+    result.stallCycles = stalls;
+    result.utilization = static_cast<double>(result.macs) /
+        (static_cast<double>(config_.multipliers) *
+         static_cast<double>(result.cycles));
+
+    // Dynamic energy: weight+index stream from eDRAM, input gathers,
+    // MACs, output writeback.
+    dynamic_joules += static_cast<double>(sparse.nonzeros()) *
+        (weight_word_energy + io_read_energy +
+         EnergyModel::fp32MultiplyEnergy() +
+         EnergyModel::fp32AddEnergy());
+    dynamic_joules += static_cast<double>(sparse.outputSize()) *
+        (ioMem_.accessEnergy / 2.0);
+    return result;
+}
+
+LayerSimResult
+DnnAcceleratorSim::simulateElementwise(const Layer &layer,
+                                       double &dynamic_joules) const
+{
+    LayerSimResult result;
+    result.name = layer.name();
+
+    // Pooling / normalization / softmax run on the special function
+    // units (Fig. 10: REC, SQRT, EXP, MAXMIN); model them as 16 parallel
+    // lanes, one element per lane per cycle, two FP-op energies per
+    // element (e.g. square + accumulate, or exp + normalize).
+    const std::size_t elements = layer.inputSize();
+    result.cycles = std::max<std::uint64_t>((elements + 15) / 16, 1);
+    result.macs = 0;
+    result.utilization = 0.0;
+    dynamic_joules += static_cast<double>(elements) *
+        (2.0 * EnergyModel::fp32AddEnergy() + ioMem_.accessEnergy / 2.0);
+    return result;
+}
+
+DnnSimResult
+DnnAcceleratorSim::simulate(const Mlp &model) const
+{
+    DnnSimResult result;
+    double dynamic_joules = 0.0;
+
+    std::uint64_t fc_macs = 0;
+    double fc_weighted_util = 0.0;
+    std::uint64_t fc_cycles = 0;
+
+    for (std::size_t i = 0; i < model.layerCount(); ++i) {
+        const Layer &layer = model.layer(i);
+        LayerSimResult lr;
+        if (layer.kind() == LayerKind::FullyConnected) {
+            const auto &fc = static_cast<const FullyConnected &>(layer);
+            lr = simulateFc(fc, dynamic_joules);
+            fc_macs += lr.macs;
+            fc_cycles += lr.cycles;
+            fc_weighted_util += lr.utilization *
+                static_cast<double>(lr.cycles);
+            result.modelBytes += SparseLayer(fc).storageBytes();
+        } else {
+            lr = simulateElementwise(layer, dynamic_joules);
+        }
+        result.cyclesPerFrame += lr.cycles;
+        result.layers.push_back(lr);
+    }
+
+    result.secondsPerFrame =
+        static_cast<double>(result.cyclesPerFrame) / config_.frequencyHz;
+    result.dynamicJoulesPerFrame = dynamic_joules;
+    result.fcUtilization =
+        fc_cycles == 0 ? 0.0
+                       : fc_weighted_util / static_cast<double>(fc_cycles);
+
+    // Leakage: only the eDRAM banks holding model bytes stay powered
+    // (unused banks are power-gated), plus the I/O buffer and the FP
+    // datapath.
+    const std::size_t bank_bytes =
+        config_.weightsBufferBytes / config_.weightsBufferBanks;
+    const std::size_t active_banks = std::min(
+        config_.weightsBufferBanks,
+        (result.modelBytes + bank_bytes - 1) / bank_bytes);
+    const double weights_leak = weightsMem_.leakagePower *
+        static_cast<double>(active_banks) /
+        static_cast<double>(config_.weightsBufferBanks);
+    const double logic_leak = EnergyModel::fpUnitLeakage() *
+        static_cast<double>(config_.multipliers + config_.adders);
+    result.activeLeakageWatts =
+        weights_leak + ioMem_.leakagePower + logic_leak;
+
+    // One-time model load from DRAM per utterance.
+    result.loadSeconds = static_cast<double>(result.modelBytes) /
+        EnergyModel::dramBandwidth();
+    result.loadJoules =
+        static_cast<double>((result.modelBytes + 63) / 64) *
+        EnergyModel::dramLineEnergy();
+    return result;
+}
+
+double
+DnnAcceleratorSim::area() const
+{
+    return weightsMem_.area + ioMem_.area +
+        EnergyModel::fpUnitArea() *
+        static_cast<double>(config_.multipliers + config_.adders);
+}
+
+} // namespace darkside

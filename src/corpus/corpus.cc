@@ -1,0 +1,62 @@
+#include "corpus/corpus.hh"
+
+namespace darkside {
+
+Corpus::Corpus(const CorpusConfig &config)
+    : config_(config),
+      inventory_(config.phonemes, config.statesPerPhoneme)
+{
+    lexicon_ = std::make_unique<Lexicon>(
+        inventory_, config.words, config.minPhonemesPerWord,
+        config.maxPhonemesPerWord, config.seed ^ 0x11ull);
+    grammar_ = std::make_unique<BigramGrammar>(
+        config.words, config.grammarBranching, config.eosProbability,
+        config.seed ^ 0x22ull);
+    auto synth_config = config.synthesizer;
+    synth_config.seed ^= config.seed;
+    synthesizer_ =
+        std::make_unique<FrameSynthesizer>(inventory_, synth_config);
+}
+
+std::size_t
+Corpus::spliceDim() const
+{
+    return (2 * config_.contextFrames + 1) *
+        synthesizer_->featureDim();
+}
+
+std::vector<Utterance>
+Corpus::sampleUtterances(std::size_t count, std::uint64_t seed) const
+{
+    Rng rng(seed);
+    std::vector<Utterance> utts;
+    utts.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const auto sentence = grammar_->sampleSentence(rng);
+        utts.push_back(synthesizer_->synthesize(sentence, *lexicon_, rng));
+    }
+    return utts;
+}
+
+FrameDataset
+Corpus::frameDataset(const std::vector<Utterance> &utts) const
+{
+    FrameDataset dataset;
+    for (const auto &utt : utts) {
+        auto spliced = spliceFrames(utt.frames, config_.contextFrames);
+        ds_assert(spliced.size() == utt.alignment.size());
+        for (std::size_t t = 0; t < spliced.size(); ++t) {
+            dataset.push_back(
+                {std::move(spliced[t]), utt.alignment[t]});
+        }
+    }
+    return dataset;
+}
+
+std::vector<Vector>
+Corpus::spliceUtterance(const Utterance &utt) const
+{
+    return spliceFrames(utt.frames, config_.contextFrames);
+}
+
+} // namespace darkside

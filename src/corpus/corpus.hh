@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Top-level synthetic speech corpus: ties the phoneme inventory, lexicon,
+ * grammar and frame synthesizer together and produces utterance sets and
+ * frame-level training data (the stand-in for LibriSpeech train/test).
+ */
+
+#ifndef DARKSIDE_CORPUS_CORPUS_HH
+#define DARKSIDE_CORPUS_CORPUS_HH
+
+#include <memory>
+
+#include "corpus/grammar.hh"
+#include "corpus/lexicon.hh"
+#include "corpus/phoneme.hh"
+#include "corpus/synthesizer.hh"
+#include "dnn/trainer.hh"
+
+namespace darkside {
+
+/** Everything needed to instantiate a synthetic language + corpus. */
+struct CorpusConfig
+{
+    std::uint32_t phonemes = 40;
+    std::uint32_t statesPerPhoneme = 3;
+    std::uint32_t words = 200;
+    std::uint32_t minPhonemesPerWord = 2;
+    std::uint32_t maxPhonemesPerWord = 5;
+    /** Followers per word in the bigram grammar. */
+    std::uint32_t grammarBranching = 10;
+    double eosProbability = 0.15;
+    /** +/- context frames spliced into the DNN input. */
+    std::size_t contextFrames = 4;
+    SynthesizerConfig synthesizer;
+    std::uint64_t seed = 12345;
+};
+
+/**
+ * Deterministic synthetic corpus.
+ */
+class Corpus
+{
+  public:
+    explicit Corpus(const CorpusConfig &config);
+
+    const CorpusConfig &config() const { return config_; }
+    const PhonemeInventory &inventory() const { return inventory_; }
+    const Lexicon &lexicon() const { return *lexicon_; }
+    const BigramGrammar &grammar() const { return *grammar_; }
+    const FrameSynthesizer &synthesizer() const { return *synthesizer_; }
+
+    /** DNN input width after splicing. */
+    std::size_t spliceDim() const;
+
+    /** Number of DNN output classes. */
+    std::size_t classCount() const { return inventory_.pdfCount(); }
+
+    /**
+     * Sample a set of utterances (sentences + rendered frames).
+     * @param count number of utterances
+     * @param seed stream seed (use different seeds for train/test)
+     */
+    std::vector<Utterance> sampleUtterances(std::size_t count,
+                                            std::uint64_t seed) const;
+
+    /**
+     * Flatten utterances into spliced, labelled frames for training or
+     * evaluating the acoustic model.
+     */
+    FrameDataset frameDataset(const std::vector<Utterance> &utts) const;
+
+    /** Spliced DNN inputs for one utterance (decode-time path). */
+    std::vector<Vector> spliceUtterance(const Utterance &utt) const;
+
+  private:
+    CorpusConfig config_;
+    PhonemeInventory inventory_;
+    std::unique_ptr<Lexicon> lexicon_;
+    std::unique_ptr<BigramGrammar> grammar_;
+    std::unique_ptr<FrameSynthesizer> synthesizer_;
+};
+
+} // namespace darkside
+
+#endif // DARKSIDE_CORPUS_CORPUS_HH

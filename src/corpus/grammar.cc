@@ -1,0 +1,118 @@
+#include "corpus/grammar.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+namespace darkside {
+
+namespace {
+
+constexpr double kInfCost = std::numeric_limits<double>::infinity();
+
+/**
+ * Draw `count` distinct words and attach Zipf-flavoured probabilities
+ * normalised to `mass`.
+ */
+std::vector<BigramGrammar::Successor>
+sampleSuccessors(Rng &rng, std::uint32_t vocabulary, std::uint32_t count,
+                 double mass)
+{
+    std::set<WordId> chosen;
+    while (chosen.size() < count)
+        chosen.insert(static_cast<WordId>(rng.below(vocabulary)));
+
+    std::vector<BigramGrammar::Successor> successors;
+    successors.reserve(chosen.size());
+    double total = 0.0;
+    std::uint32_t rank = 1;
+    for (WordId w : chosen) {
+        // Zipf weight with random jitter so follower sets differ.
+        const double weight =
+            (1.0 / static_cast<double>(rank)) * rng.uniform(0.5, 1.5);
+        successors.push_back({w, weight});
+        total += weight;
+        ++rank;
+    }
+    for (auto &s : successors)
+        s.probability = s.probability / total * mass;
+    return successors;
+}
+
+} // namespace
+
+BigramGrammar::BigramGrammar(std::uint32_t vocabulary,
+                             std::uint32_t branching,
+                             double eos_probability, std::uint64_t seed)
+    : eosProbability_(eos_probability)
+{
+    ds_assert(vocabulary > 0);
+    ds_assert(branching > 0 && branching <= vocabulary);
+    ds_assert(eos_probability > 0.0 && eos_probability < 1.0);
+
+    Rng rng(seed);
+    successors_.resize(vocabulary);
+    for (std::uint32_t w = 0; w < vocabulary; ++w) {
+        successors_[w] = sampleSuccessors(rng, vocabulary, branching,
+                                          1.0 - eos_probability);
+    }
+
+    const std::uint32_t start_count =
+        std::min(vocabulary, std::max<std::uint32_t>(branching * 2, 4u));
+    start_ = sampleSuccessors(rng, vocabulary, start_count, 1.0);
+}
+
+double
+BigramGrammar::transitionCost(WordId prev, WordId next) const
+{
+    for (const auto &s : successors(prev)) {
+        if (s.word == next)
+            return -std::log(s.probability);
+    }
+    return kInfCost;
+}
+
+double
+BigramGrammar::startCost(WordId word) const
+{
+    for (const auto &s : start_) {
+        if (s.word == word)
+            return -std::log(s.probability);
+    }
+    return kInfCost;
+}
+
+double
+BigramGrammar::eosCost(WordId word) const
+{
+    ds_assert(word < vocabularySize());
+    return -std::log(eosProbability_);
+}
+
+std::vector<WordId>
+BigramGrammar::sampleSentence(Rng &rng, std::size_t max_words) const
+{
+    ds_assert(max_words >= 1);
+    std::vector<WordId> sentence;
+
+    std::vector<double> start_weights;
+    start_weights.reserve(start_.size());
+    for (const auto &s : start_)
+        start_weights.push_back(s.probability);
+    sentence.push_back(start_[rng.categorical(start_weights)].word);
+
+    while (sentence.size() < max_words) {
+        if (rng.chance(eosProbability_))
+            break;
+        const auto &succ = successors(sentence.back());
+        std::vector<double> weights;
+        weights.reserve(succ.size());
+        for (const auto &s : succ)
+            weights.push_back(s.probability);
+        sentence.push_back(succ[rng.categorical(weights)].word);
+    }
+    return sentence;
+}
+
+} // namespace darkside

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Bigram language model over the synthetic vocabulary. Each word has a
+ * sparse follower set with Zipf-flavoured probabilities plus an
+ * end-of-sentence probability; sentences start from a start distribution.
+ * The WFST builder turns these log-probabilities into cross-word arc
+ * weights exactly as a Kaldi grammar FST would.
+ */
+
+#ifndef DARKSIDE_CORPUS_GRAMMAR_HH
+#define DARKSIDE_CORPUS_GRAMMAR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/lexicon.hh"
+#include "util/rng.hh"
+
+namespace darkside {
+
+/**
+ * Sparse bigram grammar.
+ */
+class BigramGrammar
+{
+  public:
+    /** One follower of a word. */
+    struct Successor
+    {
+        WordId word;
+        /** Conditional probability P(word | predecessor). */
+        double probability;
+    };
+
+    /**
+     * @param vocabulary vocabulary size
+     * @param branching followers per word (grammar perplexity knob)
+     * @param eos_probability chance a sentence ends after any word
+     * @param seed RNG seed
+     */
+    BigramGrammar(std::uint32_t vocabulary, std::uint32_t branching,
+                  double eos_probability, std::uint64_t seed);
+
+    std::uint32_t vocabularySize() const
+    {
+        return static_cast<std::uint32_t>(successors_.size());
+    }
+
+    /** Followers of `word` (probabilities sum to 1 - eosProbability). */
+    const std::vector<Successor> &successors(WordId word) const
+    {
+        ds_assert(word < vocabularySize());
+        return successors_[word];
+    }
+
+    /** Start-of-sentence distribution (sums to 1). */
+    const std::vector<Successor> &startWords() const { return start_; }
+
+    double eosProbability() const { return eosProbability_; }
+
+    /** -log P(next | prev); +inf when the bigram does not exist. */
+    double transitionCost(WordId prev, WordId next) const;
+
+    /** -log P(first word); +inf when it cannot start a sentence. */
+    double startCost(WordId word) const;
+
+    /** -log P(eos | word). */
+    double eosCost(WordId word) const;
+
+    /** Sample a sentence (bounded length) from the grammar. */
+    std::vector<WordId> sampleSentence(Rng &rng,
+                                       std::size_t max_words = 24) const;
+
+  private:
+    std::vector<std::vector<Successor>> successors_;
+    std::vector<Successor> start_;
+    double eosProbability_;
+};
+
+} // namespace darkside
+
+#endif // DARKSIDE_CORPUS_GRAMMAR_HH

@@ -1,0 +1,58 @@
+#include "corpus/lexicon.hh"
+
+#include <cstdio>
+#include <set>
+
+namespace darkside {
+
+Lexicon::Lexicon(const PhonemeInventory &inventory, std::uint32_t words,
+                 std::uint32_t min_phonemes, std::uint32_t max_phonemes,
+                 std::uint64_t seed)
+{
+    ds_assert(words > 0);
+    ds_assert(min_phonemes >= 1);
+    ds_assert(max_phonemes >= min_phonemes);
+
+    Rng rng(seed);
+    std::set<std::vector<std::uint32_t>> seen;
+    pronunciations_.reserve(words);
+
+    std::size_t attempts = 0;
+    while (pronunciations_.size() < words) {
+        if (++attempts > static_cast<std::size_t>(words) * 1000) {
+            fatal("lexicon: cannot generate %u unique pronunciations from "
+                  "%u phonemes (lengths %u..%u)",
+                  words, inventory.phonemeCount(), min_phonemes,
+                  max_phonemes);
+        }
+        const auto len = static_cast<std::uint32_t>(
+            rng.range(min_phonemes, max_phonemes));
+        std::vector<std::uint32_t> pron(len);
+        for (auto &p : pron) {
+            p = static_cast<std::uint32_t>(
+                rng.below(inventory.phonemeCount()));
+        }
+        if (seen.insert(pron).second)
+            pronunciations_.push_back(std::move(pron));
+    }
+}
+
+std::string
+Lexicon::spell(WordId word) const
+{
+    ds_assert(word < wordCount());
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "w%03u", word);
+    return buf;
+}
+
+std::size_t
+Lexicon::totalPhonemes() const
+{
+    std::size_t total = 0;
+    for (const auto &p : pronunciations_)
+        total += p.size();
+    return total;
+}
+
+} // namespace darkside

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Pronunciation lexicon: each word is a sequence of phonemes. Generated
+ * deterministically from a seed; pronunciations are unique so the
+ * decoding task is well-posed.
+ */
+
+#ifndef DARKSIDE_CORPUS_LEXICON_HH
+#define DARKSIDE_CORPUS_LEXICON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/phoneme.hh"
+#include "util/rng.hh"
+
+namespace darkside {
+
+/** Identifier of a word; 0-based, dense. */
+using WordId = std::uint32_t;
+
+/**
+ * Randomly generated but collision-free pronunciation lexicon.
+ */
+class Lexicon
+{
+  public:
+    /**
+     * @param inventory phoneme inventory to draw from
+     * @param words vocabulary size
+     * @param min_phonemes shortest pronunciation
+     * @param max_phonemes longest pronunciation
+     * @param seed RNG seed
+     */
+    Lexicon(const PhonemeInventory &inventory, std::uint32_t words,
+            std::uint32_t min_phonemes, std::uint32_t max_phonemes,
+            std::uint64_t seed);
+
+    std::uint32_t wordCount() const
+    {
+        return static_cast<std::uint32_t>(pronunciations_.size());
+    }
+
+    /** Phoneme sequence of a word. */
+    const std::vector<std::uint32_t> &
+    pronunciation(WordId word) const
+    {
+        ds_assert(word < wordCount());
+        return pronunciations_[word];
+    }
+
+    /** Synthetic spelling like "w042" for report output. */
+    std::string spell(WordId word) const;
+
+    /** Sum of pronunciation lengths (graph-size estimate input). */
+    std::size_t totalPhonemes() const;
+
+  private:
+    std::vector<std::vector<std::uint32_t>> pronunciations_;
+};
+
+} // namespace darkside
+
+#endif // DARKSIDE_CORPUS_LEXICON_HH

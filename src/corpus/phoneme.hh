@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Phoneme inventory: maps (phoneme, HMM state) pairs to the pdf ids the
+ * acoustic model scores. The paper's DNN emits likelihoods for 3482
+ * "sub-phonemes"; here a sub-phoneme is one HMM state of one phoneme.
+ */
+
+#ifndef DARKSIDE_CORPUS_PHONEME_HH
+#define DARKSIDE_CORPUS_PHONEME_HH
+
+#include <cstdint>
+
+#include "util/logging.hh"
+
+namespace darkside {
+
+/** Identifier of a sub-phoneme class (DNN output index). */
+using PdfId = std::uint32_t;
+
+/**
+ * Fixed-size phoneme set where each phoneme is a left-to-right HMM of
+ * `statesPerPhoneme` states.
+ */
+class PhonemeInventory
+{
+  public:
+    /**
+     * @param phonemes number of phonemes in the language
+     * @param states_per_phoneme HMM states per phoneme (typically 3)
+     */
+    PhonemeInventory(std::uint32_t phonemes,
+                     std::uint32_t states_per_phoneme = 3)
+        : phonemes_(phonemes), statesPerPhoneme_(states_per_phoneme)
+    {
+        ds_assert(phonemes > 0);
+        ds_assert(states_per_phoneme > 0);
+    }
+
+    std::uint32_t phonemeCount() const { return phonemes_; }
+    std::uint32_t statesPerPhoneme() const { return statesPerPhoneme_; }
+
+    /** Total sub-phoneme classes = DNN output width. */
+    std::uint32_t pdfCount() const { return phonemes_ * statesPerPhoneme_; }
+
+    /** Pdf id of HMM state `state` of `phoneme`. */
+    PdfId
+    pdf(std::uint32_t phoneme, std::uint32_t state) const
+    {
+        ds_assert(phoneme < phonemes_);
+        ds_assert(state < statesPerPhoneme_);
+        return phoneme * statesPerPhoneme_ + state;
+    }
+
+    /** Phoneme owning a pdf id. */
+    std::uint32_t
+    phonemeOf(PdfId pdf) const
+    {
+        ds_assert(pdf < pdfCount());
+        return pdf / statesPerPhoneme_;
+    }
+
+    /** HMM state index (within its phoneme) of a pdf id. */
+    std::uint32_t
+    stateOf(PdfId pdf) const
+    {
+        ds_assert(pdf < pdfCount());
+        return pdf % statesPerPhoneme_;
+    }
+
+  private:
+    std::uint32_t phonemes_;
+    std::uint32_t statesPerPhoneme_;
+};
+
+} // namespace darkside
+
+#endif // DARKSIDE_CORPUS_PHONEME_HH

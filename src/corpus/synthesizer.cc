@@ -1,0 +1,117 @@
+#include "corpus/synthesizer.hh"
+
+namespace darkside {
+
+FrameSynthesizer::FrameSynthesizer(const PhonemeInventory &inventory,
+                                   const SynthesizerConfig &config)
+    : inventory_(inventory), config_(config)
+{
+    ds_assert(config.featureDim > 0);
+    ds_assert(config.selfLoopProb >= 0.0 && config.selfLoopProb < 1.0);
+
+    Rng rng(config.seed);
+    means_.resize(inventory.pdfCount());
+
+    if (config.confusableClusters == 0) {
+        for (auto &mean : means_) {
+            mean.resize(config.featureDim);
+            for (auto &m : mean) {
+                m = static_cast<float>(
+                    rng.gaussian(0.0, config.meanRadius));
+            }
+        }
+        return;
+    }
+
+    // Clustered means: phonemes share cluster centres; the pdfs of a
+    // phoneme (and of its cluster mates) differ only by the
+    // within-cluster spread.
+    std::vector<Vector> centers(config.confusableClusters);
+    for (auto &center : centers) {
+        center.resize(config.featureDim);
+        for (auto &c : center)
+            c = static_cast<float>(rng.gaussian(0.0, config.meanRadius));
+    }
+    const double spread = config.clusterSpread * config.meanRadius;
+    for (PdfId pdf = 0; pdf < inventory.pdfCount(); ++pdf) {
+        const std::uint32_t cluster =
+            inventory.phonemeOf(pdf) % config.confusableClusters;
+        means_[pdf].resize(config.featureDim);
+        for (std::size_t d = 0; d < config.featureDim; ++d) {
+            means_[pdf][d] = centers[cluster][d] +
+                static_cast<float>(rng.gaussian(0.0, spread));
+        }
+    }
+}
+
+Utterance
+FrameSynthesizer::synthesize(const std::vector<WordId> &words,
+                             const Lexicon &lexicon, Rng &rng) const
+{
+    Utterance utt;
+    utt.words = words;
+
+    // Speaker/channel offset: constant over the utterance.
+    Vector offset(config_.featureDim, 0.0f);
+    if (config_.speakerStddev > 0.0) {
+        for (auto &o : offset) {
+            o = static_cast<float>(
+                rng.gaussian(0.0, config_.speakerStddev));
+        }
+    }
+
+    for (WordId word : words) {
+        for (std::uint32_t phoneme : lexicon.pronunciation(word)) {
+            for (std::uint32_t s = 0; s < inventory_.statesPerPhoneme();
+                 ++s) {
+                const PdfId pdf = inventory_.pdf(phoneme, s);
+                // Geometric duration: always at least one frame.
+                do {
+                    Vector frame(config_.featureDim);
+                    const Vector &mean = means_[pdf];
+                    for (std::size_t d = 0; d < frame.size(); ++d) {
+                        frame[d] = mean[d] + offset[d] +
+                            static_cast<float>(
+                                rng.gaussian(0.0, config_.noiseStddev));
+                    }
+                    utt.frames.push_back(std::move(frame));
+                    utt.alignment.push_back(pdf);
+                } while (rng.chance(config_.selfLoopProb));
+            }
+        }
+    }
+    return utt;
+}
+
+std::vector<Vector>
+spliceFrames(const std::vector<Vector> &frames, std::size_t context)
+{
+    std::vector<Vector> spliced;
+    if (frames.empty())
+        return spliced;
+
+    const std::size_t dim = frames.front().size();
+    const std::size_t window = 2 * context + 1;
+    spliced.reserve(frames.size());
+
+    const auto count = static_cast<std::ptrdiff_t>(frames.size());
+    for (std::ptrdiff_t t = 0; t < count; ++t) {
+        Vector in(window * dim);
+        for (std::ptrdiff_t k = 0; k < static_cast<std::ptrdiff_t>(window);
+             ++k) {
+            std::ptrdiff_t src =
+                t + k - static_cast<std::ptrdiff_t>(context);
+            src = std::max<std::ptrdiff_t>(0,
+                                           std::min(src, count - 1));
+            const Vector &frame = frames[static_cast<std::size_t>(src)];
+            ds_assert(frame.size() == dim);
+            std::copy(frame.begin(), frame.end(),
+                      in.begin() + static_cast<std::ptrdiff_t>(
+                          static_cast<std::size_t>(k) * dim));
+        }
+        spliced.push_back(std::move(in));
+    }
+    return spliced;
+}
+
+} // namespace darkside

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Synthetic acoustic frame generation. Each sub-phoneme (pdf) owns a
+ * Gaussian in feature space; an utterance is rendered by walking the HMM
+ * state sequence of its words with geometric state durations and emitting
+ * noisy feature frames. This substitutes for LibriSpeech audio (see
+ * DESIGN.md): it exercises the same pipeline (frames -> DNN -> scores ->
+ * Viterbi) with controllable class separability.
+ */
+
+#ifndef DARKSIDE_CORPUS_SYNTHESIZER_HH
+#define DARKSIDE_CORPUS_SYNTHESIZER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/lexicon.hh"
+#include "corpus/phoneme.hh"
+#include "tensor/matrix.hh"
+
+namespace darkside {
+
+/** One synthetic utterance with its ground truth. */
+struct Utterance
+{
+    /** Spoken word sequence (reference transcript). */
+    std::vector<WordId> words;
+    /** Per-frame raw feature vectors (unspliced). */
+    std::vector<Vector> frames;
+    /** Per-frame ground-truth pdf id (forced alignment). */
+    std::vector<PdfId> alignment;
+};
+
+/** Emission / duration parameters. */
+struct SynthesizerConfig
+{
+    std::uint32_t featureDim = 20;
+    /** Stddev of each pdf's mean-vector components (class separation). */
+    double meanRadius = 1.0;
+    /** Stddev of per-frame emission noise. */
+    double noiseStddev = 0.55;
+    /** HMM self-loop probability; mean frames per state = 1/(1-p). */
+    double selfLoopProb = 0.5;
+    /**
+     * Number of confusable phoneme clusters (0 = every class mean is
+     * independent). Real sub-phonemes are not uniformly spread in
+     * acoustic space: vowels resemble vowels, fricatives resemble
+     * fricatives. With clustering, phonemes in the same cluster share
+     * a centre and differ only by `clusterSpread * meanRadius`, which
+     * produces the broad, confusable posteriors (and non-zero WER) of
+     * real acoustic models.
+     */
+    std::uint32_t confusableClusters = 0;
+    /** Relative within-cluster spread of class means. */
+    double clusterSpread = 0.35;
+    /**
+     * Stddev of a per-utterance constant feature offset (speaker /
+     * channel variation). Unlike the per-frame noise it cannot be
+     * averaged away over a state's frames, so it produces the
+     * *correlated* acoustic errors behind real word error rates.
+     */
+    double speakerStddev = 0.0;
+    std::uint64_t seed = 7;
+};
+
+/**
+ * Renders word sequences to feature frames plus forced alignments.
+ */
+class FrameSynthesizer
+{
+  public:
+    FrameSynthesizer(const PhonemeInventory &inventory,
+                     const SynthesizerConfig &config);
+
+    std::uint32_t featureDim() const { return config_.featureDim; }
+    const SynthesizerConfig &config() const { return config_; }
+
+    /** Gaussian mean of a pdf class. */
+    const Vector &classMean(PdfId pdf) const { return means_.at(pdf); }
+
+    /**
+     * Render one utterance.
+     * @param words the sentence to speak
+     * @param lexicon pronunciations
+     * @param rng per-utterance randomness (durations and noise)
+     */
+    Utterance synthesize(const std::vector<WordId> &words,
+                         const Lexicon &lexicon, Rng &rng) const;
+
+  private:
+    const PhonemeInventory &inventory_;
+    SynthesizerConfig config_;
+    std::vector<Vector> means_;
+};
+
+/**
+ * Splice raw frames with +/- `context` neighbours (edge frames repeat),
+ * producing DNN inputs of size (2 * context + 1) * featureDim — the
+ * paper's DNN splices +/-4 frames of 40 features into 360 inputs.
+ */
+std::vector<Vector> spliceFrames(const std::vector<Vector> &frames,
+                                 std::size_t context);
+
+} // namespace darkside
+
+#endif // DARKSIDE_CORPUS_SYNTHESIZER_HH

@@ -1,0 +1,53 @@
+#include "decoder/acoustic.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace darkside {
+
+namespace {
+
+constexpr float kProbabilityFloor = 1e-10f;
+
+} // namespace
+
+AcousticScores
+AcousticScores::fromPosteriors(const std::vector<Vector> &posteriors,
+                               float scale)
+{
+    ds_assert(!posteriors.empty());
+    AcousticScores scores;
+    scores.classes_ = posteriors.front().size();
+    scores.costs_.reserve(posteriors.size() * scores.classes_);
+
+    double confidence_sum = 0.0;
+    for (const auto &frame : posteriors) {
+        ds_assert(frame.size() == scores.classes_);
+        float peak = 0.0f;
+        for (float p : frame) {
+            peak = std::max(peak, p);
+            scores.costs_.push_back(
+                -scale * std::log(std::max(p, kProbabilityFloor)));
+        }
+        confidence_sum += peak;
+    }
+    scores.meanConfidence_ =
+        confidence_sum / static_cast<double>(posteriors.size());
+    return scores;
+}
+
+AcousticScores
+AcousticScores::fromMlp(const Mlp &mlp, const std::vector<Vector> &inputs,
+                        float scale)
+{
+    std::vector<Vector> posteriors;
+    posteriors.reserve(inputs.size());
+    Vector out;
+    for (const auto &in : inputs) {
+        mlp.forward(in, out);
+        posteriors.push_back(out);
+    }
+    return fromPosteriors(posteriors, scale);
+}
+
+} // namespace darkside

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Acoustic score container: per-frame DNN posteriors converted to the
+ * log-space costs the Viterbi search consumes. As in Kaldi, costs are
+ * scaled by an acoustic scale balancing them against LM weights.
+ */
+
+#ifndef DARKSIDE_DECODER_ACOUSTIC_HH
+#define DARKSIDE_DECODER_ACOUSTIC_HH
+
+#include <vector>
+
+#include "corpus/phoneme.hh"
+#include "dnn/mlp.hh"
+
+namespace darkside {
+
+/**
+ * Immutable per-utterance acoustic cost matrix.
+ */
+class AcousticScores
+{
+  public:
+    /**
+     * Build from raw posterior vectors.
+     * @param posteriors one probability vector per frame
+     * @param scale acoustic scale applied to -log p
+     */
+    static AcousticScores fromPosteriors(
+        const std::vector<Vector> &posteriors, float scale);
+
+    /**
+     * Score every spliced frame with the given acoustic model.
+     * @param mlp the (possibly pruned) acoustic model
+     * @param inputs spliced feature vectors (one per frame)
+     * @param scale acoustic scale
+     */
+    static AcousticScores fromMlp(const Mlp &mlp,
+                                  const std::vector<Vector> &inputs,
+                                  float scale);
+
+    std::size_t frameCount() const
+    {
+        return classes_ == 0 ? 0 : costs_.size() / classes_;
+    }
+
+    std::size_t classCount() const { return classes_; }
+
+    /** Cost of sub-phoneme `pdf` at `frame` (scale * -log p). */
+    float cost(std::size_t frame, PdfId pdf) const
+    {
+        ds_assert(frame < frameCount());
+        ds_assert(pdf < classes_);
+        return costs_[frame * classes_ + pdf];
+    }
+
+    /** Mean confidence (max posterior) over the utterance's frames. */
+    double meanConfidence() const { return meanConfidence_; }
+
+  private:
+    AcousticScores() = default;
+
+    std::vector<float> costs_;
+    std::size_t classes_ = 0;
+    double meanConfidence_ = 0.0;
+};
+
+} // namespace darkside
+
+#endif // DARKSIDE_DECODER_ACOUSTIC_HH

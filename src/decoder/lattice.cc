@@ -1,0 +1,117 @@
+#include "decoder/lattice.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace darkside {
+
+void
+Lattice::addPath(LatticePath path)
+{
+    for (auto &existing : paths_) {
+        if (existing.words == path.words) {
+            // Recombine: a complete path always beats an incomplete
+            // one with the same words; otherwise keep the cheaper.
+            if (path.complete != existing.complete) {
+                if (path.complete)
+                    existing = std::move(path);
+                return;
+            }
+            if (path.cost < existing.cost)
+                existing = std::move(path);
+            return;
+        }
+    }
+    paths_.push_back(std::move(path));
+}
+
+namespace {
+
+bool
+pathBetter(const LatticePath &a, const LatticePath &b)
+{
+    if (a.complete != b.complete)
+        return a.complete;
+    return a.cost < b.cost;
+}
+
+} // namespace
+
+std::vector<LatticePath>
+Lattice::nBest(std::size_t n) const
+{
+    std::vector<LatticePath> sorted = paths_;
+    std::sort(sorted.begin(), sorted.end(), pathBetter);
+    if (sorted.size() > n)
+        sorted.resize(n);
+    return sorted;
+}
+
+const LatticePath &
+Lattice::best() const
+{
+    ds_assert(!paths_.empty());
+    return *std::min_element(paths_.begin(), paths_.end(), pathBetter);
+}
+
+EditStats
+Lattice::oracle(const std::vector<WordId> &reference) const
+{
+    // Empty-hypothesis baseline: everything deleted.
+    EditStats best_stats;
+    best_stats.referenceLength = reference.size();
+    best_stats.deletions = reference.size();
+    for (const auto &path : paths_) {
+        const EditStats stats = alignSequences(reference, path.words);
+        if (stats.errors() < best_stats.errors())
+            best_stats = stats;
+    }
+    return best_stats;
+}
+
+std::string
+Lattice::render(std::size_t limit) const
+{
+    std::ostringstream os;
+    for (const auto &path : nBest(limit)) {
+        os << (path.complete ? "  " : " ~") << "[" << path.cost << "]";
+        for (WordId w : path.words)
+            os << " " << w;
+        os << "\n";
+    }
+    return os.str();
+}
+
+LatticeDecoder::LatticeDecoder(const Wfst &fst,
+                               const DecoderConfig &config)
+    : fst_(fst), config_(config)
+{}
+
+DecodeResult
+LatticeDecoder::decode(const AcousticScores &scores,
+                       HypothesisSelector &selector,
+                       Lattice &lattice) const
+{
+    const ViterbiDecoder decoder(fst_, config_);
+    DecodeResult result = decoder.decode(scores, selector);
+
+    // Every final-frame survivor is an alternative transcription; a
+    // survivor ending in a final WFST state is a complete sentence and
+    // absorbs the final cost, others are marked incomplete.
+    for (const auto &token : result.finalTokens) {
+        LatticePath path;
+        path.words = result.backtrace(token.trace);
+        const float final_cost = fst_.finalCost(token.state);
+        if (final_cost != kInfinityCost) {
+            path.complete = true;
+            path.cost = token.cost + final_cost;
+        } else {
+            path.complete = false;
+            path.cost = token.cost;
+        }
+        lattice.addPath(std::move(path));
+    }
+    return result;
+}
+
+} // namespace darkside

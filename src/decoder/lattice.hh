@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Word lattice and N-best transcript extraction. The hardware decoder
+ * (UNFOLD) writes word-lattice records as it searches; this module is
+ * the software equivalent: it captures the alternative word sequences
+ * that survived to the end of the utterance, ranks them, and supports
+ * the oracle-WER analysis used when sizing the N-best hash (how much
+ * accuracy headroom the surviving hypotheses actually contain).
+ */
+
+#ifndef DARKSIDE_DECODER_LATTICE_HH
+#define DARKSIDE_DECODER_LATTICE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "decoder/viterbi_decoder.hh"
+
+namespace darkside {
+
+/** One ranked lattice path. */
+struct LatticePath
+{
+    std::vector<WordId> words;
+    /** Total path cost including the final-state cost. */
+    double cost = 0.0;
+    /** True when the path ended in a final WFST state. */
+    bool complete = false;
+};
+
+/**
+ * A bag of alternative transcriptions of one utterance.
+ */
+class Lattice
+{
+  public:
+    /** Build an empty lattice. */
+    Lattice() = default;
+
+    /** Add a candidate path (recombined by word sequence, min cost). */
+    void addPath(LatticePath path);
+
+    /** Number of distinct word sequences stored. */
+    std::size_t pathCount() const { return paths_.size(); }
+
+    /**
+     * The n cheapest distinct paths, best first. Complete paths are
+     * preferred over incomplete ones at equal cost.
+     */
+    std::vector<LatticePath> nBest(std::size_t n) const;
+
+    /** The single best path; requires a non-empty lattice. */
+    const LatticePath &best() const;
+
+    /**
+     * Oracle WER: the minimum word error rate achievable by choosing
+     * the best-matching path for the given reference.
+     */
+    EditStats oracle(const std::vector<WordId> &reference) const;
+
+    /** Render the top paths for debugging/reports. */
+    std::string render(std::size_t limit = 5) const;
+
+  private:
+    std::vector<LatticePath> paths_;
+};
+
+/**
+ * Decoder wrapper that retains the full set of end-of-utterance
+ * hypotheses as a lattice instead of only the single best path.
+ */
+class LatticeDecoder
+{
+  public:
+    LatticeDecoder(const Wfst &fst, const DecoderConfig &config);
+
+    /**
+     * Decode and build the lattice of distinct word sequences held by
+     * the final frame's surviving hypotheses.
+     *
+     * @param scores acoustic costs
+     * @param selector survival policy
+     * @param lattice receives the alternatives
+     * @return the standard decode result (best path, activity)
+     */
+    DecodeResult decode(const AcousticScores &scores,
+                        HypothesisSelector &selector,
+                        Lattice &lattice) const;
+
+  private:
+    const Wfst &fst_;
+    DecoderConfig config_;
+};
+
+} // namespace darkside
+
+#endif // DARKSIDE_DECODER_LATTICE_HH

@@ -1,0 +1,176 @@
+#include "decoder/viterbi_decoder.hh"
+
+#include <algorithm>
+#include <limits>
+
+namespace darkside {
+
+std::uint64_t
+DecodeResult::totalGenerated() const
+{
+    std::uint64_t total = 0;
+    for (const auto &f : frames)
+        total += f.generated;
+    return total;
+}
+
+std::uint64_t
+DecodeResult::totalSurvivors() const
+{
+    std::uint64_t total = 0;
+    for (const auto &f : frames)
+        total += f.survivors;
+    return total;
+}
+
+double
+DecodeResult::meanSurvivorsPerFrame() const
+{
+    if (frames.empty())
+        return 0.0;
+    return static_cast<double>(totalSurvivors()) /
+        static_cast<double>(frames.size());
+}
+
+std::uint64_t
+DecodeResult::maxSurvivorsPerFrame() const
+{
+    std::uint64_t peak = 0;
+    for (const auto &f : frames)
+        peak = std::max(peak, f.survivors);
+    return peak;
+}
+
+ViterbiDecoder::ViterbiDecoder(const Wfst &fst,
+                               const DecoderConfig &config)
+    : fst_(fst), config_(config)
+{
+    ds_assert(config.beam > 0.0f);
+}
+
+std::vector<WordId>
+DecodeResult::backtrace(std::uint32_t trace_index) const
+{
+    std::vector<WordId> result;
+    std::uint32_t node = trace_index;
+    while (node != 0) {
+        ds_assert(node < trace.size());
+        result.push_back(trace[node].word - 1);
+        node = trace[node].prev;
+    }
+    std::reverse(result.begin(), result.end());
+    return result;
+}
+
+DecodeResult
+ViterbiDecoder::decode(const AcousticScores &scores,
+                       HypothesisSelector &selector,
+                       SearchObserver *observer) const
+{
+    DecodeResult result;
+    const std::size_t frames = scores.frameCount();
+    if (frames == 0)
+        return result;
+    if (observer)
+        observer->onUtteranceStart(frames);
+
+    // Trace node 0 is the sentence-start sentinel.
+    std::vector<TraceNode> &trace = result.trace;
+    trace.push_back({kEpsilon, 0});
+
+    std::vector<Hypothesis> active;
+    active.push_back({fst_.start(), 0.0f, 0});
+
+    result.frames.resize(frames);
+
+    for (std::size_t t = 0; t < frames; ++t) {
+        FrameActivity &activity = result.frames[t];
+        if (observer)
+            observer->onFrameStart(t);
+
+        // Beam pruning: expand only tokens within `beam` of the best.
+        float best = std::numeric_limits<float>::infinity();
+        for (const auto &h : active)
+            best = std::min(best, h.cost);
+        const float lattice_beam = best + config_.beam;
+
+        selector.beginFrame();
+        for (const auto &token : active) {
+            if (token.cost > lattice_beam)
+                continue;
+            ++activity.expanded;
+            if (observer)
+                observer->onStateExpand(token.state);
+            const std::size_t end = fst_.arcEnd(token.state);
+            for (std::size_t a = fst_.arcBegin(token.state); a < end;
+                 ++a) {
+                const Arc &arc = fst_.arc(a);
+                if (observer)
+                    observer->onArcTraverse(a, arc);
+                Hypothesis hyp;
+                hyp.state = arc.dest;
+                hyp.cost = token.cost + arc.weight +
+                    scores.cost(t, arc.ilabel);
+                if (arc.olabel != kEpsilon) {
+                    hyp.trace = static_cast<std::uint32_t>(trace.size());
+                    trace.push_back({arc.olabel, token.trace});
+                } else {
+                    hyp.trace = token.trace;
+                }
+                selector.insert(hyp);
+                ++activity.generated;
+            }
+        }
+
+        active = selector.finishFrame();
+        activity.selector = selector.frameStats();
+        activity.survivors = active.size();
+        if (observer)
+            observer->onFrameEnd(activity);
+        if (active.empty()) {
+            // Search died (beam too small / selector too aggressive):
+            // report an empty transcript.
+            return result;
+        }
+    }
+
+    result.finalTokens = active;
+
+    // Pick the best token, preferring complete (final-state) paths.
+    const Hypothesis *best_final = nullptr;
+    float best_final_cost = std::numeric_limits<float>::infinity();
+    const Hypothesis *best_any = nullptr;
+    float best_any_cost = std::numeric_limits<float>::infinity();
+    for (const auto &h : active) {
+        if (h.cost < best_any_cost) {
+            best_any_cost = h.cost;
+            best_any = &h;
+        }
+        const float final_cost = fst_.finalCost(h.state);
+        if (final_cost != kInfinityCost &&
+            h.cost + final_cost < best_final_cost) {
+            best_final_cost = h.cost + final_cost;
+            best_final = &h;
+        }
+    }
+
+    const Hypothesis *winner = best_final ? best_final : best_any;
+    result.reachedFinal = best_final != nullptr;
+    result.totalCost = best_final ? best_final_cost : best_any_cost;
+
+    result.words = result.backtrace(winner->trace);
+    return result;
+}
+
+EditStats
+scoreTranscripts(const std::vector<std::vector<WordId>> &results,
+                 const std::vector<std::vector<WordId>> &references)
+{
+    ds_assert(results.size() == references.size());
+    EditStats total;
+    for (std::size_t i = 0; i < results.size(); ++i)
+        total.merge(alignSequences(references[i], results[i]));
+    return total;
+}
+
+} // namespace darkside

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Reference software implementation of the Viterbi beam search
+ * (Sec. II-C). The decoder is parameterised by a HypothesisSelector, so
+ * the same search kernel reproduces the paper's four configurations:
+ * baseline unbounded search, narrowed beams, accurate N-best, and the
+ * proposed hash-based loose N-best. Per-frame activity counters feed the
+ * workload figures (Fig. 4) and the accelerator cycle model.
+ */
+
+#ifndef DARKSIDE_DECODER_VITERBI_DECODER_HH
+#define DARKSIDE_DECODER_VITERBI_DECODER_HH
+
+#include <vector>
+
+#include "corpus/lexicon.hh"
+#include "decoder/acoustic.hh"
+#include "nbest/hypothesis.hh"
+#include "util/edit_distance.hh"
+#include "wfst/wfst.hh"
+
+namespace darkside {
+
+/** Beam-search parameters. */
+struct DecoderConfig
+{
+    /** Beam width in log space (paper default: 15; narrowed to 10/9/8
+     *  for the Beam-70/80/90 configurations). */
+    float beam = 15.0f;
+};
+
+/** Search activity for one frame of speech. */
+struct FrameActivity
+{
+    /** Hypotheses generated (arcs relaxed) this frame — "M". */
+    std::uint64_t generated = 0;
+    /** Tokens expanded (sources within the beam). */
+    std::uint64_t expanded = 0;
+    /** Hypotheses alive after selection — "N" (Fig. 4's workload). */
+    std::uint64_t survivors = 0;
+    /** Selector-internal counters (collisions, evictions, ...). */
+    SelectorFrameStats selector;
+};
+
+/** One node of the backtrace arena: a word emission on a partial path. */
+struct TraceNode
+{
+    /** Emitted word label (olabel, i.e. word id + 1). */
+    OutLabel word;
+    /** Index of the previous emission on the path (0 = start). */
+    std::uint32_t prev;
+};
+
+/** Outcome of decoding one utterance. */
+struct DecodeResult
+{
+    /** Best-path word sequence. */
+    std::vector<WordId> words;
+    /** Cost of the best complete path (including the final cost). */
+    double totalCost = 0.0;
+    /** False when no token reached a final state (backtrace is then from
+     *  the best non-final token). */
+    bool reachedFinal = false;
+    /** Per-frame activity. */
+    std::vector<FrameActivity> frames;
+    /** Backtrace arena (node 0 is the start sentinel). */
+    std::vector<TraceNode> trace;
+    /** Survivors of the final frame (their .trace indexes `trace`). */
+    std::vector<Hypothesis> finalTokens;
+
+    std::uint64_t totalGenerated() const;
+    std::uint64_t totalSurvivors() const;
+    double meanSurvivorsPerFrame() const;
+    std::uint64_t maxSurvivorsPerFrame() const;
+
+    /** Word sequence of the path ending at `trace_index`. */
+    std::vector<WordId> backtrace(std::uint32_t trace_index) const;
+};
+
+/**
+ * Observation hooks the decoder fires while searching. The Viterbi
+ * accelerator simulator implements this interface to see the exact
+ * state/arc access streams (for its cache models) without the decoder
+ * knowing anything about hardware.
+ */
+class SearchObserver
+{
+  public:
+    virtual ~SearchObserver() = default;
+
+    /** A new utterance of `frames` frames starts. */
+    virtual void onUtteranceStart(std::size_t frames) {}
+
+    /** Frame `t` starts. */
+    virtual void onFrameStart(std::size_t t) {}
+
+    /** The State Issuer fetched `state` for expansion. */
+    virtual void onStateExpand(StateId state) {}
+
+    /** The Arc Issuer fetched arc `arc_index` (and scored arc.ilabel). */
+    virtual void onArcTraverse(std::size_t arc_index, const Arc &arc) {}
+
+    /** Frame closed with the given activity counters. */
+    virtual void onFrameEnd(const FrameActivity &activity) {}
+};
+
+/**
+ * Token-passing Viterbi beam search over an all-emitting WFST.
+ */
+class ViterbiDecoder
+{
+  public:
+    ViterbiDecoder(const Wfst &fst, const DecoderConfig &config);
+
+    /**
+     * Decode one utterance.
+     * @param scores per-frame acoustic costs
+     * @param selector survival policy (reset internally per frame)
+     * @param observer optional hardware-model hooks
+     */
+    DecodeResult decode(const AcousticScores &scores,
+                        HypothesisSelector &selector,
+                        SearchObserver *observer = nullptr) const;
+
+  private:
+    const Wfst &fst_;
+    DecoderConfig config_;
+};
+
+/**
+ * Decode a batch of references and accumulate WER.
+ *
+ * @param results decoded word sequences
+ * @param references ground-truth word sequences
+ */
+EditStats scoreTranscripts(
+    const std::vector<std::vector<WordId>> &results,
+    const std::vector<std::vector<WordId>> &references);
+
+} // namespace darkside
+
+#endif // DARKSIDE_DECODER_VITERBI_DECODER_HH

@@ -1,0 +1,209 @@
+#include "dnn/layer.hh"
+
+#include <cmath>
+
+namespace darkside {
+
+const char *
+layerKindName(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::FullyConnected:
+        return "FC";
+      case LayerKind::PNormPooling:
+        return "P";
+      case LayerKind::Renormalize:
+        return "N";
+      case LayerKind::Softmax:
+        return "SoftMax";
+    }
+    return "?";
+}
+
+FullyConnected::FullyConnected(std::string name, std::size_t in,
+                               std::size_t out, bool trainable)
+    : Layer(std::move(name), in, out), weights_(out, in),
+      biases_(out, 0.0f), trainable_(trainable)
+{}
+
+void
+FullyConnected::forward(const Vector &in, Vector &out) const
+{
+    gemv(weights_, in, biases_, out);
+}
+
+void
+FullyConnected::backward(const Vector &in, const Vector &out,
+                         const Vector &d_out, Vector &d_in, float lr)
+{
+    ds_assert(d_out.size() == outputSize());
+    // Delta for the previous layer first, while weights are pre-update.
+    gemvTransposed(weights_, d_out, d_in);
+
+    if (!trainable_ || lr == 0.0f)
+        return;
+
+    // W -= lr * d_out in^T, honouring the prune mask; b -= lr * d_out.
+    const std::size_t cols = weights_.cols();
+    for (std::size_t r = 0; r < weights_.rows(); ++r) {
+        const float step = lr * d_out[r];
+        if (step == 0.0f)
+            continue;
+        float *row = weights_.rowPtr(r);
+        if (mask_.empty()) {
+            for (std::size_t c = 0; c < cols; ++c)
+                row[c] -= step * in[c];
+        } else {
+            const std::uint8_t *mrow = mask_.data() + r * cols;
+            for (std::size_t c = 0; c < cols; ++c) {
+                if (mrow[c])
+                    row[c] -= step * in[c];
+            }
+        }
+        biases_[r] -= step;
+    }
+}
+
+void
+FullyConnected::initialize(Rng &rng)
+{
+    const float stddev =
+        1.0f / std::sqrt(static_cast<float>(inputSize()));
+    weights_.randomize(rng, stddev);
+    std::fill(biases_.begin(), biases_.end(), 0.0f);
+}
+
+void
+FullyConnected::setMask(std::vector<std::uint8_t> mask)
+{
+    ds_assert(mask.size() == weights_.size());
+    ds_assert(trainable_);
+    mask_ = std::move(mask);
+    float *w = weights_.data();
+    for (std::size_t i = 0; i < mask_.size(); ++i) {
+        if (!mask_[i])
+            w[i] = 0.0f;
+    }
+}
+
+void
+FullyConnected::clearMask()
+{
+    mask_.clear();
+}
+
+std::size_t
+FullyConnected::nonzeroWeightCount() const
+{
+    if (mask_.empty())
+        return weights_.size();
+    std::size_t n = 0;
+    for (auto m : mask_)
+        n += m ? 1 : 0;
+    return n;
+}
+
+PNormPooling::PNormPooling(std::string name, std::size_t in,
+                           std::size_t group_size)
+    : Layer(std::move(name), in, in / group_size), groupSize_(group_size)
+{
+    ds_assert(group_size > 0);
+    ds_assert(in % group_size == 0);
+}
+
+void
+PNormPooling::forward(const Vector &in, Vector &out) const
+{
+    ds_assert(in.size() == inputSize());
+    out.resize(outputSize());
+    for (std::size_t g = 0; g < outputSize(); ++g) {
+        float acc = 0.0f;
+        const std::size_t base = g * groupSize_;
+        for (std::size_t i = 0; i < groupSize_; ++i) {
+            const float x = in[base + i];
+            acc += x * x;
+        }
+        out[g] = std::sqrt(acc);
+    }
+}
+
+void
+PNormPooling::backward(const Vector &in, const Vector &out,
+                       const Vector &d_out, Vector &d_in, float lr)
+{
+    // For p = 2: dy/dx_i = x_i / y (0 when the whole group is zero).
+    d_in.resize(inputSize());
+    for (std::size_t g = 0; g < outputSize(); ++g) {
+        const std::size_t base = g * groupSize_;
+        const float y = out[g];
+        if (y <= 1e-12f) {
+            for (std::size_t i = 0; i < groupSize_; ++i)
+                d_in[base + i] = 0.0f;
+            continue;
+        }
+        const float scale = d_out[g] / y;
+        for (std::size_t i = 0; i < groupSize_; ++i)
+            d_in[base + i] = scale * in[base + i];
+    }
+}
+
+Renormalize::Renormalize(std::string name, std::size_t dim)
+    : Layer(std::move(name), dim, dim)
+{}
+
+void
+Renormalize::forward(const Vector &in, Vector &out) const
+{
+    ds_assert(in.size() == inputSize());
+    out.resize(in.size());
+    const float norm2 = dot(in, in);
+    const auto dim = static_cast<float>(in.size());
+    const float scale =
+        norm2 > 1e-20f ? std::sqrt(dim / norm2) : 0.0f;
+    for (std::size_t i = 0; i < in.size(); ++i)
+        out[i] = in[i] * scale;
+}
+
+void
+Renormalize::backward(const Vector &in, const Vector &out,
+                      const Vector &d_out, Vector &d_in, float lr)
+{
+    // y = s x with s = sqrt(D)/||x||:
+    // dL/dx = s (dL/dy - (dL/dy . y) y / D).
+    d_in.resize(inputSize());
+    const float norm2 = dot(in, in);
+    const auto dim = static_cast<float>(in.size());
+    if (norm2 <= 1e-20f) {
+        std::fill(d_in.begin(), d_in.end(), 0.0f);
+        return;
+    }
+    const float scale = std::sqrt(dim / norm2);
+    const float proj = dot(d_out, out) / dim;
+    for (std::size_t i = 0; i < in.size(); ++i)
+        d_in[i] = scale * (d_out[i] - proj * out[i]);
+}
+
+Softmax::Softmax(std::string name, std::size_t dim)
+    : Layer(std::move(name), dim, dim)
+{}
+
+void
+Softmax::forward(const Vector &in, Vector &out) const
+{
+    ds_assert(in.size() == inputSize());
+    out = in;
+    softmaxInPlace(out);
+}
+
+void
+Softmax::backward(const Vector &in, const Vector &out, const Vector &d_out,
+                  Vector &d_in, float lr)
+{
+    // Full softmax Jacobian: dL/dx_i = y_i (dL/dy_i - sum_j dL/dy_j y_j).
+    d_in.resize(inputSize());
+    const float proj = dot(d_out, out);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        d_in[i] = out[i] * (d_out[i] - proj);
+}
+
+} // namespace darkside

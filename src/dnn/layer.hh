@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Layer hierarchy for the Kaldi-style acoustic-model MLP (Table I of the
+ * paper): fully-connected layers (trainable, or fixed to implement the
+ * LDA-like input transform), p-norm pooling, renormalisation and softmax.
+ *
+ * The backward pass applies plain SGD with batch size one: backward() both
+ * propagates the delta to the previous layer and, for trainable layers,
+ * updates the parameters in place. This keeps the training machinery
+ * small; the paper's contribution does not depend on the optimiser.
+ */
+
+#ifndef DARKSIDE_DNN_LAYER_HH
+#define DARKSIDE_DNN_LAYER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.hh"
+
+namespace darkside {
+
+/** Discriminates layer types for serialisation and pruning reports. */
+enum class LayerKind : std::uint8_t {
+    FullyConnected,
+    PNormPooling,
+    Renormalize,
+    Softmax,
+};
+
+/** @return a short human-readable name ("FC", "P", "N", "SoftMax"). */
+const char *layerKindName(LayerKind kind);
+
+/**
+ * Abstract network layer.
+ */
+class Layer
+{
+  public:
+    /**
+     * @param name layer label as in Table I (e.g. "FC1", "P1")
+     * @param in input width
+     * @param out output width
+     */
+    Layer(std::string name, std::size_t in, std::size_t out)
+        : name_(std::move(name)), inputSize_(in), outputSize_(out)
+    {}
+
+    virtual ~Layer() = default;
+
+    virtual LayerKind kind() const = 0;
+
+    /** Evaluate the layer. @param in size inputSize() @param out resized. */
+    virtual void forward(const Vector &in, Vector &out) const = 0;
+
+    /**
+     * Backpropagate and (for trainable layers) apply an SGD step.
+     *
+     * @param in the input seen by the matching forward() call
+     * @param out the output produced by that call
+     * @param d_out dLoss/dOut
+     * @param d_in resized to inputSize(), receives dLoss/dIn
+     * @param lr learning rate for the in-place parameter update
+     */
+    virtual void backward(const Vector &in, const Vector &out,
+                          const Vector &d_out, Vector &d_in, float lr) = 0;
+
+    const std::string &name() const { return name_; }
+    std::size_t inputSize() const { return inputSize_; }
+    std::size_t outputSize() const { return outputSize_; }
+
+    /** Number of trainable (non-masked) parameters. */
+    virtual std::size_t parameterCount() const { return 0; }
+
+  private:
+    std::string name_;
+    std::size_t inputSize_;
+    std::size_t outputSize_;
+};
+
+/**
+ * y = W x + b. Supports a prune mask: masked weights are pinned to zero
+ * through retraining (Han et al. step 3).
+ */
+class FullyConnected : public Layer
+{
+  public:
+    /**
+     * @param trainable false for FC0, whose weights implement the fixed
+     *        LDA-like input transform and must not be pruned or updated
+     */
+    FullyConnected(std::string name, std::size_t in, std::size_t out,
+                   bool trainable = true);
+
+    LayerKind kind() const override { return LayerKind::FullyConnected; }
+    void forward(const Vector &in, Vector &out) const override;
+    void backward(const Vector &in, const Vector &out, const Vector &d_out,
+                  Vector &d_in, float lr) override;
+
+    /** Initialise weights ~ N(0, 1/sqrt(in)) and zero biases. */
+    void initialize(Rng &rng);
+
+    bool trainable() const { return trainable_; }
+
+    Matrix &weights() { return weights_; }
+    const Matrix &weights() const { return weights_; }
+    Vector &biases() { return biases_; }
+    const Vector &biases() const { return biases_; }
+
+    /**
+     * Install a prune mask (1 byte per weight, 0 = pruned). Weights under
+     * the mask are zeroed immediately and kept at zero by backward().
+     */
+    void setMask(std::vector<std::uint8_t> mask);
+
+    /** Remove the mask (weights stay as they are). */
+    void clearMask();
+
+    bool hasMask() const { return !mask_.empty(); }
+    const std::vector<std::uint8_t> &mask() const { return mask_; }
+
+    /** Weights surviving the mask (all weights when unmasked). */
+    std::size_t nonzeroWeightCount() const;
+
+    std::size_t parameterCount() const override
+    {
+        return weights_.size() + biases_.size();
+    }
+
+  private:
+    Matrix weights_;
+    Vector biases_;
+    std::vector<std::uint8_t> mask_;
+    bool trainable_;
+};
+
+/**
+ * Kaldi-style p-norm pooling: consecutive groups of `groupSize` inputs are
+ * reduced to one output, y_g = (sum_i |x_i|^p)^(1/p). The paper's network
+ * pools 2000 -> 400 (group size 5). We use p = 2, Kaldi's default.
+ */
+class PNormPooling : public Layer
+{
+  public:
+    PNormPooling(std::string name, std::size_t in, std::size_t group_size);
+
+    LayerKind kind() const override { return LayerKind::PNormPooling; }
+    void forward(const Vector &in, Vector &out) const override;
+    void backward(const Vector &in, const Vector &out, const Vector &d_out,
+                  Vector &d_in, float lr) override;
+
+    std::size_t groupSize() const { return groupSize_; }
+
+  private:
+    std::size_t groupSize_;
+};
+
+/**
+ * Kaldi NormalizeComponent: rescale so the output has unit RMS,
+ * y = x * sqrt(D) / ||x||. Keeps activations bounded between p-norm
+ * stages.
+ */
+class Renormalize : public Layer
+{
+  public:
+    explicit Renormalize(std::string name, std::size_t dim);
+
+    LayerKind kind() const override { return LayerKind::Renormalize; }
+    void forward(const Vector &in, Vector &out) const override;
+    void backward(const Vector &in, const Vector &out, const Vector &d_out,
+                  Vector &d_in, float lr) override;
+};
+
+/**
+ * Softmax output layer. Training uses the fused softmax/cross-entropy
+ * gradient, so backward() here is only exercised when a caller chains a
+ * loss onto the probabilities directly.
+ */
+class Softmax : public Layer
+{
+  public:
+    explicit Softmax(std::string name, std::size_t dim);
+
+    LayerKind kind() const override { return LayerKind::Softmax; }
+    void forward(const Vector &in, Vector &out) const override;
+    void backward(const Vector &in, const Vector &out, const Vector &d_out,
+                  Vector &d_in, float lr) override;
+};
+
+} // namespace darkside
+
+#endif // DARKSIDE_DNN_LAYER_HH

@@ -1,0 +1,305 @@
+#include "dnn/mlp.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace darkside {
+
+namespace {
+
+/** Deep-copy a layer, preserving weights, masks and configuration. */
+std::unique_ptr<Layer>
+cloneLayer(const Layer &layer)
+{
+    switch (layer.kind()) {
+      case LayerKind::FullyConnected: {
+        const auto &fc = static_cast<const FullyConnected &>(layer);
+        auto copy = std::make_unique<FullyConnected>(
+            fc.name(), fc.inputSize(), fc.outputSize(), fc.trainable());
+        copy->weights() = fc.weights();
+        copy->biases() = fc.biases();
+        if (fc.hasMask()) {
+            auto mask = fc.mask();
+            copy->setMask(std::move(mask));
+        }
+        return copy;
+      }
+      case LayerKind::PNormPooling: {
+        const auto &p = static_cast<const PNormPooling &>(layer);
+        return std::make_unique<PNormPooling>(p.name(), p.inputSize(),
+                                              p.groupSize());
+      }
+      case LayerKind::Renormalize:
+        return std::make_unique<Renormalize>(layer.name(),
+                                             layer.inputSize());
+      case LayerKind::Softmax:
+        return std::make_unique<Softmax>(layer.name(), layer.inputSize());
+    }
+    panic("cloneLayer: unknown layer kind");
+}
+
+template <typename T>
+void
+writePod(std::ostream &os, const T &v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+template <typename T>
+T
+readPod(std::istream &is)
+{
+    T v{};
+    is.read(reinterpret_cast<char *>(&v), sizeof(T));
+    return v;
+}
+
+void
+writeString(std::ostream &os, const std::string &s)
+{
+    writePod<std::uint32_t>(os, static_cast<std::uint32_t>(s.size()));
+    os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string
+readString(std::istream &is)
+{
+    const auto len = readPod<std::uint32_t>(is);
+    std::string s(len, '\0');
+    is.read(s.data(), len);
+    return s;
+}
+
+constexpr std::uint32_t kMagic = 0x44534d31; // "DSM1"
+
+} // namespace
+
+void
+Mlp::add(std::unique_ptr<Layer> layer)
+{
+    if (!layers_.empty()) {
+        ds_assert(layer->inputSize() == layers_.back()->outputSize());
+    }
+    layers_.push_back(std::move(layer));
+}
+
+std::size_t
+Mlp::inputSize() const
+{
+    ds_assert(!layers_.empty());
+    return layers_.front()->inputSize();
+}
+
+std::size_t
+Mlp::outputSize() const
+{
+    ds_assert(!layers_.empty());
+    return layers_.back()->outputSize();
+}
+
+std::size_t
+Mlp::parameterCount() const
+{
+    std::size_t n = 0;
+    for (const auto &l : layers_)
+        n += l->parameterCount();
+    return n;
+}
+
+std::vector<FullyConnected *>
+Mlp::fullyConnectedLayers()
+{
+    std::vector<FullyConnected *> fcs;
+    for (auto &l : layers_) {
+        if (l->kind() == LayerKind::FullyConnected)
+            fcs.push_back(static_cast<FullyConnected *>(l.get()));
+    }
+    return fcs;
+}
+
+std::vector<const FullyConnected *>
+Mlp::fullyConnectedLayers() const
+{
+    std::vector<const FullyConnected *> fcs;
+    for (const auto &l : layers_) {
+        if (l->kind() == LayerKind::FullyConnected)
+            fcs.push_back(static_cast<const FullyConnected *>(l.get()));
+    }
+    return fcs;
+}
+
+void
+Mlp::forward(const Vector &input, Vector &posteriors) const
+{
+    ds_assert(!layers_.empty());
+    ds_assert(input.size() == inputSize());
+    activations_.resize(layers_.size() + 1);
+    activations_[0] = input;
+    for (std::size_t i = 0; i < layers_.size(); ++i)
+        layers_[i]->forward(activations_[i], activations_[i + 1]);
+    posteriors = activations_.back();
+}
+
+float
+Mlp::trainStep(const Vector &input, std::uint32_t label, float lr)
+{
+    ds_assert(!layers_.empty());
+    ds_assert(layers_.back()->kind() == LayerKind::Softmax);
+    ds_assert(label < outputSize());
+
+    activations_.resize(layers_.size() + 1);
+    activations_[0] = input;
+    for (std::size_t i = 0; i < layers_.size(); ++i)
+        layers_[i]->forward(activations_[i], activations_[i + 1]);
+
+    const Vector &posteriors = activations_.back();
+    const float p_true = std::max(posteriors[label], 1e-20f);
+    const float loss = -std::log(p_true);
+
+    // Fused softmax + cross-entropy gradient at the softmax *input*:
+    // dL/dlogit_i = p_i - [i == label].
+    dOut_ = posteriors;
+    dOut_[label] -= 1.0f;
+
+    // Skip the softmax layer itself; start at the layer feeding it.
+    for (std::size_t i = layers_.size() - 1; i-- > 0;) {
+        layers_[i]->backward(activations_[i], activations_[i + 1], dOut_,
+                             dIn_, lr);
+        std::swap(dOut_, dIn_);
+    }
+    return loss;
+}
+
+Mlp
+Mlp::clone() const
+{
+    Mlp copy;
+    for (const auto &l : layers_)
+        copy.add(cloneLayer(*l));
+    return copy;
+}
+
+std::string
+Mlp::summary() const
+{
+    std::ostringstream os;
+    for (const auto &l : layers_) {
+        os << l->name() << " (" << layerKindName(l->kind()) << "): "
+           << l->inputSize() << " -> " << l->outputSize();
+        if (l->kind() == LayerKind::FullyConnected) {
+            const auto &fc = static_cast<const FullyConnected &>(*l);
+            os << ", " << fc.weights().size() << " weights";
+            if (fc.hasMask())
+                os << " (" << fc.nonzeroWeightCount() << " nonzero)";
+            if (!fc.trainable())
+                os << ", fixed";
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+void
+Mlp::save(const std::string &path) const
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        fatal("cannot open '%s' for writing", path.c_str());
+    writePod(os, kMagic);
+    writePod<std::uint32_t>(os, static_cast<std::uint32_t>(layers_.size()));
+    for (const auto &l : layers_) {
+        writePod<std::uint8_t>(os, static_cast<std::uint8_t>(l->kind()));
+        writeString(os, l->name());
+        writePod<std::uint64_t>(os, l->inputSize());
+        writePod<std::uint64_t>(os, l->outputSize());
+        switch (l->kind()) {
+          case LayerKind::FullyConnected: {
+            const auto &fc = static_cast<const FullyConnected &>(*l);
+            writePod<std::uint8_t>(os, fc.trainable() ? 1 : 0);
+            os.write(reinterpret_cast<const char *>(fc.weights().data()),
+                     static_cast<std::streamsize>(fc.weights().size() *
+                                                  sizeof(float)));
+            os.write(reinterpret_cast<const char *>(fc.biases().data()),
+                     static_cast<std::streamsize>(fc.biases().size() *
+                                                  sizeof(float)));
+            writePod<std::uint8_t>(os, fc.hasMask() ? 1 : 0);
+            if (fc.hasMask()) {
+                os.write(reinterpret_cast<const char *>(fc.mask().data()),
+                         static_cast<std::streamsize>(fc.mask().size()));
+            }
+            break;
+          }
+          case LayerKind::PNormPooling: {
+            const auto &p = static_cast<const PNormPooling &>(*l);
+            writePod<std::uint64_t>(os, p.groupSize());
+            break;
+          }
+          default:
+            break;
+        }
+    }
+    if (!os)
+        fatal("error while writing '%s'", path.c_str());
+}
+
+Mlp
+Mlp::load(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        fatal("cannot open '%s' for reading", path.c_str());
+    if (readPod<std::uint32_t>(is) != kMagic)
+        fatal("'%s' is not a darkside MLP file", path.c_str());
+
+    Mlp mlp;
+    const auto layer_count = readPod<std::uint32_t>(is);
+    for (std::uint32_t i = 0; i < layer_count; ++i) {
+        const auto kind = static_cast<LayerKind>(readPod<std::uint8_t>(is));
+        std::string name = readString(is);
+        const auto in = static_cast<std::size_t>(readPod<std::uint64_t>(is));
+        const auto out =
+            static_cast<std::size_t>(readPod<std::uint64_t>(is));
+        switch (kind) {
+          case LayerKind::FullyConnected: {
+            const bool trainable = readPod<std::uint8_t>(is) != 0;
+            auto fc = std::make_unique<FullyConnected>(name, in, out,
+                                                       trainable);
+            is.read(reinterpret_cast<char *>(fc->weights().data()),
+                    static_cast<std::streamsize>(fc->weights().size() *
+                                                 sizeof(float)));
+            is.read(reinterpret_cast<char *>(fc->biases().data()),
+                    static_cast<std::streamsize>(fc->biases().size() *
+                                                 sizeof(float)));
+            if (readPod<std::uint8_t>(is)) {
+                std::vector<std::uint8_t> mask(fc->weights().size());
+                is.read(reinterpret_cast<char *>(mask.data()),
+                        static_cast<std::streamsize>(mask.size()));
+                fc->setMask(std::move(mask));
+            }
+            mlp.add(std::move(fc));
+            break;
+          }
+          case LayerKind::PNormPooling: {
+            const auto group =
+                static_cast<std::size_t>(readPod<std::uint64_t>(is));
+            mlp.add(std::make_unique<PNormPooling>(name, in, group));
+            break;
+          }
+          case LayerKind::Renormalize:
+            mlp.add(std::make_unique<Renormalize>(name, in));
+            break;
+          case LayerKind::Softmax:
+            mlp.add(std::make_unique<Softmax>(name, in));
+            break;
+          default:
+            fatal("'%s': corrupt layer kind", path.c_str());
+        }
+    }
+    if (!is)
+        fatal("error while reading '%s'", path.c_str());
+    return mlp;
+}
+
+} // namespace darkside

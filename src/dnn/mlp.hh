@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The multi-layer perceptron container used as the acoustic model, plus
+ * evaluation helpers for the metrics the paper studies: top-1/top-k error
+ * and *confidence* (the softmax likelihood assigned to the top-1 class).
+ */
+
+#ifndef DARKSIDE_DNN_MLP_HH
+#define DARKSIDE_DNN_MLP_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dnn/layer.hh"
+
+namespace darkside {
+
+/**
+ * Feed-forward stack of layers ending in a Softmax, evaluated one frame
+ * at a time (matching the accelerator, which scores one 10 ms frame per
+ * invocation).
+ */
+class Mlp
+{
+  public:
+    Mlp() = default;
+
+    Mlp(const Mlp &) = delete;
+    Mlp &operator=(const Mlp &) = delete;
+    Mlp(Mlp &&) = default;
+    Mlp &operator=(Mlp &&) = default;
+
+    /** Append a layer; its input width must match the current output. */
+    void add(std::unique_ptr<Layer> layer);
+
+    std::size_t layerCount() const { return layers_.size(); }
+    Layer &layer(std::size_t i) { return *layers_.at(i); }
+    const Layer &layer(std::size_t i) const { return *layers_.at(i); }
+
+    std::size_t inputSize() const;
+    std::size_t outputSize() const;
+
+    /** Total learnable parameters over all layers. */
+    std::size_t parameterCount() const;
+
+    /** All fully-connected layers, in network order. */
+    std::vector<FullyConnected *> fullyConnectedLayers();
+    std::vector<const FullyConnected *> fullyConnectedLayers() const;
+
+    /**
+     * Evaluate the network.
+     * @param input acoustic feature vector of size inputSize()
+     * @param posteriors receives the class posteriors (softmax output)
+     */
+    void forward(const Vector &input, Vector &posteriors) const;
+
+    /**
+     * One SGD step on a single labelled frame using cross-entropy loss
+     * with the fused softmax gradient.
+     *
+     * @return the cross-entropy loss of the frame before the update
+     */
+    float trainStep(const Vector &input, std::uint32_t label, float lr);
+
+    /** Deep copy (used to derive pruned variants of a trained model). */
+    Mlp clone() const;
+
+    /** One-line per layer summary like Table I. */
+    std::string summary() const;
+
+    /** Serialise to / restore from a binary file. */
+    void save(const std::string &path) const;
+    static Mlp load(const std::string &path);
+
+  private:
+    std::vector<std::unique_ptr<Layer>> layers_;
+    // Scratch buffers reused across trainStep calls.
+    mutable std::vector<Vector> activations_;
+    Vector dOut_;
+    Vector dIn_;
+};
+
+} // namespace darkside
+
+#endif // DARKSIDE_DNN_MLP_HH

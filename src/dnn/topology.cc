@@ -1,0 +1,67 @@
+#include "dnn/topology.hh"
+
+#include <string>
+
+namespace darkside {
+
+TopologyConfig
+KaldiTopology::full()
+{
+    return TopologyConfig{};
+}
+
+TopologyConfig
+KaldiTopology::scaled(std::size_t classes, std::size_t input_dim,
+                      std::size_t fc_width, std::size_t pool_group)
+{
+    TopologyConfig config;
+    config.inputDim = input_dim;
+    config.fcWidth = fc_width;
+    config.poolGroup = pool_group;
+    config.classes = classes;
+    return config;
+}
+
+Mlp
+KaldiTopology::build(const TopologyConfig &config, Rng &rng)
+{
+    ds_assert(config.hiddenBlocks >= 1);
+    ds_assert(config.fcWidth % config.poolGroup == 0);
+
+    Mlp mlp;
+    std::size_t width = config.inputDim;
+
+    if (config.ldaInputLayer) {
+        // FC0: fixed (non-trainable) square transform standing in for the
+        // LDA projection. Its weights count towards model size but are
+        // never pruned (Table I).
+        auto fc0 = std::make_unique<FullyConnected>("FC0", width, width,
+                                                    /*trainable=*/false);
+        fc0->initialize(rng);
+        mlp.add(std::move(fc0));
+    }
+
+    const std::size_t pooled = config.fcWidth / config.poolGroup;
+    for (std::size_t b = 1; b <= config.hiddenBlocks; ++b) {
+        const std::string idx = std::to_string(b);
+        auto fc = std::make_unique<FullyConnected>("FC" + idx, width,
+                                                   config.fcWidth);
+        fc->initialize(rng);
+        mlp.add(std::move(fc));
+        mlp.add(std::make_unique<PNormPooling>("P" + idx, config.fcWidth,
+                                               config.poolGroup));
+        mlp.add(std::make_unique<Renormalize>("N" + idx, pooled));
+        width = pooled;
+    }
+
+    const std::string out_name =
+        "FC" + std::to_string(config.hiddenBlocks + 1);
+    auto fc_out = std::make_unique<FullyConnected>(out_name, width,
+                                                   config.classes);
+    fc_out->initialize(rng);
+    mlp.add(std::move(fc_out));
+    mlp.add(std::make_unique<Softmax>("SoftMax", config.classes));
+    return mlp;
+}
+
+} // namespace darkside

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Factories for the acoustic-model topologies used in the paper.
+ *
+ * KaldiTopology::full() builds exactly the network of Table I:
+ * FC0 (fixed, LDA) -> 4 x [FC 2000, p-norm pool to 400, renormalize]
+ * -> FC5 to 3482 classes -> SoftMax, 4.65M weights.
+ *
+ * KaldiTopology::scaled() builds the same shape at configurable widths;
+ * the benches default to a width-scaled variant so that training runs in
+ * seconds on one host core (see DESIGN.md, substitutions).
+ */
+
+#ifndef DARKSIDE_DNN_TOPOLOGY_HH
+#define DARKSIDE_DNN_TOPOLOGY_HH
+
+#include <cstddef>
+
+#include "dnn/mlp.hh"
+
+namespace darkside {
+
+/** Parameters of a Kaldi-style p-norm MLP. */
+struct TopologyConfig
+{
+    /** Spliced feature dimension (paper: 9 frames x 40 = 360). */
+    std::size_t inputDim = 360;
+    /** Width of each hidden FC layer before pooling (paper: 2000). */
+    std::size_t fcWidth = 2000;
+    /** p-norm group size (paper: 5, pooling 2000 -> 400). */
+    std::size_t poolGroup = 5;
+    /** Number of hidden FC/pool/norm blocks (paper: 4). */
+    std::size_t hiddenBlocks = 4;
+    /** Output classes / sub-phoneme pdfs (paper: 3482). */
+    std::size_t classes = 3482;
+    /** Include the fixed LDA-style FC0 input layer (paper: yes). */
+    bool ldaInputLayer = true;
+};
+
+/**
+ * Builders for the acoustic-model MLP.
+ */
+class KaldiTopology
+{
+  public:
+    /** The exact network of Table I. */
+    static TopologyConfig full();
+
+    /**
+     * A laptop-scale configuration preserving every layer type:
+     * 180 inputs, 4 blocks of FC 256 -> pool 64 -> norm, `classes`
+     * outputs.
+     */
+    static TopologyConfig scaled(std::size_t classes = 120,
+                                 std::size_t input_dim = 180,
+                                 std::size_t fc_width = 256,
+                                 std::size_t pool_group = 4);
+
+    /**
+     * Instantiate an MLP for a configuration with random initial
+     * weights. The fixed FC0 layer receives a random orthogonal-ish
+     * projection standing in for the LDA transform (it is never
+     * retrained, exactly like the paper's FC0).
+     */
+    static Mlp build(const TopologyConfig &config, Rng &rng);
+};
+
+} // namespace darkside
+
+#endif // DARKSIDE_DNN_TOPOLOGY_HH

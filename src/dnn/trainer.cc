@@ -1,0 +1,86 @@
+#include "dnn/trainer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hh"
+
+namespace darkside {
+
+std::vector<EpochReport>
+Trainer::train(Mlp &mlp, const FrameDataset &dataset) const
+{
+    ds_assert(!dataset.empty());
+    Rng rng(config_.shuffleSeed);
+    std::vector<EpochReport> reports;
+    float lr = config_.learningRate;
+
+    for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+        const auto order = rng.permutation(dataset.size());
+        double loss_sum = 0.0;
+        for (auto idx : order) {
+            const auto &frame = dataset[idx];
+            loss_sum += mlp.trainStep(frame.features, frame.label, lr);
+        }
+        EpochReport report;
+        report.meanLoss = loss_sum / static_cast<double>(dataset.size());
+        report.learningRate = lr;
+        reports.push_back(report);
+        lr *= config_.learningRateDecay;
+    }
+    return reports;
+}
+
+EvalReport
+Trainer::evaluate(const Mlp &mlp, const FrameDataset &dataset,
+                  std::size_t top_k)
+{
+    EvalReport report;
+    report.frames = dataset.size();
+    if (dataset.empty())
+        return report;
+
+    Vector posteriors;
+    std::vector<std::uint32_t> ranking;
+    std::uint64_t top1_hits = 0;
+    std::uint64_t topk_hits = 0;
+    double confidence_sum = 0.0;
+    double xent_sum = 0.0;
+
+    for (const auto &frame : dataset) {
+        mlp.forward(frame.features, posteriors);
+
+        const std::size_t best = argMax(posteriors);
+        confidence_sum += posteriors[best];
+        xent_sum -= std::log(
+            std::max(posteriors[frame.label], 1e-20f));
+        if (best == frame.label)
+            ++top1_hits;
+
+        // Top-k membership via partial selection.
+        ranking.resize(posteriors.size());
+        for (std::uint32_t i = 0; i < ranking.size(); ++i)
+            ranking[i] = i;
+        const std::size_t k = std::min(top_k, ranking.size());
+        std::partial_sort(ranking.begin(), ranking.begin() + k,
+                          ranking.end(),
+                          [&posteriors](std::uint32_t a, std::uint32_t b) {
+                              return posteriors[a] > posteriors[b];
+                          });
+        for (std::size_t i = 0; i < k; ++i) {
+            if (ranking[i] == frame.label) {
+                ++topk_hits;
+                break;
+            }
+        }
+    }
+
+    const auto n = static_cast<double>(dataset.size());
+    report.top1Accuracy = static_cast<double>(top1_hits) / n;
+    report.topKAccuracy = static_cast<double>(topk_hits) / n;
+    report.meanConfidence = confidence_sum / n;
+    report.meanCrossEntropy = xent_sum / n;
+    return report;
+}
+
+} // namespace darkside

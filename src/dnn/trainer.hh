@@ -1,0 +1,87 @@
+/**
+ * @file
+ * SGD training and evaluation of the acoustic-model MLP. Evaluation
+ * reports the three quality metrics the paper contrasts: top-1 error,
+ * top-k error and *average confidence* (mean softmax probability of the
+ * top-1 class — Sec. II-B / Fig. 3).
+ */
+
+#ifndef DARKSIDE_DNN_TRAINER_HH
+#define DARKSIDE_DNN_TRAINER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dnn/mlp.hh"
+
+namespace darkside {
+
+/** One labelled training frame. */
+struct LabeledFrame
+{
+    Vector features;
+    std::uint32_t label = 0;
+};
+
+/** A labelled frame dataset (e.g. aligned frames of a speech corpus). */
+using FrameDataset = std::vector<LabeledFrame>;
+
+/** Per-epoch training telemetry. */
+struct EpochReport
+{
+    double meanLoss = 0.0;
+    double learningRate = 0.0;
+};
+
+/** Configuration of the SGD run. */
+struct TrainerConfig
+{
+    std::size_t epochs = 6;
+    float learningRate = 0.02f;
+    /** Multiplicative per-epoch decay. */
+    float learningRateDecay = 0.7f;
+    std::uint64_t shuffleSeed = 1;
+};
+
+/** Quality metrics of a model on a dataset. */
+struct EvalReport
+{
+    double top1Accuracy = 0.0;
+    double topKAccuracy = 0.0;
+    /** Mean probability assigned to the top-1 class (the paper's
+     *  "confidence"). */
+    double meanConfidence = 0.0;
+    /** Mean cross-entropy against the reference labels. */
+    double meanCrossEntropy = 0.0;
+    std::size_t frames = 0;
+};
+
+/**
+ * Plain per-frame SGD trainer.
+ */
+class Trainer
+{
+  public:
+    explicit Trainer(TrainerConfig config) : config_(config) {}
+
+    /**
+     * Train the model in place.
+     * @return one report per epoch
+     */
+    std::vector<EpochReport> train(Mlp &mlp,
+                                   const FrameDataset &dataset) const;
+
+    /**
+     * Evaluate quality metrics without modifying the model.
+     * @param top_k the k of the top-k accuracy column (paper uses 5)
+     */
+    static EvalReport evaluate(const Mlp &mlp, const FrameDataset &dataset,
+                               std::size_t top_k = 5);
+
+  private:
+    TrainerConfig config_;
+};
+
+} // namespace darkside
+
+#endif // DARKSIDE_DNN_TRAINER_HH

@@ -1,0 +1,175 @@
+#include "gmm/diagonal_gmm.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace darkside {
+
+namespace {
+
+constexpr double kLog2Pi = 1.8378770664093453;
+
+} // namespace
+
+DiagonalGmm::DiagonalGmm(std::size_t components, std::size_t dim)
+    : dim_(dim),
+      weights_(components, 1.0 / static_cast<double>(components)),
+      means_(components, Vector(dim, 0.0f)),
+      variances_(components, Vector(dim, 1.0f)),
+      logNorm_(components, 0.0)
+{
+    ds_assert(components > 0);
+    ds_assert(dim > 0);
+    refreshNormalisers();
+}
+
+void
+DiagonalGmm::refreshNormalisers()
+{
+    for (std::size_t k = 0; k < componentCount(); ++k) {
+        double log_det = 0.0;
+        for (float v : variances_[k])
+            log_det += std::log(static_cast<double>(v));
+        logNorm_[k] = std::log(std::max(weights_[k], 1e-300)) -
+            0.5 * (static_cast<double>(dim_) * kLog2Pi + log_det);
+    }
+}
+
+double
+DiagonalGmm::componentLogDensity(std::size_t k, const Vector &x) const
+{
+    const Vector &mean = means_[k];
+    const Vector &var = variances_[k];
+    double quad = 0.0;
+    for (std::size_t d = 0; d < dim_; ++d) {
+        const double diff = static_cast<double>(x[d]) - mean[d];
+        quad += diff * diff / var[d];
+    }
+    return logNorm_[k] - 0.5 * quad;
+}
+
+double
+DiagonalGmm::logLikelihood(const Vector &x) const
+{
+    ds_assert(x.size() == dim_);
+    double peak = -1e300;
+    std::vector<double> lls(componentCount());
+    for (std::size_t k = 0; k < componentCount(); ++k) {
+        lls[k] = componentLogDensity(k, x);
+        peak = std::max(peak, lls[k]);
+    }
+    double sum = 0.0;
+    for (double ll : lls)
+        sum += std::exp(ll - peak);
+    return peak + std::log(sum);
+}
+
+double
+DiagonalGmm::meanLogLikelihood(const std::vector<Vector> &data) const
+{
+    ds_assert(!data.empty());
+    double total = 0.0;
+    for (const auto &x : data)
+        total += logLikelihood(x);
+    return total / static_cast<double>(data.size());
+}
+
+DiagonalGmm
+DiagonalGmm::fit(const std::vector<Vector> &data, std::size_t components,
+                 std::size_t iterations, Rng &rng, double variance_floor)
+{
+    ds_assert(!data.empty());
+    const std::size_t dim = data.front().size();
+    DiagonalGmm gmm(components, dim);
+
+    // Initialise means on distinct random samples and variances on the
+    // global per-dimension variance.
+    Vector global_mean(dim, 0.0f);
+    for (const auto &x : data) {
+        ds_assert(x.size() == dim);
+        for (std::size_t d = 0; d < dim; ++d)
+            global_mean[d] += x[d];
+    }
+    const auto n = static_cast<float>(data.size());
+    for (auto &m : global_mean)
+        m /= n;
+    Vector global_var(dim, 0.0f);
+    for (const auto &x : data) {
+        for (std::size_t d = 0; d < dim; ++d) {
+            const float diff = x[d] - global_mean[d];
+            global_var[d] += diff * diff;
+        }
+    }
+    for (auto &v : global_var) {
+        v = std::max(v / n,
+                     static_cast<float>(variance_floor));
+    }
+
+    for (std::size_t k = 0; k < components; ++k) {
+        gmm.means_[k] = data[rng.below(data.size())];
+        gmm.variances_[k] = global_var;
+    }
+    gmm.refreshNormalisers();
+
+    // EM.
+    std::vector<double> resp(components);
+    for (std::size_t iter = 0; iter < iterations; ++iter) {
+        std::vector<double> weight_acc(components, 0.0);
+        std::vector<Vector> mean_acc(components, Vector(dim, 0.0f));
+        std::vector<Vector> sq_acc(components, Vector(dim, 0.0f));
+
+        // E step.
+        for (const auto &x : data) {
+            double peak = -1e300;
+            for (std::size_t k = 0; k < components; ++k) {
+                resp[k] = gmm.componentLogDensity(k, x);
+                peak = std::max(peak, resp[k]);
+            }
+            double sum = 0.0;
+            for (auto &r : resp) {
+                r = std::exp(r - peak);
+                sum += r;
+            }
+            for (std::size_t k = 0; k < components; ++k) {
+                const double gamma = resp[k] / sum;
+                weight_acc[k] += gamma;
+                const auto g = static_cast<float>(gamma);
+                for (std::size_t d = 0; d < dim; ++d) {
+                    mean_acc[k][d] += g * x[d];
+                    sq_acc[k][d] += g * x[d] * x[d];
+                }
+            }
+        }
+
+        // M step with floors so empty components stay sane.
+        for (std::size_t k = 0; k < components; ++k) {
+            const double count = weight_acc[k];
+            if (count < 1e-6) {
+                // Re-seed a dead component.
+                gmm.means_[k] = data[rng.below(data.size())];
+                gmm.variances_[k] = global_var;
+                gmm.weights_[k] = 1e-6;
+                continue;
+            }
+            gmm.weights_[k] = count / static_cast<double>(data.size());
+            const auto inv = static_cast<float>(1.0 / count);
+            for (std::size_t d = 0; d < dim; ++d) {
+                const float mean = mean_acc[k][d] * inv;
+                gmm.means_[k][d] = mean;
+                gmm.variances_[k][d] = std::max(
+                    sq_acc[k][d] * inv - mean * mean,
+                    static_cast<float>(variance_floor));
+            }
+        }
+        // Renormalise weights (floors can perturb the sum).
+        double wsum = 0.0;
+        for (double w : gmm.weights_)
+            wsum += w;
+        for (auto &w : gmm.weights_)
+            w /= wsum;
+        gmm.refreshNormalisers();
+    }
+    return gmm;
+}
+
+} // namespace darkside

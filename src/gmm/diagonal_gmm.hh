@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Diagonal-covariance Gaussian mixture model. GMM acoustic models are
+ * the classical alternative to the DNN scorer (Sec. II-C cites
+ * GMM-based ASR where the Viterbi search dominates once GMM evaluation
+ * is accelerated); this substrate lets the library compare score
+ * quality — and therefore search workload — between model families.
+ */
+
+#ifndef DARKSIDE_GMM_DIAGONAL_GMM_HH
+#define DARKSIDE_GMM_DIAGONAL_GMM_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/matrix.hh"
+
+namespace darkside {
+
+/**
+ * Mixture of diagonal Gaussians over fixed-dimension features.
+ */
+class DiagonalGmm
+{
+  public:
+    /** Construct an untrained mixture (uniform weights, unit vars). */
+    DiagonalGmm(std::size_t components, std::size_t dim);
+
+    std::size_t componentCount() const { return weights_.size(); }
+    std::size_t dim() const { return dim_; }
+
+    /** Mixture weight of component k. */
+    double weight(std::size_t k) const { return weights_.at(k); }
+    /** Mean vector of component k. */
+    const Vector &mean(std::size_t k) const { return means_.at(k); }
+    /** Per-dimension variance of component k. */
+    const Vector &variance(std::size_t k) const
+    {
+        return variances_.at(k);
+    }
+
+    /** log p(x) under the mixture. */
+    double logLikelihood(const Vector &x) const;
+
+    /** Mean log-likelihood of a dataset. */
+    double meanLogLikelihood(const std::vector<Vector> &data) const;
+
+    /**
+     * Fit with k-means-style initialisation followed by EM.
+     *
+     * @param data training vectors (all the same dimension)
+     * @param components mixture size
+     * @param iterations EM iterations
+     * @param rng initialisation randomness
+     * @param variance_floor minimum per-dimension variance
+     */
+    static DiagonalGmm fit(const std::vector<Vector> &data,
+                           std::size_t components,
+                           std::size_t iterations, Rng &rng,
+                           double variance_floor = 1e-3);
+
+  private:
+    /** log of one component's density at x plus its log weight. */
+    double componentLogDensity(std::size_t k, const Vector &x) const;
+
+    /** Refresh the cached per-component normalisation constants. */
+    void refreshNormalisers();
+
+    std::size_t dim_;
+    std::vector<double> weights_;
+    std::vector<Vector> means_;
+    std::vector<Vector> variances_;
+    /** Cached log(w_k) - 0.5 * sum log(2 pi var_k). */
+    std::vector<double> logNorm_;
+};
+
+} // namespace darkside
+
+#endif // DARKSIDE_GMM_DIAGONAL_GMM_HH

@@ -1,0 +1,141 @@
+#include "gmm/gmm_acoustic_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace darkside {
+
+GmmAcousticModel
+GmmAcousticModel::train(const FrameDataset &data, std::size_t classes,
+                        const GmmTrainConfig &config)
+{
+    ds_assert(!data.empty());
+    ds_assert(classes > 0);
+
+    // Partition frames by class.
+    std::vector<std::vector<Vector>> per_class(classes);
+    for (const auto &frame : data) {
+        ds_assert(frame.label < classes);
+        per_class[frame.label].push_back(frame.features);
+    }
+
+    GmmAcousticModel model;
+    model.gmms_.reserve(classes);
+    model.logPriors_.resize(classes);
+    Rng rng(config.seed);
+
+    const std::size_t dim = data.front().features.size();
+    for (std::size_t c = 0; c < classes; ++c) {
+        const auto &samples = per_class[c];
+        if (samples.empty()) {
+            // Untrained class: flat unit Gaussian + tiny prior, so it
+            // scores poorly everywhere instead of crashing.
+            warn("GMM class %zu has no training frames", c);
+            model.gmms_.emplace_back(1, dim);
+            model.logPriors_[c] = std::log(1e-6);
+            continue;
+        }
+        const std::size_t components = std::min(
+            config.componentsPerClass,
+            std::max<std::size_t>(1, samples.size() / 4));
+        model.gmms_.push_back(
+            DiagonalGmm::fit(samples, components, config.emIterations,
+                             rng, config.varianceFloor));
+        model.logPriors_[c] =
+            std::log(static_cast<double>(samples.size()) /
+                     static_cast<double>(data.size()));
+    }
+    return model;
+}
+
+std::size_t
+GmmAcousticModel::dim() const
+{
+    ds_assert(!gmms_.empty());
+    return gmms_.front().dim();
+}
+
+void
+GmmAcousticModel::posteriors(const Vector &frame, Vector &out) const
+{
+    const std::size_t classes = classCount();
+    out.resize(classes);
+    std::vector<double> joint(classes);
+    double peak = -1e300;
+    for (std::size_t c = 0; c < classes; ++c) {
+        joint[c] = logPriors_[c] + gmms_[c].logLikelihood(frame);
+        peak = std::max(peak, joint[c]);
+    }
+    double sum = 0.0;
+    for (std::size_t c = 0; c < classes; ++c) {
+        joint[c] = std::exp(joint[c] - peak);
+        sum += joint[c];
+    }
+    for (std::size_t c = 0; c < classes; ++c)
+        out[c] = static_cast<float>(joint[c] / sum);
+}
+
+AcousticScores
+GmmAcousticModel::score(const std::vector<Vector> &frames,
+                        float scale) const
+{
+    std::vector<Vector> posterior_stream;
+    posterior_stream.reserve(frames.size());
+    Vector p;
+    for (const auto &frame : frames) {
+        posteriors(frame, p);
+        posterior_stream.push_back(p);
+    }
+    return AcousticScores::fromPosteriors(posterior_stream, scale);
+}
+
+EvalReport
+GmmAcousticModel::evaluate(const FrameDataset &data,
+                           std::size_t top_k) const
+{
+    EvalReport report;
+    report.frames = data.size();
+    if (data.empty())
+        return report;
+
+    Vector p;
+    std::vector<std::uint32_t> ranking;
+    std::uint64_t top1_hits = 0;
+    std::uint64_t topk_hits = 0;
+    double confidence_sum = 0.0;
+    double xent_sum = 0.0;
+
+    for (const auto &frame : data) {
+        posteriors(frame.features, p);
+        const std::size_t best = argMax(p);
+        confidence_sum += p[best];
+        xent_sum -= std::log(std::max(p[frame.label], 1e-20f));
+        if (best == frame.label)
+            ++top1_hits;
+
+        ranking.resize(p.size());
+        for (std::uint32_t i = 0; i < ranking.size(); ++i)
+            ranking[i] = i;
+        const std::size_t k = std::min(top_k, ranking.size());
+        std::partial_sort(ranking.begin(), ranking.begin() + k,
+                          ranking.end(),
+                          [&p](std::uint32_t a, std::uint32_t b) {
+                              return p[a] > p[b];
+                          });
+        for (std::size_t i = 0; i < k; ++i) {
+            if (ranking[i] == frame.label) {
+                ++topk_hits;
+                break;
+            }
+        }
+    }
+
+    const auto n = static_cast<double>(data.size());
+    report.top1Accuracy = static_cast<double>(top1_hits) / n;
+    report.topKAccuracy = static_cast<double>(topk_hits) / n;
+    report.meanConfidence = confidence_sum / n;
+    report.meanCrossEntropy = xent_sum / n;
+    return report;
+}
+
+} // namespace darkside

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * GMM acoustic model: one diagonal-covariance mixture per sub-phoneme
+ * class plus class priors, converted to posteriors with Bayes' rule so
+ * it plugs into the same AcousticScores/Viterbi pipeline as the DNN.
+ */
+
+#ifndef DARKSIDE_GMM_GMM_ACOUSTIC_MODEL_HH
+#define DARKSIDE_GMM_GMM_ACOUSTIC_MODEL_HH
+
+#include <vector>
+
+#include "decoder/acoustic.hh"
+#include "dnn/trainer.hh"
+#include "gmm/diagonal_gmm.hh"
+
+namespace darkside {
+
+/** GMM acoustic-model training parameters. */
+struct GmmTrainConfig
+{
+    /** Mixture components per class. */
+    std::size_t componentsPerClass = 4;
+    /** EM iterations per class. */
+    std::size_t emIterations = 8;
+    double varianceFloor = 1e-3;
+    std::uint64_t seed = 31;
+};
+
+/**
+ * Class-conditional GMM bank with Bayes posterior output.
+ */
+class GmmAcousticModel
+{
+  public:
+    /**
+     * Train one GMM per class from labelled frames.
+     *
+     * @param data labelled feature frames
+     * @param classes number of sub-phoneme classes
+     * @param config training parameters
+     */
+    static GmmAcousticModel train(const FrameDataset &data,
+                                  std::size_t classes,
+                                  const GmmTrainConfig &config);
+
+    std::size_t classCount() const { return gmms_.size(); }
+    std::size_t dim() const;
+
+    /** The class-conditional mixture of class c. */
+    const DiagonalGmm &classGmm(std::size_t c) const
+    {
+        return gmms_.at(c);
+    }
+
+    /** Posterior distribution over classes for one frame. */
+    void posteriors(const Vector &frame, Vector &out) const;
+
+    /** Score a frame stream into Viterbi-ready acoustic costs. */
+    AcousticScores score(const std::vector<Vector> &frames,
+                         float scale) const;
+
+    /** Quality metrics mirroring Trainer::evaluate. */
+    EvalReport evaluate(const FrameDataset &data,
+                        std::size_t top_k = 5) const;
+
+  private:
+    std::vector<DiagonalGmm> gmms_;
+    std::vector<double> logPriors_;
+};
+
+} // namespace darkside
+
+#endif // DARKSIDE_GMM_GMM_ACOUSTIC_MODEL_HH

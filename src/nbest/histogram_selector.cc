@@ -1,0 +1,95 @@
+#include "nbest/histogram_selector.hh"
+
+#include <algorithm>
+#include <limits>
+
+namespace darkside {
+
+HistogramPruning::HistogramPruning(std::size_t max_active,
+                                   std::size_t buckets,
+                                   float cost_range)
+    : maxActive_(max_active), buckets_(buckets), costRange_(cost_range),
+      bestCost_(std::numeric_limits<float>::infinity()),
+      lastThreshold_(std::numeric_limits<float>::infinity())
+{
+    ds_assert(max_active > 0);
+    ds_assert(buckets >= 2);
+    ds_assert(cost_range > 0.0f);
+}
+
+void
+HistogramPruning::beginFrame()
+{
+    stats_ = SelectorFrameStats{};
+    table_.clear();
+    bestCost_ = std::numeric_limits<float>::infinity();
+}
+
+void
+HistogramPruning::insert(const Hypothesis &hyp)
+{
+    ++stats_.insertions;
+    bestCost_ = std::min(bestCost_, hyp.cost);
+    auto [it, inserted] = table_.emplace(hyp.state, hyp);
+    if (!inserted) {
+        ++stats_.recombinations;
+        if (hyp.cost < it->second.cost)
+            it->second = hyp;
+    }
+}
+
+std::vector<Hypothesis>
+HistogramPruning::finishFrame()
+{
+    std::vector<Hypothesis> survivors;
+    survivors.reserve(std::min(table_.size(), maxActive_));
+
+    if (table_.size() <= maxActive_) {
+        for (const auto &[state, hyp] : table_)
+            survivors.push_back(hyp);
+        lastThreshold_ = std::numeric_limits<float>::infinity();
+        stats_.survivors = survivors.size();
+        return survivors;
+    }
+
+    // Pass 1: histogram of costs relative to the frame best.
+    std::vector<std::size_t> histogram(buckets_, 0);
+    const float scale =
+        static_cast<float>(buckets_ - 1) / costRange_;
+    for (const auto &[state, hyp] : table_) {
+        auto bucket = static_cast<std::size_t>(
+            std::max(0.0f, hyp.cost - bestCost_) * scale);
+        bucket = std::min(bucket, buckets_ - 1);
+        ++histogram[bucket];
+    }
+
+    // Find the first bucket whose cumulative count reaches the budget.
+    std::size_t cumulative = 0;
+    std::size_t cut_bucket = buckets_ - 1;
+    for (std::size_t b = 0; b < buckets_; ++b) {
+        cumulative += histogram[b];
+        if (cumulative > maxActive_) {
+            cut_bucket = b;
+            break;
+        }
+    }
+    const float threshold = bestCost_ +
+        static_cast<float>(cut_bucket + 1) / scale;
+    lastThreshold_ = threshold;
+
+    // Pass 2: keep hypotheses under the threshold. Because buckets are
+    // coarse this keeps *approximately* maxActive_ hypotheses — the
+    // same looseness/simplicity trade the paper's hash makes, paid in
+    // a different currency (a second pass instead of evictions).
+    for (const auto &[state, hyp] : table_) {
+        if (hyp.cost <= threshold)
+            survivors.push_back(hyp);
+        else
+            ++stats_.rejections;
+    }
+    stats_.evictions = table_.size() - survivors.size();
+    stats_.survivors = survivors.size();
+    return survivors;
+}
+
+} // namespace darkside

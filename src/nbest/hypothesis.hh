@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Hypothesis record and the selector interface shared by the Viterbi
+ * decoder and the accelerator models. A selector receives every
+ * hypothesis generated in a frame (in generation order, as the hardware
+ * would) and decides which survive into the next frame, recombining
+ * same-state hypotheses by minimum cost on the way.
+ */
+
+#ifndef DARKSIDE_NBEST_HYPOTHESIS_HH
+#define DARKSIDE_NBEST_HYPOTHESIS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "wfst/wfst.hh"
+
+namespace darkside {
+
+/** A partial path (token) ending in a WFST state. */
+struct Hypothesis
+{
+    /** WFST state this partial path ends in (the recombination key). */
+    StateId state = 0;
+    /** Accumulated cost (positive -log likelihood); lower is better. */
+    float cost = 0.0f;
+    /** Opaque backtrace handle owned by the decoder. */
+    std::uint32_t trace = 0;
+};
+
+/** Per-frame activity counters of a selector (feeds the cycle model). */
+struct SelectorFrameStats
+{
+    /** Hypotheses offered to the selector this frame. */
+    std::uint64_t insertions = 0;
+    /** Insertions that merged with an existing same-state hypothesis. */
+    std::uint64_t recombinations = 0;
+    /** Insertions whose direct-mapped entry was taken by another state. */
+    std::uint64_t collisions = 0;
+    /** Accesses serviced by the backup buffer (UNFOLD baseline). */
+    std::uint64_t backupAccesses = 0;
+    /** Accesses spilled to the DRAM overflow buffer (UNFOLD baseline). */
+    std::uint64_t overflowAccesses = 0;
+    /** Stored hypotheses displaced by better-cost arrivals. */
+    std::uint64_t evictions = 0;
+    /** New arrivals discarded because they were worse than a full set. */
+    std::uint64_t rejections = 0;
+    /** Hypotheses alive at the end of the frame. */
+    std::uint64_t survivors = 0;
+
+    void
+    merge(const SelectorFrameStats &o)
+    {
+        insertions += o.insertions;
+        recombinations += o.recombinations;
+        collisions += o.collisions;
+        backupAccesses += o.backupAccesses;
+        overflowAccesses += o.overflowAccesses;
+        evictions += o.evictions;
+        rejections += o.rejections;
+        survivors += o.survivors;
+    }
+};
+
+/**
+ * Frame-by-frame hypothesis filter.
+ */
+class HypothesisSelector
+{
+  public:
+    virtual ~HypothesisSelector() = default;
+
+    /** Reset for a new frame (clears storage, zeroes frame counters). */
+    virtual void beginFrame() = 0;
+
+    /** Offer one generated hypothesis. */
+    virtual void insert(const Hypothesis &hyp) = 0;
+
+    /**
+     * Close the frame.
+     * @return surviving hypotheses (unspecified order)
+     */
+    virtual std::vector<Hypothesis> finishFrame() = 0;
+
+    /** Counters of the frame closed by the last finishFrame(). */
+    const SelectorFrameStats &frameStats() const { return stats_; }
+
+    /** Short identifier for reports ("unbounded", "8-way-hash", ...). */
+    virtual const char *name() const = 0;
+
+  protected:
+    SelectorFrameStats stats_;
+};
+
+} // namespace darkside
+
+#endif // DARKSIDE_NBEST_HYPOTHESIS_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The Max-Heap replacement structure of one hash set (Fig. 8 of the
+ * paper). A set holds up to K hypotheses. The heap is maintained through
+ * an *index vector* (3-bit indices in hardware): entries never move, only
+ * the indices are reordered. A replacement removes the root (the worst
+ * hypothesis) and inserts the new one along the pre-computed
+ * *maximum path* — the root-to-leaf path of maximum-cost successors —
+ * so that in hardware all comparisons happen in parallel and the whole
+ * operation completes in a single cycle.
+ */
+
+#ifndef DARKSIDE_NBEST_MAX_HEAP_SET_HH
+#define DARKSIDE_NBEST_MAX_HEAP_SET_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "nbest/hypothesis.hh"
+
+namespace darkside {
+
+/**
+ * One K-entry set with Max-Heap eviction metadata.
+ */
+class MaxHeapSet
+{
+  public:
+    /** @param ways set capacity K (the hash associativity). */
+    explicit MaxHeapSet(std::size_t ways);
+
+    std::size_t capacity() const { return entries_.size(); }
+    std::size_t size() const { return size_; }
+    bool full() const { return size_ == capacity(); }
+
+    /** Clear the set (new frame). */
+    void clear();
+
+    /**
+     * Entry slot holding `state`, or -1. Hardware compares all K tags in
+     * parallel; this is the recombination lookup.
+     */
+    int find(StateId state) const;
+
+    /** Entry at physical slot i (valid for i < size()). */
+    const Hypothesis &entry(std::size_t i) const;
+
+    /** Cost of the worst (root) hypothesis; requires a non-empty set. */
+    float worstCost() const;
+
+    /** Append into a non-full set, restoring the heap. */
+    void insert(const Hypothesis &hyp);
+
+    /**
+     * Lower the cost of slot `slot` to `hyp.cost` (recombination with a
+     * better path). Requires hyp.cost <= current cost.
+     */
+    void recombine(int slot, const Hypothesis &hyp);
+
+    /**
+     * Replace the root (worst) hypothesis with `hyp`, which must be
+     * better than worstCost(). Implements the maximum-path insertion of
+     * Fig. 8.
+     */
+    void replaceWorst(const Hypothesis &hyp);
+
+    /** Copy out the live hypotheses. */
+    void collect(std::vector<Hypothesis> &out) const;
+
+    /** Verify the heap invariant (test hook). @return true when valid. */
+    bool heapValid() const;
+
+    /** Heap-order slot index at heap position i (test hook). */
+    std::uint8_t heapIndex(std::size_t i) const { return heap_.at(i); }
+
+  private:
+    /** Re-derive the maximum path after a structural change. */
+    void rebuildMaxPath();
+
+    /** Sift the heap node at heap position `pos` down. */
+    void siftDown(std::size_t pos);
+
+    /** Sift the heap node at heap position `pos` up. */
+    void siftUp(std::size_t pos);
+
+    float costAtHeap(std::size_t pos) const;
+
+    std::vector<Hypothesis> entries_;
+    /** Heap position -> entry slot ("Max-Heap Index-Vector"). */
+    std::vector<std::uint8_t> heap_;
+    /** Heap positions of the maximum path, root first ("Maximum-path"). */
+    std::vector<std::uint8_t> maxPath_;
+    std::size_t size_;
+};
+
+} // namespace darkside
+
+#endif // DARKSIDE_NBEST_MAX_HEAP_SET_HH

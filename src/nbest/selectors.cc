@@ -1,0 +1,252 @@
+#include "nbest/selectors.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/bits.hh"
+
+namespace darkside {
+
+UnboundedSelector::UnboundedSelector(std::size_t direct_entries,
+                                     std::size_t backup_entries)
+    : directEntries_(direct_entries), backupEntries_(backup_entries),
+      indexBits_(floorLog2(direct_entries)),
+      directOwner_(direct_entries, 0), directValid_(direct_entries, 0),
+      backupUsed_(0)
+{
+    ds_assert(isPowerOfTwo(direct_entries));
+}
+
+void
+UnboundedSelector::beginFrame()
+{
+    stats_ = SelectorFrameStats{};
+    table_.clear();
+    std::fill(directValid_.begin(), directValid_.end(), 0);
+    backupUsed_ = 0;
+}
+
+void
+UnboundedSelector::insert(const Hypothesis &hyp)
+{
+    ++stats_.insertions;
+    auto it = table_.find(hyp.state);
+    if (it != table_.end()) {
+        ++stats_.recombinations;
+        // Charge the region where this hypothesis already lives.
+        if (it->second.region == Region::Backup)
+            ++stats_.backupAccesses;
+        else if (it->second.region == Region::Overflow)
+            ++stats_.overflowAccesses;
+        if (hyp.cost < it->second.hyp.cost)
+            it->second.hyp = hyp;
+        return;
+    }
+
+    const std::uint32_t idx = xorFoldHash(hyp.state, indexBits_);
+    Region region;
+    if (!directValid_[idx]) {
+        directValid_[idx] = 1;
+        directOwner_[idx] = hyp.state;
+        region = Region::Direct;
+    } else {
+        ++stats_.collisions;
+        if (backupUsed_ < backupEntries_) {
+            ++backupUsed_;
+            ++stats_.backupAccesses;
+            region = Region::Backup;
+        } else {
+            ++stats_.overflowAccesses;
+            region = Region::Overflow;
+        }
+    }
+    table_.emplace(hyp.state, Slot{hyp, region});
+}
+
+std::vector<Hypothesis>
+UnboundedSelector::finishFrame()
+{
+    std::vector<Hypothesis> survivors;
+    survivors.reserve(table_.size());
+    for (const auto &[state, slot] : table_)
+        survivors.push_back(slot.hyp);
+    stats_.survivors = survivors.size();
+    return survivors;
+}
+
+AccurateNBest::AccurateNBest(std::size_t n)
+    : n_(n)
+{
+    ds_assert(n > 0);
+}
+
+void
+AccurateNBest::beginFrame()
+{
+    stats_ = SelectorFrameStats{};
+    table_.clear();
+}
+
+void
+AccurateNBest::insert(const Hypothesis &hyp)
+{
+    ++stats_.insertions;
+    auto [it, inserted] = table_.emplace(hyp.state, hyp);
+    if (!inserted) {
+        ++stats_.recombinations;
+        if (hyp.cost < it->second.cost)
+            it->second = hyp;
+    }
+}
+
+std::vector<Hypothesis>
+AccurateNBest::finishFrame()
+{
+    std::vector<Hypothesis> all;
+    all.reserve(table_.size());
+    for (const auto &[state, hyp] : table_)
+        all.push_back(hyp);
+
+    if (all.size() > n_) {
+        std::partial_sort(all.begin(),
+                          all.begin() + static_cast<std::ptrdiff_t>(n_),
+                          all.end(),
+                          [](const Hypothesis &a, const Hypothesis &b) {
+                              return a.cost < b.cost;
+                          });
+        stats_.evictions = all.size() - n_;
+        all.resize(n_);
+    }
+    stats_.survivors = all.size();
+    return all;
+}
+
+DirectMappedHash::DirectMappedHash(std::size_t entries)
+    : indexBits_(floorLog2(entries)), slots_(entries),
+      valid_(entries, 0)
+{
+    ds_assert(isPowerOfTwo(entries));
+}
+
+void
+DirectMappedHash::beginFrame()
+{
+    stats_ = SelectorFrameStats{};
+    std::fill(valid_.begin(), valid_.end(), 0);
+}
+
+void
+DirectMappedHash::insert(const Hypothesis &hyp)
+{
+    ++stats_.insertions;
+    const std::uint32_t idx = xorFoldHash(hyp.state, indexBits_);
+    if (!valid_[idx]) {
+        valid_[idx] = 1;
+        slots_[idx] = hyp;
+        return;
+    }
+    Hypothesis &cur = slots_[idx];
+    if (cur.state == hyp.state) {
+        ++stats_.recombinations;
+        if (hyp.cost < cur.cost)
+            cur = hyp;
+        return;
+    }
+    ++stats_.collisions;
+    if (hyp.cost < cur.cost) {
+        ++stats_.evictions;
+        cur = hyp;
+    } else {
+        ++stats_.rejections;
+    }
+}
+
+std::vector<Hypothesis>
+DirectMappedHash::finishFrame()
+{
+    std::vector<Hypothesis> survivors;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        if (valid_[i])
+            survivors.push_back(slots_[i]);
+    }
+    stats_.survivors = survivors.size();
+    return survivors;
+}
+
+SetAssociativeHash::SetAssociativeHash(std::size_t entries,
+                                       std::size_t ways)
+    : ways_(ways)
+{
+    ds_assert(ways >= 1);
+    ds_assert(entries % ways == 0);
+    const std::size_t set_count = entries / ways;
+    ds_assert(isPowerOfTwo(set_count));
+    indexBits_ = floorLog2(set_count);
+    sets_.reserve(set_count);
+    for (std::size_t i = 0; i < set_count; ++i)
+        sets_.emplace_back(ways);
+    name_ = std::to_string(ways) + "-way-hash-" +
+        std::to_string(entries);
+}
+
+void
+SetAssociativeHash::beginFrame()
+{
+    stats_ = SelectorFrameStats{};
+    for (auto &set : sets_)
+        set.clear();
+}
+
+void
+SetAssociativeHash::insert(const Hypothesis &hyp)
+{
+    ++stats_.insertions;
+    MaxHeapSet &set = sets_[xorFoldHash(hyp.state, indexBits_)];
+
+    const int slot = set.find(hyp.state);
+    if (slot >= 0) {
+        ++stats_.recombinations;
+        if (hyp.cost < set.entry(static_cast<std::size_t>(slot)).cost)
+            set.recombine(slot, hyp);
+        return;
+    }
+    if (!set.full()) {
+        set.insert(hyp);
+        return;
+    }
+    if (hyp.cost < set.worstCost()) {
+        ++stats_.evictions;
+        set.replaceWorst(hyp);
+    } else {
+        ++stats_.rejections;
+    }
+}
+
+std::vector<Hypothesis>
+SetAssociativeHash::finishFrame()
+{
+    std::vector<Hypothesis> survivors;
+    for (const auto &set : sets_)
+        set.collect(survivors);
+    stats_.survivors = survivors.size();
+    return survivors;
+}
+
+double
+selectionSimilarity(const std::vector<Hypothesis> &reference,
+                    const std::vector<Hypothesis> &loose)
+{
+    if (reference.empty())
+        return 1.0;
+    std::unordered_set<StateId> loose_states;
+    loose_states.reserve(loose.size());
+    for (const auto &h : loose)
+        loose_states.insert(h.state);
+    std::size_t overlap = 0;
+    for (const auto &h : reference)
+        overlap += loose_states.count(h.state);
+    return static_cast<double>(overlap) /
+        static_cast<double>(reference.size());
+}
+
+} // namespace darkside

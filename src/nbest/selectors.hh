@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Concrete hypothesis selectors:
+ *
+ *  - UnboundedSelector: functional behaviour of the UNFOLD baseline —
+ *    every hypothesis survives (subject only to the decoder's beam), but
+ *    accesses are classified into direct-mapped region / backup buffer /
+ *    DRAM overflow so the cycle model can charge them (Sec. III-A).
+ *  - AccurateNBest: keeps exactly the N best hypotheses per frame using
+ *    a partial sort (the expensive "N-Best Accurate" comparison point).
+ *  - DirectMappedHash: one hypothesis per entry; a collision keeps the
+ *    cheaper path (the paper's direct-mapped line in Fig. 7).
+ *  - SetAssociativeHash: the paper's proposal — K-way sets with Max-Heap
+ *    replacement, loosely tracking the N best (N = entries).
+ */
+
+#ifndef DARKSIDE_NBEST_SELECTORS_HH
+#define DARKSIDE_NBEST_SELECTORS_HH
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nbest/hypothesis.hh"
+#include "nbest/max_heap_set.hh"
+
+namespace darkside {
+
+/**
+ * Baseline: keep everything, account hash-region traffic.
+ */
+class UnboundedSelector : public HypothesisSelector
+{
+  public:
+    /**
+     * @param direct_entries direct-mapped hash entries (UNFOLD: 32K)
+     * @param backup_entries on-chip backup-buffer entries (UNFOLD: 16K)
+     */
+    explicit UnboundedSelector(std::size_t direct_entries = 32768,
+                               std::size_t backup_entries = 16384);
+
+    void beginFrame() override;
+    void insert(const Hypothesis &hyp) override;
+    std::vector<Hypothesis> finishFrame() override;
+    const char *name() const override { return "unbounded"; }
+
+  private:
+    enum class Region : std::uint8_t { Direct, Backup, Overflow };
+
+    struct Slot
+    {
+        Hypothesis hyp;
+        Region region;
+    };
+
+    std::size_t directEntries_;
+    std::size_t backupEntries_;
+    unsigned indexBits_;
+    /** State occupying each direct-mapped entry this frame (or none). */
+    std::vector<StateId> directOwner_;
+    std::vector<std::uint8_t> directValid_;
+    std::unordered_map<StateId, Slot> table_;
+    std::size_t backupUsed_;
+};
+
+/**
+ * Exact N-best selection via partial sort.
+ */
+class AccurateNBest : public HypothesisSelector
+{
+  public:
+    explicit AccurateNBest(std::size_t n);
+
+    void beginFrame() override;
+    void insert(const Hypothesis &hyp) override;
+    std::vector<Hypothesis> finishFrame() override;
+    const char *name() const override { return "n-best-accurate"; }
+
+    std::size_t n() const { return n_; }
+
+  private:
+    std::size_t n_;
+    std::unordered_map<StateId, Hypothesis> table_;
+};
+
+/**
+ * Direct-mapped bounded hash (associativity 1).
+ */
+class DirectMappedHash : public HypothesisSelector
+{
+  public:
+    /** @param entries table size; must be a power of two. */
+    explicit DirectMappedHash(std::size_t entries);
+
+    void beginFrame() override;
+    void insert(const Hypothesis &hyp) override;
+    std::vector<Hypothesis> finishFrame() override;
+    const char *name() const override { return "direct-mapped-hash"; }
+
+  private:
+    unsigned indexBits_;
+    std::vector<Hypothesis> slots_;
+    std::vector<std::uint8_t> valid_;
+};
+
+/**
+ * The proposed K-way set-associative hash with Max-Heap replacement.
+ */
+class SetAssociativeHash : public HypothesisSelector
+{
+  public:
+    /**
+     * @param entries total capacity N (paper: 1024); power of two
+     * @param ways set associativity K (paper: 8); must divide entries
+     */
+    SetAssociativeHash(std::size_t entries, std::size_t ways);
+
+    void beginFrame() override;
+    void insert(const Hypothesis &hyp) override;
+    std::vector<Hypothesis> finishFrame() override;
+    const char *name() const override { return name_.c_str(); }
+
+    std::size_t entries() const { return sets_.size() * ways_; }
+    std::size_t ways() const { return ways_; }
+
+  private:
+    std::size_t ways_;
+    unsigned indexBits_;
+    std::vector<MaxHeapSet> sets_;
+    std::string name_;
+};
+
+/**
+ * Fraction of `reference` hypotheses (by state id) also present in
+ * `loose` — the similarity metric of Fig. 9.
+ */
+double selectionSimilarity(const std::vector<Hypothesis> &reference,
+                           const std::vector<Hypothesis> &loose);
+
+} // namespace darkside
+
+#endif // DARKSIDE_NBEST_SELECTORS_HH

@@ -1,0 +1,179 @@
+#include "pruning/magnitude_pruner.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/stats.hh"
+#include "util/text_table.hh"
+
+namespace darkside {
+
+double
+PruneReport::globalPrunedFraction() const
+{
+    std::size_t total = 0;
+    std::size_t pruned = 0;
+    for (const auto &l : layers) {
+        if (!l.prunable)
+            continue;
+        total += l.totalWeights;
+        pruned += l.prunedWeights;
+    }
+    return total == 0 ? 0.0
+                      : static_cast<double>(pruned) /
+            static_cast<double>(total);
+}
+
+double
+PruneReport::storedPrunedFraction() const
+{
+    std::size_t total = 0;
+    std::size_t pruned = 0;
+    for (const auto &l : layers) {
+        total += l.totalWeights;
+        pruned += l.prunedWeights;
+    }
+    return total == 0 ? 0.0
+                      : static_cast<double>(pruned) /
+            static_cast<double>(total);
+}
+
+std::string
+PruneReport::render() const
+{
+    TextTable table;
+    table.header({"Layer", "Weights", "Pruned", "Fraction"});
+    for (const auto &l : layers) {
+        table.row({l.layerName, std::to_string(l.totalWeights),
+                   l.prunable ? std::to_string(l.prunedWeights) : "-",
+                   l.prunable ? TextTable::num(100.0 * l.prunedFraction(), 1)
+                           + "%"
+                              : "fixed"});
+    }
+    std::ostringstream os;
+    os << table.render();
+    os << "quality parameter: " << qualityParameter
+       << ", global (prunable) pruning: "
+       << TextTable::num(100.0 * globalPrunedFraction(), 1) << "%\n";
+    return os.str();
+}
+
+MagnitudePruner::MagnitudePruner(double quality)
+    : quality_(quality)
+{
+    ds_assert(quality >= 0.0);
+}
+
+namespace {
+
+/** Per-layer pruning threshold: quality * stddev of the layer weights. */
+double
+layerThreshold(const FullyConnected &fc, double quality)
+{
+    RunningStats stats;
+    const float *w = fc.weights().data();
+    for (std::size_t i = 0; i < fc.weights().size(); ++i)
+        stats.add(w[i]);
+    return quality * stats.stddev();
+}
+
+LayerPruneStats
+statsForMask(const FullyConnected &fc,
+             const std::vector<std::uint8_t> &mask)
+{
+    LayerPruneStats stats;
+    stats.layerName = fc.name();
+    stats.totalWeights = fc.weights().size();
+    for (auto m : mask)
+        stats.prunedWeights += m ? 0 : 1;
+    return stats;
+}
+
+} // namespace
+
+PruneReport
+MagnitudePruner::prune(Mlp &mlp) const
+{
+    PruneReport report;
+    report.qualityParameter = quality_;
+
+    for (FullyConnected *fc : mlp.fullyConnectedLayers()) {
+        if (!fc->trainable()) {
+            LayerPruneStats stats;
+            stats.layerName = fc->name();
+            stats.totalWeights = fc->weights().size();
+            stats.prunable = false;
+            report.layers.push_back(stats);
+            continue;
+        }
+        const double threshold = layerThreshold(*fc, quality_);
+        const float *w = fc->weights().data();
+        std::vector<std::uint8_t> mask(fc->weights().size());
+        for (std::size_t i = 0; i < mask.size(); ++i)
+            mask[i] = std::fabs(w[i]) >= threshold ? 1 : 0;
+        report.layers.push_back(statsForMask(*fc, mask));
+        fc->setMask(std::move(mask));
+    }
+    return report;
+}
+
+double
+MagnitudePruner::findQualityForTarget(const Mlp &mlp,
+                                      double target_fraction,
+                                      double tolerance)
+{
+    ds_assert(target_fraction > 0.0 && target_fraction < 1.0);
+
+    // Evaluate the would-be pruned fraction for a quality value without
+    // touching the model.
+    auto fraction_at = [&mlp](double quality) {
+        std::size_t total = 0;
+        std::size_t pruned = 0;
+        for (const FullyConnected *fc : mlp.fullyConnectedLayers()) {
+            if (!fc->trainable())
+                continue;
+            const double threshold = layerThreshold(*fc, quality);
+            const float *w = fc->weights().data();
+            for (std::size_t i = 0; i < fc->weights().size(); ++i) {
+                ++total;
+                if (std::fabs(w[i]) < threshold)
+                    ++pruned;
+            }
+        }
+        return total == 0 ? 0.0
+                          : static_cast<double>(pruned) /
+                static_cast<double>(total);
+    };
+
+    double lo = 0.0, hi = 8.0;
+    // Pruned fraction is monotone in quality; plain bisection.
+    for (int iter = 0; iter < 60; ++iter) {
+        const double mid = (lo + hi) / 2.0;
+        const double f = fraction_at(mid);
+        if (std::fabs(f - target_fraction) <= tolerance)
+            return mid;
+        if (f < target_fraction)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return (lo + hi) / 2.0;
+}
+
+Mlp
+pruneAndRetrain(const Mlp &trained, const FrameDataset &dataset,
+                double quality, const TrainerConfig &retrain_config,
+                PruneReport *report)
+{
+    Mlp pruned = trained.clone();
+    MagnitudePruner pruner(quality);
+    PruneReport local = pruner.prune(pruned);
+    if (report)
+        *report = local;
+
+    Trainer trainer(retrain_config);
+    trainer.train(pruned, dataset);
+    return pruned;
+}
+
+} // namespace darkside

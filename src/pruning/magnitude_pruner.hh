@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The pruning scheme of Han et al. (NIPS'15) as the paper applies it
+ * (Sec. II-A): per trainable layer, remove every weight whose magnitude
+ * is below `quality * stddev(layer weights)`, then retrain the surviving
+ * weights. FC0 (the fixed LDA transform) is never pruned but its weights
+ * still count towards the stored model size, matching Table I.
+ */
+
+#ifndef DARKSIDE_PRUNING_MAGNITUDE_PRUNER_HH
+#define DARKSIDE_PRUNING_MAGNITUDE_PRUNER_HH
+
+#include <string>
+#include <vector>
+
+#include "dnn/mlp.hh"
+#include "dnn/trainer.hh"
+
+namespace darkside {
+
+/** Pruning outcome for one layer. */
+struct LayerPruneStats
+{
+    std::string layerName;
+    std::size_t totalWeights = 0;
+    std::size_t prunedWeights = 0;
+    bool prunable = true;
+
+    double prunedFraction() const
+    {
+        return totalWeights == 0
+            ? 0.0
+            : static_cast<double>(prunedWeights) /
+                static_cast<double>(totalWeights);
+    }
+};
+
+/** Pruning outcome for a whole model. */
+struct PruneReport
+{
+    std::vector<LayerPruneStats> layers;
+    double qualityParameter = 0.0;
+
+    /** Fraction pruned over the *prunable* weights (Table I "global"). */
+    double globalPrunedFraction() const;
+
+    /** Fraction pruned over all stored weights, including FC0. */
+    double storedPrunedFraction() const;
+
+    /** Render like Table I. */
+    std::string render() const;
+};
+
+/**
+ * Magnitude pruner with a single quality parameter shared by all layers.
+ */
+class MagnitudePruner
+{
+  public:
+    /**
+     * @param quality multiplier on the per-layer weight stddev; the
+     *        paper uses 1.44 / 1.90 / 2.71 for 70/80/90% global pruning
+     */
+    explicit MagnitudePruner(double quality);
+
+    /**
+     * Apply masks in place to every trainable FC layer.
+     * @return the per-layer statistics
+     */
+    PruneReport prune(Mlp &mlp) const;
+
+    double quality() const { return quality_; }
+
+    /**
+     * Binary-search the quality parameter that achieves a target global
+     * pruned fraction on this model (read-only; the model is not
+     * modified).
+     *
+     * @param target_fraction desired pruned fraction in (0, 1)
+     * @param tolerance acceptable |achieved - target|
+     */
+    static double findQualityForTarget(const Mlp &mlp,
+                                       double target_fraction,
+                                       double tolerance = 0.002);
+
+  private:
+    double quality_;
+};
+
+/**
+ * Full Han et al. pipeline on an already-trained model: clone, prune,
+ * retrain the survivors.
+ *
+ * @param trained the trained dense model (left untouched)
+ * @param dataset retraining data
+ * @param quality pruning quality parameter
+ * @param retrain_config SGD configuration for the retraining phase
+ * @param report optional out-param for the prune statistics
+ * @return the pruned-and-retrained model
+ */
+Mlp pruneAndRetrain(const Mlp &trained, const FrameDataset &dataset,
+                    double quality, const TrainerConfig &retrain_config,
+                    PruneReport *report = nullptr);
+
+} // namespace darkside
+
+#endif // DARKSIDE_PRUNING_MAGNITUDE_PRUNER_HH

@@ -1,0 +1,96 @@
+#include "pruning/quantizer.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/text_table.hh"
+
+namespace darkside {
+
+std::string
+QuantReport::render() const
+{
+    TextTable table;
+    table.header({"Layer", "scale", "MSE", "SQNR dB"});
+    for (const auto &l : layers) {
+        table.row({l.layerName,
+                   l.quantized ? TextTable::num(l.scale, 6) : "-",
+                   l.quantized ? TextTable::num(l.mse, 8) : "-",
+                   l.quantized ? TextTable::num(l.sqnrDb, 1) : "-"});
+    }
+    std::ostringstream os;
+    os << bits << "-bit symmetric per-layer quantization:\n"
+       << table.render();
+    return os.str();
+}
+
+WeightQuantizer::WeightQuantizer(unsigned bits)
+    : bits_(bits)
+{
+    ds_assert(bits >= 2 && bits <= 16);
+}
+
+QuantReport
+WeightQuantizer::quantize(Mlp &mlp) const
+{
+    QuantReport report;
+    report.bits = bits_;
+
+    const auto max_code =
+        static_cast<float>((1u << (bits_ - 1)) - 1);
+
+    for (FullyConnected *fc : mlp.fullyConnectedLayers()) {
+        LayerQuantStats stats;
+        stats.layerName = fc->name();
+
+        float peak = 0.0f;
+        float *w = fc->weights().data();
+        const std::size_t count = fc->weights().size();
+        for (std::size_t i = 0; i < count; ++i)
+            peak = std::max(peak, std::fabs(w[i]));
+        if (peak == 0.0f) {
+            stats.quantized = false;
+            report.layers.push_back(stats);
+            continue;
+        }
+
+        const float scale = peak / max_code;
+        stats.scale = scale;
+
+        double signal = 0.0;
+        double noise = 0.0;
+        for (std::size_t i = 0; i < count; ++i) {
+            const float original = w[i];
+            const float code = std::round(original / scale);
+            const float quantized = code * scale;
+            const double err =
+                static_cast<double>(original) - quantized;
+            signal += static_cast<double>(original) * original;
+            noise += err * err;
+            w[i] = quantized;
+        }
+        stats.mse = noise / static_cast<double>(count);
+        stats.sqnrDb = noise > 0.0
+            ? 10.0 * std::log10(signal / noise)
+            : 99.0;
+        report.layers.push_back(stats);
+    }
+    return report;
+}
+
+std::size_t
+WeightQuantizer::quantizedBytes(const Mlp &mlp, unsigned bits)
+{
+    std::size_t total_bits = 0;
+    std::size_t bias_bytes = 0;
+    std::size_t layers = 0;
+    for (const FullyConnected *fc : mlp.fullyConnectedLayers()) {
+        std::size_t nonzero = fc->nonzeroWeightCount();
+        total_bits += nonzero * bits;
+        bias_bytes += fc->biases().size() * 4;
+        ++layers;
+    }
+    return (total_bits + 7) / 8 + bias_bytes + layers * 4;
+}
+
+} // namespace darkside

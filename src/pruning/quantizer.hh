@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Linear weight quantization — the other half of Deep Compression
+ * (Han et al., the paper's reference [2]). The paper studies pruning's
+ * effect on prediction confidence; this extension asks the same
+ * question of quantization, so the two compression techniques can be
+ * compared under the library's confidence/workload metrics
+ * (`bench/ablation_quantization`).
+ *
+ * Quantization here is symmetric, per-layer "fake quant": weights are
+ * rounded to the nearest of 2^bits - 1 uniformly spaced levels spanning
+ * [-max|w|, +max|w|] and stored back as floats, exactly what an
+ * integer datapath with a per-layer scale factor would compute.
+ */
+
+#ifndef DARKSIDE_PRUNING_QUANTIZER_HH
+#define DARKSIDE_PRUNING_QUANTIZER_HH
+
+#include <string>
+#include <vector>
+
+#include "dnn/mlp.hh"
+
+namespace darkside {
+
+/** Quantization outcome for one layer. */
+struct LayerQuantStats
+{
+    std::string layerName;
+    /** Per-layer scale: weight = code * scale. */
+    float scale = 0.0f;
+    /** Mean squared quantization error. */
+    double mse = 0.0;
+    /** Signal-to-quantization-noise ratio, dB. */
+    double sqnrDb = 0.0;
+    bool quantized = true;
+};
+
+/** Whole-model quantization report. */
+struct QuantReport
+{
+    std::vector<LayerQuantStats> layers;
+    unsigned bits = 8;
+
+    /** Render a per-layer table. */
+    std::string render() const;
+};
+
+/**
+ * Symmetric per-layer uniform quantizer.
+ */
+class WeightQuantizer
+{
+  public:
+    /** @param bits code width (2..16). */
+    explicit WeightQuantizer(unsigned bits);
+
+    /**
+     * Quantize every trainable FC layer in place (fake quant). The
+     * fixed FC0 layer is quantized too: unlike pruning, quantization
+     * does not require retraining, so the LDA transform tolerates it.
+     *
+     * @return per-layer statistics
+     */
+    QuantReport quantize(Mlp &mlp) const;
+
+    unsigned bits() const { return bits_; }
+
+    /**
+     * Model bytes after quantization: `bits` per surviving weight
+     * (packed) + one float scale per layer + float biases.
+     */
+    static std::size_t quantizedBytes(const Mlp &mlp, unsigned bits);
+
+  private:
+    unsigned bits_;
+};
+
+} // namespace darkside
+
+#endif // DARKSIDE_PRUNING_QUANTIZER_HH

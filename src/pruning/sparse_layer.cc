@@ -1,0 +1,57 @@
+#include "pruning/sparse_layer.hh"
+
+namespace darkside {
+
+SparseLayer::SparseLayer(const FullyConnected &fc)
+    : inputSize_(fc.inputSize()), biases_(fc.biases())
+{
+    const Matrix &w = fc.weights();
+    const auto &mask = fc.mask();
+    const bool masked = fc.hasMask();
+
+    rowPtr_.reserve(fc.outputSize() + 1);
+    rowPtr_.push_back(0);
+    for (std::size_t r = 0; r < w.rows(); ++r) {
+        const float *row = w.rowPtr(r);
+        const std::uint8_t *mrow =
+            masked ? mask.data() + r * w.cols() : nullptr;
+        for (std::size_t c = 0; c < w.cols(); ++c) {
+            const bool keep = masked ? mrow[c] != 0 : row[c] != 0.0f;
+            if (keep) {
+                indices_.push_back(static_cast<std::uint32_t>(c));
+                weights_.push_back(row[c]);
+            }
+        }
+        rowPtr_.push_back(indices_.size());
+    }
+}
+
+double
+SparseLayer::density() const
+{
+    const double total = static_cast<double>(inputSize_) *
+        static_cast<double>(outputSize());
+    return total == 0.0 ? 0.0 : static_cast<double>(nonzeros()) / total;
+}
+
+std::size_t
+SparseLayer::storageBytes() const
+{
+    const std::size_t index_bytes = inputSize_ <= 0x10000 ? 2 : 4;
+    return nonzeros() * (4 + index_bytes) + biases_.size() * 4;
+}
+
+void
+SparseLayer::forward(const Vector &x, Vector &y) const
+{
+    ds_assert(x.size() == inputSize_);
+    y.resize(outputSize());
+    for (std::size_t r = 0; r < outputSize(); ++r) {
+        float acc = biases_[r];
+        for (std::size_t i = rowPtr_[r]; i < rowPtr_[r + 1]; ++i)
+            acc += weights_[i] * x[indices_[i]];
+        y[r] = acc;
+    }
+}
+
+} // namespace darkside

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Sparse export of a (possibly pruned) fully-connected layer in the
+ * weight+index stream format the DNN accelerator consumes (Sec. III-D):
+ * for each output neuron, the surviving weights in input order, each with
+ * the index of the input it multiplies. The accelerator fetches these in
+ * groups of M and gathers the M inputs from the banked I/O buffer.
+ */
+
+#ifndef DARKSIDE_PRUNING_SPARSE_LAYER_HH
+#define DARKSIDE_PRUNING_SPARSE_LAYER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dnn/layer.hh"
+
+namespace darkside {
+
+/**
+ * CSR-like sparse view of an FC layer.
+ */
+class SparseLayer
+{
+  public:
+    /** Build from a dense layer, keeping only unmasked non-zero weights. */
+    explicit SparseLayer(const FullyConnected &fc);
+
+    std::size_t inputSize() const { return inputSize_; }
+    std::size_t outputSize() const { return rowPtr_.size() - 1; }
+    std::size_t nonzeros() const { return weights_.size(); }
+
+    /** First flattened entry of output neuron r. */
+    std::size_t rowBegin(std::size_t r) const { return rowPtr_.at(r); }
+    /** One past the last flattened entry of output neuron r. */
+    std::size_t rowEnd(std::size_t r) const { return rowPtr_.at(r + 1); }
+
+    /** Input index of flattened entry i. */
+    std::uint32_t index(std::size_t i) const { return indices_.at(i); }
+    /** Weight value of flattened entry i. */
+    float weight(std::size_t i) const { return weights_.at(i); }
+
+    const std::vector<std::uint32_t> &indices() const { return indices_; }
+    const std::vector<float> &weights() const { return weights_; }
+
+    /** Density = nonzeros / (in * out). */
+    double density() const;
+
+    /**
+     * Model bytes this layer occupies on the accelerator: 4 B per
+     * surviving weight plus index storage (2 B per index when the input
+     * width fits 16 bits, else 4 B) plus 4 B per output bias.
+     */
+    std::size_t storageBytes() const;
+
+    /** y = W_sparse x + b. Bit-exact with the masked dense layer. */
+    void forward(const Vector &x, Vector &y) const;
+
+    const Vector &biases() const { return biases_; }
+
+  private:
+    std::size_t inputSize_;
+    std::vector<std::size_t> rowPtr_;
+    std::vector<std::uint32_t> indices_;
+    std::vector<float> weights_;
+    Vector biases_;
+};
+
+} // namespace darkside
+
+#endif // DARKSIDE_PRUNING_SPARSE_LAYER_HH

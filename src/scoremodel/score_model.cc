@@ -1,0 +1,119 @@
+#include "scoremodel/score_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace darkside {
+
+double
+sampleGamma(Rng &rng, double shape)
+{
+    ds_assert(shape > 0.0);
+    if (shape < 1.0) {
+        // Boost: Gamma(a) = Gamma(a + 1) * U^(1/a).
+        const double g = sampleGamma(rng, shape + 1.0);
+        double u;
+        do {
+            u = rng.uniform();
+        } while (u <= 1e-300);
+        return g * std::pow(u, 1.0 / shape);
+    }
+    // Marsaglia-Tsang squeeze.
+    const double d = shape - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    while (true) {
+        double x, v;
+        do {
+            x = rng.gaussian();
+            v = 1.0 + c * x;
+        } while (v <= 0.0);
+        v = v * v * v;
+        const double u = rng.uniform();
+        if (u < 1.0 - 0.0331 * x * x * x * x)
+            return d * v;
+        if (u > 1e-300 &&
+            std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+            return d * v;
+        }
+    }
+}
+
+SyntheticScoreModel::SyntheticScoreModel(std::size_t classes,
+                                         const ScoreModelConfig &config)
+    : classes_(classes), config_(config)
+{
+    ds_assert(classes >= 2);
+    ds_assert(config.targetConfidence > 0.0 &&
+              config.targetConfidence < 1.0);
+    ds_assert(config.topErrorRate >= 0.0 && config.topErrorRate < 1.0);
+    ds_assert(config.competitorShape > 0.0);
+}
+
+Vector
+SyntheticScoreModel::framePosterior(PdfId truth, Rng &rng) const
+{
+    ds_assert(truth < classes_);
+
+    // Sample this frame's confidence on the logit scale around the
+    // target, reproducing the long left tail of real DNN confidences.
+    const double target = config_.targetConfidence;
+    const double logit = std::log(target / (1.0 - target)) +
+        config_.confidenceSpread * rng.gaussian();
+    const double confidence = 1.0 / (1.0 + std::exp(-logit));
+
+    // Occasionally the acoustics are misleading: the peak lands on a
+    // wrong class (keeps WER realistic even for the dense model).
+    PdfId top = truth;
+    if (rng.chance(config_.topErrorRate)) {
+        top = static_cast<PdfId>(rng.below(classes_ - 1));
+        if (top >= truth)
+            ++top;
+    }
+
+    // Competitors share 1 - confidence with Gamma-distributed weights:
+    // a small shape concentrates the mass on a handful of confusable
+    // classes, like real acoustic posteriors.
+    Vector posterior(classes_);
+    double competitor_total = 0.0;
+    for (std::size_t c = 0; c < classes_; ++c) {
+        if (c == top)
+            continue;
+        const double w = sampleGamma(rng, config_.competitorShape);
+        posterior[c] = static_cast<float>(w);
+        competitor_total += w;
+    }
+    const double rest = 1.0 - confidence;
+    if (competitor_total > 0.0) {
+        const double scale = rest / competitor_total;
+        for (std::size_t c = 0; c < classes_; ++c)
+            posterior[c] = static_cast<float>(posterior[c] * scale);
+    }
+    posterior[top] = static_cast<float>(confidence);
+    return posterior;
+}
+
+std::vector<Vector>
+SyntheticScoreModel::posteriorsFor(const std::vector<PdfId> &alignment,
+                                   Rng &rng) const
+{
+    std::vector<Vector> posteriors;
+    posteriors.reserve(alignment.size());
+    for (PdfId pdf : alignment)
+        posteriors.push_back(framePosterior(pdf, rng));
+    return posteriors;
+}
+
+Vector
+temperatureScale(const Vector &posteriors, double temperature)
+{
+    ds_assert(temperature > 0.0);
+    Vector logits(posteriors.size());
+    for (std::size_t i = 0; i < posteriors.size(); ++i) {
+        logits[i] = static_cast<float>(
+            std::log(std::max(posteriors[i], 1e-20f)) / temperature);
+    }
+    softmaxInPlace(logits);
+    return logits;
+}
+
+} // namespace darkside

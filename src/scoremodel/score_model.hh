@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Calibrated synthetic acoustic-score generator. Produces per-frame
+ * posterior distributions over sub-phoneme classes with a *controllable
+ * confidence* (the probability mass of the top-1 class), following a
+ * ground-truth alignment. This decouples studies of the DNN-confidence /
+ * Viterbi-workload interaction (Figs. 4, 5, 7, 9) from DNN training:
+ * a "pruned model" is emulated by lowering the target confidence to the
+ * value measured in Fig. 3 (0.68 / 0.65 / 0.62 / 0.53).
+ */
+
+#ifndef DARKSIDE_SCOREMODEL_SCORE_MODEL_HH
+#define DARKSIDE_SCOREMODEL_SCORE_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/phoneme.hh"
+#include "tensor/matrix.hh"
+#include "util/rng.hh"
+
+namespace darkside {
+
+/** Parameters of the synthetic posterior generator. */
+struct ScoreModelConfig
+{
+    /** Mean probability of the top-1 class. */
+    double targetConfidence = 0.68;
+    /** Stddev of per-frame confidence on the logit scale. */
+    double confidenceSpread = 0.8;
+    /** Probability the top-1 class is NOT the aligned ground truth
+     *  (injects realistic acoustic errors so WER is non-zero). */
+    double topErrorRate = 0.04;
+    /** Gamma shape of competitor weights; smaller -> mass concentrated
+     *  on fewer confusable classes, larger -> the broad tail of a real
+     *  (pruned) acoustic posterior. */
+    double competitorShape = 0.3;
+    std::uint64_t seed = 99;
+};
+
+/**
+ * Synthetic posterior stream generator.
+ */
+class SyntheticScoreModel
+{
+  public:
+    /**
+     * @param classes number of sub-phoneme classes
+     * @param config generator parameters
+     */
+    SyntheticScoreModel(std::size_t classes,
+                        const ScoreModelConfig &config);
+
+    std::size_t classCount() const { return classes_; }
+    const ScoreModelConfig &config() const { return config_; }
+
+    /**
+     * Generate one posterior vector whose top-1 class is (usually) the
+     * given ground-truth pdf.
+     */
+    Vector framePosterior(PdfId truth, Rng &rng) const;
+
+    /** Generate posteriors for a whole alignment. */
+    std::vector<Vector> posteriorsFor(const std::vector<PdfId> &alignment,
+                                      Rng &rng) const;
+
+    /** Fresh Rng seeded from the config (convenience for benches). */
+    Rng makeRng() const { return Rng(config_.seed); }
+
+  private:
+    std::size_t classes_;
+    ScoreModelConfig config_;
+};
+
+/**
+ * Soften (T > 1) or sharpen (T < 1) posteriors with a temperature in
+ * log space; used by ablations to morph a real DNN's scores towards a
+ * pruned model's flatter distribution.
+ */
+Vector temperatureScale(const Vector &posteriors, double temperature);
+
+/**
+ * Gamma(shape, 1) sampler (Marsaglia-Tsang, with the shape<1 boost).
+ * Exposed for tests.
+ */
+double sampleGamma(Rng &rng, double shape);
+
+} // namespace darkside
+
+#endif // DARKSIDE_SCOREMODEL_SCORE_MODEL_HH

@@ -1,0 +1,59 @@
+#include "sim/cache_model.hh"
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace darkside {
+
+CacheModel::CacheModel(const CacheConfig &config)
+    : config_(config),
+      characteristics_(EnergyModel::sram(config.sizeBytes)), clock_(0)
+{
+    ds_assert(config.lineBytes > 0 && isPowerOfTwo(config.lineBytes));
+    ds_assert(config.ways > 0);
+    ds_assert(config.sizeBytes % (config.lineBytes * config.ways) == 0);
+    sets_ = config.sizeBytes / (config.lineBytes * config.ways);
+    // Set counts need not be powers of two (Table III's 768 KB 8-way
+    // arc cache has 1536 sets); index with a modulo.
+    lines_.resize(sets_ * config.ways);
+}
+
+bool
+CacheModel::access(std::uint64_t address)
+{
+    ++clock_;
+    const std::uint64_t line_addr = address / config_.lineBytes;
+    const std::uint64_t set = line_addr % sets_;
+    const std::uint64_t tag = line_addr / sets_;
+
+    Line *base = &lines_[set * config_.ways];
+    Line *victim = base;
+    for (std::size_t w = 0; w < config_.ways; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = clock_;
+            ++stats_.hits;
+            return true;
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid && line.lastUse < victim->lastUse) {
+            victim = &line;
+        }
+    }
+
+    ++stats_.misses;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = clock_;
+    return false;
+}
+
+void
+CacheModel::flush()
+{
+    for (auto &line : lines_)
+        line.valid = false;
+}
+
+} // namespace darkside

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Set-associative cache model with LRU replacement, used for the Viterbi
+ * accelerator's State, Arc and Word-Lattice caches (Table III). Tracks
+ * hits/misses and the energy of array accesses; misses are charged DRAM
+ * line traffic by the caller's memory model.
+ */
+
+#ifndef DARKSIDE_SIM_CACHE_MODEL_HH
+#define DARKSIDE_SIM_CACHE_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/energy_model.hh"
+
+namespace darkside {
+
+/** Static cache parameters. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    std::size_t sizeBytes = 64 * 1024;
+    std::size_t ways = 4;
+    std::size_t lineBytes = 64;
+};
+
+/** Access counters. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+
+    std::uint64_t accesses() const { return hits + misses; }
+
+    double
+    missRate() const
+    {
+        return accesses() == 0
+            ? 0.0
+            : static_cast<double>(misses) /
+                static_cast<double>(accesses());
+    }
+};
+
+/**
+ * Functional tag-array-only cache (no data payload needed for timing).
+ */
+class CacheModel
+{
+  public:
+    explicit CacheModel(const CacheConfig &config);
+
+    /**
+     * Access one byte address.
+     * @return true on hit
+     */
+    bool access(std::uint64_t address);
+
+    /** Invalidate everything (e.g. a new utterance / new WFST). */
+    void flush();
+
+    const CacheStats &stats() const { return stats_; }
+    void resetStats() { stats_ = CacheStats{}; }
+
+    const CacheConfig &config() const { return config_; }
+
+    /** Per-access dynamic energy, joules (tag + data array). */
+    double accessEnergy() const { return characteristics_.accessEnergy; }
+
+    /** Leakage power, watts. */
+    double leakagePower() const { return characteristics_.leakagePower; }
+
+    /** Area, mm^2. */
+    double area() const { return characteristics_.area; }
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    CacheConfig config_;
+    MemoryCharacteristics characteristics_;
+    std::size_t sets_;
+    std::vector<Line> lines_;
+    std::uint64_t clock_;
+    CacheStats stats_;
+};
+
+} // namespace darkside
+
+#endif // DARKSIDE_SIM_CACHE_MODEL_HH

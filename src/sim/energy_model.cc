@@ -1,0 +1,70 @@
+#include "sim/energy_model.hh"
+
+#include <cmath>
+
+namespace darkside {
+
+MemoryCharacteristics
+EnergyModel::sram(std::size_t bytes)
+{
+    MemoryCharacteristics c;
+    const double kb = static_cast<double>(bytes) / 1024.0;
+    c.accessEnergy = (1.2 + 2.2 * std::sqrt(kb)) * 1e-12;
+    c.leakagePower = 9e-6 * kb;
+    c.area = static_cast<double>(bytes) / (1024.0 * 1024.0) / 0.35;
+    return c;
+}
+
+MemoryCharacteristics
+EnergyModel::edram(std::size_t bytes)
+{
+    MemoryCharacteristics c = sram(bytes);
+    c.accessEnergy *= 1.4;
+    c.leakagePower *= 0.25;
+    c.area *= 0.5;
+    return c;
+}
+
+double
+EnergyModel::dramLineEnergy()
+{
+    return 3e-9;
+}
+
+double
+EnergyModel::dramLatency()
+{
+    return 100e-9;
+}
+
+double
+EnergyModel::dramBandwidth()
+{
+    return 12.8e9;
+}
+
+double
+EnergyModel::fp32MultiplyEnergy()
+{
+    return 3.7e-12;
+}
+
+double
+EnergyModel::fp32AddEnergy()
+{
+    return 0.9e-12;
+}
+
+double
+EnergyModel::fpUnitLeakage()
+{
+    return 15e-6;
+}
+
+double
+EnergyModel::fpUnitArea()
+{
+    return 0.006;
+}
+
+} // namespace darkside

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * First-order energy / area / latency models for the accelerator
+ * simulators. The paper characterises memories with CACTI-P and logic
+ * with Synopsys DC at 28/32 nm, 0.78 V (Sec. IV); we replace those
+ * proprietary flows with documented analytic fits of published
+ * CACTI-class numbers. All headline results are relative, so what
+ * matters is that the model scales correctly with structure size and
+ * access counts.
+ *
+ * Fits used (28 nm-class, low-power corner):
+ *   SRAM  read/write energy  : 1.2 pJ + 2.2 pJ * sqrt(KB) per 8 B word
+ *   SRAM  leakage             : 9 uW per KB
+ *   SRAM  area                : 1 / 0.35 mm^2 per MB
+ *   eDRAM energy/leakage/area : 1.4x access energy, 0.25x leakage,
+ *                               0.5x area of SRAM (denser, lower leak)
+ *   LPDDR4 access             : 3 nJ per 64 B line, 100 ns latency
+ *   FP32 multiply / add       : 3.7 pJ / 0.9 pJ per op
+ */
+
+#ifndef DARKSIDE_SIM_ENERGY_MODEL_HH
+#define DARKSIDE_SIM_ENERGY_MODEL_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace darkside {
+
+/** Energy/latency/area figure of one on-chip memory structure. */
+struct MemoryCharacteristics
+{
+    /** Dynamic energy of one word access, joules. */
+    double accessEnergy = 0.0;
+    /** Static power, watts. */
+    double leakagePower = 0.0;
+    /** Silicon area, mm^2. */
+    double area = 0.0;
+};
+
+/** Analytic memory/logic model. */
+class EnergyModel
+{
+  public:
+    /** Characterise an SRAM of `bytes` capacity. */
+    static MemoryCharacteristics sram(std::size_t bytes);
+
+    /** Characterise an eDRAM of `bytes` capacity. */
+    static MemoryCharacteristics edram(std::size_t bytes);
+
+    /** Energy of one 64 B DRAM (LPDDR4) line transfer, joules. */
+    static double dramLineEnergy();
+
+    /** DRAM access latency, seconds. */
+    static double dramLatency();
+
+    /** DRAM bandwidth, bytes/second (LPDDR4-3200 x32: 12.8 GB/s). */
+    static double dramBandwidth();
+
+    /** Energy of one FP32 multiply, joules. */
+    static double fp32MultiplyEnergy();
+
+    /** Energy of one FP32 add/compare, joules. */
+    static double fp32AddEnergy();
+
+    /** Leakage power of FP datapath logic, watts per FP unit. */
+    static double fpUnitLeakage();
+
+    /** Area of one FP32 unit (mul or add), mm^2. */
+    static double fpUnitArea();
+};
+
+/**
+ * Accumulates energy over a simulated run.
+ */
+class EnergyAccount
+{
+  public:
+    /** Add dynamic energy, joules. */
+    void addDynamic(double joules) { dynamic_ += joules; }
+
+    /** Add leakage: power (W) integrated over time (s). */
+    void addStatic(double watts, double seconds)
+    {
+        static_ += watts * seconds;
+    }
+
+    double dynamicJoules() const { return dynamic_; }
+    double staticJoules() const { return static_; }
+    double totalJoules() const { return dynamic_ + static_; }
+
+    void
+    merge(const EnergyAccount &o)
+    {
+        dynamic_ += o.dynamic_;
+        static_ += o.static_;
+    }
+
+  private:
+    double dynamic_ = 0.0;
+    double static_ = 0.0;
+};
+
+} // namespace darkside
+
+#endif // DARKSIDE_SIM_ENERGY_MODEL_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * First-order gate-delay timing model replacing the paper's Synopsys DC
+ * synthesis runs (Sec. III-B). Used to justify the architectural claim:
+ * a sequential 3-level comparator tree needs 2.82 ns (3 cycles at the
+ * accelerator's 1.25 ns clock), while the parallel Max-Heap maximum-path
+ * comparison finishes in 1.21 ns (single cycle).
+ */
+
+#ifndef DARKSIDE_SIM_TIMING_MODEL_HH
+#define DARKSIDE_SIM_TIMING_MODEL_HH
+
+#include <cstddef>
+
+namespace darkside {
+
+/**
+ * Delay estimation for the hash-replacement logic alternatives.
+ */
+class TimingModel
+{
+  public:
+    /** Delay of one 32-bit FP magnitude comparator, ns (32 nm LP). */
+    static constexpr double comparatorDelayNs = 0.87;
+
+    /** Mux/wiring overhead per sequential stage, ns. */
+    static constexpr double stageOverheadNs = 0.07;
+
+    /** Flop setup + clock skew margin, ns. */
+    static constexpr double registerMarginNs = 0.26;
+
+    /**
+     * Critical path of a sequential comparator tree over `ways` entries
+     * (depth = ceil(log2(ways)) comparisons in series).
+     */
+    static double comparatorTreeDelayNs(std::size_t ways);
+
+    /**
+     * Critical path of the parallel maximum-path comparison: all path
+     * comparators evaluate concurrently, followed by the index-vector
+     * update mux.
+     */
+    static double maxHeapReplaceDelayNs(std::size_t ways);
+
+    /**
+     * Cycles a combinational block of `delay_ns` occupies at a clock of
+     * `cycle_ns` (at least 1).
+     */
+    static std::size_t cyclesAt(double delay_ns, double cycle_ns);
+};
+
+} // namespace darkside
+
+#endif // DARKSIDE_SIM_TIMING_MODEL_HH

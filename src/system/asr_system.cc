@@ -1,0 +1,174 @@
+#include "system/asr_system.hh"
+
+#include <optional>
+
+namespace darkside {
+
+const char *
+searchModeName(SearchMode mode)
+{
+    switch (mode) {
+      case SearchMode::Baseline:
+        return "Baseline";
+      case SearchMode::NarrowBeam:
+        return "Beam";
+      case SearchMode::NBestHash:
+        return "NBest";
+    }
+    return "?";
+}
+
+std::string
+SystemConfig::label() const
+{
+    std::string suffix;
+    switch (prune) {
+      case PruneLevel::None:
+        suffix = "NP";
+        break;
+      case PruneLevel::P70:
+        suffix = "70";
+        break;
+      case PruneLevel::P80:
+        suffix = "80";
+        break;
+      case PruneLevel::P90:
+        suffix = "90";
+        break;
+    }
+    return std::string(searchModeName(mode)) + "-" + suffix;
+}
+
+AsrSystem::AsrSystem(const Corpus &corpus, const Wfst &fst,
+                     const ModelZoo &zoo, const PlatformConfig &platform)
+    : corpus_(corpus), fst_(fst), zoo_(zoo), platform_(platform),
+      dnnAccelSim_(platform.dnnAccel), dnnSimCache_(4)
+{}
+
+std::unique_ptr<HypothesisSelector>
+AsrSystem::makeSelector(const SystemConfig &config) const
+{
+    if (config.mode == SearchMode::NBestHash) {
+        return std::make_unique<SetAssociativeHash>(config.nbestEntries,
+                                                    config.nbestWays);
+    }
+    const auto &vc = platform_.viterbiBaseline;
+    return std::make_unique<UnboundedSelector>(vc.hashEntries,
+                                               vc.backupEntries);
+}
+
+ViterbiAccelConfig
+AsrSystem::viterbiConfigFor(const SystemConfig &config) const
+{
+    if (config.mode == SearchMode::NBestHash) {
+        ViterbiAccelConfig vc = platform_.viterbiNBest;
+        vc.hash = HashOrganisation::NBestSetAssociative;
+        vc.hashEntries = config.nbestEntries;
+        vc.backupEntries = 0;
+        return vc;
+    }
+    ViterbiAccelConfig vc = platform_.viterbiBaseline;
+    vc.hash = HashOrganisation::UnboundedBaseline;
+    return vc;
+}
+
+const DnnSimResult &
+AsrSystem::dnnSim(PruneLevel level)
+{
+    auto &slot = dnnSimCache_[static_cast<std::size_t>(level)];
+    if (!slot)
+        slot = dnnAccelSim_.simulate(zoo_.model(level));
+    return *slot;
+}
+
+const AcousticScores &
+AsrSystem::scoresFor(const Utterance &utt, PruneLevel level)
+{
+    const auto key =
+        std::make_pair(static_cast<int>(level), &utt);
+    auto it = scoreCache_.find(key);
+    if (it == scoreCache_.end()) {
+        const auto inputs = corpus_.spliceUtterance(utt);
+        it = scoreCache_
+                 .emplace(key,
+                          AcousticScores::fromMlp(
+                              zoo_.model(level), inputs,
+                              platform_.acousticScale))
+                 .first;
+    }
+    return it->second;
+}
+
+UtteranceRun
+AsrSystem::runUtterance(const Utterance &utt, const SystemConfig &config)
+{
+    // --- DNN stage ----------------------------------------------------
+    const AcousticScores &scores = scoresFor(utt, config.prune);
+
+    UtteranceRun run;
+    run.frames = scores.frameCount();
+    run.meanConfidence = scores.meanConfidence();
+
+    const DnnSimResult &dnn = dnnSim(config.prune);
+    run.dnn.seconds = dnn.utteranceSeconds(run.frames);
+    run.dnn.joules = dnn.utteranceJoules(run.frames);
+
+    // Shared score buffer in DRAM: the DNN accelerator writes one score
+    // vector per frame; the Viterbi accelerator reads it back.
+    const double score_bytes = static_cast<double>(run.frames) *
+        static_cast<double>(corpus_.classCount()) * 4.0;
+    const double buffer_seconds =
+        score_bytes / EnergyModel::dramBandwidth();
+    const double buffer_joules =
+        score_bytes / 64.0 * EnergyModel::dramLineEnergy();
+    run.dnn.seconds += buffer_seconds;
+    run.dnn.joules += buffer_joules;
+
+    // --- Viterbi stage --------------------------------------------------
+    const ViterbiAccelConfig vc = viterbiConfigFor(config);
+    ViterbiAcceleratorSim accel(vc, fst_);
+    auto selector = makeSelector(config);
+    const ViterbiDecoder decoder(fst_, DecoderConfig{config.beam});
+    run.decode = decoder.decode(scores, *selector, &accel);
+
+    const ViterbiSimResult vr = accel.result();
+    run.viterbi.seconds = vr.seconds + buffer_seconds;
+    run.viterbi.joules = vr.energy.totalJoules() + buffer_joules;
+    return run;
+}
+
+TestSetResult
+AsrSystem::runTestSet(const std::vector<Utterance> &utts,
+                      const SystemConfig &config)
+{
+    TestSetResult result;
+    result.config = config;
+
+    double confidence_weighted = 0.0;
+    std::vector<std::vector<WordId>> hyps;
+    std::vector<std::vector<WordId>> refs;
+
+    for (const auto &utt : utts) {
+        UtteranceRun run = runUtterance(utt, config);
+        result.dnn.add(run.dnn);
+        result.viterbi.add(run.viterbi);
+        result.frames += run.frames;
+        result.survivors += run.decode.totalSurvivors();
+        result.generated += run.decode.totalGenerated();
+        result.searchLatencyPerSpeechSecond.add(
+            run.viterbi.seconds / run.speechSeconds());
+
+        hyps.push_back(run.decode.words);
+        refs.push_back(utt.words);
+        confidence_weighted += run.meanConfidence *
+            static_cast<double>(run.frames);
+    }
+
+    result.wer = scoreTranscripts(hyps, refs);
+    result.meanConfidence = result.frames == 0
+        ? 0.0
+        : confidence_weighted / static_cast<double>(result.frames);
+    return result;
+}
+
+} // namespace darkside

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The integrated hardware ASR system (Sec. IV): a DNN accelerator
+ * produces acoustic scores into a shared DRAM buffer; the Viterbi
+ * accelerator consumes them. This module wires the acoustic models, the
+ * decoding graph, both accelerator simulators and a hypothesis-selection
+ * policy into the twelve configurations the paper evaluates:
+ * {Baseline, Beam, NBest} x {NP, 70, 80, 90}.
+ */
+
+#ifndef DARKSIDE_SYSTEM_ASR_SYSTEM_HH
+#define DARKSIDE_SYSTEM_ASR_SYSTEM_HH
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "accel/dnn/dnn_accel.hh"
+#include "accel/viterbi/viterbi_accel.hh"
+#include "decoder/viterbi_decoder.hh"
+#include "nbest/selectors.hh"
+#include "system/model_zoo.hh"
+#include "util/stats.hh"
+#include "wfst/wfst.hh"
+
+namespace darkside {
+
+/** Search-side configuration family. */
+enum class SearchMode : std::uint8_t {
+    /** UNFOLD baseline: wide beam, unbounded hypothesis storage. */
+    Baseline,
+    /** Mitigation 1: narrow the beam per pruning level. */
+    NarrowBeam,
+    /** The proposal: loose N-best via the set-associative hash. */
+    NBestHash,
+};
+
+const char *searchModeName(SearchMode mode);
+
+/** One evaluated system configuration. */
+struct SystemConfig
+{
+    PruneLevel prune = PruneLevel::None;
+    SearchMode mode = SearchMode::Baseline;
+    /** Beam width (log space). */
+    float beam = 15.0f;
+    /** N of the loose N-best hash (NBestHash mode). */
+    std::size_t nbestEntries = 1024;
+    /** Hash associativity (NBestHash mode). */
+    std::size_t nbestWays = 8;
+
+    /** "NBest-90"-style label. */
+    std::string label() const;
+};
+
+/** Per-stage simulated cost. */
+struct StageCost
+{
+    double seconds = 0.0;
+    double joules = 0.0;
+
+    void
+    add(const StageCost &o)
+    {
+        seconds += o.seconds;
+        joules += o.joules;
+    }
+};
+
+/** Outcome of one utterance through the full system. */
+struct UtteranceRun
+{
+    DecodeResult decode;
+    StageCost dnn;
+    StageCost viterbi;
+    std::size_t frames = 0;
+    /** Mean acoustic confidence of this utterance's frames. */
+    double meanConfidence = 0.0;
+
+    /** Seconds of speech this utterance represents (10 ms frames). */
+    double speechSeconds() const
+    {
+        return static_cast<double>(frames) * 0.01;
+    }
+};
+
+/** Aggregated outcome of a test set. */
+struct TestSetResult
+{
+    SystemConfig config;
+    EditStats wer;
+    StageCost dnn;
+    StageCost viterbi;
+    std::uint64_t frames = 0;
+    std::uint64_t survivors = 0;
+    std::uint64_t generated = 0;
+    /** Mean acoustic confidence over all frames. */
+    double meanConfidence = 0.0;
+    /** Per-utterance Viterbi-search latency per second of speech. */
+    PercentileTracker searchLatencyPerSpeechSecond;
+
+    double totalSeconds() const { return dnn.seconds + viterbi.seconds; }
+    double totalJoules() const { return dnn.joules + viterbi.joules; }
+    double
+    meanSurvivorsPerFrame() const
+    {
+        return frames == 0 ? 0.0
+                           : static_cast<double>(survivors) /
+                static_cast<double>(frames);
+    }
+};
+
+/** Hardware parameters of the whole platform. */
+struct PlatformConfig
+{
+    DnnAccelConfig dnnAccel;
+    /** Baseline (UNFOLD) Viterbi accelerator. */
+    ViterbiAccelConfig viterbiBaseline;
+    /** Proposal Viterbi accelerator (hash fields overridden per run). */
+    ViterbiAccelConfig viterbiNBest;
+    float acousticScale = 1.0f;
+};
+
+/**
+ * The end-to-end simulated ASR platform.
+ */
+class AsrSystem
+{
+  public:
+    AsrSystem(const Corpus &corpus, const Wfst &fst, const ModelZoo &zoo,
+              const PlatformConfig &platform);
+
+    /** Run one utterance under a configuration. */
+    UtteranceRun runUtterance(const Utterance &utt,
+                              const SystemConfig &config);
+
+    /** Run a whole test set and aggregate. */
+    TestSetResult runTestSet(const std::vector<Utterance> &utts,
+                             const SystemConfig &config);
+
+    /** Selector implementing a configuration's survival policy. */
+    std::unique_ptr<HypothesisSelector>
+    makeSelector(const SystemConfig &config) const;
+
+    /** Accelerator configuration a system configuration runs on. */
+    ViterbiAccelConfig viterbiConfigFor(const SystemConfig &config) const;
+
+    /** DNN-accelerator simulation of a pruning level (cached). */
+    const DnnSimResult &dnnSim(PruneLevel level);
+
+    const Corpus &corpus() const { return corpus_; }
+    const Wfst &fst() const { return fst_; }
+    const ModelZoo &zoo() const { return zoo_; }
+    const PlatformConfig &platform() const { return platform_; }
+
+  private:
+    /** Score an utterance with a model, memoised per (level, utt). */
+    const AcousticScores &scoresFor(const Utterance &utt,
+                                    PruneLevel level);
+
+    const Corpus &corpus_;
+    const Wfst &fst_;
+    const ModelZoo &zoo_;
+    PlatformConfig platform_;
+    DnnAcceleratorSim dnnAccelSim_;
+    std::vector<std::optional<DnnSimResult>> dnnSimCache_;
+    /** (level, utterance address) -> scores; utterances are assumed to
+     *  outlive the system (they live in the caller's test set). */
+    std::map<std::pair<int, const Utterance *>, AcousticScores>
+        scoreCache_;
+};
+
+} // namespace darkside
+
+#endif // DARKSIDE_SYSTEM_ASR_SYSTEM_HH

@@ -1,0 +1,163 @@
+#include "system/defaults.hh"
+
+#include <cstdlib>
+
+namespace darkside {
+
+float
+ExperimentSetup::beamFor(SearchMode mode, PruneLevel level) const
+{
+    if (mode == SearchMode::NarrowBeam)
+        return narrowBeams[static_cast<std::size_t>(level)];
+    return baselineBeam;
+}
+
+SystemConfig
+ExperimentSetup::configFor(SearchMode mode, PruneLevel level) const
+{
+    SystemConfig config;
+    config.prune = level;
+    config.mode = mode;
+    config.beam = beamFor(mode, level);
+    config.nbestEntries = nbestEntries;
+    config.nbestWays = nbestWays;
+    return config;
+}
+
+ExperimentSetup
+scaledSetup()
+{
+    ExperimentSetup setup;
+
+    // Language: 2500 words over 40 phonemes x 3 HMM states = 120
+    // sub-phoneme classes; graph ~ 26k states (paper: millions).
+    setup.corpus.phonemes = 40;
+    setup.corpus.statesPerPhoneme = 3;
+    setup.corpus.words = 2500;
+    setup.corpus.minPhonemesPerWord = 2;
+    setup.corpus.maxPhonemesPerWord = 5;
+    // Branching and acoustic hardness are calibrated so that the
+    // baseline search behaves like the paper's: hundreds-to-thousands
+    // of live hypotheses per frame, non-zero WER, and a ~3x workload
+    // inflation under the 90%-pruned model (see DESIGN.md).
+    setup.corpus.grammarBranching = 80;
+    setup.corpus.eosProbability = 0.15;
+    setup.corpus.contextFrames = 3;
+    setup.corpus.synthesizer.featureDim = 12;
+    setup.corpus.synthesizer.meanRadius = 1.0;
+    setup.corpus.synthesizer.noiseStddev = 0.8;
+    setup.corpus.synthesizer.selfLoopProb = 0.5;
+    setup.corpus.synthesizer.confusableClusters = 8;
+    setup.corpus.synthesizer.clusterSpread = 0.3;
+    setup.corpus.synthesizer.speakerStddev = 0.5;
+    setup.corpus.seed = 12345;
+
+    // Acoustic model: the Table-I shape scaled so the layer *ratios*
+    // match the paper (FC0 is ~3-5%% of the weights, hidden layers
+    // dominate); absolute widths shrink ~12x.
+    setup.zoo.topology = KaldiTopology::scaled(
+        /*classes=*/120, /*input_dim=*/84, /*fc_width=*/384,
+        /*pool_group=*/4);
+    setup.zoo.trainUtterances = 250;
+    setup.zoo.training.epochs = 8;
+    // Retrain to recovery after pruning (Han et al. step 3): enough
+    // epochs that top-accuracy returns while the confidence loss the
+    // paper studies remains.
+    setup.zoo.retraining.epochs = 3;
+    setup.zoo.retraining.learningRate = 0.01f;
+    if (const char *dir = std::getenv("DARKSIDE_CACHE_DIR"))
+        setup.zoo.cacheDir = dir;
+    else
+        setup.zoo.cacheDir = "darkside_cache";
+
+    setup.graph.selfLoopProb = setup.corpus.synthesizer.selfLoopProb;
+    setup.graph.lmScale = 1.0;
+
+    // Platform: Table II DNN accelerator; Viterbi accelerator with the
+    // hypothesis hash scaled with the workload exactly like UNFOLD's:
+    // the direct-mapped region holds ~2-3x the dense model's mean
+    // hypotheses/frame (2K, as 32K vs ~20K in the paper), so
+    // the non-pruned search rarely overflows while the pruned models'
+    // 2-4x workloads spill to the backup buffer and then to DRAM.
+    // The compute engine scales with the model (64 FP lanes vs the
+    // paper's 128 for a ~30x smaller network) so pruned rows still
+    // span multiple MAC groups; Table II parameters are available via
+    // paperDnnAccelConfig().
+    setup.platform.dnnAccel = DnnAccelConfig{};
+    setup.platform.dnnAccel.multipliers = 64;
+    setup.platform.dnnAccel.adders = 64;
+    setup.platform.viterbiBaseline = ViterbiAccelConfig{};
+    setup.platform.viterbiBaseline.hashEntries = 2048;
+    setup.platform.viterbiBaseline.backupEntries = 1024;
+    setup.platform.viterbiBaseline.stateCache =
+        CacheConfig{"state-cache", 16 * 1024, 4, 64};
+    setup.platform.viterbiBaseline.arcCache =
+        CacheConfig{"arc-cache", 48 * 1024, 8, 64};
+    setup.platform.viterbiBaseline.latticeCache =
+        CacheConfig{"lattice-cache", 8 * 1024, 2, 64};
+    setup.platform.viterbiNBest = setup.platform.viterbiBaseline;
+    setup.platform.viterbiNBest.hash =
+        HashOrganisation::NBestSetAssociative;
+    setup.platform.viterbiNBest.hashEntries = 256;
+    setup.platform.viterbiNBest.backupEntries = 0;
+    // Kaldi-style acoustic scale balancing -log posteriors against LM
+    // costs (Kaldi's acwt; the reason wide beams keep thousands of
+    // paths alive).
+    setup.platform.acousticScale = 0.25f;
+
+    setup.testUtterances = 20;
+    setup.testSeed = 5005;
+    return setup;
+}
+
+DnnAccelConfig
+paperDnnAccelConfig()
+{
+    // Table II verbatim.
+    DnnAccelConfig config;
+    config.tiles = 4;
+    config.multipliers = 128;
+    config.adders = 128;
+    config.weightsBufferBytes = 18ull * 1024 * 1024;
+    config.ioBufferBytes = 32 * 1024;
+    config.ioBanks = 64;
+    config.ioReadPorts = 2;
+    config.frequencyHz = 800e6;
+    return config;
+}
+
+ViterbiAccelConfig
+paperViterbiAccelConfig()
+{
+    // Table III verbatim.
+    ViterbiAccelConfig config;
+    config.stateCache = CacheConfig{"state-cache", 256 * 1024, 4, 64};
+    config.arcCache = CacheConfig{"arc-cache", 768 * 1024, 8, 64};
+    config.latticeCache = CacheConfig{"lattice-cache", 128 * 1024, 2, 64};
+    config.likelihoodBufferBytes = 64 * 1024;
+    config.hashEntries = 32 * 1024;
+    config.backupEntries = 16 * 1024;
+    config.frequencyHz = 500e6;
+    return config;
+}
+
+Wfst
+ExperimentContext::buildFst(const Corpus &corpus,
+                            const GraphConfig &config)
+{
+    GraphBuilder builder(corpus.inventory(), corpus.lexicon(),
+                         corpus.grammar(), config);
+    return builder.build();
+}
+
+ExperimentContext::ExperimentContext(const ExperimentSetup &s)
+    : setup(s), corpus(s.corpus), fst(buildFst(corpus, s.graph)),
+      zoo(corpus, s.zoo), system(corpus, fst, zoo, s.platform),
+      testSet(corpus.sampleUtterances(s.testUtterances, s.testSeed))
+{}
+
+ExperimentContext::ExperimentContext()
+    : ExperimentContext(scaledSetup())
+{}
+
+} // namespace darkside

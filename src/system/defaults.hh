@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Shared experiment setups. `paperScale()` reproduces the exact Table
+ * II/III parameters (used for configuration printing and shape tests);
+ * `scaledSetup()` is the laptop-scale instance every bench runs on
+ * (see DESIGN.md substitutions): the corpus, graph, hash sizes and the
+ * DNN topology shrink together so the paper's regimes (on-chip fit vs.
+ * overflow; confident vs. flat scores) appear at the same relative
+ * operating points.
+ */
+
+#ifndef DARKSIDE_SYSTEM_DEFAULTS_HH
+#define DARKSIDE_SYSTEM_DEFAULTS_HH
+
+#include "system/asr_system.hh"
+#include "wfst/graph_builder.hh"
+
+namespace darkside {
+
+/** Everything a bench needs to instantiate the platform. */
+struct ExperimentSetup
+{
+    CorpusConfig corpus;
+    ModelZooConfig zoo;
+    GraphConfig graph;
+    PlatformConfig platform;
+    /** Utterances in the evaluation set. */
+    std::size_t testUtterances = 20;
+    std::uint64_t testSeed = 5005;
+
+    /** Beam for a configuration family at a pruning level. */
+    float beamFor(SearchMode mode, PruneLevel level) const;
+
+    /** Paper-style SystemConfig for a (mode, level) pair. */
+    SystemConfig configFor(SearchMode mode, PruneLevel level) const;
+
+    /** Default beams per level, index by PruneLevel (NarrowBeam mode).
+     *  Calibrated like the paper's 12.5/10/9/8: each level's narrowed
+     *  beam restores roughly the baseline model's workload. */
+    float narrowBeams[4] = {13.0f, 12.0f, 11.25f, 10.5f};
+    float baselineBeam = 14.0f;
+    /** Loose N-best capacity (paper: 1024 at ~20k hyps/frame; scaled
+     *  with our hypothesis counts). */
+    std::size_t nbestEntries = 256;
+    std::size_t nbestWays = 8;
+};
+
+/** The laptop-scale default experiment. */
+ExperimentSetup scaledSetup();
+
+/** The paper's exact Table II / Table III accelerator parameters. */
+DnnAccelConfig paperDnnAccelConfig();
+ViterbiAccelConfig paperViterbiAccelConfig();
+
+/**
+ * Fully built experiment context: corpus, graph, trained models and the
+ * simulated platform. Construction trains (or loads cached) models.
+ */
+class ExperimentContext
+{
+  public:
+    explicit ExperimentContext(const ExperimentSetup &setup);
+
+    /** Build with scaledSetup(). */
+    ExperimentContext();
+
+    const ExperimentSetup setup;
+    Corpus corpus;
+    Wfst fst;
+    ModelZoo zoo;
+    AsrSystem system;
+    std::vector<Utterance> testSet;
+
+  private:
+    static Wfst buildFst(const Corpus &corpus, const GraphConfig &config);
+};
+
+} // namespace darkside
+
+#endif // DARKSIDE_SYSTEM_DEFAULTS_HH

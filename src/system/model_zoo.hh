@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Trains the dense acoustic model and derives the pruned variants
+ * (70/80/90%), reproducing the model side of the paper's methodology:
+ * train -> threshold at quality * stddev -> retrain (Han et al.).
+ * Because training is deterministic but not free, models can be cached
+ * on disk keyed by the experiment configuration.
+ */
+
+#ifndef DARKSIDE_SYSTEM_MODEL_ZOO_HH
+#define DARKSIDE_SYSTEM_MODEL_ZOO_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.hh"
+#include "dnn/topology.hh"
+#include "dnn/trainer.hh"
+#include "pruning/magnitude_pruner.hh"
+
+namespace darkside {
+
+/** Pruning levels studied by the paper. */
+enum class PruneLevel : std::uint8_t {
+    None = 0,
+    P70 = 1,
+    P80 = 2,
+    P90 = 3,
+};
+
+/** All four levels in evaluation order. */
+constexpr PruneLevel kAllPruneLevels[] = {
+    PruneLevel::None, PruneLevel::P70, PruneLevel::P80, PruneLevel::P90};
+
+/** Human-readable label ("Baseline", "70%Pruning", ...). */
+const char *pruneLevelName(PruneLevel level);
+
+/** Target pruned fraction (0 for None). */
+double pruneLevelTarget(PruneLevel level);
+
+/** Zoo configuration. */
+struct ModelZooConfig
+{
+    TopologyConfig topology;
+    TrainerConfig training{.epochs = 4, .learningRate = 0.02f,
+                           .learningRateDecay = 0.7f, .shuffleSeed = 3};
+    TrainerConfig retraining{.epochs = 2, .learningRate = 0.008f,
+                             .learningRateDecay = 0.7f, .shuffleSeed = 4};
+    /** Utterances sampled for the training set. */
+    std::size_t trainUtterances = 250;
+    std::uint64_t trainSeed = 1001;
+    std::uint64_t initSeed = 2002;
+    /** Directory for cached model binaries ("" = no caching). */
+    std::string cacheDir;
+};
+
+/**
+ * Owner of the four acoustic models.
+ */
+class ModelZoo
+{
+  public:
+    /**
+     * Build (train + prune + retrain) or load all four models.
+     * @param corpus the synthetic corpus models are trained on
+     */
+    ModelZoo(const Corpus &corpus, const ModelZooConfig &config);
+
+    /** Model for a pruning level. */
+    const Mlp &model(PruneLevel level) const;
+
+    /** Pruning statistics (empty report for PruneLevel::None). */
+    const PruneReport &pruneReport(PruneLevel level) const;
+
+    /** Quality parameter used for a level (0 for None). */
+    double quality(PruneLevel level) const;
+
+    /** The frame dataset the models were trained on. */
+    const FrameDataset &trainingData() const { return trainData_; }
+
+  private:
+    std::string cachePath(PruneLevel level) const;
+    bool tryLoad(PruneLevel level);
+    void store(PruneLevel level) const;
+
+    ModelZooConfig config_;
+    std::uint64_t configKey_;
+    FrameDataset trainData_;
+    std::vector<Mlp> models_;
+    std::vector<PruneReport> reports_;
+    std::vector<double> qualities_;
+};
+
+} // namespace darkside
+
+#endif // DARKSIDE_SYSTEM_MODEL_ZOO_HH

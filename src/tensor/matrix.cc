@@ -1,0 +1,122 @@
+#include "tensor/matrix.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace darkside {
+
+void
+Matrix::fill(float v)
+{
+    std::fill(data_.begin(), data_.end(), v);
+}
+
+void
+Matrix::randomize(Rng &rng, float stddev)
+{
+    for (auto &w : data_)
+        w = static_cast<float>(rng.gaussian(0.0, stddev));
+}
+
+void
+gemv(const Matrix &w, const Vector &x, const Vector &b, Vector &y)
+{
+    ds_assert(x.size() == w.cols());
+    ds_assert(b.size() == w.rows());
+    y.resize(w.rows());
+    const std::size_t cols = w.cols();
+    for (std::size_t r = 0; r < w.rows(); ++r) {
+        const float *row = w.rowPtr(r);
+        float acc = 0.0f;
+        for (std::size_t c = 0; c < cols; ++c)
+            acc += row[c] * x[c];
+        y[r] = acc + b[r];
+    }
+}
+
+void
+addOuterProduct(Matrix &w, const Vector &a, const Vector &b, float scale)
+{
+    ds_assert(a.size() == w.rows());
+    ds_assert(b.size() == w.cols());
+    const std::size_t cols = w.cols();
+    for (std::size_t r = 0; r < w.rows(); ++r) {
+        float *row = w.rowPtr(r);
+        const float s = scale * a[r];
+        if (s == 0.0f)
+            continue;
+        for (std::size_t c = 0; c < cols; ++c)
+            row[c] += s * b[c];
+    }
+}
+
+void
+gemvTransposed(const Matrix &w, const Vector &x, Vector &y)
+{
+    ds_assert(x.size() == w.rows());
+    y.assign(w.cols(), 0.0f);
+    const std::size_t cols = w.cols();
+    for (std::size_t r = 0; r < w.rows(); ++r) {
+        const float *row = w.rowPtr(r);
+        const float xv = x[r];
+        if (xv == 0.0f)
+            continue;
+        for (std::size_t c = 0; c < cols; ++c)
+            y[c] += row[c] * xv;
+    }
+}
+
+void
+axpy(float scale, const Vector &x, Vector &y)
+{
+    ds_assert(x.size() == y.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        y[i] += scale * x[i];
+}
+
+float
+dot(const Vector &a, const Vector &b)
+{
+    ds_assert(a.size() == b.size());
+    float acc = 0.0f;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+void
+softmaxInPlace(Vector &v)
+{
+    ds_assert(!v.empty());
+    const float peak = *std::max_element(v.begin(), v.end());
+    float sum = 0.0f;
+    for (auto &x : v) {
+        x = std::exp(x - peak);
+        sum += x;
+    }
+    ds_assert(sum > 0.0f);
+    const float inv = 1.0f / sum;
+    for (auto &x : v)
+        x *= inv;
+}
+
+float
+logSumExp(const Vector &v)
+{
+    ds_assert(!v.empty());
+    const float peak = *std::max_element(v.begin(), v.end());
+    float sum = 0.0f;
+    for (float x : v)
+        sum += std::exp(x - peak);
+    return peak + std::log(sum);
+}
+
+std::size_t
+argMax(const Vector &v)
+{
+    ds_assert(!v.empty());
+    return static_cast<std::size_t>(
+        std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+} // namespace darkside

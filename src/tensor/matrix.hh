@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Dense row-major float matrix/vector containers and the small set of
+ * BLAS-like kernels the acoustic-model library needs. Single precision
+ * matches the FP32 datapath of the DNN accelerator being modelled.
+ */
+
+#ifndef DARKSIDE_TENSOR_MATRIX_HH
+#define DARKSIDE_TENSOR_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace darkside {
+
+/** Dense float vector with bounds-checked element access. */
+using Vector = std::vector<float>;
+
+/**
+ * Dense row-major matrix of floats.
+ */
+class Matrix
+{
+  public:
+    Matrix() : rows_(0), cols_(0) {}
+
+    /** Construct a rows x cols zero matrix. */
+    Matrix(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0.0f)
+    {}
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+
+    float &at(std::size_t r, std::size_t c)
+    {
+        ds_assert(r < rows_ && c < cols_);
+        return data_[r * cols_ + c];
+    }
+
+    float at(std::size_t r, std::size_t c) const
+    {
+        ds_assert(r < rows_ && c < cols_);
+        return data_[r * cols_ + c];
+    }
+
+    /** Unchecked row pointer for kernel inner loops. */
+    float *rowPtr(std::size_t r) { return data_.data() + r * cols_; }
+    const float *rowPtr(std::size_t r) const
+    {
+        return data_.data() + r * cols_;
+    }
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    /** Fill every element with the given value. */
+    void fill(float v);
+
+    /**
+     * Fill with N(0, stddev) deviates; the standard MLP initialisation
+     * used before training.
+     */
+    void randomize(Rng &rng, float stddev);
+
+  private:
+    std::size_t rows_;
+    std::size_t cols_;
+    std::vector<float> data_;
+};
+
+/**
+ * y = W x + b, where W is (out x in).
+ *
+ * @param w weight matrix
+ * @param x input vector of size w.cols()
+ * @param b bias vector of size w.rows()
+ * @param y output vector, resized to w.rows()
+ */
+void gemv(const Matrix &w, const Vector &x, const Vector &b, Vector &y);
+
+/**
+ * Accumulate the outer product: w += scale * a b^T.
+ * Backprop's weight-gradient update for a fully-connected layer.
+ */
+void addOuterProduct(Matrix &w, const Vector &a, const Vector &b,
+                     float scale);
+
+/**
+ * y = W^T x  (used to backpropagate deltas through a layer).
+ */
+void gemvTransposed(const Matrix &w, const Vector &x, Vector &y);
+
+/** Elementwise: y[i] += scale * x[i]. */
+void axpy(float scale, const Vector &x, Vector &y);
+
+/** @return the dot product of two equal-sized vectors. */
+float dot(const Vector &a, const Vector &b);
+
+/** In-place softmax with max-subtraction for numerical stability. */
+void softmaxInPlace(Vector &v);
+
+/** @return log(sum(exp(v))) computed stably. */
+float logSumExp(const Vector &v);
+
+/** @return index of the maximum element; requires non-empty v. */
+std::size_t argMax(const Vector &v);
+
+} // namespace darkside
+
+#endif // DARKSIDE_TENSOR_MATRIX_HH

@@ -1,0 +1,140 @@
+#include "util/argparse.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace darkside {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description))
+{}
+
+void
+ArgParser::addOption(const std::string &name, const std::string &help,
+                     const std::string &default_value)
+{
+    ds_assert(!options_.count(name));
+    order_.push_back(name);
+    options_[name] = Option{help, default_value, false, false};
+}
+
+void
+ArgParser::addOption(const std::string &name, const std::string &help,
+                     double default_value)
+{
+    ds_assert(!options_.count(name));
+    order_.push_back(name);
+    std::ostringstream os;
+    os << default_value;
+    options_[name] = Option{help, os.str(), false, true};
+}
+
+void
+ArgParser::addSwitch(const std::string &name, const std::string &help)
+{
+    ds_assert(!options_.count(name));
+    order_.push_back(name);
+    options_[name] = Option{help, "", true, false};
+}
+
+bool
+ArgParser::parse(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::fputs(usage().c_str(), stdout);
+            return false;
+        }
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(std::move(arg));
+            continue;
+        }
+        arg = arg.substr(2);
+        std::string value;
+        bool has_value = false;
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            value = arg.substr(eq + 1);
+            arg = arg.substr(0, eq);
+            has_value = true;
+        }
+        auto it = options_.find(arg);
+        if (it == options_.end()) {
+            std::fprintf(stderr, "unknown option --%s\n%s", arg.c_str(),
+                         usage().c_str());
+            return false;
+        }
+        if (it->second.isSwitch) {
+            if (has_value) {
+                std::fprintf(stderr, "switch --%s takes no value\n",
+                             arg.c_str());
+                return false;
+            }
+            it->second.value = "1";
+            continue;
+        }
+        if (!has_value) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "option --%s needs a value\n",
+                             arg.c_str());
+                return false;
+            }
+            value = argv[++i];
+        }
+        it->second.value = std::move(value);
+    }
+    return true;
+}
+
+const std::string &
+ArgParser::get(const std::string &name) const
+{
+    auto it = options_.find(name);
+    ds_assert(it != options_.end());
+    return it->second.value;
+}
+
+double
+ArgParser::getNumber(const std::string &name) const
+{
+    return std::atof(get(name).c_str());
+}
+
+std::int64_t
+ArgParser::getInt(const std::string &name) const
+{
+    return std::atoll(get(name).c_str());
+}
+
+bool
+ArgParser::getSwitch(const std::string &name) const
+{
+    auto it = options_.find(name);
+    ds_assert(it != options_.end());
+    ds_assert(it->second.isSwitch);
+    return !it->second.value.empty();
+}
+
+std::string
+ArgParser::usage() const
+{
+    std::ostringstream os;
+    os << program_ << " — " << description_ << "\n\noptions:\n";
+    for (const auto &name : order_) {
+        const Option &opt = options_.at(name);
+        os << "  --" << name;
+        if (!opt.isSwitch)
+            os << " <value>";
+        os << "\n      " << opt.help;
+        if (!opt.isSwitch && !opt.value.empty())
+            os << " (default: " << opt.value << ")";
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace darkside

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Minimal command-line flag parser for the tools and experiment
+ * drivers. Supports `--flag value`, `--flag=value`, boolean switches
+ * and positional arguments, with generated usage text.
+ */
+
+#ifndef DARKSIDE_UTIL_ARGPARSE_HH
+#define DARKSIDE_UTIL_ARGPARSE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace darkside {
+
+/**
+ * Declarative flag parser.
+ */
+class ArgParser
+{
+  public:
+    /**
+     * @param program name shown in usage output
+     * @param description one-line tool description
+     */
+    ArgParser(std::string program, std::string description);
+
+    /** Declare a string option with a default. */
+    void addOption(const std::string &name, const std::string &help,
+                   const std::string &default_value);
+
+    /** Declare a numeric option with a default. */
+    void addOption(const std::string &name, const std::string &help,
+                   double default_value);
+
+    /** Declare a boolean switch (present = true). */
+    void addSwitch(const std::string &name, const std::string &help);
+
+    /**
+     * Parse argv.
+     * @return false when parsing failed or --help was requested (usage
+     *         has then been printed)
+     */
+    bool parse(int argc, const char *const *argv);
+
+    /** String value of an option. */
+    const std::string &get(const std::string &name) const;
+
+    /** Numeric value of an option. */
+    double getNumber(const std::string &name) const;
+
+    /** Integer convenience accessor. */
+    std::int64_t getInt(const std::string &name) const;
+
+    /** Whether a switch was given. */
+    bool getSwitch(const std::string &name) const;
+
+    /** Positional (non-flag) arguments in order. */
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+    /** Render the usage text. */
+    std::string usage() const;
+
+  private:
+    struct Option
+    {
+        std::string help;
+        std::string value;
+        bool isSwitch = false;
+        bool isNumeric = false;
+    };
+
+    std::string program_;
+    std::string description_;
+    std::vector<std::string> order_;
+    std::map<std::string, Option> options_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace darkside
+
+#endif // DARKSIDE_UTIL_ARGPARSE_HH

@@ -1,0 +1,72 @@
+#include "util/csv.hh"
+
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+
+#include "util/logging.hh"
+
+namespace darkside {
+
+CsvWriter::CsvWriter(const std::string &path)
+    : out_(std::make_unique<std::ofstream>(path))
+{
+    if (!*out_)
+        fatal("cannot open CSV output '%s'", path.c_str());
+}
+
+CsvWriter
+CsvWriter::forBench(const std::string &name)
+{
+    const char *dir = std::getenv("DARKSIDE_CSV_DIR");
+    if (!dir || !*dir)
+        return CsvWriter{};
+    std::filesystem::create_directories(dir);
+    return CsvWriter(std::string(dir) + "/" + name + ".csv");
+}
+
+void
+CsvWriter::header(const std::vector<std::string> &columns)
+{
+    if (!out_ || wroteHeader_)
+        return;
+    emit(columns);
+    wroteHeader_ = true;
+}
+
+void
+CsvWriter::row(const std::vector<std::string> &cells)
+{
+    if (!out_)
+        return;
+    emit(cells);
+}
+
+void
+CsvWriter::emit(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            *out_ << ',';
+        *out_ << escape(cells[i]);
+    }
+    *out_ << '\n';
+    out_->flush();
+}
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string quoted = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+} // namespace darkside

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Tiny CSV writer so every bench can emit machine-readable results next
+ * to its human-readable tables (plotting scripts, CI trend tracking).
+ * Writing is enabled by setting DARKSIDE_CSV_DIR; benches call
+ * CsvWriter::forBench("fig11") and write unconditionally — a disabled
+ * writer swallows the rows.
+ */
+
+#ifndef DARKSIDE_UTIL_CSV_HH
+#define DARKSIDE_UTIL_CSV_HH
+
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace darkside {
+
+/**
+ * Line-buffered CSV emitter with RFC-4180-style quoting.
+ */
+class CsvWriter
+{
+  public:
+    /** A disabled writer: rows are discarded. */
+    CsvWriter() = default;
+
+    /** Write to an explicit path (enabled). */
+    explicit CsvWriter(const std::string &path);
+
+    /**
+     * Conventional per-bench construction: enabled iff the environment
+     * variable DARKSIDE_CSV_DIR is set, writing to
+     * `$DARKSIDE_CSV_DIR/<name>.csv`.
+     */
+    static CsvWriter forBench(const std::string &name);
+
+    bool enabled() const { return static_cast<bool>(out_); }
+
+    /** Emit the header row (once). */
+    void header(const std::vector<std::string> &columns);
+
+    /** Emit one data row. */
+    void row(const std::vector<std::string> &cells);
+
+  private:
+    void emit(const std::vector<std::string> &cells);
+    static std::string escape(const std::string &cell);
+
+    std::unique_ptr<std::ofstream> out_;
+    bool wroteHeader_ = false;
+};
+
+} // namespace darkside
+
+#endif // DARKSIDE_UTIL_CSV_HH

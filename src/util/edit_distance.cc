@@ -1,0 +1,95 @@
+#include "util/edit_distance.hh"
+
+#include <algorithm>
+
+namespace darkside {
+
+void
+EditStats::merge(const EditStats &other)
+{
+    substitutions += other.substitutions;
+    insertions += other.insertions;
+    deletions += other.deletions;
+    referenceLength += other.referenceLength;
+}
+
+double
+EditStats::wordErrorRate() const
+{
+    if (referenceLength == 0)
+        return errors() == 0 ? 0.0 : 1.0;
+    return static_cast<double>(errors()) /
+        static_cast<double>(referenceLength);
+}
+
+EditStats
+alignSequences(const std::vector<std::uint32_t> &reference,
+               const std::vector<std::uint32_t> &hypothesis)
+{
+    const std::size_t n = reference.size();
+    const std::size_t m = hypothesis.size();
+
+    // cost[i][j]: minimal edits aligning ref[0..i) with hyp[0..j).
+    // Backpointers: 0 = match/sub (diag), 1 = deletion (up),
+    // 2 = insertion (left).
+    std::vector<std::uint32_t> cost((n + 1) * (m + 1));
+    std::vector<std::uint8_t> back((n + 1) * (m + 1));
+    auto at = [m](std::size_t i, std::size_t j) {
+        return i * (m + 1) + j;
+    };
+
+    for (std::size_t i = 0; i <= n; ++i) {
+        cost[at(i, 0)] = static_cast<std::uint32_t>(i);
+        back[at(i, 0)] = 1;
+    }
+    for (std::size_t j = 0; j <= m; ++j) {
+        cost[at(0, j)] = static_cast<std::uint32_t>(j);
+        back[at(0, j)] = 2;
+    }
+
+    for (std::size_t i = 1; i <= n; ++i) {
+        for (std::size_t j = 1; j <= m; ++j) {
+            const bool match = reference[i - 1] == hypothesis[j - 1];
+            const std::uint32_t diag = cost[at(i - 1, j - 1)] + (match ? 0 : 1);
+            const std::uint32_t del = cost[at(i - 1, j)] + 1;
+            const std::uint32_t ins = cost[at(i, j - 1)] + 1;
+            std::uint32_t best = diag;
+            std::uint8_t dir = 0;
+            if (del < best) {
+                best = del;
+                dir = 1;
+            }
+            if (ins < best) {
+                best = ins;
+                dir = 2;
+            }
+            cost[at(i, j)] = best;
+            back[at(i, j)] = dir;
+        }
+    }
+
+    EditStats stats;
+    stats.referenceLength = n;
+    std::size_t i = n, j = m;
+    while (i > 0 || j > 0) {
+        switch (back[at(i, j)]) {
+          case 0:
+            if (reference[i - 1] != hypothesis[j - 1])
+                ++stats.substitutions;
+            --i;
+            --j;
+            break;
+          case 1:
+            ++stats.deletions;
+            --i;
+            break;
+          default:
+            ++stats.insertions;
+            --j;
+            break;
+        }
+    }
+    return stats;
+}
+
+} // namespace darkside

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Word-level edit distance and Word Error Rate scoring, as used by every
+ * WER number in the paper's evaluation (Figs. 2 and 7).
+ */
+
+#ifndef DARKSIDE_UTIL_EDIT_DISTANCE_HH
+#define DARKSIDE_UTIL_EDIT_DISTANCE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace darkside {
+
+/** Breakdown of an alignment between a reference and a hypothesis. */
+struct EditStats
+{
+    std::uint64_t substitutions = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t deletions = 0;
+    std::uint64_t referenceLength = 0;
+
+    std::uint64_t errors() const
+    {
+        return substitutions + insertions + deletions;
+    }
+
+    /** Accumulate another utterance's counts. */
+    void merge(const EditStats &other);
+
+    /** WER in [0, inf): errors / reference length. */
+    double wordErrorRate() const;
+};
+
+/**
+ * Levenshtein alignment between two token sequences with unit costs.
+ *
+ * @param reference ground-truth token ids
+ * @param hypothesis decoded token ids
+ * @return counts of substitutions/insertions/deletions on a minimal path
+ */
+EditStats alignSequences(const std::vector<std::uint32_t> &reference,
+                         const std::vector<std::uint32_t> &hypothesis);
+
+} // namespace darkside
+
+#endif // DARKSIDE_UTIL_EDIT_DISTANCE_HH

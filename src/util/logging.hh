@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Logging and error-reporting helpers in the spirit of gem5's
+ * base/logging.hh.
+ *
+ * panic()  -- internal invariant violated; the simulator itself is broken.
+ *             Aborts so a debugger/core dump can inspect the state.
+ * fatal()  -- the user asked for something impossible (bad configuration,
+ *             inconsistent parameters). Exits with status 1.
+ * warn()   -- something is suspicious but the run can continue.
+ * inform() -- normal status output.
+ */
+
+#ifndef DARKSIDE_UTIL_LOGGING_HH
+#define DARKSIDE_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace darkside {
+
+/** Print "panic: <msg>" with location info and abort(). */
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Print "fatal: <msg>" with location info and exit(1). */
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Print "warn: <msg>" to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print "info: <msg>" to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() (used by benches for clean output). */
+void setQuiet(bool quiet);
+
+/** @return true when warn()/inform() are suppressed. */
+bool quiet();
+
+#define panic(...) ::darkside::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define fatal(...) ::darkside::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/**
+ * Check an internal invariant; panic with the stringified condition on
+ * failure. Active in all build types, unlike assert().
+ */
+#define ds_assert(cond)                                                     \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            panic("assertion '%s' failed", #cond);                          \
+    } while (0)
+
+} // namespace darkside
+
+#endif // DARKSIDE_UTIL_LOGGING_HH

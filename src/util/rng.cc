@@ -1,0 +1,160 @@
+#include "util/rng.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace darkside {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+    : cachedGaussian_(0.0), hasCachedGaussian_(false)
+{
+    std::uint64_t x = seed;
+    for (auto &s : s_)
+        s = splitmix64(x);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high-quality bits -> [0, 1).
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::below(std::uint64_t n)
+{
+    ds_assert(n > 0);
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t limit = ~0ull - (~0ull % n);
+    std::uint64_t v;
+    do {
+        v = next();
+    } while (v >= limit);
+    return v % n;
+}
+
+std::int64_t
+Rng::range(std::int64_t lo, std::int64_t hi)
+{
+    ds_assert(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+}
+
+double
+Rng::gaussian()
+{
+    if (hasCachedGaussian_) {
+        hasCachedGaussian_ = false;
+        return cachedGaussian_;
+    }
+    double u1, u2;
+    do {
+        u1 = uniform();
+    } while (u1 <= 1e-300);
+    u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cachedGaussian_ = r * std::sin(theta);
+    hasCachedGaussian_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    return mean + stddev * gaussian();
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+std::size_t
+Rng::categorical(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights) {
+        ds_assert(w >= 0.0);
+        total += w;
+    }
+    ds_assert(total > 0.0);
+    double u = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        u -= weights[i];
+        if (u <= 0.0)
+            return i;
+    }
+    // Floating-point slack: fall back to the last positive weight.
+    for (std::size_t i = weights.size(); i-- > 0;) {
+        if (weights[i] > 0.0)
+            return i;
+    }
+    panic("categorical() found no positive weight");
+}
+
+std::vector<std::uint32_t>
+Rng::permutation(std::size_t n)
+{
+    std::vector<std::uint32_t> perm(n);
+    for (std::size_t i = 0; i < n; ++i)
+        perm[i] = static_cast<std::uint32_t>(i);
+    for (std::size_t i = n; i > 1; --i) {
+        const std::size_t j = below(i);
+        std::swap(perm[i - 1], perm[j]);
+    }
+    return perm;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next() ^ 0xd1b54a32d192ed03ull);
+}
+
+} // namespace darkside

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic component of the library takes an explicit Rng (or a
+ * 64-bit seed) so that corpora, training runs and simulations are exactly
+ * reproducible across hosts and standard-library versions. The generator
+ * is xoshiro256**, which is fast, has a 256-bit state and passes BigCrush.
+ */
+
+#ifndef DARKSIDE_UTIL_RNG_HH
+#define DARKSIDE_UTIL_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace darkside {
+
+/**
+ * xoshiro256** generator with convenience distributions.
+ *
+ * The distribution helpers are hand-rolled (not <random>) because libstdc++
+ * and libc++ implement std::normal_distribution differently; determinism
+ * across toolchains matters for reproducible experiments.
+ */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 expansion of a single 64-bit value. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** @return the next raw 64-bit output. */
+    std::uint64_t next();
+
+    /** @return a double uniformly distributed in [0, 1). */
+    double uniform();
+
+    /** @return a double uniformly distributed in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** @return an integer uniformly distributed in [0, n). Requires n > 0. */
+    std::uint64_t below(std::uint64_t n);
+
+    /** @return an integer uniformly distributed in [lo, hi]. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** @return a standard normal deviate (Box-Muller, cached pair). */
+    double gaussian();
+
+    /** @return a normal deviate with the given mean and stddev. */
+    double gaussian(double mean, double stddev);
+
+    /** @return true with probability p. */
+    bool chance(double p);
+
+    /**
+     * Sample an index from an unnormalised non-negative weight vector.
+     * @param weights per-index weights; at least one must be positive.
+     */
+    std::size_t categorical(const std::vector<double> &weights);
+
+    /** Fisher-Yates shuffle of an index permutation [0, n). */
+    std::vector<std::uint32_t> permutation(std::size_t n);
+
+    /** Derive an independent child generator (for parallel streams). */
+    Rng fork();
+
+  private:
+    std::uint64_t s_[4];
+    double cachedGaussian_;
+    bool hasCachedGaussian_;
+};
+
+} // namespace darkside
+
+#endif // DARKSIDE_UTIL_RNG_HH

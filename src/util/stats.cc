@@ -1,0 +1,188 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace darkside {
+
+RunningStats::RunningStats()
+{
+    reset();
+}
+
+void
+RunningStats::add(double x)
+{
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto n1 = static_cast<double>(count_);
+    const auto n2 = static_cast<double>(other.count_);
+    const double n = n1 + n2;
+    mean_ += delta * n2 / n;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+RunningStats::reset()
+{
+    count_ = 0;
+    mean_ = 0.0;
+    m2_ = 0.0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+}
+
+double
+RunningStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0), underflow_(0), overflow_(0),
+      total_(0)
+{
+    ds_assert(buckets > 0);
+    ds_assert(hi > lo);
+}
+
+void
+Histogram::add(double x)
+{
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (x >= hi_) {
+        ++overflow_;
+        return;
+    }
+    const double frac = (x - lo_) / (hi_ - lo_);
+    auto idx = static_cast<std::size_t>(frac *
+                                        static_cast<double>(counts_.size()));
+    if (idx >= counts_.size())
+        idx = counts_.size() - 1;
+    ++counts_[idx];
+}
+
+double
+Histogram::bucketLo(std::size_t i) const
+{
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+        static_cast<double>(counts_.size());
+}
+
+double
+Histogram::quantile(double p) const
+{
+    ds_assert(p >= 0.0 && p <= 1.0);
+    if (total_ == 0)
+        return lo_;
+    const auto target = static_cast<std::uint64_t>(
+        p * static_cast<double>(total_));
+    std::uint64_t seen = underflow_;
+    if (seen > target)
+        return lo_;
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        seen += counts_[i];
+        if (seen > target)
+            return bucketLo(i) + width / 2.0;
+    }
+    return hi_;
+}
+
+std::string
+Histogram::render(std::size_t width) const
+{
+    std::uint64_t peak = 1;
+    for (auto c : counts_)
+        peak = std::max(peak, c);
+    std::ostringstream os;
+    const double bucket_width =
+        (hi_ - lo_) / static_cast<double>(counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const auto bar = static_cast<std::size_t>(
+            static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+            static_cast<double>(width));
+        os << "[" << bucketLo(i) << ", " << bucketLo(i) + bucket_width
+           << ") " << std::string(bar, '#') << " " << counts_[i] << "\n";
+    }
+    return os.str();
+}
+
+void
+PercentileTracker::add(double x)
+{
+    samples_.push_back(x);
+    sorted_ = false;
+}
+
+double
+PercentileTracker::percentile(double p) const
+{
+    ds_assert(!samples_.empty());
+    ds_assert(p >= 0.0 && p <= 100.0);
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+    const double rank = p / 100.0 *
+        static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double
+PercentileTracker::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double s : samples_)
+        sum += s;
+    return sum / static_cast<double>(samples_.size());
+}
+
+double
+PercentileTracker::max() const
+{
+    ds_assert(!samples_.empty());
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+} // namespace darkside

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Small statistics helpers: running moments, histograms and percentile
+ * tracking. Used by the pruning analysis (weight stddev thresholds), the
+ * confidence study (Fig. 3) and the simulator stat dumps.
+ */
+
+#ifndef DARKSIDE_UTIL_STATS_HH
+#define DARKSIDE_UTIL_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace darkside {
+
+/**
+ * Numerically stable running mean / variance / extrema (Welford).
+ */
+class RunningStats
+{
+  public:
+    RunningStats();
+
+    /** Accumulate one sample. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStats &other);
+
+    /** Reset to the empty state. */
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return mean_; }
+
+    /** Population variance; 0 for fewer than two samples. */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    double min() const { return min_; }
+    double max() const { return max_; }
+    double sum() const { return mean_ * static_cast<double>(count_); }
+
+  private:
+    std::uint64_t count_;
+    double mean_;
+    double m2_;
+    double min_;
+    double max_;
+};
+
+/**
+ * Fixed-range linear histogram with underflow/overflow buckets.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo lower edge of the first bucket
+     * @param hi upper edge of the last bucket
+     * @param buckets number of equal-width buckets (> 0)
+     */
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    /** Accumulate one sample. */
+    void add(double x);
+
+    std::uint64_t count() const { return total_; }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::size_t buckets() const { return counts_.size(); }
+    std::uint64_t bucketCount(std::size_t i) const { return counts_.at(i); }
+
+    /** Lower edge of bucket i. */
+    double bucketLo(std::size_t i) const;
+
+    /** Approximate p-quantile (0 <= p <= 1) from bucket midpoints. */
+    double quantile(double p) const;
+
+    /** Render as a compact multi-line ASCII bar chart. */
+    std::string render(std::size_t width = 50) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_;
+    std::uint64_t overflow_;
+    std::uint64_t total_;
+};
+
+/**
+ * Exact percentile tracker: stores samples, sorts on demand. Intended for
+ * latency-tail reporting (e.g. the long-tail argument against beam
+ * narrowing in Sec. V) where sample counts are modest.
+ */
+class PercentileTracker
+{
+  public:
+    void add(double x);
+    std::size_t count() const { return samples_.size(); }
+
+    /** @return the p-th percentile (0 <= p <= 100); requires samples. */
+    double percentile(double p) const;
+
+    double mean() const;
+    double max() const;
+
+  private:
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = false;
+};
+
+} // namespace darkside
+
+#endif // DARKSIDE_UTIL_STATS_HH

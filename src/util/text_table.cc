@@ -1,0 +1,65 @@
+#include "util/text_table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace darkside {
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths;
+    auto account = [&widths](const std::vector<std::string> &cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    account(header_);
+    for (const auto &r : rows_)
+        account(r);
+
+    std::ostringstream os;
+    auto emit = [&os, &widths](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i)
+                os << "  ";
+            os << cells[i]
+               << std::string(widths[i] - cells[i].size(), ' ');
+        }
+        os << "\n";
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < widths.size(); ++i)
+            total += widths[i] + (i ? 2 : 0);
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &r : rows_)
+        emit(r);
+    return os.str();
+}
+
+} // namespace darkside

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Minimal aligned ASCII table used by the benchmark harnesses so every
+ * reproduced figure/table prints the same way the paper reports it.
+ */
+
+#ifndef DARKSIDE_UTIL_TEXT_TABLE_HH
+#define DARKSIDE_UTIL_TEXT_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace darkside {
+
+/**
+ * Accumulates rows of cells and renders them with padded columns.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string num(double v, int precision = 2);
+
+    /** Render with single-space-padded, right-aligned numeric columns. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace darkside
+
+#endif // DARKSIDE_UTIL_TEXT_TABLE_HH

@@ -1,0 +1,97 @@
+#include "wfst/graph_builder.hh"
+
+#include <cmath>
+
+namespace darkside {
+
+GraphBuilder::GraphBuilder(const PhonemeInventory &inventory,
+                           const Lexicon &lexicon,
+                           const BigramGrammar &grammar,
+                           const GraphConfig &config)
+    : inventory_(inventory), lexicon_(lexicon), grammar_(grammar),
+      config_(config)
+{
+    ds_assert(config.selfLoopProb > 0.0 && config.selfLoopProb < 1.0);
+}
+
+std::vector<PdfId>
+GraphBuilder::pdfSequence(WordId word) const
+{
+    std::vector<PdfId> seq;
+    for (std::uint32_t phoneme : lexicon_.pronunciation(word)) {
+        for (std::uint32_t s = 0; s < inventory_.statesPerPhoneme(); ++s)
+            seq.push_back(inventory_.pdf(phoneme, s));
+    }
+    return seq;
+}
+
+Wfst
+GraphBuilder::build() const
+{
+    const auto loop_cost =
+        static_cast<float>(-std::log(config_.selfLoopProb));
+    const auto forward_cost =
+        static_cast<float>(-std::log(1.0 - config_.selfLoopProb));
+
+    Wfst::Builder builder;
+    const StateId start = builder.addState();
+    builder.setStart(start);
+
+    // Allocate the per-word HMM state chains.
+    const std::uint32_t words = lexicon_.wordCount();
+    std::vector<StateId> word_first(words);
+    std::vector<StateId> word_last(words);
+    std::vector<PdfId> word_first_pdf(words);
+    std::vector<std::vector<PdfId>> sequences(words);
+
+    for (WordId w = 0; w < words; ++w) {
+        sequences[w] = pdfSequence(w);
+        ds_assert(!sequences[w].empty());
+        word_first_pdf[w] = sequences[w].front();
+        StateId prev = kEpsilon; // placeholder; set below
+        for (std::size_t i = 0; i < sequences[w].size(); ++i) {
+            const StateId s = builder.addState();
+            if (i == 0)
+                word_first[w] = s;
+            else
+                builder.addArc(prev,
+                               {sequences[w][i], kEpsilon, forward_cost,
+                                s});
+            // Self-loop re-scores the same pdf on the next frame.
+            builder.addArc(s, {sequences[w][i], kEpsilon, loop_cost, s});
+            prev = s;
+        }
+        word_last[w] = prev;
+    }
+
+    const auto lm = [this](double cost) {
+        return static_cast<float>(config_.lmScale * cost);
+    };
+
+    // Start arcs: entering word w consumes the first frame of its first
+    // pdf and emits the word label.
+    for (const auto &s : grammar_.startWords()) {
+        builder.addArc(start,
+                       {word_first_pdf[s.word],
+                        static_cast<OutLabel>(s.word + 1),
+                        lm(-std::log(s.probability)), word_first[s.word]});
+    }
+
+    // Cross-word arcs and final costs.
+    for (WordId w = 0; w < words; ++w) {
+        for (const auto &s : grammar_.successors(w)) {
+            builder.addArc(word_last[w],
+                           {word_first_pdf[s.word],
+                            static_cast<OutLabel>(s.word + 1),
+                            forward_cost +
+                                lm(-std::log(s.probability)),
+                            word_first[s.word]});
+        }
+        builder.setFinal(word_last[w],
+                         forward_cost + lm(grammar_.eosCost(w)));
+    }
+
+    return std::move(builder).build();
+}
+
+} // namespace darkside

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Composes the pronunciation lexicon, bigram grammar and HMM topology
+ * into the decoding WFST (the offline "HCLG" construction of Sec. II-C).
+ *
+ * Layout: one left-to-right chain of HMM states per word. Every arc is
+ * emitting:
+ *   - self-loop on each HMM state         (cost -log p_loop)
+ *   - chain arc to the next HMM state     (cost -log (1 - p_loop))
+ *   - cross-word arc from the last state of w to the first state of w',
+ *     carrying olabel w' and the LM cost  (-log(1-p_loop) - log P(w'|w))
+ *   - start arcs from the single start state into first states
+ *   - final cost on last states           (-log(1-p_loop) - log P(eos))
+ */
+
+#ifndef DARKSIDE_WFST_GRAPH_BUILDER_HH
+#define DARKSIDE_WFST_GRAPH_BUILDER_HH
+
+#include "corpus/corpus.hh"
+#include "wfst/wfst.hh"
+
+namespace darkside {
+
+/** Knobs of the graph construction. */
+struct GraphConfig
+{
+    /** HMM self-loop probability (must match the synthesizer to make the
+     *  graph a matched model of the data). */
+    double selfLoopProb = 0.5;
+    /** Scale on language-model costs (Kaldi's LM weight). */
+    double lmScale = 1.0;
+};
+
+/**
+ * Decoding-graph builder.
+ */
+class GraphBuilder
+{
+  public:
+    GraphBuilder(const PhonemeInventory &inventory, const Lexicon &lexicon,
+                 const BigramGrammar &grammar, const GraphConfig &config);
+
+    /** Build the full decoding graph. */
+    Wfst build() const;
+
+    /**
+     * Pdf sequence of a word: its pronunciation expanded through the HMM
+     * topology (statesPerPhoneme states per phoneme).
+     */
+    std::vector<PdfId> pdfSequence(WordId word) const;
+
+  private:
+    const PhonemeInventory &inventory_;
+    const Lexicon &lexicon_;
+    const BigramGrammar &grammar_;
+    GraphConfig config_;
+};
+
+} // namespace darkside
+
+#endif // DARKSIDE_WFST_GRAPH_BUILDER_HH

@@ -1,0 +1,77 @@
+#include "wfst/wfst.hh"
+
+#include <sstream>
+
+namespace darkside {
+
+StateId
+Wfst::Builder::addState()
+{
+    arcs.emplace_back();
+    finalCost.push_back(kInfinityCost);
+    return static_cast<StateId>(arcs.size() - 1);
+}
+
+void
+Wfst::Builder::addArc(StateId src, const Arc &arc)
+{
+    ds_assert(src < arcs.size());
+    ds_assert(arc.dest < arcs.size());
+    arcs[src].push_back(arc);
+}
+
+void
+Wfst::Builder::setFinal(StateId state, float cost)
+{
+    ds_assert(state < finalCost.size());
+    finalCost[state] = cost;
+}
+
+Wfst
+Wfst::Builder::build() &&
+{
+    ds_assert(!arcs.empty());
+    ds_assert(start < arcs.size());
+
+    Wfst fst;
+    fst.start_ = start;
+    fst.finalCost_ = std::move(finalCost);
+    fst.arcOffset_.reserve(arcs.size() + 1);
+    fst.arcOffset_.push_back(0);
+    std::size_t total = 0;
+    for (const auto &state_arcs : arcs)
+        total += state_arcs.size();
+    fst.arcs_.reserve(total);
+    for (auto &state_arcs : arcs) {
+        for (const auto &arc : state_arcs)
+            fst.arcs_.push_back(arc);
+        fst.arcOffset_.push_back(fst.arcs_.size());
+    }
+    return fst;
+}
+
+std::size_t
+Wfst::stateBytes() const
+{
+    // Hardware layout: 32-bit arc offset + 16-bit arc count per state.
+    return stateCount() * 6;
+}
+
+std::size_t
+Wfst::arcBytes() const
+{
+    // Hardware layout (UNFOLD Fig. 6): packed arc record of pdf (12 b),
+    // weight (16 b fixed point), olabel (18 b), dest (32 b) -> 10 B.
+    return arcCount() * 10;
+}
+
+std::string
+Wfst::summary() const
+{
+    std::ostringstream os;
+    os << stateCount() << " states, " << arcCount() << " arcs, "
+       << (stateBytes() + arcBytes()) / 1024 << " KiB packed";
+    return os.str();
+}
+
+} // namespace darkside

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Weighted finite-state transducer used as the decoding graph. Input
+ * labels are sub-phoneme pdf ids (DNN output classes), output labels are
+ * words, weights are costs (positive -log probabilities), exactly the
+ * convention in Sec. II-C of the paper.
+ *
+ * The builder (graph_builder.hh) guarantees every arc is *emitting*
+ * (consumes one frame), so the Viterbi search never needs epsilon
+ * closure. Arcs are stored in CSR form for cache-friendly traversal and
+ * so the Viterbi-accelerator model can compute the memory footprint of
+ * state/arc fetches.
+ */
+
+#ifndef DARKSIDE_WFST_WFST_HH
+#define DARKSIDE_WFST_WFST_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "corpus/phoneme.hh"
+#include "util/logging.hh"
+
+namespace darkside {
+
+/** Dense WFST state id. */
+using StateId = std::uint32_t;
+
+/** Output word label; 0 is epsilon (no word emitted). */
+using OutLabel = std::uint32_t;
+constexpr OutLabel kEpsilon = 0;
+
+/** Cost representing an impossible transition. */
+constexpr float kInfinityCost = std::numeric_limits<float>::infinity();
+
+/** One WFST transition. */
+struct Arc
+{
+    /** Sub-phoneme pdf scored by the DNN when this arc is taken. */
+    PdfId ilabel;
+    /** Word emitted (kEpsilon for word-internal arcs). */
+    OutLabel olabel;
+    /** Graph cost: HMM transition cost plus any language-model cost. */
+    float weight;
+    /** Destination state. */
+    StateId dest;
+};
+
+/**
+ * Immutable CSR-stored WFST.
+ */
+class Wfst
+{
+  public:
+    /** Mutable builder-side representation. */
+    struct Builder
+    {
+        /** Add a state; @return its id. */
+        StateId addState();
+
+        /** Add an arc from `src`. */
+        void addArc(StateId src, const Arc &arc);
+
+        /** Mark `state` final with the given terminal cost. */
+        void setFinal(StateId state, float cost);
+
+        void setStart(StateId state) { start = state; }
+
+        StateId start = 0;
+        std::vector<std::vector<Arc>> arcs;
+        std::vector<float> finalCost;
+
+        /** Freeze into the immutable CSR form. */
+        Wfst build() &&;
+    };
+
+    StateId start() const { return start_; }
+    std::size_t stateCount() const { return arcOffset_.size() - 1; }
+    std::size_t arcCount() const { return arcs_.size(); }
+
+    /** Arcs leaving `state` as a [begin, end) range into arcs(). */
+    std::size_t arcBegin(StateId state) const
+    {
+        ds_assert(state < stateCount());
+        return arcOffset_[state];
+    }
+
+    std::size_t arcEnd(StateId state) const
+    {
+        ds_assert(state < stateCount());
+        return arcOffset_[state + 1];
+    }
+
+    const Arc &arc(std::size_t i) const { return arcs_.at(i); }
+
+    /** Terminal cost of `state` (kInfinityCost when not final). */
+    float finalCost(StateId state) const
+    {
+        ds_assert(state < stateCount());
+        return finalCost_[state];
+    }
+
+    bool isFinal(StateId state) const
+    {
+        return finalCost(state) != kInfinityCost;
+    }
+
+    /** Out-degree of `state`. */
+    std::size_t outDegree(StateId state) const
+    {
+        return arcEnd(state) - arcBegin(state);
+    }
+
+    /** Bytes of the state table (one offset record per state). */
+    std::size_t stateBytes() const;
+
+    /** Bytes of the packed arc records. */
+    std::size_t arcBytes() const;
+
+    /** One-line size summary. */
+    std::string summary() const;
+
+  private:
+    StateId start_ = 0;
+    std::vector<std::size_t> arcOffset_;
+    std::vector<Arc> arcs_;
+    std::vector<float> finalCost_;
+};
+
+} // namespace darkside
+
+#endif // DARKSIDE_WFST_WFST_HH

@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Unit tests for the accelerator simulators: the DNN accelerator's
+ * cycle/bank-conflict/energy model and the Viterbi accelerator's cache,
+ * hash-cost and area model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/dnn/dnn_accel.hh"
+#include "accel/viterbi/viterbi_accel.hh"
+#include "dnn/topology.hh"
+#include "nbest/selectors.hh"
+#include "pruning/magnitude_pruner.hh"
+#include "scoremodel/score_model.hh"
+#include "wfst/graph_builder.hh"
+
+namespace darkside {
+namespace {
+
+Mlp
+testNetwork(Rng &rng)
+{
+    TopologyConfig config;
+    config.inputDim = 256;
+    config.fcWidth = 512;
+    config.poolGroup = 4;
+    config.hiddenBlocks = 2;
+    config.classes = 128;
+    return KaldiTopology::build(config, rng);
+}
+
+TEST(DnnAccel, DenseLayerFullyUtilised)
+{
+    DnnAccelConfig config;
+    DnnAcceleratorSim sim(config);
+    Rng rng(1);
+    Mlp mlp = testNetwork(rng);
+    const DnnSimResult result = sim.simulate(mlp);
+
+    // A dense FC reads consecutive inputs: interleaved banks never
+    // conflict, so utilization only loses the group-remainder slack.
+    EXPECT_GT(result.fcUtilization, 0.85);
+    EXPECT_GT(result.cyclesPerFrame, 0u);
+    EXPECT_GT(result.dynamicJoulesPerFrame, 0.0);
+}
+
+TEST(DnnAccel, PruningSpeedsUpButLosesUtilization)
+{
+    DnnAccelConfig config;
+    DnnAcceleratorSim sim(config);
+    Rng rng(2);
+    Mlp dense = testNetwork(rng);
+    const DnnSimResult dense_result = sim.simulate(dense);
+
+    Mlp pruned = dense.clone();
+    MagnitudePruner::findQualityForTarget(dense, 0.9);
+    MagnitudePruner pruner(
+        MagnitudePruner::findQualityForTarget(dense, 0.9));
+    pruner.prune(pruned);
+    const DnnSimResult pruned_result = sim.simulate(pruned);
+
+    // Sec. III-D: pruning gives large speedups (bounded here by the
+    // fixed, unprunable FC0 share of this small topology)...
+    EXPECT_LT(static_cast<double>(pruned_result.cyclesPerFrame),
+              0.55 * static_cast<double>(dense_result.cyclesPerFrame));
+    EXPECT_LT(pruned_result.dynamicJoulesPerFrame,
+              dense_result.dynamicJoulesPerFrame / 2);
+    // ...but sparse gathers conflict in the I/O buffer, dropping FP
+    // throughput (utilization).
+    EXPECT_LT(pruned_result.fcUtilization, dense_result.fcUtilization);
+    EXPECT_GT(pruned_result.layers[1].stallCycles, 0u);
+}
+
+TEST(DnnAccel, UtilizationDropGrowsWithPruning)
+{
+    DnnAccelConfig config;
+    DnnAcceleratorSim sim(config);
+    Rng rng(3);
+    Mlp dense = testNetwork(rng);
+
+    double prev_util = sim.simulate(dense).fcUtilization;
+    for (double target : {0.7, 0.9}) {
+        Mlp pruned = dense.clone();
+        MagnitudePruner pruner(
+            MagnitudePruner::findQualityForTarget(dense, target));
+        pruner.prune(pruned);
+        const double util = sim.simulate(pruned).fcUtilization;
+        EXPECT_LT(util, prev_util) << "target " << target;
+        prev_util = util;
+    }
+}
+
+TEST(DnnAccel, ModelBytesShrinkWithPruning)
+{
+    DnnAccelConfig config;
+    // Fine bank granularity so the small test model spans several
+    // power-gating domains.
+    config.weightsBufferBanks = 4096;
+    DnnAcceleratorSim sim(config);
+    Rng rng(4);
+    Mlp dense = testNetwork(rng);
+    Mlp pruned = dense.clone();
+    MagnitudePruner pruner(
+        MagnitudePruner::findQualityForTarget(dense, 0.8));
+    pruner.prune(pruned);
+
+    const auto dense_result = sim.simulate(dense);
+    const auto pruned_result = sim.simulate(pruned);
+    EXPECT_LT(pruned_result.modelBytes, dense_result.modelBytes / 2);
+    // Smaller model -> fewer active eDRAM banks -> lower leakage.
+    EXPECT_LT(pruned_result.activeLeakageWatts,
+              dense_result.activeLeakageWatts);
+    // And cheaper per-utterance model load.
+    EXPECT_LT(pruned_result.loadSeconds, dense_result.loadSeconds);
+}
+
+TEST(DnnAccel, UtteranceCostScalesWithFrames)
+{
+    DnnAccelConfig config;
+    DnnAcceleratorSim sim(config);
+    Rng rng(5);
+    Mlp mlp = testNetwork(rng);
+    const DnnSimResult result = sim.simulate(mlp);
+    const double t100 = result.utteranceSeconds(100);
+    const double t200 = result.utteranceSeconds(200);
+    EXPECT_NEAR(t200 - t100, 100.0 * result.secondsPerFrame, 1e-12);
+    EXPECT_GT(result.utteranceJoules(200),
+              result.utteranceJoules(100));
+}
+
+TEST(DnnAccel, FewerPortsMoreStalls)
+{
+    Rng rng(6);
+    Mlp dense = testNetwork(rng);
+    Mlp pruned = dense.clone();
+    MagnitudePruner pruner(
+        MagnitudePruner::findQualityForTarget(dense, 0.9));
+    pruner.prune(pruned);
+
+    DnnAccelConfig two_ports;
+    two_ports.ioReadPorts = 2;
+    DnnAccelConfig one_port;
+    one_port.ioReadPorts = 1;
+    const auto fast = DnnAcceleratorSim(two_ports).simulate(pruned);
+    const auto slow = DnnAcceleratorSim(one_port).simulate(pruned);
+    EXPECT_GT(slow.cyclesPerFrame, fast.cyclesPerFrame);
+}
+
+TEST(DnnAccel, AreaPositiveAndDominatedByWeights)
+{
+    DnnAcceleratorSim sim((DnnAccelConfig()));
+    const double area = sim.area();
+    EXPECT_GT(area, 0.0);
+    // 18 MB of eDRAM dominates a 32 KB SRAM + FP units.
+    const double weights_area =
+        EnergyModel::edram(18ull * 1024 * 1024).area;
+    EXPECT_GT(weights_area / area, 0.8);
+}
+
+/** Viterbi-accelerator fixture: small graph + synthetic scores. */
+struct ViterbiAccelFixture : public ::testing::Test
+{
+    ViterbiAccelFixture()
+        : inventory(12, 3), lexicon(inventory, 150, 2, 4, 5),
+          grammar(150, 8, 0.2, 6)
+    {
+        GraphConfig gc;
+        GraphBuilder builder(inventory, lexicon, grammar, gc);
+        fst = std::make_unique<Wfst>(builder.build());
+    }
+
+    AcousticScores
+    makeScores(double confidence, std::uint64_t seed)
+    {
+        Rng rng(seed);
+        const auto words = grammar.sampleSentence(rng, 10);
+        SynthesizerConfig synth_config;
+        FrameSynthesizer synth(inventory, synth_config);
+        const Utterance utt = synth.synthesize(words, lexicon, rng);
+        ScoreModelConfig sc;
+        sc.targetConfidence = confidence;
+        sc.topErrorRate = 0.0;
+        SyntheticScoreModel model(inventory.pdfCount(), sc);
+        Rng score_rng(seed ^ 0x5a5a);
+        return AcousticScores::fromPosteriors(
+            model.posteriorsFor(utt.alignment, score_rng), 1.0f);
+    }
+
+    PhonemeInventory inventory;
+    Lexicon lexicon;
+    BigramGrammar grammar;
+    std::unique_ptr<Wfst> fst;
+};
+
+TEST_F(ViterbiAccelFixture, AccumulatesCyclesAndEnergy)
+{
+    ViterbiAccelConfig config;
+    ViterbiAcceleratorSim accel(config, *fst);
+    UnboundedSelector selector;
+    ViterbiDecoder decoder(*fst, DecoderConfig{10.0f});
+    const auto scores = makeScores(0.8, 11);
+    decoder.decode(scores, selector, &accel);
+
+    const ViterbiSimResult result = accel.result();
+    EXPECT_EQ(result.frames, scores.frameCount());
+    EXPECT_GT(result.cycles, 0u);
+    EXPECT_GT(result.seconds, 0.0);
+    EXPECT_GT(result.energy.dynamicJoules(), 0.0);
+    EXPECT_GT(result.energy.staticJoules(), 0.0);
+    EXPECT_GT(result.stateCache.accesses(), 0u);
+    EXPECT_GT(result.arcCache.accesses(), 0u);
+}
+
+TEST_F(ViterbiAccelFixture, FlatScoresCostMoreCycles)
+{
+    ViterbiAccelConfig config;
+    ViterbiDecoder decoder(*fst, DecoderConfig{10.0f});
+
+    ViterbiAcceleratorSim confident(config, *fst);
+    UnboundedSelector s1;
+    decoder.decode(makeScores(0.9, 21), s1, &confident);
+
+    ViterbiAcceleratorSim flat(config, *fst);
+    UnboundedSelector s2;
+    decoder.decode(makeScores(0.3, 21), s2, &flat);
+
+    EXPECT_GT(
+        static_cast<double>(flat.result().cycles) /
+            static_cast<double>(flat.result().frames),
+        1.3 * static_cast<double>(confident.result().cycles) /
+            static_cast<double>(confident.result().frames));
+}
+
+TEST_F(ViterbiAccelFixture, TinyHashOverflowsAndSlowsDown)
+{
+    // Shrink on-chip hypothesis storage until the baseline organisation
+    // spills to DRAM; cycles must go up vs. an amply-sized hash.
+    ViterbiDecoder decoder(*fst, DecoderConfig{14.0f});
+
+    ViterbiAccelConfig big;
+    big.hashEntries = 32768;
+    big.backupEntries = 16384;
+    ViterbiAcceleratorSim roomy(big, *fst);
+    {
+        UnboundedSelector selector(big.hashEntries, big.backupEntries);
+        decoder.decode(makeScores(0.3, 31), selector, &roomy);
+    }
+
+    ViterbiAccelConfig small;
+    small.hashEntries = 8;
+    small.backupEntries = 4;
+    ViterbiAcceleratorSim cramped(small, *fst);
+    {
+        UnboundedSelector selector(small.hashEntries,
+                                   small.backupEntries);
+        decoder.decode(makeScores(0.3, 31), selector, &cramped);
+    }
+
+    EXPECT_GT(cramped.result().overflowLines, 0u);
+    EXPECT_EQ(roomy.result().overflowLines, 0u);
+    EXPECT_GT(cramped.result().cycles, roomy.result().cycles);
+}
+
+TEST_F(ViterbiAccelFixture, NBestHashImmuneToConfidenceDrop)
+{
+    ViterbiDecoder decoder(*fst, DecoderConfig{14.0f});
+    ViterbiAccelConfig config;
+    config.hash = HashOrganisation::NBestSetAssociative;
+    config.hashEntries = 256;
+    config.backupEntries = 0;
+
+    auto run = [&](double confidence) {
+        ViterbiAcceleratorSim accel(config, *fst);
+        SetAssociativeHash selector(256, 8);
+        decoder.decode(makeScores(confidence, 41), selector, &accel);
+        return static_cast<double>(accel.result().cycles) /
+            static_cast<double>(accel.result().frames);
+    };
+    const double confident_cpf = run(0.9);
+    const double flat_cpf = run(0.3);
+    // Bounded survivors -> bounded per-frame cycles (allow slack for
+    // the generation-side work which still grows slightly).
+    EXPECT_LT(flat_cpf, 2.2 * confident_cpf);
+}
+
+TEST_F(ViterbiAccelFixture, NBestAreaSmallerThanBaseline)
+{
+    ViterbiAccelConfig baseline;
+    baseline.hash = HashOrganisation::UnboundedBaseline;
+    baseline.hashEntries = 32768;
+    baseline.backupEntries = 16384;
+    ViterbiAcceleratorSim base_sim(baseline, *fst);
+
+    ViterbiAccelConfig nbest;
+    nbest.hash = HashOrganisation::NBestSetAssociative;
+    nbest.hashEntries = 1024;
+    nbest.backupEntries = 0;
+    ViterbiAcceleratorSim nbest_sim(nbest, *fst);
+
+    // Sec. III-B / Sec. V: the overall accelerator area shrinks
+    // (paper: 21.45 -> 10.74 mm^2, about 2x).
+    EXPECT_LT(nbest_sim.area(), base_sim.area());
+}
+
+TEST_F(ViterbiAccelFixture, ResetStatsClears)
+{
+    ViterbiAccelConfig config;
+    ViterbiAcceleratorSim accel(config, *fst);
+    UnboundedSelector selector;
+    ViterbiDecoder decoder(*fst, DecoderConfig{10.0f});
+    decoder.decode(makeScores(0.8, 51), selector, &accel);
+    EXPECT_GT(accel.result().cycles, 0u);
+    accel.resetStats();
+    EXPECT_EQ(accel.result().cycles, 0u);
+    EXPECT_EQ(accel.result().frames, 0u);
+    EXPECT_EQ(accel.result().energy.totalJoules(), 0.0);
+}
+
+TEST_F(ViterbiAccelFixture, WarmCachesMissLess)
+{
+    ViterbiAccelConfig config;
+    ViterbiAcceleratorSim accel(config, *fst);
+    UnboundedSelector selector;
+    ViterbiDecoder decoder(*fst, DecoderConfig{10.0f});
+
+    decoder.decode(makeScores(0.8, 61), selector, &accel);
+    const auto cold = accel.result();
+    accel.resetStats();
+    decoder.decode(makeScores(0.8, 61), selector, &accel);
+    const auto warm = accel.result();
+    EXPECT_LT(warm.arcCache.missRate(), cold.arcCache.missRate() + 1e-9);
+}
+
+} // namespace
+} // namespace darkside

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for the command-line flag parser used by the tools.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/argparse.hh"
+
+namespace darkside {
+namespace {
+
+ArgParser
+makeParser()
+{
+    ArgParser args("tool", "test parser");
+    args.addOption("name", "a string", "default");
+    args.addOption("count", "a number", 7.0);
+    args.addSwitch("verbose", "a switch");
+    return args;
+}
+
+bool
+parseArgs(ArgParser &args, std::vector<const char *> argv)
+{
+    argv.insert(argv.begin(), "tool");
+    return args.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParser, DefaultsApply)
+{
+    ArgParser args = makeParser();
+    EXPECT_TRUE(parseArgs(args, {}));
+    EXPECT_EQ(args.get("name"), "default");
+    EXPECT_EQ(args.getInt("count"), 7);
+    EXPECT_FALSE(args.getSwitch("verbose"));
+}
+
+TEST(ArgParser, SpaceSeparatedValues)
+{
+    ArgParser args = makeParser();
+    EXPECT_TRUE(parseArgs(args, {"--name", "alpha", "--count", "42"}));
+    EXPECT_EQ(args.get("name"), "alpha");
+    EXPECT_EQ(args.getInt("count"), 42);
+}
+
+TEST(ArgParser, EqualsSeparatedValues)
+{
+    ArgParser args = makeParser();
+    EXPECT_TRUE(parseArgs(args, {"--name=beta", "--count=3.5"}));
+    EXPECT_EQ(args.get("name"), "beta");
+    EXPECT_DOUBLE_EQ(args.getNumber("count"), 3.5);
+}
+
+TEST(ArgParser, SwitchSetsTrue)
+{
+    ArgParser args = makeParser();
+    EXPECT_TRUE(parseArgs(args, {"--verbose"}));
+    EXPECT_TRUE(args.getSwitch("verbose"));
+}
+
+TEST(ArgParser, PositionalCollected)
+{
+    ArgParser args = makeParser();
+    EXPECT_TRUE(parseArgs(args, {"first", "--name", "x", "second"}));
+    ASSERT_EQ(args.positional().size(), 2u);
+    EXPECT_EQ(args.positional()[0], "first");
+    EXPECT_EQ(args.positional()[1], "second");
+}
+
+TEST(ArgParser, UnknownOptionFails)
+{
+    ArgParser args = makeParser();
+    EXPECT_FALSE(parseArgs(args, {"--bogus", "1"}));
+}
+
+TEST(ArgParser, MissingValueFails)
+{
+    ArgParser args = makeParser();
+    EXPECT_FALSE(parseArgs(args, {"--name"}));
+}
+
+TEST(ArgParser, SwitchRejectsValue)
+{
+    ArgParser args = makeParser();
+    EXPECT_FALSE(parseArgs(args, {"--verbose=yes"}));
+}
+
+TEST(ArgParser, HelpShortCircuits)
+{
+    ArgParser args = makeParser();
+    EXPECT_FALSE(parseArgs(args, {"--help"}));
+}
+
+TEST(ArgParser, UsageMentionsEverything)
+{
+    const ArgParser args = makeParser();
+    const std::string usage = args.usage();
+    EXPECT_NE(usage.find("--name"), std::string::npos);
+    EXPECT_NE(usage.find("--count"), std::string::npos);
+    EXPECT_NE(usage.find("--verbose"), std::string::npos);
+    EXPECT_NE(usage.find("default: 7"), std::string::npos);
+}
+
+TEST(ArgParser, LastValueWins)
+{
+    ArgParser args = makeParser();
+    EXPECT_TRUE(parseArgs(args, {"--count", "1", "--count", "2"}));
+    EXPECT_EQ(args.getInt("count"), 2);
+}
+
+} // namespace
+} // namespace darkside

@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Unit tests for the synthetic corpus: phoneme inventory, lexicon,
+ * bigram grammar, frame synthesizer and splicing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "corpus/corpus.hh"
+
+namespace darkside {
+namespace {
+
+TEST(PhonemeInventory, PdfMappingRoundTrips)
+{
+    PhonemeInventory inv(40, 3);
+    EXPECT_EQ(inv.pdfCount(), 120u);
+    for (std::uint32_t p = 0; p < 40; ++p) {
+        for (std::uint32_t s = 0; s < 3; ++s) {
+            const PdfId pdf = inv.pdf(p, s);
+            EXPECT_LT(pdf, inv.pdfCount());
+            EXPECT_EQ(inv.phonemeOf(pdf), p);
+            EXPECT_EQ(inv.stateOf(pdf), s);
+        }
+    }
+}
+
+TEST(PhonemeInventory, PdfIdsDense)
+{
+    PhonemeInventory inv(5, 3);
+    std::set<PdfId> pdfs;
+    for (std::uint32_t p = 0; p < 5; ++p) {
+        for (std::uint32_t s = 0; s < 3; ++s)
+            pdfs.insert(inv.pdf(p, s));
+    }
+    EXPECT_EQ(pdfs.size(), 15u);
+    EXPECT_EQ(*pdfs.rbegin(), 14u);
+}
+
+TEST(Lexicon, GeneratesRequestedVocabulary)
+{
+    PhonemeInventory inv(40, 3);
+    Lexicon lexicon(inv, 100, 2, 5, 1);
+    EXPECT_EQ(lexicon.wordCount(), 100u);
+    for (WordId w = 0; w < 100; ++w) {
+        const auto &pron = lexicon.pronunciation(w);
+        EXPECT_GE(pron.size(), 2u);
+        EXPECT_LE(pron.size(), 5u);
+        for (auto p : pron)
+            EXPECT_LT(p, 40u);
+    }
+}
+
+TEST(Lexicon, PronunciationsUnique)
+{
+    PhonemeInventory inv(40, 3);
+    Lexicon lexicon(inv, 200, 2, 5, 2);
+    std::set<std::vector<std::uint32_t>> seen;
+    for (WordId w = 0; w < 200; ++w)
+        seen.insert(lexicon.pronunciation(w));
+    EXPECT_EQ(seen.size(), 200u);
+}
+
+TEST(Lexicon, DeterministicForSeed)
+{
+    PhonemeInventory inv(40, 3);
+    Lexicon a(inv, 50, 2, 4, 7);
+    Lexicon b(inv, 50, 2, 4, 7);
+    for (WordId w = 0; w < 50; ++w)
+        EXPECT_EQ(a.pronunciation(w), b.pronunciation(w));
+}
+
+TEST(Lexicon, SpellIsStable)
+{
+    PhonemeInventory inv(10, 3);
+    Lexicon lexicon(inv, 5, 1, 3, 3);
+    EXPECT_EQ(lexicon.spell(0), "w000");
+    EXPECT_EQ(lexicon.spell(4), "w004");
+}
+
+TEST(BigramGrammar, SuccessorProbabilitiesNormalised)
+{
+    BigramGrammar grammar(100, 10, 0.2, 11);
+    for (WordId w = 0; w < 100; ++w) {
+        const auto &succ = grammar.successors(w);
+        EXPECT_EQ(succ.size(), 10u);
+        double total = 0.0;
+        for (const auto &s : succ) {
+            EXPECT_LT(s.word, 100u);
+            EXPECT_GT(s.probability, 0.0);
+            total += s.probability;
+        }
+        EXPECT_NEAR(total, 0.8, 1e-9);
+    }
+}
+
+TEST(BigramGrammar, StartDistributionNormalised)
+{
+    BigramGrammar grammar(50, 8, 0.15, 13);
+    double total = 0.0;
+    for (const auto &s : grammar.startWords())
+        total += s.probability;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(BigramGrammar, TransitionCostMatchesProbability)
+{
+    BigramGrammar grammar(30, 5, 0.2, 17);
+    const auto &succ = grammar.successors(3);
+    for (const auto &s : succ) {
+        EXPECT_NEAR(grammar.transitionCost(3, s.word),
+                    -std::log(s.probability), 1e-9);
+    }
+}
+
+TEST(BigramGrammar, MissingBigramInfiniteCost)
+{
+    BigramGrammar grammar(100, 3, 0.2, 19);
+    const auto &succ = grammar.successors(0);
+    std::set<WordId> followers;
+    for (const auto &s : succ)
+        followers.insert(s.word);
+    for (WordId w = 0; w < 100; ++w) {
+        if (!followers.count(w))
+            EXPECT_TRUE(std::isinf(grammar.transitionCost(0, w)));
+    }
+}
+
+TEST(BigramGrammar, SampledSentencesFollowGrammar)
+{
+    BigramGrammar grammar(60, 6, 0.25, 23);
+    Rng rng(29);
+    for (int i = 0; i < 200; ++i) {
+        const auto sentence = grammar.sampleSentence(rng);
+        ASSERT_FALSE(sentence.empty());
+        EXPECT_FALSE(std::isinf(grammar.startCost(sentence[0])));
+        for (std::size_t k = 1; k < sentence.size(); ++k) {
+            EXPECT_FALSE(std::isinf(
+                grammar.transitionCost(sentence[k - 1], sentence[k])));
+        }
+    }
+}
+
+TEST(BigramGrammar, SentenceLengthBounded)
+{
+    BigramGrammar grammar(60, 6, 0.1, 31);
+    Rng rng(37);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_LE(grammar.sampleSentence(rng, 8).size(), 8u);
+}
+
+TEST(FrameSynthesizer, AlignmentMatchesFrames)
+{
+    PhonemeInventory inv(20, 3);
+    Lexicon lexicon(inv, 30, 2, 4, 41);
+    SynthesizerConfig config;
+    FrameSynthesizer synth(inv, config);
+    Rng rng(43);
+    const Utterance utt = synth.synthesize({0, 5, 12}, lexicon, rng);
+    EXPECT_EQ(utt.frames.size(), utt.alignment.size());
+    EXPECT_EQ(utt.words.size(), 3u);
+    for (PdfId pdf : utt.alignment)
+        EXPECT_LT(pdf, inv.pdfCount());
+}
+
+TEST(FrameSynthesizer, AlignmentVisitsStatesInOrder)
+{
+    PhonemeInventory inv(20, 3);
+    Lexicon lexicon(inv, 30, 2, 4, 47);
+    SynthesizerConfig config;
+    FrameSynthesizer synth(inv, config);
+    Rng rng(53);
+    const Utterance utt = synth.synthesize({7}, lexicon, rng);
+
+    // The pdf sequence must be the word's (phoneme, state) expansion
+    // with only self-repeats allowed.
+    std::vector<PdfId> expected;
+    for (auto phoneme : lexicon.pronunciation(7)) {
+        for (std::uint32_t s = 0; s < 3; ++s)
+            expected.push_back(inv.pdf(phoneme, s));
+    }
+    std::vector<PdfId> dedup;
+    for (PdfId pdf : utt.alignment) {
+        if (dedup.empty() || dedup.back() != pdf)
+            dedup.push_back(pdf);
+    }
+    EXPECT_EQ(dedup, expected);
+}
+
+TEST(FrameSynthesizer, MinimumOneFramePerState)
+{
+    PhonemeInventory inv(10, 3);
+    Lexicon lexicon(inv, 10, 2, 3, 59);
+    SynthesizerConfig config;
+    config.selfLoopProb = 0.0; // exactly one frame per state
+    FrameSynthesizer synth(inv, config);
+    Rng rng(61);
+    const Utterance utt = synth.synthesize({1, 2}, lexicon, rng);
+    const std::size_t states = (lexicon.pronunciation(1).size() +
+                                lexicon.pronunciation(2).size()) *
+        3;
+    EXPECT_EQ(utt.frames.size(), states);
+}
+
+TEST(FrameSynthesizer, FeaturesCenterOnClassMeans)
+{
+    PhonemeInventory inv(4, 1);
+    Lexicon lexicon(inv, 4, 1, 1, 67);
+    SynthesizerConfig config;
+    config.noiseStddev = 0.05;
+    config.selfLoopProb = 0.9; // long runs for averaging
+    FrameSynthesizer synth(inv, config);
+    Rng rng(71);
+    const Utterance utt = synth.synthesize({0}, lexicon, rng);
+    ASSERT_GT(utt.frames.size(), 3u);
+    const Vector &mean = synth.classMean(utt.alignment[0]);
+    for (std::size_t d = 0; d < mean.size(); ++d)
+        EXPECT_NEAR(utt.frames[0][d], mean[d], 0.3f);
+}
+
+TEST(SpliceFrames, WindowAndPadding)
+{
+    std::vector<Vector> frames{{1, 1}, {2, 2}, {3, 3}};
+    const auto spliced = spliceFrames(frames, 1);
+    ASSERT_EQ(spliced.size(), 3u);
+    ASSERT_EQ(spliced[0].size(), 6u);
+    // First frame: left context padded by repeating frame 0.
+    EXPECT_EQ(spliced[0][0], 1.0f);
+    EXPECT_EQ(spliced[0][2], 1.0f);
+    EXPECT_EQ(spliced[0][4], 2.0f);
+    // Middle frame: true neighbours.
+    EXPECT_EQ(spliced[1][0], 1.0f);
+    EXPECT_EQ(spliced[1][2], 2.0f);
+    EXPECT_EQ(spliced[1][4], 3.0f);
+    // Last frame: right context padded.
+    EXPECT_EQ(spliced[2][4], 3.0f);
+}
+
+TEST(SpliceFrames, ZeroContextIdentity)
+{
+    std::vector<Vector> frames{{5, 6}, {7, 8}};
+    const auto spliced = spliceFrames(frames, 0);
+    EXPECT_EQ(spliced[0], frames[0]);
+    EXPECT_EQ(spliced[1], frames[1]);
+}
+
+TEST(SpliceFrames, EmptyInput)
+{
+    EXPECT_TRUE(spliceFrames({}, 4).empty());
+}
+
+TEST(Corpus, EndToEndConsistency)
+{
+    CorpusConfig config;
+    config.phonemes = 10;
+    config.words = 40;
+    config.grammarBranching = 5;
+    config.synthesizer.featureDim = 8;
+    config.contextFrames = 2;
+    const Corpus corpus(config);
+
+    EXPECT_EQ(corpus.classCount(), 30u);
+    EXPECT_EQ(corpus.spliceDim(), 5u * 8u);
+
+    const auto utts = corpus.sampleUtterances(5, 77);
+    EXPECT_EQ(utts.size(), 5u);
+
+    const FrameDataset dataset = corpus.frameDataset(utts);
+    std::size_t frames = 0;
+    for (const auto &u : utts)
+        frames += u.frames.size();
+    EXPECT_EQ(dataset.size(), frames);
+    for (const auto &frame : dataset) {
+        EXPECT_EQ(frame.features.size(), corpus.spliceDim());
+        EXPECT_LT(frame.label, corpus.classCount());
+    }
+}
+
+TEST(Corpus, DifferentSeedsDifferentUtterances)
+{
+    CorpusConfig config;
+    config.phonemes = 10;
+    config.words = 40;
+    config.grammarBranching = 5;
+    const Corpus corpus(config);
+    const auto a = corpus.sampleUtterances(3, 1);
+    const auto b = corpus.sampleUtterances(3, 2);
+    bool any_different = false;
+    for (std::size_t i = 0; i < 3; ++i)
+        any_different |= a[i].words != b[i].words;
+    EXPECT_TRUE(any_different);
+}
+
+TEST(Corpus, SameSeedSameUtterances)
+{
+    CorpusConfig config;
+    config.phonemes = 10;
+    config.words = 40;
+    config.grammarBranching = 5;
+    const Corpus corpus(config);
+    const auto a = corpus.sampleUtterances(3, 9);
+    const auto b = corpus.sampleUtterances(3, 9);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(a[i].words, b[i].words);
+        EXPECT_EQ(a[i].alignment, b[i].alignment);
+    }
+}
+
+} // namespace
+} // namespace darkside

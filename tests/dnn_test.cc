@@ -1,0 +1,422 @@
+/**
+ * @file
+ * Unit tests for the DNN library: layer forward/backward correctness
+ * (including numerical gradient checks), network training, masking,
+ * serialisation and the Table-I topology factory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "dnn/mlp.hh"
+#include "dnn/topology.hh"
+#include "dnn/trainer.hh"
+
+namespace darkside {
+namespace {
+
+/**
+ * Numerically check dLoss/dIn of a layer against backward(), using
+ * loss = sum(out * probe) so that d_out = probe.
+ */
+void
+checkInputGradient(Layer &layer, Rng &rng, float tolerance = 2e-2f)
+{
+    Vector in(layer.inputSize());
+    for (auto &x : in)
+        x = static_cast<float>(rng.gaussian(0.0, 1.0));
+    Vector probe(layer.outputSize());
+    for (auto &x : probe)
+        x = static_cast<float>(rng.gaussian(0.0, 1.0));
+
+    Vector out;
+    layer.forward(in, out);
+    Vector d_in;
+    layer.backward(in, out, probe, d_in, /*lr=*/0.0f);
+    ASSERT_EQ(d_in.size(), in.size());
+
+    const float eps = 1e-3f;
+    for (std::size_t i = 0; i < in.size(); i += 1 + in.size() / 16) {
+        Vector in_hi = in, in_lo = in;
+        in_hi[i] += eps;
+        in_lo[i] -= eps;
+        Vector out_hi, out_lo;
+        layer.forward(in_hi, out_hi);
+        layer.forward(in_lo, out_lo);
+        float loss_hi = 0.0f, loss_lo = 0.0f;
+        for (std::size_t j = 0; j < probe.size(); ++j) {
+            loss_hi += out_hi[j] * probe[j];
+            loss_lo += out_lo[j] * probe[j];
+        }
+        const float numeric = (loss_hi - loss_lo) / (2.0f * eps);
+        EXPECT_NEAR(d_in[i], numeric,
+                    tolerance * std::max(1.0f, std::fabs(numeric)))
+            << "at input index " << i;
+    }
+}
+
+TEST(FullyConnected, ForwardMatchesGemv)
+{
+    FullyConnected fc("fc", 3, 2);
+    fc.weights().at(0, 0) = 1.0f;
+    fc.weights().at(0, 2) = 2.0f;
+    fc.weights().at(1, 1) = -1.0f;
+    fc.biases()[1] = 0.5f;
+    Vector out;
+    fc.forward({1, 2, 3}, out);
+    EXPECT_FLOAT_EQ(out[0], 7.0f);
+    EXPECT_FLOAT_EQ(out[1], -1.5f);
+}
+
+TEST(FullyConnected, InputGradient)
+{
+    Rng rng(1);
+    FullyConnected fc("fc", 8, 5);
+    fc.initialize(rng);
+    checkInputGradient(fc, rng);
+}
+
+TEST(FullyConnected, SgdStepReducesLinearLoss)
+{
+    Rng rng(2);
+    FullyConnected fc("fc", 4, 3);
+    fc.initialize(rng);
+    Vector in{1, -1, 0.5, 2};
+    Vector out_before;
+    fc.forward(in, out_before);
+    // Push output 0 down: loss = out[0].
+    Vector d_out{1, 0, 0};
+    Vector d_in;
+    fc.backward(in, out_before, d_out, d_in, 0.1f);
+    Vector out_after;
+    fc.forward(in, out_after);
+    EXPECT_LT(out_after[0], out_before[0]);
+    EXPECT_FLOAT_EQ(out_after[1], out_before[1]);
+}
+
+TEST(FullyConnected, NonTrainableFrozen)
+{
+    Rng rng(3);
+    FullyConnected fc("fc0", 4, 4, /*trainable=*/false);
+    fc.initialize(rng);
+    const Matrix before = fc.weights();
+    Vector out;
+    fc.forward({1, 2, 3, 4}, out);
+    Vector d_in;
+    fc.backward({1, 2, 3, 4}, out, {1, 1, 1, 1}, d_in, 0.5f);
+    for (std::size_t i = 0; i < before.size(); ++i)
+        EXPECT_EQ(fc.weights().data()[i], before.data()[i]);
+}
+
+TEST(FullyConnected, MaskZeroesAndPins)
+{
+    Rng rng(4);
+    FullyConnected fc("fc", 4, 2);
+    fc.initialize(rng);
+    std::vector<std::uint8_t> mask(8, 1);
+    mask[0] = 0;
+    mask[5] = 0;
+    fc.setMask(mask);
+    EXPECT_EQ(fc.weights().data()[0], 0.0f);
+    EXPECT_EQ(fc.weights().data()[5], 0.0f);
+    EXPECT_EQ(fc.nonzeroWeightCount(), 6u);
+
+    // Pinned through an SGD step.
+    Vector out;
+    fc.forward({1, 1, 1, 1}, out);
+    Vector d_in;
+    fc.backward({1, 1, 1, 1}, out, {1, -1}, d_in, 0.1f);
+    EXPECT_EQ(fc.weights().data()[0], 0.0f);
+    EXPECT_EQ(fc.weights().data()[5], 0.0f);
+}
+
+TEST(PNormPooling, ForwardGroupsOfTwo)
+{
+    PNormPooling p("p", 4, 2);
+    Vector out;
+    p.forward({3, 4, 0, -5}, out);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_FLOAT_EQ(out[0], 5.0f);
+    EXPECT_FLOAT_EQ(out[1], 5.0f);
+}
+
+TEST(PNormPooling, OutputNonNegative)
+{
+    Rng rng(5);
+    PNormPooling p("p", 12, 3);
+    Vector in(12);
+    for (auto &x : in)
+        x = static_cast<float>(rng.gaussian(0.0, 2.0));
+    Vector out;
+    p.forward(in, out);
+    for (float v : out)
+        EXPECT_GE(v, 0.0f);
+}
+
+TEST(PNormPooling, InputGradient)
+{
+    Rng rng(6);
+    PNormPooling p("p", 12, 4);
+    checkInputGradient(p, rng);
+}
+
+TEST(PNormPooling, ZeroGroupZeroGradient)
+{
+    PNormPooling p("p", 2, 2);
+    Vector in{0, 0};
+    Vector out;
+    p.forward(in, out);
+    EXPECT_FLOAT_EQ(out[0], 0.0f);
+    Vector d_in;
+    p.backward(in, out, {1.0f}, d_in, 0.0f);
+    EXPECT_FLOAT_EQ(d_in[0], 0.0f);
+    EXPECT_FLOAT_EQ(d_in[1], 0.0f);
+}
+
+TEST(Renormalize, UnitRms)
+{
+    Renormalize n("n", 4);
+    Vector out;
+    n.forward({1, 2, 3, 4}, out);
+    float norm2 = 0.0f;
+    for (float v : out)
+        norm2 += v * v;
+    EXPECT_NEAR(norm2, 4.0f, 1e-4f);
+}
+
+TEST(Renormalize, PreservesDirection)
+{
+    Renormalize n("n", 3);
+    Vector out;
+    n.forward({2, 4, 6}, out);
+    EXPECT_NEAR(out[1] / out[0], 2.0f, 1e-5f);
+    EXPECT_NEAR(out[2] / out[0], 3.0f, 1e-5f);
+}
+
+TEST(Renormalize, InputGradient)
+{
+    Rng rng(7);
+    Renormalize n("n", 10);
+    checkInputGradient(n, rng);
+}
+
+TEST(Softmax, ForwardNormalised)
+{
+    Softmax s("s", 5);
+    Vector out;
+    s.forward({1, 2, 3, 4, 5}, out);
+    float sum = 0.0f;
+    for (float v : out)
+        sum += v;
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+}
+
+TEST(Softmax, InputGradient)
+{
+    Rng rng(8);
+    Softmax s("s", 6);
+    checkInputGradient(s, rng);
+}
+
+Mlp
+tinyNetwork(Rng &rng, std::size_t in = 6, std::size_t classes = 4)
+{
+    TopologyConfig config;
+    config.inputDim = in;
+    config.fcWidth = 16;
+    config.poolGroup = 2;
+    config.hiddenBlocks = 2;
+    config.classes = classes;
+    config.ldaInputLayer = true;
+    return KaldiTopology::build(config, rng);
+}
+
+FrameDataset
+gaussianBlobs(Rng &rng, std::size_t classes, std::size_t dim,
+              std::size_t per_class)
+{
+    std::vector<Vector> means(classes, Vector(dim));
+    for (auto &mean : means) {
+        for (auto &m : mean)
+            m = static_cast<float>(rng.gaussian(0.0, 2.0));
+    }
+    FrameDataset data;
+    for (std::size_t c = 0; c < classes; ++c) {
+        for (std::size_t i = 0; i < per_class; ++i) {
+            LabeledFrame frame;
+            frame.label = static_cast<std::uint32_t>(c);
+            frame.features.resize(dim);
+            for (std::size_t d = 0; d < dim; ++d) {
+                frame.features[d] = means[c][d] +
+                    static_cast<float>(rng.gaussian(0.0, 0.4));
+            }
+            data.push_back(std::move(frame));
+        }
+    }
+    return data;
+}
+
+TEST(Mlp, ForwardProducesDistribution)
+{
+    Rng rng(9);
+    Mlp mlp = tinyNetwork(rng);
+    Vector posteriors;
+    mlp.forward({1, 2, 3, 4, 5, 6}, posteriors);
+    ASSERT_EQ(posteriors.size(), 4u);
+    float sum = 0.0f;
+    for (float p : posteriors) {
+        EXPECT_GE(p, 0.0f);
+        sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+}
+
+TEST(Mlp, TrainingLearnsSeparableTask)
+{
+    Rng rng(10);
+    Mlp mlp = tinyNetwork(rng);
+    const FrameDataset data = gaussianBlobs(rng, 4, 6, 60);
+
+    const EvalReport before = Trainer::evaluate(mlp, data);
+    TrainerConfig config;
+    config.epochs = 12;
+    config.learningRate = 0.05f;
+    Trainer trainer(config);
+    const auto reports = trainer.train(mlp, data);
+    const EvalReport after = Trainer::evaluate(mlp, data);
+
+    EXPECT_GT(after.top1Accuracy, 0.9);
+    EXPECT_GT(after.top1Accuracy, before.top1Accuracy);
+    EXPECT_LT(reports.back().meanLoss, reports.front().meanLoss);
+}
+
+TEST(Mlp, TrainingIsDeterministic)
+{
+    Rng rng_a(11), rng_b(11);
+    Mlp a = tinyNetwork(rng_a);
+    Mlp b = tinyNetwork(rng_b);
+    Rng data_rng(12);
+    const FrameDataset data = gaussianBlobs(data_rng, 4, 6, 20);
+    Trainer trainer(TrainerConfig{.epochs = 2});
+    trainer.train(a, data);
+    trainer.train(b, data);
+    Vector pa, pb;
+    a.forward(data[0].features, pa);
+    b.forward(data[0].features, pb);
+    for (std::size_t i = 0; i < pa.size(); ++i)
+        EXPECT_EQ(pa[i], pb[i]);
+}
+
+TEST(Mlp, CloneIsDeepAndEqual)
+{
+    Rng rng(13);
+    Mlp mlp = tinyNetwork(rng);
+    Mlp copy = mlp.clone();
+
+    Vector a, b;
+    mlp.forward({1, 2, 3, 4, 5, 6}, a);
+    copy.forward({1, 2, 3, 4, 5, 6}, b);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], b[i]);
+
+    // Mutating the copy must not touch the original.
+    copy.fullyConnectedLayers()[1]->weights().fill(0.0f);
+    Vector c;
+    mlp.forward({1, 2, 3, 4, 5, 6}, c);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], c[i]);
+}
+
+TEST(Mlp, SaveLoadRoundTrip)
+{
+    Rng rng(14);
+    Mlp mlp = tinyNetwork(rng);
+    // Give one layer a mask so masks round-trip too.
+    auto fcs = mlp.fullyConnectedLayers();
+    std::vector<std::uint8_t> mask(fcs[1]->weights().size(), 1);
+    mask[3] = 0;
+    fcs[1]->setMask(mask);
+
+    const std::string path = testing::TempDir() + "/mlp_roundtrip.bin";
+    mlp.save(path);
+    Mlp loaded = Mlp::load(path);
+
+    EXPECT_EQ(loaded.layerCount(), mlp.layerCount());
+    EXPECT_EQ(loaded.parameterCount(), mlp.parameterCount());
+    Vector a, b;
+    mlp.forward({1, 2, 3, 4, 5, 6}, a);
+    loaded.forward({1, 2, 3, 4, 5, 6}, b);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], b[i]);
+    EXPECT_TRUE(loaded.fullyConnectedLayers()[1]->hasMask());
+    std::remove(path.c_str());
+}
+
+TEST(Topology, FullMatchesTableI)
+{
+    Rng rng(15);
+    const TopologyConfig config = KaldiTopology::full();
+    Mlp mlp = KaldiTopology::build(config, rng);
+
+    EXPECT_EQ(mlp.inputSize(), 360u);
+    EXPECT_EQ(mlp.outputSize(), 3482u);
+
+    const auto fcs = mlp.fullyConnectedLayers();
+    ASSERT_EQ(fcs.size(), 6u);
+    // Table I weight counts.
+    EXPECT_EQ(fcs[0]->weights().size(), 360u * 360u);    // FC0 ~129k
+    EXPECT_EQ(fcs[1]->weights().size(), 360u * 2000u);   // FC1 720k
+    EXPECT_EQ(fcs[2]->weights().size(), 400u * 2000u);   // FC2 800k
+    EXPECT_EQ(fcs[3]->weights().size(), 400u * 2000u);   // FC3 800k
+    EXPECT_EQ(fcs[4]->weights().size(), 400u * 2000u);   // FC4 800k
+    EXPECT_EQ(fcs[5]->weights().size(), 400u * 3482u);   // FC5 ~1.4M
+    EXPECT_FALSE(fcs[0]->trainable());
+    EXPECT_TRUE(fcs[1]->trainable());
+
+    // Paper: > 4.5M learnable parameters.
+    EXPECT_GT(mlp.parameterCount(), 4'500'000u);
+}
+
+TEST(Topology, ScaledPreservesShape)
+{
+    Rng rng(16);
+    const TopologyConfig config = KaldiTopology::scaled(120, 180, 256, 4);
+    Mlp mlp = KaldiTopology::build(config, rng);
+    EXPECT_EQ(mlp.inputSize(), 180u);
+    EXPECT_EQ(mlp.outputSize(), 120u);
+    // FC0 + 4 blocks (FC,P,N) + FC5 + SoftMax = 1 + 12 + 1 + 1.
+    EXPECT_EQ(mlp.layerCount(), 15u);
+}
+
+TEST(Trainer, EvaluateMetricsOnDegenerateModel)
+{
+    Rng rng(17);
+    Mlp mlp = tinyNetwork(rng);
+    FrameDataset data;
+    for (int i = 0; i < 10; ++i) {
+        LabeledFrame f;
+        f.features = Vector(6, 0.5f);
+        f.label = 0;
+        data.push_back(f);
+    }
+    const EvalReport report = Trainer::evaluate(mlp, data, 4);
+    EXPECT_EQ(report.frames, 10u);
+    // top-4 of 4 classes is always a hit.
+    EXPECT_DOUBLE_EQ(report.topKAccuracy, 1.0);
+    EXPECT_GT(report.meanConfidence, 0.0);
+    EXPECT_LE(report.meanConfidence, 1.0);
+}
+
+TEST(Mlp, SummaryMentionsLayers)
+{
+    Rng rng(18);
+    Mlp mlp = tinyNetwork(rng);
+    const std::string summary = mlp.summary();
+    EXPECT_NE(summary.find("FC1"), std::string::npos);
+    EXPECT_NE(summary.find("SoftMax"), std::string::npos);
+}
+
+} // namespace
+} // namespace darkside

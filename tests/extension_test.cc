@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Tests for the extension modules: histogram pruning (max-active),
+ * weight quantization and the CSV writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "dnn/topology.hh"
+#include "nbest/histogram_selector.hh"
+#include "pruning/quantizer.hh"
+#include "util/csv.hh"
+#include "util/rng.hh"
+
+namespace darkside {
+namespace {
+
+// --------------------------- HistogramPruning ------------------------
+
+TEST(HistogramPruning, UnderBudgetKeepsEverything)
+{
+    HistogramPruning selector(100);
+    selector.beginFrame();
+    for (StateId s = 0; s < 40; ++s)
+        selector.insert({s, static_cast<float>(s), 0});
+    const auto survivors = selector.finishFrame();
+    EXPECT_EQ(survivors.size(), 40u);
+    EXPECT_TRUE(std::isinf(selector.lastThreshold()));
+}
+
+TEST(HistogramPruning, OverBudgetPrunesApproximately)
+{
+    HistogramPruning selector(50, 64, 20.0f);
+    selector.beginFrame();
+    for (StateId s = 0; s < 500; ++s) {
+        selector.insert(
+            {s, static_cast<float>(s) * 0.04f, 0}); // costs 0..20
+    }
+    const auto survivors = selector.finishFrame();
+    // Bucket granularity makes the cut loose but bounded: within one
+    // bucket's worth of the budget.
+    EXPECT_GE(survivors.size(), 50u);
+    EXPECT_LE(survivors.size(), 50u + 500 / 64 + 8);
+    // Everything kept must be under the published threshold.
+    for (const auto &h : survivors)
+        EXPECT_LE(h.cost, selector.lastThreshold());
+}
+
+TEST(HistogramPruning, KeepsTheCheapest)
+{
+    HistogramPruning selector(10, 128, 30.0f);
+    selector.beginFrame();
+    Rng rng(1);
+    float best = 1e30f;
+    StateId best_state = 0;
+    for (StateId s = 0; s < 300; ++s) {
+        const auto cost = static_cast<float>(rng.uniform(0.0, 30.0));
+        if (cost < best) {
+            best = cost;
+            best_state = s;
+        }
+        selector.insert({s, cost, 0});
+    }
+    const auto survivors = selector.finishFrame();
+    bool found = false;
+    for (const auto &h : survivors)
+        found |= h.state == best_state;
+    EXPECT_TRUE(found);
+}
+
+TEST(HistogramPruning, RecombinesByState)
+{
+    HistogramPruning selector(100);
+    selector.beginFrame();
+    selector.insert({7, 5.0f, 0});
+    selector.insert({7, 2.0f, 0});
+    selector.insert({7, 9.0f, 0});
+    const auto survivors = selector.finishFrame();
+    ASSERT_EQ(survivors.size(), 1u);
+    EXPECT_FLOAT_EQ(survivors[0].cost, 2.0f);
+    EXPECT_EQ(selector.frameStats().recombinations, 2u);
+}
+
+TEST(HistogramPruning, StatsAccounting)
+{
+    HistogramPruning selector(20, 64, 10.0f);
+    selector.beginFrame();
+    for (StateId s = 0; s < 200; ++s)
+        selector.insert({s, static_cast<float>(s % 97) * 0.1f, 0});
+    const auto survivors = selector.finishFrame();
+    const auto &stats = selector.frameStats();
+    EXPECT_EQ(stats.insertions, 200u);
+    EXPECT_EQ(stats.survivors, survivors.size());
+    EXPECT_EQ(stats.evictions + stats.survivors,
+              200u - stats.recombinations);
+}
+
+// ----------------------------- Quantizer -----------------------------
+
+Mlp
+quantTestNetwork(Rng &rng)
+{
+    TopologyConfig config;
+    config.inputDim = 12;
+    config.fcWidth = 32;
+    config.poolGroup = 2;
+    config.hiddenBlocks = 2;
+    config.classes = 8;
+    return KaldiTopology::build(config, rng);
+}
+
+TEST(WeightQuantizer, EightBitNearlyLossless)
+{
+    Rng rng(2);
+    Mlp mlp = quantTestNetwork(rng);
+    Mlp quantized = mlp.clone();
+    const QuantReport report = WeightQuantizer(8).quantize(quantized);
+
+    for (const auto &layer : report.layers) {
+        if (layer.quantized)
+            EXPECT_GT(layer.sqnrDb, 30.0) << layer.layerName;
+    }
+    // Outputs barely move.
+    Vector in(12, 0.3f), a, b;
+    mlp.forward(in, a);
+    quantized.forward(in, b);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_NEAR(a[i], b[i], 0.02f);
+}
+
+TEST(WeightQuantizer, FewerBitsMoreError)
+{
+    Rng rng(3);
+    Mlp mlp = quantTestNetwork(rng);
+    double prev_sqnr = 1e9;
+    for (unsigned bits : {12u, 8u, 4u, 2u}) {
+        Mlp q = mlp.clone();
+        const QuantReport report = WeightQuantizer(bits).quantize(q);
+        double mean_sqnr = 0.0;
+        int layers = 0;
+        for (const auto &l : report.layers) {
+            if (l.quantized) {
+                mean_sqnr += l.sqnrDb;
+                ++layers;
+            }
+        }
+        mean_sqnr /= layers;
+        EXPECT_LT(mean_sqnr, prev_sqnr) << bits << " bits";
+        prev_sqnr = mean_sqnr;
+    }
+}
+
+TEST(WeightQuantizer, ValuesOnGrid)
+{
+    Rng rng(4);
+    Mlp mlp = quantTestNetwork(rng);
+    const QuantReport report = WeightQuantizer(4).quantize(mlp);
+
+    const auto fcs = mlp.fullyConnectedLayers();
+    for (std::size_t i = 0; i < fcs.size(); ++i) {
+        if (!report.layers[i].quantized)
+            continue;
+        const float scale = report.layers[i].scale;
+        const float *w = fcs[i]->weights().data();
+        for (std::size_t k = 0; k < fcs[i]->weights().size(); ++k) {
+            const float code = w[k] / scale;
+            EXPECT_NEAR(code, std::round(code), 1e-3f);
+            EXPECT_LE(std::fabs(code), 7.001f); // 4-bit symmetric
+        }
+    }
+}
+
+TEST(WeightQuantizer, QuantizedBytesShrink)
+{
+    Rng rng(5);
+    Mlp mlp = quantTestNetwork(rng);
+    const std::size_t b8 = WeightQuantizer::quantizedBytes(mlp, 8);
+    const std::size_t b4 = WeightQuantizer::quantizedBytes(mlp, 4);
+    EXPECT_LT(b4, b8);
+    EXPECT_LT(b8, mlp.parameterCount() * 4);
+}
+
+TEST(WeightQuantizer, ReportRenders)
+{
+    Rng rng(6);
+    Mlp mlp = quantTestNetwork(rng);
+    const QuantReport report = WeightQuantizer(8).quantize(mlp);
+    const std::string text = report.render();
+    EXPECT_NE(text.find("8-bit"), std::string::npos);
+    EXPECT_NE(text.find("FC1"), std::string::npos);
+}
+
+// ------------------------------- Csv ---------------------------------
+
+TEST(CsvWriter, DisabledWriterSwallows)
+{
+    CsvWriter csv;
+    EXPECT_FALSE(csv.enabled());
+    csv.header({"a"});
+    csv.row({"1"}); // must not crash
+}
+
+TEST(CsvWriter, WritesQuotedRows)
+{
+    const std::string path = testing::TempDir() + "/out.csv";
+    {
+        CsvWriter csv(path);
+        EXPECT_TRUE(csv.enabled());
+        csv.header({"name", "value"});
+        csv.header({"ignored", "second header suppressed"});
+        csv.row({"plain", "1.5"});
+        csv.row({"with,comma", "say \"hi\""});
+    }
+    std::ifstream is(path);
+    std::string line;
+    std::getline(is, line);
+    EXPECT_EQ(line, "name,value");
+    std::getline(is, line);
+    EXPECT_EQ(line, "plain,1.5");
+    std::getline(is, line);
+    EXPECT_EQ(line, "\"with,comma\",\"say \"\"hi\"\"\"");
+    std::getline(is, line);
+    EXPECT_TRUE(is.eof() || line.empty());
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace darkside

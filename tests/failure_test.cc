@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Failure-injection tests: the library's error-handling contract.
+ * Internal invariant violations must panic (abort), user errors must be
+ * fatal (exit 1), and corrupted inputs must be rejected rather than
+ * silently mis-parsed. Uses gtest death tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "corpus/lexicon.hh"
+#include "dnn/mlp.hh"
+#include "dnn/topology.hh"
+#include "nbest/selectors.hh"
+#include "sim/cache_model.hh"
+#include "tensor/matrix.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace darkside {
+namespace {
+
+using FailureDeathTest = ::testing::Test;
+
+TEST(FailureDeathTest, MatrixOutOfBoundsPanics)
+{
+    Matrix m(2, 3);
+    EXPECT_DEATH(m.at(2, 0), "assertion");
+    EXPECT_DEATH(m.at(0, 3), "assertion");
+}
+
+TEST(FailureDeathTest, GemvShapeMismatchPanics)
+{
+    Matrix w(2, 3);
+    Vector x{1.0f, 2.0f}; // wrong length
+    Vector b{0.0f, 0.0f};
+    Vector y;
+    EXPECT_DEATH(gemv(w, x, b, y), "assertion");
+}
+
+TEST(FailureDeathTest, SoftmaxOfEmptyVectorPanics)
+{
+    Vector v;
+    EXPECT_DEATH(softmaxInPlace(v), "assertion");
+}
+
+TEST(FailureDeathTest, RngBelowZeroPanics)
+{
+    Rng rng(1);
+    EXPECT_DEATH(rng.below(0), "assertion");
+}
+
+TEST(FailureDeathTest, MlpLayerShapeMismatchPanics)
+{
+    Mlp mlp;
+    mlp.add(std::make_unique<FullyConnected>("fc1", 4, 8));
+    EXPECT_DEATH(
+        mlp.add(std::make_unique<FullyConnected>("fc2", 9, 2)),
+        "assertion");
+}
+
+TEST(FailureDeathTest, TrainStepWithBadLabelPanics)
+{
+    Rng rng(1);
+    TopologyConfig config;
+    config.inputDim = 4;
+    config.fcWidth = 8;
+    config.poolGroup = 2;
+    config.hiddenBlocks = 1;
+    config.classes = 3;
+    Mlp mlp = KaldiTopology::build(config, rng);
+    Vector in(4, 0.5f);
+    EXPECT_DEATH(mlp.trainStep(in, 3, 0.1f), "assertion");
+}
+
+TEST(FailureDeathTest, LoadMissingModelFileIsFatal)
+{
+    EXPECT_EXIT(Mlp::load("/nonexistent/path/model.bin"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(FailureDeathTest, LoadCorruptModelFileIsFatal)
+{
+    const std::string path = testing::TempDir() + "/corrupt_model.bin";
+    {
+        std::ofstream os(path, std::ios::binary);
+        os << "this is not a model file at all";
+    }
+    EXPECT_EXIT(Mlp::load(path), ::testing::ExitedWithCode(1),
+                "not a darkside MLP");
+    std::remove(path.c_str());
+}
+
+TEST(FailureDeathTest, CacheGeometryMustDivide)
+{
+    // 1000 B is not divisible by line * ways.
+    EXPECT_DEATH(CacheModel(CacheConfig{"c", 1000, 4, 64}),
+                 "assertion");
+}
+
+TEST(FailureDeathTest, NonPowerOfTwoHashRejected)
+{
+    EXPECT_DEATH(DirectMappedHash(100), "assertion");
+    // entries/ways must leave a power-of-two set count.
+    EXPECT_DEATH(SetAssociativeHash(24, 8), "assertion");
+}
+
+TEST(FailureDeathTest, MaskOnFixedLayerPanics)
+{
+    FullyConnected fc0("FC0", 4, 4, /*trainable=*/false);
+    std::vector<std::uint8_t> mask(16, 1);
+    EXPECT_DEATH(fc0.setMask(mask), "assertion");
+}
+
+TEST(FailureDeathTest, WrongSizeMaskPanics)
+{
+    FullyConnected fc("fc", 4, 4);
+    std::vector<std::uint8_t> mask(7, 1);
+    EXPECT_DEATH(fc.setMask(mask), "assertion");
+}
+
+TEST(FailureTest, LexiconImpossibleVocabularyIsFatal)
+{
+    // 2 phonemes, length-1 pronunciations: only 2 unique words exist.
+    PhonemeInventory inv(2, 3);
+    EXPECT_EXIT(Lexicon(inv, 10, 1, 1, 1),
+                ::testing::ExitedWithCode(1), "unique pronunciations");
+}
+
+TEST(FailureTest, TruncatedModelFileDetected)
+{
+    // Write a valid model, truncate it, expect a clean fatal error.
+    Rng rng(1);
+    TopologyConfig config;
+    config.inputDim = 4;
+    config.fcWidth = 8;
+    config.poolGroup = 2;
+    config.hiddenBlocks = 1;
+    config.classes = 3;
+    Mlp mlp = KaldiTopology::build(config, rng);
+    const std::string path = testing::TempDir() + "/truncated.bin";
+    mlp.save(path);
+
+    // Truncate to half.
+    std::ifstream is(path, std::ios::binary | std::ios::ate);
+    const auto full = static_cast<std::size_t>(is.tellg());
+    is.seekg(0);
+    std::string bytes(full / 2, '\0');
+    is.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    is.close();
+    {
+        std::ofstream os(path, std::ios::binary | std::ios::trunc);
+        os.write(bytes.data(),
+                 static_cast<std::streamsize>(bytes.size()));
+    }
+    // Either the loader hits the clean "error while reading" fatal or
+    // an internal shape assertion fires first; both must kill the
+    // process rather than return a half-parsed model.
+    EXPECT_DEATH(Mlp::load(path), "");
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace darkside

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Integration tests across the full stack, checking the paper's
+ * headline *shapes* on a miniature instance:
+ *   1. pruning keeps top-1 behaviour but lowers confidence (Sec. II-B)
+ *   2. lower confidence inflates Viterbi workload (Fig. 4)
+ *   3. the N-best hash bounds the workload without hurting WER much
+ *      (Figs. 7/11)
+ *   4. the whole pipeline is deterministic end to end
+ */
+
+#include <gtest/gtest.h>
+
+#include "system/defaults.hh"
+
+namespace darkside {
+namespace {
+
+/** Slightly larger than the system_test mini setup: enough structure
+ *  for workload trends to be visible, still < 10 s to train. */
+ExperimentSetup
+integrationSetup()
+{
+    ExperimentSetup setup;
+    setup.corpus.phonemes = 16;
+    setup.corpus.statesPerPhoneme = 3;
+    setup.corpus.words = 120;
+    setup.corpus.minPhonemesPerWord = 2;
+    setup.corpus.maxPhonemesPerWord = 4;
+    setup.corpus.grammarBranching = 8;
+    setup.corpus.contextFrames = 2;
+    setup.corpus.synthesizer.featureDim = 10;
+    setup.corpus.synthesizer.noiseStddev = 0.5;
+    setup.corpus.seed = 4242;
+
+    setup.zoo.topology = KaldiTopology::scaled(
+        /*classes=*/48, /*input_dim=*/50, /*fc_width=*/64,
+        /*pool_group=*/2);
+    setup.zoo.topology.hiddenBlocks = 3;
+    setup.zoo.trainUtterances = 80;
+    setup.zoo.training.epochs = 4;
+    setup.zoo.retraining.epochs = 2;
+    setup.zoo.cacheDir = "";
+
+    setup.platform.viterbiBaseline.hashEntries = 2048;
+    setup.platform.viterbiBaseline.backupEntries = 1024;
+    setup.testUtterances = 8;
+    setup.baselineBeam = 13.0f;
+    setup.narrowBeams[0] = 11.0f;
+    setup.narrowBeams[1] = 9.0f;
+    setup.narrowBeams[2] = 8.5f;
+    setup.narrowBeams[3] = 8.0f;
+    setup.nbestEntries = 512;
+    return setup;
+}
+
+ExperimentContext &
+context()
+{
+    static ExperimentContext ctx(integrationSetup());
+    return ctx;
+}
+
+TEST(EndToEnd, PrunedModelsKeepAccuracyLoseConfidence)
+{
+    auto &ctx = context();
+    const FrameDataset test =
+        ctx.corpus.frameDataset(ctx.corpus.sampleUtterances(10, 31337));
+
+    const EvalReport dense =
+        Trainer::evaluate(ctx.zoo.model(PruneLevel::None), test);
+    const EvalReport p70 =
+        Trainer::evaluate(ctx.zoo.model(PruneLevel::P70), test);
+    const EvalReport p90 =
+        Trainer::evaluate(ctx.zoo.model(PruneLevel::P90), test);
+
+    // Top-5 accuracy holds up (paper: < 5% drop even at 90%)...
+    EXPECT_GT(dense.topKAccuracy, 0.85);
+    EXPECT_GT(p90.topKAccuracy, dense.topKAccuracy - 0.15);
+    // ...but confidence decays monotonically with pruning.
+    EXPECT_LT(p70.meanConfidence, dense.meanConfidence);
+    EXPECT_LT(p90.meanConfidence, p70.meanConfidence);
+}
+
+TEST(EndToEnd, PruningInflatesViterbiWorkload)
+{
+    auto &ctx = context();
+    const auto base_cfg =
+        ctx.setup.configFor(SearchMode::Baseline, PruneLevel::None);
+    const auto p90_cfg =
+        ctx.setup.configFor(SearchMode::Baseline, PruneLevel::P90);
+
+    const auto base = ctx.system.runTestSet(ctx.testSet, base_cfg);
+    const auto p90 = ctx.system.runTestSet(ctx.testSet, p90_cfg);
+
+    // Fig. 4: more hypotheses survive the beam under the pruned model.
+    EXPECT_GT(p90.meanSurvivorsPerFrame(),
+              1.2 * base.meanSurvivorsPerFrame());
+    // Fig. 2/11: the Viterbi stage slows down even though the DNN
+    // stage speeds up.
+    EXPECT_GT(p90.viterbi.seconds, base.viterbi.seconds);
+    EXPECT_LT(p90.dnn.seconds, base.dnn.seconds);
+}
+
+TEST(EndToEnd, NBestHashBoundsWorkloadKeepsWer)
+{
+    auto &ctx = context();
+    const auto baseline_cfg =
+        ctx.setup.configFor(SearchMode::Baseline, PruneLevel::P90);
+    const auto nbest_cfg =
+        ctx.setup.configFor(SearchMode::NBestHash, PruneLevel::P90);
+
+    const auto baseline = ctx.system.runTestSet(ctx.testSet,
+                                                baseline_cfg);
+    const auto nbest = ctx.system.runTestSet(ctx.testSet, nbest_cfg);
+
+    EXPECT_LE(nbest.meanSurvivorsPerFrame(),
+              static_cast<double>(nbest_cfg.nbestEntries));
+    // At this miniature scale the hypothesis count may never pressure
+    // either organisation, in which case both run identically; the
+    // N-best hash must never be slower.
+    EXPECT_LE(nbest.viterbi.seconds, baseline.viterbi.seconds);
+    EXPECT_LE(nbest.viterbi.joules, baseline.viterbi.joules);
+    // WER must not blow up (paper: 11% vs 10.59% at N = 1024).
+    EXPECT_LT(nbest.wer.wordErrorRate(),
+              baseline.wer.wordErrorRate() + 0.1);
+}
+
+TEST(EndToEnd, NarrowBeamHelpsButKeepsTail)
+{
+    auto &ctx = context();
+    const auto baseline_cfg =
+        ctx.setup.configFor(SearchMode::Baseline, PruneLevel::P90);
+    const auto beam_cfg =
+        ctx.setup.configFor(SearchMode::NarrowBeam, PruneLevel::P90);
+
+    const auto baseline = ctx.system.runTestSet(ctx.testSet,
+                                                baseline_cfg);
+    const auto beam = ctx.system.runTestSet(ctx.testSet, beam_cfg);
+
+    // Narrowing the beam cuts mean Viterbi time...
+    EXPECT_LT(beam.viterbi.seconds, baseline.viterbi.seconds);
+    // ...but the per-utterance latency distribution keeps a tail above
+    // its own median (the paper's long-tail argument).
+    const double p50 =
+        beam.searchLatencyPerSpeechSecond.percentile(50.0);
+    const double p_max = beam.searchLatencyPerSpeechSecond.max();
+    EXPECT_GT(p_max, p50);
+}
+
+TEST(EndToEnd, DeterministicAcrossRuns)
+{
+    auto &ctx = context();
+    const auto cfg =
+        ctx.setup.configFor(SearchMode::NBestHash, PruneLevel::P80);
+    const auto a = ctx.system.runTestSet(ctx.testSet, cfg);
+    const auto b = ctx.system.runTestSet(ctx.testSet, cfg);
+    EXPECT_EQ(a.survivors, b.survivors);
+    EXPECT_EQ(a.generated, b.generated);
+    EXPECT_DOUBLE_EQ(a.viterbi.seconds, b.viterbi.seconds);
+    EXPECT_DOUBLE_EQ(a.wer.wordErrorRate(), b.wer.wordErrorRate());
+}
+
+TEST(EndToEnd, WerReasonableOnMatchedData)
+{
+    auto &ctx = context();
+    const auto cfg =
+        ctx.setup.configFor(SearchMode::Baseline, PruneLevel::None);
+    const auto result = ctx.system.runTestSet(ctx.testSet, cfg);
+    // A matched acoustic model + grammar decodes most words.
+    EXPECT_LT(result.wer.wordErrorRate(), 0.4);
+}
+
+TEST(EndToEnd, EnergyBreakdownMovesWithPruning)
+{
+    auto &ctx = context();
+    const auto dense = ctx.system.runTestSet(
+        ctx.testSet,
+        ctx.setup.configFor(SearchMode::Baseline, PruneLevel::None));
+    const auto p90 = ctx.system.runTestSet(
+        ctx.testSet,
+        ctx.setup.configFor(SearchMode::Baseline, PruneLevel::P90));
+    // Fig. 12: DNN energy falls with pruning; Viterbi energy rises.
+    EXPECT_LT(p90.dnn.joules, dense.dnn.joules);
+    EXPECT_GT(p90.viterbi.joules, dense.viterbi.joules);
+}
+
+} // namespace
+} // namespace darkside

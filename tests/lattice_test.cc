@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Unit tests for the word lattice: path recombination, N-best ordering,
+ * oracle WER, and lattice decoding over the synthetic graph.
+ */
+
+#include <gtest/gtest.h>
+
+#include "decoder/lattice.hh"
+#include "nbest/selectors.hh"
+#include "scoremodel/score_model.hh"
+#include "wfst/graph_builder.hh"
+
+namespace darkside {
+namespace {
+
+LatticePath
+path(std::vector<WordId> words, double cost, bool complete = true)
+{
+    LatticePath p;
+    p.words = std::move(words);
+    p.cost = cost;
+    p.complete = complete;
+    return p;
+}
+
+TEST(Lattice, RecombinesByWordSequence)
+{
+    Lattice lattice;
+    lattice.addPath(path({1, 2}, 10.0));
+    lattice.addPath(path({1, 2}, 8.0));
+    lattice.addPath(path({1, 3}, 9.0));
+    EXPECT_EQ(lattice.pathCount(), 2u);
+    EXPECT_DOUBLE_EQ(lattice.best().cost, 8.0);
+}
+
+TEST(Lattice, CompleteBeatsIncomplete)
+{
+    Lattice lattice;
+    lattice.addPath(path({1}, 5.0, /*complete=*/false));
+    lattice.addPath(path({2}, 9.0, /*complete=*/true));
+    EXPECT_EQ(lattice.best().words, std::vector<WordId>{2});
+
+    // Same words: the complete variant wins even at higher cost.
+    Lattice lattice2;
+    lattice2.addPath(path({7}, 5.0, false));
+    lattice2.addPath(path({7}, 9.0, true));
+    EXPECT_EQ(lattice2.pathCount(), 1u);
+    EXPECT_TRUE(lattice2.best().complete);
+    EXPECT_DOUBLE_EQ(lattice2.best().cost, 9.0);
+}
+
+TEST(Lattice, NBestOrdered)
+{
+    Lattice lattice;
+    lattice.addPath(path({1}, 3.0));
+    lattice.addPath(path({2}, 1.0));
+    lattice.addPath(path({3}, 2.0));
+    lattice.addPath(path({4}, 9.0, false));
+    const auto top = lattice.nBest(3);
+    ASSERT_EQ(top.size(), 3u);
+    EXPECT_EQ(top[0].words, std::vector<WordId>{2});
+    EXPECT_EQ(top[1].words, std::vector<WordId>{3});
+    EXPECT_EQ(top[2].words, std::vector<WordId>{1});
+}
+
+TEST(Lattice, OracleFindsBestMatch)
+{
+    Lattice lattice;
+    lattice.addPath(path({1, 2, 3}, 5.0));
+    lattice.addPath(path({1, 9, 3}, 4.0)); // cheaper but wrong
+    const EditStats oracle = lattice.oracle({1, 2, 3});
+    EXPECT_EQ(oracle.errors(), 0u);
+}
+
+TEST(Lattice, OracleOnEmptyLattice)
+{
+    Lattice lattice;
+    const EditStats oracle = lattice.oracle({1, 2});
+    EXPECT_EQ(oracle.errors(), 2u); // all deleted
+}
+
+TEST(Lattice, RenderListsPaths)
+{
+    Lattice lattice;
+    lattice.addPath(path({5, 6}, 1.5));
+    const std::string out = lattice.render();
+    EXPECT_NE(out.find("5 6"), std::string::npos);
+}
+
+struct LatticeDecodeFixture : public ::testing::Test
+{
+    LatticeDecodeFixture()
+        : inventory(10, 3), lexicon(inventory, 25, 2, 3, 5),
+          grammar(25, 6, 0.25, 6)
+    {
+        GraphConfig gc;
+        GraphBuilder builder(inventory, lexicon, grammar, gc);
+        fst = std::make_unique<Wfst>(builder.build());
+    }
+
+    AcousticScores
+    makeScores(std::vector<WordId> &words, double confidence,
+               std::uint64_t seed)
+    {
+        Rng rng(seed);
+        words = grammar.sampleSentence(rng, 6);
+        SynthesizerConfig sc;
+        FrameSynthesizer synth(inventory, sc);
+        const Utterance utt = synth.synthesize(words, lexicon, rng);
+        ScoreModelConfig smc;
+        smc.targetConfidence = confidence;
+        smc.topErrorRate = 0.0;
+        SyntheticScoreModel model(inventory.pdfCount(), smc);
+        Rng srng(seed ^ 0xfeed);
+        return AcousticScores::fromPosteriors(
+            model.posteriorsFor(utt.alignment, srng), 1.0f);
+    }
+
+    PhonemeInventory inventory;
+    Lexicon lexicon;
+    BigramGrammar grammar;
+    std::unique_ptr<Wfst> fst;
+};
+
+TEST_F(LatticeDecodeFixture, BestLatticePathMatchesDecode)
+{
+    std::vector<WordId> words;
+    const auto scores = makeScores(words, 0.9, 21);
+    UnboundedSelector selector;
+    LatticeDecoder decoder(*fst, DecoderConfig{12.0f});
+    Lattice lattice;
+    const DecodeResult result =
+        decoder.decode(scores, selector, lattice);
+    ASSERT_GT(lattice.pathCount(), 0u);
+    EXPECT_EQ(lattice.best().words, result.words);
+    EXPECT_NEAR(lattice.best().cost, result.totalCost, 1e-4);
+}
+
+TEST_F(LatticeDecodeFixture, FlatScoresProduceMoreAlternatives)
+{
+    // Aggregate over several utterances: flatter scores must leave
+    // more distinct alternatives in the lattices overall.
+    std::vector<WordId> words;
+    LatticeDecoder decoder(*fst, DecoderConfig{12.0f});
+    std::size_t confident_paths = 0;
+    std::size_t flat_paths = 0;
+    for (std::uint64_t seed = 31; seed < 39; ++seed) {
+        UnboundedSelector s1, s2;
+        Lattice confident, flat;
+        decoder.decode(makeScores(words, 0.9, seed), s1, confident);
+        decoder.decode(makeScores(words, 0.3, seed), s2, flat);
+        confident_paths += confident.pathCount();
+        flat_paths += flat.pathCount();
+    }
+    EXPECT_GT(flat_paths, confident_paths);
+}
+
+TEST_F(LatticeDecodeFixture, OracleNoWorseThanOneBest)
+{
+    std::vector<WordId> words;
+    const auto scores = makeScores(words, 0.5, 41);
+    UnboundedSelector selector;
+    LatticeDecoder decoder(*fst, DecoderConfig{12.0f});
+    Lattice lattice;
+    const DecodeResult result =
+        decoder.decode(scores, selector, lattice);
+
+    const EditStats one_best = alignSequences(words, result.words);
+    const EditStats oracle = lattice.oracle(words);
+    EXPECT_LE(oracle.errors(), one_best.errors());
+}
+
+TEST_F(LatticeDecodeFixture, BacktraceFromFinalTokensConsistent)
+{
+    std::vector<WordId> words;
+    const auto scores = makeScores(words, 0.8, 51);
+    UnboundedSelector selector;
+    ViterbiDecoder decoder(*fst, DecoderConfig{12.0f});
+    const DecodeResult result = decoder.decode(scores, selector);
+
+    ASSERT_FALSE(result.finalTokens.empty());
+    ASSERT_FALSE(result.trace.empty());
+    // Every final token's backtrace must be resolvable and bounded.
+    for (const auto &token : result.finalTokens) {
+        const auto path = result.backtrace(token.trace);
+        EXPECT_LE(path.size(), 64u);
+        for (WordId w : path)
+            EXPECT_LT(w, lexicon.wordCount());
+    }
+}
+
+} // namespace
+} // namespace darkside

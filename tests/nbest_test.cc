@@ -1,0 +1,404 @@
+/**
+ * @file
+ * Unit and property tests for the hypothesis-selection structures: the
+ * Max-Heap set (including the worked example of Fig. 8), the four
+ * selectors, recombination semantics and the similarity metric.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "nbest/max_heap_set.hh"
+#include "nbest/selectors.hh"
+#include "util/bits.hh"
+#include "util/rng.hh"
+
+namespace darkside {
+namespace {
+
+Hypothesis
+hyp(StateId state, float cost)
+{
+    return Hypothesis{state, cost, 0};
+}
+
+std::multiset<float>
+costsOf(const MaxHeapSet &set)
+{
+    std::vector<Hypothesis> out;
+    set.collect(out);
+    std::multiset<float> costs;
+    for (const auto &h : out)
+        costs.insert(h.cost);
+    return costs;
+}
+
+TEST(MaxHeapSet, InsertKeepsHeapValid)
+{
+    MaxHeapSet set(7);
+    for (float c : {80.f, 70.f, 50.f, 100.f, 30.f, 10.f, 60.f}) {
+        set.insert(hyp(static_cast<StateId>(c), c));
+        EXPECT_TRUE(set.heapValid());
+    }
+    EXPECT_TRUE(set.full());
+    EXPECT_FLOAT_EQ(set.worstCost(), 100.0f);
+}
+
+TEST(MaxHeapSet, Figure8Example)
+{
+    // The paper's worked example: costs {80,70,50,100,30,10,60}, then
+    // insert 40 -> 100 evicted, 80 and 70 shift up, heap stays valid.
+    MaxHeapSet set(7);
+    for (float c : {80.f, 70.f, 50.f, 100.f, 30.f, 10.f, 60.f})
+        set.insert(hyp(static_cast<StateId>(c), c));
+
+    set.replaceWorst(hyp(40, 40.0f));
+    EXPECT_TRUE(set.heapValid());
+    EXPECT_FLOAT_EQ(set.worstCost(), 80.0f);
+    const auto costs = costsOf(set);
+    EXPECT_EQ(costs.count(100.0f), 0u);
+    EXPECT_EQ(costs.count(40.0f), 1u);
+    EXPECT_EQ(costs.size(), 7u);
+}
+
+TEST(MaxHeapSet, ReplaceBetterThanSecondWorst)
+{
+    MaxHeapSet set(7);
+    for (float c : {80.f, 70.f, 50.f, 100.f, 30.f, 10.f, 60.f})
+        set.insert(hyp(static_cast<StateId>(c), c));
+    // 90 only beats the root: it must land at the root position.
+    set.replaceWorst(hyp(90, 90.0f));
+    EXPECT_TRUE(set.heapValid());
+    EXPECT_FLOAT_EQ(set.worstCost(), 90.0f);
+}
+
+TEST(MaxHeapSet, SingleWaySet)
+{
+    MaxHeapSet set(1);
+    set.insert(hyp(1, 5.0f));
+    EXPECT_TRUE(set.full());
+    set.replaceWorst(hyp(2, 3.0f));
+    EXPECT_FLOAT_EQ(set.worstCost(), 3.0f);
+    std::vector<Hypothesis> out;
+    set.collect(out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].state, 2u);
+}
+
+TEST(MaxHeapSet, RecombineLowersCostAndKeepsHeap)
+{
+    MaxHeapSet set(4);
+    set.insert(hyp(1, 10.0f));
+    set.insert(hyp(2, 20.0f));
+    set.insert(hyp(3, 30.0f));
+    set.insert(hyp(4, 40.0f));
+    const int slot = set.find(4);
+    ASSERT_GE(slot, 0);
+    set.recombine(slot, hyp(4, 5.0f));
+    EXPECT_TRUE(set.heapValid());
+    EXPECT_FLOAT_EQ(set.worstCost(), 30.0f);
+}
+
+TEST(MaxHeapSet, FindLocatesStates)
+{
+    MaxHeapSet set(4);
+    set.insert(hyp(11, 1.0f));
+    set.insert(hyp(22, 2.0f));
+    EXPECT_GE(set.find(11), 0);
+    EXPECT_GE(set.find(22), 0);
+    EXPECT_EQ(set.find(33), -1);
+}
+
+TEST(MaxHeapSet, ClearEmpties)
+{
+    MaxHeapSet set(4);
+    set.insert(hyp(1, 1.0f));
+    set.clear();
+    EXPECT_EQ(set.size(), 0u);
+    EXPECT_EQ(set.find(1), -1);
+}
+
+/** Property: random operation streams keep the heap valid and always
+ *  retain the K best distinct states offered (within one set). */
+TEST(MaxHeapSet, PropertyKeepsKBest)
+{
+    Rng rng(1);
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::size_t k = 1 + rng.below(8);
+        MaxHeapSet set(k);
+        std::vector<Hypothesis> offered;
+        for (int i = 0; i < 60; ++i) {
+            const auto state = static_cast<StateId>(i);
+            const auto cost =
+                static_cast<float>(rng.uniform(0.0, 100.0));
+            const Hypothesis h = hyp(state, cost);
+            offered.push_back(h);
+            if (!set.full()) {
+                set.insert(h);
+            } else if (cost < set.worstCost()) {
+                set.replaceWorst(h);
+            }
+            ASSERT_TRUE(set.heapValid());
+        }
+        // The set must hold exactly the k cheapest offered hypotheses.
+        std::sort(offered.begin(), offered.end(),
+                  [](const Hypothesis &a, const Hypothesis &b) {
+                      return a.cost < b.cost;
+                  });
+        std::set<StateId> expected;
+        for (std::size_t i = 0; i < k; ++i)
+            expected.insert(offered[i].state);
+        std::vector<Hypothesis> kept;
+        set.collect(kept);
+        ASSERT_EQ(kept.size(), k);
+        for (const auto &h : kept)
+            EXPECT_TRUE(expected.count(h.state)) << "cost " << h.cost;
+    }
+}
+
+TEST(UnboundedSelector, KeepsEverythingAndRecombines)
+{
+    UnboundedSelector selector(64, 32);
+    selector.beginFrame();
+    selector.insert(hyp(1, 5.0f));
+    selector.insert(hyp(2, 7.0f));
+    selector.insert(hyp(1, 3.0f)); // better duplicate
+    selector.insert(hyp(1, 9.0f)); // worse duplicate
+    const auto survivors = selector.finishFrame();
+    ASSERT_EQ(survivors.size(), 2u);
+    float cost1 = -1.0f;
+    for (const auto &h : survivors) {
+        if (h.state == 1)
+            cost1 = h.cost;
+    }
+    EXPECT_FLOAT_EQ(cost1, 3.0f);
+    EXPECT_EQ(selector.frameStats().insertions, 4u);
+    EXPECT_EQ(selector.frameStats().recombinations, 2u);
+    EXPECT_EQ(selector.frameStats().survivors, 2u);
+}
+
+TEST(UnboundedSelector, ClassifiesRegions)
+{
+    // 4-entry direct region, 2-entry backup: states hashing to the same
+    // entry spill to backup and then to overflow.
+    UnboundedSelector selector(4, 2);
+    selector.beginFrame();
+    // xorFoldHash with 2 index bits: states 0,4,8,... all map to
+    // varying entries; use states that definitely collide: 0 and 0x44
+    // (0x44 xor-folds onto different entries though). Brute-force a
+    // colliding set instead.
+    std::vector<StateId> states;
+    const std::uint32_t target = xorFoldHash(1, 2);
+    for (StateId s = 1; states.size() < 5 && s < 4096; ++s) {
+        if (xorFoldHash(s, 2) == target)
+            states.push_back(s);
+    }
+    ASSERT_EQ(states.size(), 5u);
+    for (StateId s : states)
+        selector.insert(hyp(s, 1.0f));
+    const auto survivors = selector.finishFrame();
+    EXPECT_EQ(survivors.size(), 5u); // nothing is ever dropped
+    const auto &stats = selector.frameStats();
+    EXPECT_EQ(stats.collisions, 4u);
+    EXPECT_EQ(stats.backupAccesses, 2u);
+    EXPECT_EQ(stats.overflowAccesses, 2u);
+}
+
+TEST(UnboundedSelector, FrameResetsState)
+{
+    UnboundedSelector selector(64, 32);
+    selector.beginFrame();
+    selector.insert(hyp(1, 5.0f));
+    selector.finishFrame();
+    selector.beginFrame();
+    const auto survivors = selector.finishFrame();
+    EXPECT_TRUE(survivors.empty());
+}
+
+TEST(AccurateNBest, KeepsExactlyNBestByCost)
+{
+    AccurateNBest selector(3);
+    selector.beginFrame();
+    for (StateId s = 0; s < 10; ++s)
+        selector.insert(hyp(s, static_cast<float>(10 - s)));
+    const auto survivors = selector.finishFrame();
+    ASSERT_EQ(survivors.size(), 3u);
+    std::set<StateId> states;
+    for (const auto &h : survivors)
+        states.insert(h.state);
+    // Cheapest three are states 9, 8, 7 (costs 1, 2, 3).
+    EXPECT_TRUE(states.count(9));
+    EXPECT_TRUE(states.count(8));
+    EXPECT_TRUE(states.count(7));
+    EXPECT_EQ(selector.frameStats().evictions, 7u);
+}
+
+TEST(AccurateNBest, UnderfilledFrameKeepsAll)
+{
+    AccurateNBest selector(100);
+    selector.beginFrame();
+    selector.insert(hyp(1, 1.0f));
+    selector.insert(hyp(2, 2.0f));
+    EXPECT_EQ(selector.finishFrame().size(), 2u);
+}
+
+TEST(DirectMappedHash, CollisionKeepsCheaper)
+{
+    DirectMappedHash selector(4);
+    const std::uint32_t target = xorFoldHash(1, 2);
+    std::vector<StateId> colliding;
+    for (StateId s = 1; colliding.size() < 2 && s < 4096; ++s) {
+        if (xorFoldHash(s, 2) == target)
+            colliding.push_back(s);
+    }
+    selector.beginFrame();
+    selector.insert(hyp(colliding[0], 5.0f));
+    selector.insert(hyp(colliding[1], 3.0f)); // cheaper -> evicts
+    auto survivors = selector.finishFrame();
+    ASSERT_EQ(survivors.size(), 1u);
+    EXPECT_EQ(survivors[0].state, colliding[1]);
+    EXPECT_EQ(selector.frameStats().evictions, 1u);
+
+    selector.beginFrame();
+    selector.insert(hyp(colliding[0], 5.0f));
+    selector.insert(hyp(colliding[1], 8.0f)); // worse -> rejected
+    survivors = selector.finishFrame();
+    ASSERT_EQ(survivors.size(), 1u);
+    EXPECT_EQ(survivors[0].state, colliding[0]);
+    EXPECT_EQ(selector.frameStats().rejections, 1u);
+}
+
+TEST(SetAssociativeHash, BoundsSurvivorsToEntries)
+{
+    SetAssociativeHash selector(16, 4);
+    selector.beginFrame();
+    for (StateId s = 0; s < 500; ++s)
+        selector.insert(hyp(s, static_cast<float>(s % 37)));
+    const auto survivors = selector.finishFrame();
+    EXPECT_LE(survivors.size(), 16u);
+}
+
+TEST(SetAssociativeHash, RecombinationBeforeEviction)
+{
+    SetAssociativeHash selector(8, 8); // one set
+    selector.beginFrame();
+    for (StateId s = 0; s < 8; ++s)
+        selector.insert(hyp(s, 10.0f + static_cast<float>(s)));
+    selector.insert(hyp(3, 1.0f)); // recombine, not insert
+    const auto survivors = selector.finishFrame();
+    EXPECT_EQ(survivors.size(), 8u);
+    for (const auto &h : survivors) {
+        if (h.state == 3)
+            EXPECT_FLOAT_EQ(h.cost, 1.0f);
+    }
+    EXPECT_EQ(selector.frameStats().recombinations, 1u);
+    EXPECT_EQ(selector.frameStats().evictions, 0u);
+}
+
+TEST(SetAssociativeHash, EvictsWorstInFullSet)
+{
+    SetAssociativeHash selector(4, 4); // one set of 4
+    selector.beginFrame();
+    selector.insert(hyp(1, 10.0f));
+    selector.insert(hyp(2, 20.0f));
+    selector.insert(hyp(3, 30.0f));
+    selector.insert(hyp(4, 40.0f));
+    selector.insert(hyp(5, 25.0f)); // evicts state 4 (cost 40)
+    selector.insert(hyp(6, 99.0f)); // rejected
+    const auto survivors = selector.finishFrame();
+    std::set<StateId> states;
+    for (const auto &h : survivors)
+        states.insert(h.state);
+    EXPECT_EQ(states, (std::set<StateId>{1, 2, 3, 5}));
+    EXPECT_EQ(selector.frameStats().evictions, 1u);
+    EXPECT_EQ(selector.frameStats().rejections, 1u);
+}
+
+/** Property: a fully-associative (one-set) hash equals accurate N-best
+ *  up to cost ties. */
+TEST(SetAssociativeHash, FullyAssociativeMatchesAccurate)
+{
+    Rng rng(2);
+    for (int trial = 0; trial < 20; ++trial) {
+        SetAssociativeHash loose(8, 8);
+        AccurateNBest exact(8);
+        loose.beginFrame();
+        exact.beginFrame();
+        for (int i = 0; i < 200; ++i) {
+            const Hypothesis h =
+                hyp(static_cast<StateId>(rng.below(150)),
+                    static_cast<float>(rng.below(100000)) / 7.0f);
+            loose.insert(h);
+            exact.insert(h);
+        }
+        const auto a = exact.finishFrame();
+        const auto b = loose.finishFrame();
+        EXPECT_NEAR(selectionSimilarity(a, b), 1.0, 1e-12);
+    }
+}
+
+/** Property: higher associativity (same capacity) never hurts average
+ *  similarity to the accurate N-best (Fig. 9's trend). */
+TEST(SetAssociativeHash, AssociativityImprovesSimilarity)
+{
+    Rng rng(3);
+    const std::size_t n = 64;
+    double mean_sim[4] = {0, 0, 0, 0};
+    const std::size_t ways[4] = {1, 2, 4, 8};
+    const int trials = 30;
+    for (int trial = 0; trial < trials; ++trial) {
+        std::vector<Hypothesis> stream;
+        for (int i = 0; i < 600; ++i) {
+            stream.push_back(
+                hyp(static_cast<StateId>(rng.below(5000)),
+                    static_cast<float>(rng.uniform(0.0, 100.0))));
+        }
+        AccurateNBest exact(n);
+        exact.beginFrame();
+        for (const auto &h : stream)
+            exact.insert(h);
+        const auto reference = exact.finishFrame();
+
+        for (int w = 0; w < 4; ++w) {
+            SetAssociativeHash loose(n, ways[w]);
+            loose.beginFrame();
+            for (const auto &h : stream)
+                loose.insert(h);
+            mean_sim[w] +=
+                selectionSimilarity(reference, loose.finishFrame());
+        }
+    }
+    for (double &s : mean_sim)
+        s /= trials;
+    EXPECT_GT(mean_sim[1], mean_sim[0] - 0.02);
+    EXPECT_GT(mean_sim[2], mean_sim[1] - 0.02);
+    EXPECT_GT(mean_sim[3], mean_sim[2] - 0.02);
+    EXPECT_GT(mean_sim[3], 0.8);
+}
+
+TEST(Similarity, Metric)
+{
+    std::vector<Hypothesis> a{hyp(1, 0), hyp(2, 0), hyp(3, 0),
+                              hyp(4, 0)};
+    std::vector<Hypothesis> b{hyp(2, 0), hyp(4, 0), hyp(9, 0)};
+    EXPECT_DOUBLE_EQ(selectionSimilarity(a, b), 0.5);
+    EXPECT_DOUBLE_EQ(selectionSimilarity({}, b), 1.0);
+    EXPECT_DOUBLE_EQ(selectionSimilarity(a, {}), 0.0);
+}
+
+TEST(Selectors, NamesAreStable)
+{
+    UnboundedSelector u;
+    AccurateNBest a(4);
+    DirectMappedHash d(8);
+    SetAssociativeHash s(16, 8);
+    EXPECT_STREQ(u.name(), "unbounded");
+    EXPECT_STREQ(a.name(), "n-best-accurate");
+    EXPECT_STREQ(d.name(), "direct-mapped-hash");
+    EXPECT_STREQ(s.name(), "8-way-hash-16");
+}
+
+} // namespace
+} // namespace darkside

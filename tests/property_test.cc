@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Parameterized property tests (TEST_P sweeps) over the library's core
+ * invariants: heap-set correctness for every associativity, selector
+ * capacity bounds, cache-model sanity across geometries, hash spread
+ * across index widths, edit-distance metric properties and pruning
+ * monotonicity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "dnn/topology.hh"
+#include "nbest/max_heap_set.hh"
+#include "nbest/selectors.hh"
+#include "pruning/magnitude_pruner.hh"
+#include "sim/cache_model.hh"
+#include "util/bits.hh"
+#include "util/edit_distance.hh"
+#include "util/rng.hh"
+
+namespace darkside {
+namespace {
+
+// ---------------------------------------------------------------------
+// MaxHeapSet: for every associativity, a random offer stream must leave
+// exactly the K cheapest distinct states in the set, heap always valid.
+// ---------------------------------------------------------------------
+
+class MaxHeapSetProperty : public ::testing::TestWithParam<std::size_t>
+{};
+
+TEST_P(MaxHeapSetProperty, KeepsExactlyKBest)
+{
+    const std::size_t k = GetParam();
+    Rng rng(1000 + k);
+    for (int trial = 0; trial < 20; ++trial) {
+        MaxHeapSet set(k);
+        std::vector<Hypothesis> offered;
+        const int count = 5 + static_cast<int>(rng.below(80));
+        for (int i = 0; i < count; ++i) {
+            Hypothesis h{static_cast<StateId>(i),
+                         static_cast<float>(rng.below(1u << 20)), 0};
+            offered.push_back(h);
+            if (!set.full())
+                set.insert(h);
+            else if (h.cost < set.worstCost())
+                set.replaceWorst(h);
+            ASSERT_TRUE(set.heapValid());
+        }
+        std::sort(offered.begin(), offered.end(),
+                  [](const Hypothesis &a, const Hypothesis &b) {
+                      return a.cost < b.cost;
+                  });
+        const std::size_t kept =
+            std::min<std::size_t>(k, offered.size());
+        std::multiset<float> expected;
+        for (std::size_t i = 0; i < kept; ++i)
+            expected.insert(offered[i].cost);
+        std::vector<Hypothesis> got;
+        set.collect(got);
+        ASSERT_EQ(got.size(), kept);
+        std::multiset<float> actual;
+        for (const auto &h : got)
+            actual.insert(h.cost);
+        EXPECT_EQ(actual, expected);
+    }
+}
+
+TEST_P(MaxHeapSetProperty, RecombinePreservesHeap)
+{
+    const std::size_t k = GetParam();
+    Rng rng(2000 + k);
+    MaxHeapSet set(k);
+    for (std::size_t i = 0; i < k; ++i) {
+        set.insert(Hypothesis{static_cast<StateId>(i),
+                              static_cast<float>(100 + i * 10), 0});
+    }
+    for (int step = 0; step < 30; ++step) {
+        const auto state = static_cast<StateId>(rng.below(k));
+        const int slot = set.find(state);
+        ASSERT_GE(slot, 0);
+        const float current =
+            set.entry(static_cast<std::size_t>(slot)).cost;
+        const float lower =
+            current * static_cast<float>(rng.uniform(0.3, 1.0));
+        set.recombine(slot, Hypothesis{state, lower, 0});
+        ASSERT_TRUE(set.heapValid());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Associativities, MaxHeapSetProperty,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 16));
+
+// ---------------------------------------------------------------------
+// SetAssociativeHash: survivors never exceed capacity, recombination
+// never loses the globally cheapest hypothesis.
+// ---------------------------------------------------------------------
+
+class HashCapacityProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>>
+{};
+
+TEST_P(HashCapacityProperty, SurvivorsBoundedAndBestKept)
+{
+    const auto [entries, ways] = GetParam();
+    Rng rng(entries * 131 + ways);
+    SetAssociativeHash selector(entries, ways);
+    for (int frame = 0; frame < 5; ++frame) {
+        selector.beginFrame();
+        float best_cost = 1e30f;
+        StateId best_state = 0;
+        const int inserts = 20 + static_cast<int>(rng.below(3000));
+        for (int i = 0; i < inserts; ++i) {
+            Hypothesis h{static_cast<StateId>(rng.below(100000)),
+                         static_cast<float>(rng.uniform(0.0, 1e6)), 0};
+            if (h.cost < best_cost) {
+                best_cost = h.cost;
+                best_state = h.state;
+            }
+            selector.insert(h);
+        }
+        const auto survivors = selector.finishFrame();
+        EXPECT_LE(survivors.size(), entries);
+        bool best_found = false;
+        for (const auto &h : survivors)
+            best_found |= h.state == best_state && h.cost == best_cost;
+        // The cheapest hypothesis can never be evicted: replacement
+        // only discards the *worst* entry of a set.
+        EXPECT_TRUE(best_found);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, HashCapacityProperty,
+    ::testing::Values(std::make_tuple(16, 1), std::make_tuple(16, 8),
+                      std::make_tuple(64, 2), std::make_tuple(256, 4),
+                      std::make_tuple(1024, 8),
+                      std::make_tuple(8, 8)));
+
+// ---------------------------------------------------------------------
+// CacheModel: geometry sweep; sequential streams larger than the cache
+// always miss; streams smaller than one way's reach always hit after
+// warm-up.
+// ---------------------------------------------------------------------
+
+class CacheGeometryProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>>
+{};
+
+TEST_P(CacheGeometryProperty, WarmResidentSetAlwaysHits)
+{
+    const auto [kb, ways] = GetParam();
+    CacheModel cache(CacheConfig{"c", kb * 1024, ways, 64});
+    const std::size_t resident_lines = (kb * 1024 / 64) / 2;
+    for (int pass = 0; pass < 3; ++pass) {
+        for (std::size_t line = 0; line < resident_lines; ++line)
+            cache.access(line * 64);
+    }
+    EXPECT_EQ(cache.stats().misses, resident_lines);
+    EXPECT_EQ(cache.stats().hits, 2 * resident_lines);
+}
+
+TEST_P(CacheGeometryProperty, OversizedStreamMostlyMisses)
+{
+    const auto [kb, ways] = GetParam();
+    CacheModel cache(CacheConfig{"c", kb * 1024, ways, 64});
+    const std::size_t lines = 4 * kb * 1024 / 64;
+    for (int pass = 0; pass < 2; ++pass) {
+        for (std::size_t line = 0; line < lines; ++line)
+            cache.access(line * 64);
+    }
+    EXPECT_GT(cache.stats().missRate(), 0.95);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometryProperty,
+    ::testing::Values(std::make_tuple(4, 1), std::make_tuple(16, 2),
+                      std::make_tuple(64, 4), std::make_tuple(256, 4),
+                      std::make_tuple(768, 8),
+                      std::make_tuple(128, 2)));
+
+// ---------------------------------------------------------------------
+// xorFoldHash: every index width covers its whole range on dense keys.
+// ---------------------------------------------------------------------
+
+class XorFoldProperty : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(XorFoldProperty, CoversRangeAndStaysInBounds)
+{
+    const unsigned bits = GetParam();
+    const std::uint32_t buckets = 1u << bits;
+    std::set<std::uint32_t> seen;
+    for (std::uint64_t key = 0; key < 8ull * buckets; ++key) {
+        const std::uint32_t h = xorFoldHash(key, bits);
+        ASSERT_LT(h, buckets);
+        seen.insert(h);
+    }
+    EXPECT_GT(seen.size(), buckets * 9 / 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(IndexWidths, XorFoldProperty,
+                         ::testing::Values(1, 2, 4, 7, 10, 12, 15));
+
+// ---------------------------------------------------------------------
+// Edit distance: metric-style properties on random sequences.
+// ---------------------------------------------------------------------
+
+class EditDistanceProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(EditDistanceProperty, IdentityAndSymmetryAndBound)
+{
+    Rng rng(GetParam());
+    for (int trial = 0; trial < 40; ++trial) {
+        std::vector<std::uint32_t> a(rng.below(20));
+        std::vector<std::uint32_t> b(rng.below(20));
+        for (auto &x : a)
+            x = static_cast<std::uint32_t>(rng.below(5));
+        for (auto &x : b)
+            x = static_cast<std::uint32_t>(rng.below(5));
+
+        // d(a, a) == 0.
+        EXPECT_EQ(alignSequences(a, a).errors(), 0u);
+        // Total edit distance is symmetric (the ins/del decomposition
+        // of a minimal path is not unique, so only totals compare).
+        const EditStats ab = alignSequences(a, b);
+        const EditStats ba = alignSequences(b, a);
+        EXPECT_EQ(ab.errors(), ba.errors());
+        // Length conservation: ref - deletions + insertions == hyp.
+        EXPECT_EQ(a.size() - ab.deletions + ab.insertions, b.size());
+        EXPECT_EQ(b.size() - ba.deletions + ba.insertions, a.size());
+        EXPECT_LE(ab.substitutions, std::min(a.size(), b.size()));
+        // Bounded by max length; at least the length difference.
+        EXPECT_LE(ab.errors(), std::max(a.size(), b.size()));
+        EXPECT_GE(ab.errors(),
+                  a.size() > b.size() ? a.size() - b.size()
+                                      : b.size() - a.size());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EditDistanceProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------------
+// MagnitudePruner: pruned fraction is monotone in the quality
+// parameter and the target search converges over the whole range.
+// ---------------------------------------------------------------------
+
+class PrunerMonotonicityProperty
+    : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(PrunerMonotonicityProperty, FractionMonotoneInQuality)
+{
+    Rng rng(GetParam());
+    TopologyConfig config;
+    config.inputDim = 12;
+    config.fcWidth = 32;
+    config.poolGroup = 2;
+    config.hiddenBlocks = 1;
+    config.classes = 6;
+    Mlp mlp = KaldiTopology::build(config, rng);
+
+    double prev = -1.0;
+    for (double quality : {0.2, 0.6, 1.0, 1.5, 2.0, 3.0}) {
+        Mlp probe = mlp.clone();
+        const double frac =
+            MagnitudePruner(quality).prune(probe).globalPrunedFraction();
+        EXPECT_GE(frac, prev);
+        prev = frac;
+    }
+    for (double target : {0.3, 0.6, 0.85, 0.95}) {
+        const double quality =
+            MagnitudePruner::findQualityForTarget(mlp, target, 0.02);
+        Mlp probe = mlp.clone();
+        EXPECT_NEAR(
+            MagnitudePruner(quality).prune(probe).globalPrunedFraction(),
+            target, 0.04);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrunerMonotonicityProperty,
+                         ::testing::Values(11, 22, 33));
+
+// ---------------------------------------------------------------------
+// Selector equivalence: on streams without capacity pressure, every
+// bounded selector matches the unbounded one exactly.
+// ---------------------------------------------------------------------
+
+class SelectorEquivalenceProperty
+    : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(SelectorEquivalenceProperty, NoPressureMeansNoLoss)
+{
+    Rng rng(GetParam());
+    UnboundedSelector unbounded;
+    AccurateNBest accurate(512);
+    SetAssociativeHash hash(512, 8);
+
+    for (int frame = 0; frame < 3; ++frame) {
+        unbounded.beginFrame();
+        accurate.beginFrame();
+        hash.beginFrame();
+        // <= 40 distinct states: far below every capacity, and below
+        // the per-set worst case for 64 sets.
+        for (int i = 0; i < 120; ++i) {
+            Hypothesis h{static_cast<StateId>(rng.below(40)),
+                         static_cast<float>(rng.uniform(0.0, 100.0)),
+                         0};
+            unbounded.insert(h);
+            accurate.insert(h);
+            hash.insert(h);
+        }
+        auto a = unbounded.finishFrame();
+        auto b = accurate.finishFrame();
+        auto c = hash.finishFrame();
+
+        auto canonical = [](std::vector<Hypothesis> v) {
+            std::sort(v.begin(), v.end(),
+                      [](const Hypothesis &x, const Hypothesis &y) {
+                          return x.state < y.state;
+                      });
+            return v;
+        };
+        a = canonical(a);
+        b = canonical(b);
+        c = canonical(c);
+        ASSERT_EQ(a.size(), b.size());
+        ASSERT_EQ(a.size(), c.size());
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            EXPECT_EQ(a[i].state, b[i].state);
+            EXPECT_EQ(a[i].cost, b[i].cost);
+            EXPECT_EQ(a[i].state, c[i].state);
+            EXPECT_EQ(a[i].cost, c[i].cost);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SelectorEquivalenceProperty,
+                         ::testing::Values(7, 77, 777));
+
+} // namespace
+} // namespace darkside

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Unit tests for magnitude pruning (Han et al.) and the sparse-layer
+ * export: threshold semantics, target search, retraining under masks,
+ * and bit-exactness of the sparse forward pass.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dnn/topology.hh"
+#include "pruning/magnitude_pruner.hh"
+#include "pruning/sparse_layer.hh"
+
+namespace darkside {
+namespace {
+
+Mlp
+smallNetwork(Rng &rng)
+{
+    TopologyConfig config;
+    config.inputDim = 10;
+    config.fcWidth = 32;
+    config.poolGroup = 2;
+    config.hiddenBlocks = 2;
+    config.classes = 5;
+    return KaldiTopology::build(config, rng);
+}
+
+TEST(MagnitudePruner, ZeroQualityPrunesNothing)
+{
+    Rng rng(1);
+    Mlp mlp = smallNetwork(rng);
+    MagnitudePruner pruner(0.0);
+    const PruneReport report = pruner.prune(mlp);
+    EXPECT_DOUBLE_EQ(report.globalPrunedFraction(), 0.0);
+}
+
+TEST(MagnitudePruner, HigherQualityPrunesMore)
+{
+    Rng rng(2);
+    Mlp a = smallNetwork(rng);
+    Mlp b = a.clone();
+    const double frac_a =
+        MagnitudePruner(0.5).prune(a).globalPrunedFraction();
+    const double frac_b =
+        MagnitudePruner(1.5).prune(b).globalPrunedFraction();
+    EXPECT_GT(frac_a, 0.0);
+    EXPECT_GT(frac_b, frac_a);
+}
+
+TEST(MagnitudePruner, ThresholdIsQualityTimesStddev)
+{
+    // A layer with known weights: stddev computable by hand.
+    Mlp mlp;
+    auto fc = std::make_unique<FullyConnected>("FC1", 2, 2);
+    fc->weights().at(0, 0) = 1.0f;
+    fc->weights().at(0, 1) = -1.0f;
+    fc->weights().at(1, 0) = 3.0f;
+    fc->weights().at(1, 1) = -3.0f;
+    mlp.add(std::move(fc));
+    mlp.add(std::make_unique<Softmax>("SoftMax", 2));
+
+    // mean 0, stddev sqrt((1+1+9+9)/4) = sqrt(5) ~ 2.236. Quality 0.6
+    // -> threshold 1.342: prunes the +/-1 weights, keeps the +/-3.
+    MagnitudePruner pruner(0.6);
+    const PruneReport report = pruner.prune(mlp);
+    EXPECT_EQ(report.layers[0].prunedWeights, 2u);
+    const auto *pruned_fc = mlp.fullyConnectedLayers()[0];
+    EXPECT_EQ(pruned_fc->weights().at(0, 0), 0.0f);
+    EXPECT_EQ(pruned_fc->weights().at(1, 0), 3.0f);
+}
+
+TEST(MagnitudePruner, Fc0NeverPruned)
+{
+    Rng rng(3);
+    Mlp mlp = smallNetwork(rng);
+    MagnitudePruner pruner(5.0);
+    const PruneReport report = pruner.prune(mlp);
+    ASSERT_FALSE(report.layers.empty());
+    EXPECT_EQ(report.layers[0].layerName, "FC0");
+    EXPECT_FALSE(report.layers[0].prunable);
+    EXPECT_FALSE(mlp.fullyConnectedLayers()[0]->hasMask());
+}
+
+TEST(MagnitudePruner, FindQualityHitsTarget)
+{
+    Rng rng(4);
+    Mlp mlp = smallNetwork(rng);
+    for (double target : {0.5, 0.7, 0.9}) {
+        const double quality =
+            MagnitudePruner::findQualityForTarget(mlp, target, 0.01);
+        Mlp probe = mlp.clone();
+        const double achieved =
+            MagnitudePruner(quality).prune(probe).globalPrunedFraction();
+        EXPECT_NEAR(achieved, target, 0.02) << "target " << target;
+    }
+}
+
+TEST(MagnitudePruner, ReportCountsConsistent)
+{
+    Rng rng(5);
+    Mlp mlp = smallNetwork(rng);
+    const PruneReport report = MagnitudePruner(1.0).prune(mlp);
+    for (const auto &layer : report.layers) {
+        EXPECT_LE(layer.prunedWeights, layer.totalWeights);
+        if (layer.prunable) {
+            EXPECT_GE(layer.prunedFraction(), 0.0);
+            EXPECT_LE(layer.prunedFraction(), 1.0);
+        }
+    }
+    EXPECT_GT(report.globalPrunedFraction(),
+              report.storedPrunedFraction() - 1e-12);
+    EXPECT_NE(report.render().find("FC1"), std::string::npos);
+}
+
+TEST(MagnitudePruner, PrunedFractionMatchesMaskCounts)
+{
+    Rng rng(6);
+    Mlp mlp = smallNetwork(rng);
+    const PruneReport report = MagnitudePruner(1.2).prune(mlp);
+    std::size_t expected_nonzero = 0;
+    std::size_t actual_nonzero = 0;
+    for (const auto *fc : mlp.fullyConnectedLayers()) {
+        if (!fc->trainable())
+            continue;
+        actual_nonzero += fc->nonzeroWeightCount();
+    }
+    for (const auto &layer : report.layers) {
+        if (!layer.prunable)
+            continue;
+        expected_nonzero += layer.totalWeights - layer.prunedWeights;
+    }
+    EXPECT_EQ(actual_nonzero, expected_nonzero);
+}
+
+TEST(PruneAndRetrain, MaskSurvivesRetraining)
+{
+    Rng rng(7);
+    Mlp mlp = smallNetwork(rng);
+
+    FrameDataset data;
+    Rng data_rng(8);
+    for (int i = 0; i < 50; ++i) {
+        LabeledFrame f;
+        f.features.resize(10);
+        for (auto &x : f.features)
+            x = static_cast<float>(data_rng.gaussian(0.0, 1.0));
+        f.label = static_cast<std::uint32_t>(data_rng.below(5));
+        data.push_back(std::move(f));
+    }
+
+    PruneReport report;
+    Mlp pruned = pruneAndRetrain(mlp, data, 1.0,
+                                 TrainerConfig{.epochs = 2}, &report);
+
+    // Pruned positions must still be exactly zero after retraining.
+    for (const auto *fc : pruned.fullyConnectedLayers()) {
+        if (!fc->hasMask())
+            continue;
+        const auto &mask = fc->mask();
+        const float *w = fc->weights().data();
+        for (std::size_t i = 0; i < mask.size(); ++i) {
+            if (!mask[i])
+                EXPECT_EQ(w[i], 0.0f);
+        }
+    }
+
+    // The original model is untouched.
+    bool original_has_mask = false;
+    for (const auto *fc : mlp.fullyConnectedLayers())
+        original_has_mask |= fc->hasMask();
+    EXPECT_FALSE(original_has_mask);
+    EXPECT_GT(report.globalPrunedFraction(), 0.0);
+}
+
+TEST(SparseLayer, ForwardBitExactWithMaskedDense)
+{
+    Rng rng(9);
+    FullyConnected fc("fc", 20, 12);
+    fc.initialize(rng);
+    std::vector<std::uint8_t> mask(fc.weights().size());
+    for (auto &m : mask)
+        m = rng.chance(0.3) ? 1 : 0;
+    fc.setMask(mask);
+
+    const SparseLayer sparse(fc);
+    Vector x(20);
+    for (auto &v : x)
+        v = static_cast<float>(rng.gaussian(0.0, 1.0));
+    Vector dense_out, sparse_out;
+    fc.forward(x, dense_out);
+    sparse.forward(x, sparse_out);
+    ASSERT_EQ(dense_out.size(), sparse_out.size());
+    for (std::size_t i = 0; i < dense_out.size(); ++i)
+        EXPECT_NEAR(dense_out[i], sparse_out[i], 1e-4f);
+}
+
+TEST(SparseLayer, NonzeroCountMatchesMask)
+{
+    Rng rng(10);
+    FullyConnected fc("fc", 16, 8);
+    fc.initialize(rng);
+    std::vector<std::uint8_t> mask(fc.weights().size(), 0);
+    mask[5] = 1;
+    mask[77] = 1;
+    fc.setMask(mask);
+    const SparseLayer sparse(fc);
+    EXPECT_EQ(sparse.nonzeros(), 2u);
+    EXPECT_NEAR(sparse.density(), 2.0 / 128.0, 1e-12);
+}
+
+TEST(SparseLayer, IndicesSortedWithinRow)
+{
+    Rng rng(11);
+    FullyConnected fc("fc", 30, 10);
+    fc.initialize(rng);
+    std::vector<std::uint8_t> mask(fc.weights().size());
+    for (auto &m : mask)
+        m = rng.chance(0.5) ? 1 : 0;
+    fc.setMask(mask);
+    const SparseLayer sparse(fc);
+    for (std::size_t r = 0; r < sparse.outputSize(); ++r) {
+        for (std::size_t i = sparse.rowBegin(r) + 1;
+             i < sparse.rowEnd(r); ++i) {
+            EXPECT_LT(sparse.index(i - 1), sparse.index(i));
+        }
+    }
+}
+
+TEST(SparseLayer, StorageBytesScaleWithNonzeros)
+{
+    Rng rng(12);
+    FullyConnected fc("fc", 10, 10);
+    fc.initialize(rng);
+    const SparseLayer dense_view(fc);
+    // 100 weights * 6 B + 10 biases * 4 B.
+    EXPECT_EQ(dense_view.storageBytes(), 100u * 6 + 40);
+
+    std::vector<std::uint8_t> mask(100, 0);
+    for (int i = 0; i < 10; ++i)
+        mask[i * 10] = 1;
+    fc.setMask(mask);
+    const SparseLayer sparse(fc);
+    EXPECT_EQ(sparse.storageBytes(), 10u * 6 + 40);
+}
+
+TEST(SparseLayer, DenseLayerHasUnitDensity)
+{
+    Rng rng(13);
+    FullyConnected fc("fc", 7, 3);
+    fc.initialize(rng);
+    const SparseLayer sparse(fc);
+    EXPECT_DOUBLE_EQ(sparse.density(), 1.0);
+    EXPECT_EQ(sparse.inputSize(), 7u);
+    EXPECT_EQ(sparse.outputSize(), 3u);
+}
+
+} // namespace
+} // namespace darkside

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Unit tests for the calibrated synthetic score model: confidence
+ * calibration, distribution validity, error injection, temperature
+ * scaling and the gamma sampler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "scoremodel/score_model.hh"
+#include "tensor/matrix.hh"
+#include "util/stats.hh"
+
+namespace darkside {
+namespace {
+
+TEST(SampleGamma, MeanEqualsShape)
+{
+    Rng rng(1);
+    for (double shape : {0.1, 0.5, 1.0, 3.0}) {
+        RunningStats stats;
+        for (int i = 0; i < 20000; ++i)
+            stats.add(sampleGamma(rng, shape));
+        EXPECT_NEAR(stats.mean(), shape, 0.05 * std::max(1.0, shape))
+            << "shape " << shape;
+        EXPECT_GT(stats.min(), 0.0);
+    }
+}
+
+TEST(SampleGamma, VarianceEqualsShape)
+{
+    Rng rng(2);
+    RunningStats stats;
+    for (int i = 0; i < 30000; ++i)
+        stats.add(sampleGamma(rng, 2.0));
+    EXPECT_NEAR(stats.variance(), 2.0, 0.1);
+}
+
+TEST(SyntheticScoreModel, PosteriorsAreDistributions)
+{
+    ScoreModelConfig config;
+    SyntheticScoreModel model(120, config);
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i) {
+        const Vector p = model.framePosterior(7, rng);
+        ASSERT_EQ(p.size(), 120u);
+        float sum = 0.0f;
+        for (float v : p) {
+            EXPECT_GE(v, 0.0f);
+            sum += v;
+        }
+        EXPECT_NEAR(sum, 1.0f, 1e-4f);
+    }
+}
+
+TEST(SyntheticScoreModel, ConfidenceCalibrated)
+{
+    for (double target : {0.9, 0.68, 0.53, 0.3}) {
+        ScoreModelConfig config;
+        config.targetConfidence = target;
+        config.confidenceSpread = 0.3;
+        config.topErrorRate = 0.0;
+        SyntheticScoreModel model(120, config);
+        Rng rng(4);
+        RunningStats confidence;
+        for (int i = 0; i < 3000; ++i) {
+            const Vector p = model.framePosterior(11, rng);
+            confidence.add(p[argMax(p)]);
+        }
+        EXPECT_NEAR(confidence.mean(), target, 0.05)
+            << "target " << target;
+    }
+}
+
+TEST(SyntheticScoreModel, TopClassIsTruthWhenNoErrors)
+{
+    ScoreModelConfig config;
+    config.targetConfidence = 0.7;
+    config.topErrorRate = 0.0;
+    SyntheticScoreModel model(50, config);
+    Rng rng(5);
+    for (int i = 0; i < 500; ++i) {
+        const Vector p = model.framePosterior(23, rng);
+        EXPECT_EQ(argMax(p), 23u);
+    }
+}
+
+TEST(SyntheticScoreModel, ErrorRateInjectsWrongPeaks)
+{
+    ScoreModelConfig config;
+    config.targetConfidence = 0.8;
+    config.topErrorRate = 0.25;
+    SyntheticScoreModel model(50, config);
+    Rng rng(6);
+    int wrong = 0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+        const Vector p = model.framePosterior(23, rng);
+        wrong += argMax(p) != 23u ? 1 : 0;
+    }
+    EXPECT_NEAR(wrong / static_cast<double>(n), 0.25, 0.03);
+}
+
+TEST(SyntheticScoreModel, LowerConfidenceSpreadsCompetitors)
+{
+    // The Fig. 1 phenomenon: at low confidence many more classes carry
+    // non-negligible probability.
+    auto classes_above = [](double confidence, float threshold) {
+        ScoreModelConfig config;
+        config.targetConfidence = confidence;
+        config.confidenceSpread = 0.2;
+        config.topErrorRate = 0.0;
+        SyntheticScoreModel model(200, config);
+        Rng rng(7);
+        double mean_count = 0.0;
+        for (int i = 0; i < 300; ++i) {
+            const Vector p = model.framePosterior(0, rng);
+            int count = 0;
+            for (float v : p)
+                count += v > threshold ? 1 : 0;
+            mean_count += count;
+        }
+        return mean_count / 300.0;
+    };
+    EXPECT_GT(classes_above(0.2, 0.01f), 2.0 * classes_above(0.9, 0.01f));
+}
+
+TEST(SyntheticScoreModel, AlignmentStream)
+{
+    ScoreModelConfig config;
+    config.topErrorRate = 0.0;
+    SyntheticScoreModel model(30, config);
+    Rng rng(8);
+    const std::vector<PdfId> alignment{1, 1, 2, 5, 5, 5, 9};
+    const auto posteriors = model.posteriorsFor(alignment, rng);
+    ASSERT_EQ(posteriors.size(), alignment.size());
+    for (std::size_t t = 0; t < alignment.size(); ++t)
+        EXPECT_EQ(argMax(posteriors[t]), alignment[t]);
+}
+
+TEST(TemperatureScale, IdentityAtOne)
+{
+    Vector p{0.7f, 0.2f, 0.1f};
+    const Vector q = temperatureScale(p, 1.0);
+    for (std::size_t i = 0; i < p.size(); ++i)
+        EXPECT_NEAR(q[i], p[i], 1e-5f);
+}
+
+TEST(TemperatureScale, HighTemperatureFlattens)
+{
+    Vector p{0.9f, 0.05f, 0.05f};
+    const Vector q = temperatureScale(p, 4.0);
+    EXPECT_LT(q[0], p[0]);
+    EXPECT_GT(q[1], p[1]);
+    EXPECT_EQ(argMax(q), 0u);
+}
+
+TEST(TemperatureScale, LowTemperatureSharpens)
+{
+    Vector p{0.6f, 0.3f, 0.1f};
+    const Vector q = temperatureScale(p, 0.5);
+    EXPECT_GT(q[0], p[0]);
+    EXPECT_EQ(argMax(q), 0u);
+}
+
+TEST(SyntheticScoreModel, DeterministicForSeed)
+{
+    ScoreModelConfig config;
+    SyntheticScoreModel model(40, config);
+    Rng a(11), b(11);
+    const Vector pa = model.framePosterior(3, a);
+    const Vector pb = model.framePosterior(3, b);
+    for (std::size_t i = 0; i < pa.size(); ++i)
+        EXPECT_EQ(pa[i], pb[i]);
+}
+
+} // namespace
+} // namespace darkside

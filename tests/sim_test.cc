@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit tests for the simulation substrate: energy/area model scaling,
+ * the set-associative cache model (hits, misses, LRU), the energy
+ * account and the replacement-logic timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cache_model.hh"
+#include "sim/energy_model.hh"
+#include "sim/timing_model.hh"
+
+namespace darkside {
+namespace {
+
+TEST(EnergyModel, SramScalesWithSize)
+{
+    const auto small = EnergyModel::sram(32 * 1024);
+    const auto large = EnergyModel::sram(1024 * 1024);
+    EXPECT_GT(large.accessEnergy, small.accessEnergy);
+    EXPECT_GT(large.leakagePower, small.leakagePower);
+    EXPECT_GT(large.area, small.area);
+    EXPECT_GT(small.accessEnergy, 0.0);
+}
+
+TEST(EnergyModel, EdramDenserLowerLeakage)
+{
+    const auto sram = EnergyModel::sram(1024 * 1024);
+    const auto edram = EnergyModel::edram(1024 * 1024);
+    EXPECT_LT(edram.area, sram.area);
+    EXPECT_LT(edram.leakagePower, sram.leakagePower);
+    EXPECT_GT(edram.accessEnergy, sram.accessEnergy);
+}
+
+TEST(EnergyModel, DramConstantsSane)
+{
+    EXPECT_GT(EnergyModel::dramLineEnergy(), 1e-10);
+    EXPECT_LT(EnergyModel::dramLineEnergy(), 1e-7);
+    EXPECT_GT(EnergyModel::dramBandwidth(), 1e9);
+    EXPECT_GT(EnergyModel::dramLatency(), 1e-8);
+    EXPECT_GT(EnergyModel::fp32MultiplyEnergy(),
+              EnergyModel::fp32AddEnergy());
+}
+
+TEST(EnergyAccount, Accumulates)
+{
+    EnergyAccount account;
+    account.addDynamic(1e-9);
+    account.addDynamic(2e-9);
+    account.addStatic(0.5, 1e-6); // 0.5 W for 1 us
+    EXPECT_DOUBLE_EQ(account.dynamicJoules(), 3e-9);
+    EXPECT_DOUBLE_EQ(account.staticJoules(), 5e-7);
+    EXPECT_DOUBLE_EQ(account.totalJoules(), 5.03e-7);
+
+    EnergyAccount other;
+    other.addDynamic(1e-9);
+    account.merge(other);
+    EXPECT_DOUBLE_EQ(account.dynamicJoules(), 4e-9);
+}
+
+TEST(CacheModel, ColdMissThenHit)
+{
+    CacheModel cache(CacheConfig{"c", 1024, 2, 64});
+    EXPECT_FALSE(cache.access(0));
+    EXPECT_TRUE(cache.access(0));
+    EXPECT_TRUE(cache.access(63));  // same line
+    EXPECT_FALSE(cache.access(64)); // next line
+    EXPECT_EQ(cache.stats().hits, 2u);
+    EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(CacheModel, LruEviction)
+{
+    // 2-way, 2 sets of 64 B lines: lines 0, 2, 4 map to set 0.
+    CacheModel cache(CacheConfig{"c", 256, 2, 64});
+    EXPECT_FALSE(cache.access(0 * 64));
+    EXPECT_FALSE(cache.access(2 * 64));
+    EXPECT_TRUE(cache.access(0 * 64));  // refresh line 0
+    EXPECT_FALSE(cache.access(4 * 64)); // evicts line 2 (LRU)
+    EXPECT_TRUE(cache.access(0 * 64));
+    EXPECT_FALSE(cache.access(2 * 64)); // line 2 was evicted
+}
+
+TEST(CacheModel, FullyAssociativeSetBehaviour)
+{
+    // 4-way, single set.
+    CacheModel cache(CacheConfig{"c", 256, 4, 64});
+    for (std::uint64_t line = 0; line < 4; ++line)
+        EXPECT_FALSE(cache.access(line * 64));
+    for (std::uint64_t line = 0; line < 4; ++line)
+        EXPECT_TRUE(cache.access(line * 64));
+    EXPECT_FALSE(cache.access(4 * 64));
+    EXPECT_FALSE(cache.access(0 * 64)); // 0 was LRU -> evicted
+}
+
+TEST(CacheModel, FlushInvalidates)
+{
+    CacheModel cache(CacheConfig{"c", 1024, 2, 64});
+    cache.access(0);
+    cache.flush();
+    EXPECT_FALSE(cache.access(0));
+}
+
+TEST(CacheModel, MissRate)
+{
+    CacheModel cache(CacheConfig{"c", 1024, 2, 64});
+    cache.access(0);
+    cache.access(0);
+    cache.access(0);
+    cache.access(0);
+    EXPECT_DOUBLE_EQ(cache.stats().missRate(), 0.25);
+    cache.resetStats();
+    EXPECT_EQ(cache.stats().accesses(), 0u);
+}
+
+TEST(CacheModel, WorkingSetLargerThanCacheThrashes)
+{
+    CacheModel cache(CacheConfig{"c", 4096, 4, 64}); // 64 lines
+    // Stream 256 distinct lines twice: second pass must still miss.
+    for (int pass = 0; pass < 2; ++pass) {
+        for (std::uint64_t line = 0; line < 256; ++line)
+            cache.access(line * 64);
+    }
+    EXPECT_GT(cache.stats().missRate(), 0.9);
+}
+
+TEST(CacheModel, WorkingSetSmallerThanCacheHitsAfterWarmup)
+{
+    CacheModel cache(CacheConfig{"c", 16384, 4, 64}); // 256 lines
+    for (int pass = 0; pass < 4; ++pass) {
+        for (std::uint64_t line = 0; line < 64; ++line)
+            cache.access(line * 64);
+    }
+    // 64 cold misses, 192 hits.
+    EXPECT_EQ(cache.stats().misses, 64u);
+    EXPECT_EQ(cache.stats().hits, 192u);
+}
+
+TEST(TimingModel, PaperSynthesisNumbers)
+{
+    // Sec. III-B: tree of comparators = 2.82 ns (3 cycles at 1.25 ns);
+    // Max-Heap parallel replacement = 1.21 ns (single cycle).
+    const double tree = TimingModel::comparatorTreeDelayNs(8);
+    const double heap = TimingModel::maxHeapReplaceDelayNs(8);
+    EXPECT_NEAR(tree, 2.82, 0.05);
+    EXPECT_NEAR(heap, 1.21, 0.05);
+    EXPECT_EQ(TimingModel::cyclesAt(tree, 1.25), 3u);
+    EXPECT_EQ(TimingModel::cyclesAt(heap, 1.25), 1u);
+}
+
+TEST(TimingModel, TreeDepthGrowsWithWays)
+{
+    EXPECT_LT(TimingModel::comparatorTreeDelayNs(2),
+              TimingModel::comparatorTreeDelayNs(8));
+    EXPECT_LT(TimingModel::comparatorTreeDelayNs(8),
+              TimingModel::comparatorTreeDelayNs(16));
+    // The parallel heap replacement does not grow with associativity.
+    EXPECT_DOUBLE_EQ(TimingModel::maxHeapReplaceDelayNs(2),
+                     TimingModel::maxHeapReplaceDelayNs(16));
+}
+
+TEST(TimingModel, CyclesAtLeastOne)
+{
+    EXPECT_EQ(TimingModel::cyclesAt(0.1, 2.0), 1u);
+    EXPECT_EQ(TimingModel::cyclesAt(2.1, 2.0), 2u);
+}
+
+} // namespace
+} // namespace darkside

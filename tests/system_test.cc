@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Tests of the system layer: model zoo (training, pruning targets,
+ * caching), configuration plumbing and the end-to-end cost accounting
+ * of AsrSystem on a miniature experiment.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "system/defaults.hh"
+
+namespace darkside {
+namespace {
+
+/** A miniature setup that trains in well under a second. */
+ExperimentSetup
+miniSetup()
+{
+    ExperimentSetup setup;
+    setup.corpus.phonemes = 10;
+    setup.corpus.statesPerPhoneme = 3;
+    setup.corpus.words = 50;
+    setup.corpus.minPhonemesPerWord = 2;
+    setup.corpus.maxPhonemesPerWord = 4;
+    setup.corpus.grammarBranching = 6;
+    setup.corpus.contextFrames = 1;
+    setup.corpus.synthesizer.featureDim = 8;
+    setup.corpus.synthesizer.noiseStddev = 0.4;
+    setup.corpus.seed = 777;
+
+    setup.zoo.topology = KaldiTopology::scaled(
+        /*classes=*/30, /*input_dim=*/24, /*fc_width=*/32,
+        /*pool_group=*/2);
+    setup.zoo.topology.hiddenBlocks = 2;
+    setup.zoo.trainUtterances = 40;
+    setup.zoo.training.epochs = 3;
+    setup.zoo.retraining.epochs = 1;
+    setup.zoo.cacheDir = "";
+
+    setup.platform.viterbiBaseline.hashEntries = 1024;
+    setup.platform.viterbiBaseline.backupEntries = 512;
+    setup.platform.viterbiNBest.hashEntries = 128;
+    setup.testUtterances = 4;
+    return setup;
+}
+
+/** Shared across tests in this binary: training once is enough. */
+ExperimentContext &
+context()
+{
+    static ExperimentContext ctx(miniSetup());
+    return ctx;
+}
+
+TEST(PruneLevelHelpers, NamesAndTargets)
+{
+    EXPECT_STREQ(pruneLevelName(PruneLevel::None), "Baseline");
+    EXPECT_STREQ(pruneLevelName(PruneLevel::P90), "90%Pruning");
+    EXPECT_DOUBLE_EQ(pruneLevelTarget(PruneLevel::None), 0.0);
+    EXPECT_DOUBLE_EQ(pruneLevelTarget(PruneLevel::P70), 0.7);
+    EXPECT_DOUBLE_EQ(pruneLevelTarget(PruneLevel::P90), 0.9);
+}
+
+TEST(SystemConfigLabels, MatchPaperNaming)
+{
+    ExperimentSetup setup = miniSetup();
+    EXPECT_EQ(setup.configFor(SearchMode::Baseline, PruneLevel::None)
+                  .label(),
+              "Baseline-NP");
+    EXPECT_EQ(setup.configFor(SearchMode::NarrowBeam, PruneLevel::P80)
+                  .label(),
+              "Beam-80");
+    EXPECT_EQ(setup.configFor(SearchMode::NBestHash, PruneLevel::P90)
+                  .label(),
+              "NBest-90");
+}
+
+TEST(ExperimentSetupBeams, NarrowBeamsShrinkWithPruning)
+{
+    const ExperimentSetup setup = miniSetup();
+    EXPECT_EQ(setup.beamFor(SearchMode::Baseline, PruneLevel::P90),
+              setup.baselineBeam);
+    EXPECT_LT(setup.beamFor(SearchMode::NarrowBeam, PruneLevel::P90),
+              setup.beamFor(SearchMode::NarrowBeam, PruneLevel::None));
+}
+
+TEST(ModelZoo, AchievesPruningTargets)
+{
+    const auto &zoo = context().zoo;
+    for (PruneLevel level :
+         {PruneLevel::P70, PruneLevel::P80, PruneLevel::P90}) {
+        const PruneReport &report = zoo.pruneReport(level);
+        EXPECT_NEAR(report.globalPrunedFraction(),
+                    pruneLevelTarget(level), 0.03)
+            << pruneLevelName(level);
+        EXPECT_GT(zoo.quality(level), 0.0);
+    }
+    // Quality parameter grows with the pruning target (paper: 1.44 /
+    // 1.90 / 2.71).
+    EXPECT_LT(zoo.quality(PruneLevel::P70), zoo.quality(PruneLevel::P80));
+    EXPECT_LT(zoo.quality(PruneLevel::P80), zoo.quality(PruneLevel::P90));
+}
+
+TEST(ModelZoo, PrunedModelsKeepMasks)
+{
+    const auto &zoo = context().zoo;
+    for (PruneLevel level :
+         {PruneLevel::P70, PruneLevel::P80, PruneLevel::P90}) {
+        std::size_t masked_layers = 0;
+        for (const auto *fc : zoo.model(level).fullyConnectedLayers()) {
+            if (fc->hasMask())
+                ++masked_layers;
+        }
+        EXPECT_GT(masked_layers, 0u) << pruneLevelName(level);
+    }
+}
+
+TEST(ModelZoo, ConfidenceDropsWithPruning)
+{
+    // The paper's Fig. 3 at miniature scale: top-1 confidence of the
+    // pruned models is below the dense model's.
+    const auto &ctx = context();
+    const FrameDataset test =
+        ctx.corpus.frameDataset(ctx.corpus.sampleUtterances(6, 999));
+
+    const double base =
+        Trainer::evaluate(ctx.zoo.model(PruneLevel::None), test)
+            .meanConfidence;
+    const double p90 =
+        Trainer::evaluate(ctx.zoo.model(PruneLevel::P90), test)
+            .meanConfidence;
+    EXPECT_LT(p90, base);
+}
+
+TEST(ModelZoo, DiskCacheRoundTrip)
+{
+    ExperimentSetup setup = miniSetup();
+    setup.zoo.trainUtterances = 10;
+    setup.zoo.training.epochs = 1;
+    setup.zoo.retraining.epochs = 1;
+    const std::string dir = testing::TempDir() + "/zoo_cache";
+    setup.zoo.cacheDir = dir;
+
+    const Corpus corpus(setup.corpus);
+    const ModelZoo first(corpus, setup.zoo);
+    const ModelZoo second(corpus, setup.zoo); // must hit the cache
+
+    Vector in(corpus.spliceDim(), 0.1f);
+    Vector a, b;
+    first.model(PruneLevel::P80).forward(in, a);
+    second.model(PruneLevel::P80).forward(in, b);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], b[i]);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(AsrSystem, SelectorFactoryMatchesMode)
+{
+    auto &ctx = context();
+    const auto baseline = ctx.setup.configFor(SearchMode::Baseline,
+                                              PruneLevel::None);
+    const auto nbest = ctx.setup.configFor(SearchMode::NBestHash,
+                                           PruneLevel::None);
+    EXPECT_STREQ(ctx.system.makeSelector(baseline)->name(), "unbounded");
+    EXPECT_NE(std::string(ctx.system.makeSelector(nbest)->name())
+                  .find("way-hash"),
+              std::string::npos);
+}
+
+TEST(AsrSystem, ViterbiConfigMatchesMode)
+{
+    auto &ctx = context();
+    const auto vc_base = ctx.system.viterbiConfigFor(
+        ctx.setup.configFor(SearchMode::Baseline, PruneLevel::None));
+    EXPECT_EQ(vc_base.hash, HashOrganisation::UnboundedBaseline);
+    const auto vc_nbest = ctx.system.viterbiConfigFor(
+        ctx.setup.configFor(SearchMode::NBestHash, PruneLevel::P90));
+    EXPECT_EQ(vc_nbest.hash, HashOrganisation::NBestSetAssociative);
+    EXPECT_EQ(vc_nbest.hashEntries, ctx.setup.nbestEntries);
+    EXPECT_EQ(vc_nbest.backupEntries, 0u);
+}
+
+TEST(AsrSystem, UtteranceRunProducesCosts)
+{
+    auto &ctx = context();
+    const auto config =
+        ctx.setup.configFor(SearchMode::Baseline, PruneLevel::None);
+    const UtteranceRun run =
+        ctx.system.runUtterance(ctx.testSet[0], config);
+    EXPECT_GT(run.frames, 0u);
+    EXPECT_GT(run.dnn.seconds, 0.0);
+    EXPECT_GT(run.dnn.joules, 0.0);
+    EXPECT_GT(run.viterbi.seconds, 0.0);
+    EXPECT_GT(run.viterbi.joules, 0.0);
+    EXPECT_GT(run.meanConfidence, 0.0);
+    EXPECT_LE(run.meanConfidence, 1.0);
+    EXPECT_GT(run.speechSeconds(), 0.0);
+}
+
+TEST(AsrSystem, PruningSpeedsUpDnnStage)
+{
+    auto &ctx = context();
+    const auto &dense = ctx.system.dnnSim(PruneLevel::None);
+    const auto &p90 = ctx.system.dnnSim(PruneLevel::P90);
+    EXPECT_LT(p90.cyclesPerFrame, dense.cyclesPerFrame);
+    EXPECT_LT(p90.modelBytes, dense.modelBytes);
+}
+
+TEST(AsrSystem, TestSetAggregation)
+{
+    auto &ctx = context();
+    const auto config =
+        ctx.setup.configFor(SearchMode::Baseline, PruneLevel::None);
+    const TestSetResult result =
+        ctx.system.runTestSet(ctx.testSet, config);
+    EXPECT_EQ(result.config.label(), "Baseline-NP");
+    EXPECT_GT(result.frames, 0u);
+    EXPECT_GT(result.survivors, 0u);
+    EXPECT_GE(result.generated, result.survivors);
+    EXPECT_GT(result.totalSeconds(), 0.0);
+    EXPECT_GT(result.totalJoules(), 0.0);
+    EXPECT_EQ(result.searchLatencyPerSpeechSecond.count(),
+              ctx.testSet.size());
+    // A trained mini model on matched data should decode mostly right.
+    EXPECT_LT(result.wer.wordErrorRate(), 0.7);
+}
+
+TEST(AsrSystem, NBestBoundsSurvivors)
+{
+    auto &ctx = context();
+    auto config =
+        ctx.setup.configFor(SearchMode::NBestHash, PruneLevel::P90);
+    config.nbestEntries = 128;
+    config.nbestWays = 8;
+    const TestSetResult result =
+        ctx.system.runTestSet(ctx.testSet, config);
+    EXPECT_LE(result.meanSurvivorsPerFrame(), 128.0);
+}
+
+TEST(PaperConfigs, TableIIAndIIIVerbatim)
+{
+    const DnnAccelConfig dnn = paperDnnAccelConfig();
+    EXPECT_EQ(dnn.tiles, 4u);
+    EXPECT_EQ(dnn.multipliers, 128u);
+    EXPECT_EQ(dnn.weightsBufferBytes, 18ull * 1024 * 1024);
+    EXPECT_EQ(dnn.ioBufferBytes, 32u * 1024);
+    EXPECT_EQ(dnn.ioBanks, 64u);
+    EXPECT_EQ(dnn.ioReadPorts, 2u);
+    EXPECT_DOUBLE_EQ(dnn.frequencyHz, 800e6);
+
+    const ViterbiAccelConfig vit = paperViterbiAccelConfig();
+    EXPECT_EQ(vit.stateCache.sizeBytes, 256u * 1024);
+    EXPECT_EQ(vit.stateCache.ways, 4u);
+    EXPECT_EQ(vit.arcCache.sizeBytes, 768u * 1024);
+    EXPECT_EQ(vit.arcCache.ways, 8u);
+    EXPECT_EQ(vit.latticeCache.sizeBytes, 128u * 1024);
+    EXPECT_EQ(vit.likelihoodBufferBytes, 64u * 1024);
+    EXPECT_DOUBLE_EQ(vit.frequencyHz, 500e6);
+}
+
+} // namespace
+} // namespace darkside

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Unit tests for the dense matrix/vector kernels.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/matrix.hh"
+
+namespace darkside {
+namespace {
+
+TEST(Matrix, ConstructionZeroed)
+{
+    Matrix m(3, 4);
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 4u);
+    EXPECT_EQ(m.size(), 12u);
+    for (std::size_t r = 0; r < 3; ++r) {
+        for (std::size_t c = 0; c < 4; ++c)
+            EXPECT_EQ(m.at(r, c), 0.0f);
+    }
+}
+
+TEST(Matrix, FillAndAccess)
+{
+    Matrix m(2, 2);
+    m.fill(3.5f);
+    EXPECT_EQ(m.at(1, 1), 3.5f);
+    m.at(0, 1) = -1.0f;
+    EXPECT_EQ(m.at(0, 1), -1.0f);
+    EXPECT_EQ(m.rowPtr(0)[1], -1.0f);
+}
+
+TEST(Matrix, RandomizeStddev)
+{
+    Rng rng(1);
+    Matrix m(100, 100);
+    m.randomize(rng, 0.5f);
+    double sum = 0.0, sum2 = 0.0;
+    for (std::size_t i = 0; i < m.size(); ++i) {
+        sum += m.data()[i];
+        sum2 += m.data()[i] * m.data()[i];
+    }
+    const double mean = sum / static_cast<double>(m.size());
+    const double var = sum2 / static_cast<double>(m.size()) - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.01);
+    EXPECT_NEAR(std::sqrt(var), 0.5, 0.01);
+}
+
+TEST(Gemv, KnownProduct)
+{
+    Matrix w(2, 3);
+    // [1 2 3; 4 5 6] * [1 1 2] + [10, 20] = [1+2+6+10, 4+5+12+20]
+    float vals[] = {1, 2, 3, 4, 5, 6};
+    std::copy(vals, vals + 6, w.data());
+    Vector x{1, 1, 2};
+    Vector b{10, 20};
+    Vector y;
+    gemv(w, x, b, y);
+    ASSERT_EQ(y.size(), 2u);
+    EXPECT_FLOAT_EQ(y[0], 19.0f);
+    EXPECT_FLOAT_EQ(y[1], 41.0f);
+}
+
+TEST(Gemv, IdentityPassThrough)
+{
+    Matrix w(3, 3);
+    for (std::size_t i = 0; i < 3; ++i)
+        w.at(i, i) = 1.0f;
+    Vector x{7, -2, 0.5};
+    Vector b(3, 0.0f);
+    Vector y;
+    gemv(w, x, b, y);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(GemvTransposed, MatchesManual)
+{
+    Matrix w(2, 3);
+    float vals[] = {1, 2, 3, 4, 5, 6};
+    std::copy(vals, vals + 6, w.data());
+    Vector x{2, -1};
+    Vector y;
+    gemvTransposed(w, x, y);
+    ASSERT_EQ(y.size(), 3u);
+    EXPECT_FLOAT_EQ(y[0], 2 * 1 - 1 * 4);
+    EXPECT_FLOAT_EQ(y[1], 2 * 2 - 1 * 5);
+    EXPECT_FLOAT_EQ(y[2], 2 * 3 - 1 * 6);
+}
+
+TEST(AddOuterProduct, MatchesManual)
+{
+    Matrix w(2, 2);
+    Vector a{1, 2};
+    Vector b{3, 4};
+    addOuterProduct(w, a, b, 0.5f);
+    EXPECT_FLOAT_EQ(w.at(0, 0), 1.5f);
+    EXPECT_FLOAT_EQ(w.at(0, 1), 2.0f);
+    EXPECT_FLOAT_EQ(w.at(1, 0), 3.0f);
+    EXPECT_FLOAT_EQ(w.at(1, 1), 4.0f);
+}
+
+TEST(Axpy, Accumulates)
+{
+    Vector x{1, 2, 3};
+    Vector y{10, 10, 10};
+    axpy(2.0f, x, y);
+    EXPECT_FLOAT_EQ(y[0], 12.0f);
+    EXPECT_FLOAT_EQ(y[2], 16.0f);
+}
+
+TEST(Dot, KnownValue)
+{
+    EXPECT_FLOAT_EQ(dot({1, 2, 3}, {4, 5, 6}), 32.0f);
+}
+
+TEST(Softmax, SumsToOne)
+{
+    Vector v{1.0f, 2.0f, 3.0f};
+    softmaxInPlace(v);
+    float sum = 0.0f;
+    for (float x : v)
+        sum += x;
+    EXPECT_NEAR(sum, 1.0f, 1e-6f);
+    EXPECT_GT(v[2], v[1]);
+    EXPECT_GT(v[1], v[0]);
+}
+
+TEST(Softmax, StableWithLargeLogits)
+{
+    Vector v{1000.0f, 1000.0f, 999.0f};
+    softmaxInPlace(v);
+    EXPECT_FALSE(std::isnan(v[0]));
+    EXPECT_NEAR(v[0], v[1], 1e-6f);
+    EXPECT_LT(v[2], v[0]);
+}
+
+TEST(Softmax, UniformInput)
+{
+    Vector v(10, 0.0f);
+    softmaxInPlace(v);
+    for (float x : v)
+        EXPECT_NEAR(x, 0.1f, 1e-6f);
+}
+
+TEST(LogSumExp, MatchesNaiveOnSmallValues)
+{
+    Vector v{0.1f, 0.2f, 0.3f};
+    float naive = 0.0f;
+    for (float x : v)
+        naive += std::exp(x);
+    EXPECT_NEAR(logSumExp(v), std::log(naive), 1e-5f);
+}
+
+TEST(LogSumExp, StableOnLargeValues)
+{
+    Vector v{800.0f, 801.0f};
+    EXPECT_NEAR(logSumExp(v), 801.0f + std::log1p(std::exp(-1.0f)),
+                1e-3f);
+}
+
+TEST(ArgMax, FindsMaximum)
+{
+    EXPECT_EQ(argMax({0.1f, 0.9f, 0.5f}), 1u);
+    EXPECT_EQ(argMax({3.0f}), 0u);
+    // Ties resolve to the first occurrence.
+    EXPECT_EQ(argMax({1.0f, 1.0f}), 0u);
+}
+
+} // namespace
+} // namespace darkside

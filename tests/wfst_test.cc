@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Unit tests for the WFST container and the decoding-graph builder:
+ * structural invariants (all-emitting arcs, reachable chains, final
+ * states) and cost semantics (LM + HMM transition weights).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <queue>
+#include <set>
+
+#include "wfst/graph_builder.hh"
+
+namespace darkside {
+namespace {
+
+TEST(Wfst, BuilderProducesCsr)
+{
+    Wfst::Builder builder;
+    const StateId s0 = builder.addState();
+    const StateId s1 = builder.addState();
+    const StateId s2 = builder.addState();
+    builder.setStart(s0);
+    builder.addArc(s0, {1, 0, 0.5f, s1});
+    builder.addArc(s0, {2, 3, 0.25f, s2});
+    builder.addArc(s1, {1, 0, 0.1f, s1});
+    builder.setFinal(s2, 1.5f);
+
+    const Wfst fst = std::move(builder).build();
+    EXPECT_EQ(fst.stateCount(), 3u);
+    EXPECT_EQ(fst.arcCount(), 3u);
+    EXPECT_EQ(fst.start(), s0);
+    EXPECT_EQ(fst.outDegree(s0), 2u);
+    EXPECT_EQ(fst.outDegree(s1), 1u);
+    EXPECT_EQ(fst.outDegree(s2), 0u);
+    EXPECT_EQ(fst.arc(fst.arcBegin(s0)).ilabel, 1u);
+    EXPECT_EQ(fst.arc(fst.arcBegin(s0) + 1).olabel, 3u);
+    EXPECT_FLOAT_EQ(fst.finalCost(s2), 1.5f);
+    EXPECT_TRUE(fst.isFinal(s2));
+    EXPECT_FALSE(fst.isFinal(s0));
+}
+
+TEST(Wfst, ByteFootprints)
+{
+    Wfst::Builder builder;
+    builder.addState();
+    builder.addState();
+    builder.setStart(0);
+    builder.addArc(0, {0, 0, 0.0f, 1});
+    const Wfst fst = std::move(builder).build();
+    EXPECT_EQ(fst.stateBytes(), 2u * 6);
+    EXPECT_EQ(fst.arcBytes(), 1u * 10);
+    EXPECT_FALSE(fst.summary().empty());
+}
+
+struct GraphFixture : public ::testing::Test
+{
+    GraphFixture()
+        : inventory(12, 3), lexicon(inventory, 25, 2, 4, 5),
+          grammar(25, 6, 0.2, 6)
+    {
+        GraphConfig config;
+        config.selfLoopProb = 0.5;
+        builder = std::make_unique<GraphBuilder>(inventory, lexicon,
+                                                 grammar, config);
+        fst = std::make_unique<Wfst>(builder->build());
+    }
+
+    PhonemeInventory inventory;
+    Lexicon lexicon;
+    BigramGrammar grammar;
+    std::unique_ptr<GraphBuilder> builder;
+    std::unique_ptr<Wfst> fst;
+};
+
+TEST_F(GraphFixture, StateCountMatchesLexicon)
+{
+    // 1 start state + 3 HMM states per phoneme occurrence.
+    EXPECT_EQ(fst->stateCount(), 1 + lexicon.totalPhonemes() * 3);
+}
+
+TEST_F(GraphFixture, EveryArcIsEmitting)
+{
+    for (std::size_t a = 0; a < fst->arcCount(); ++a)
+        EXPECT_LT(fst->arc(a).ilabel, inventory.pdfCount());
+}
+
+TEST_F(GraphFixture, EveryStateReachableFromStart)
+{
+    std::set<StateId> visited;
+    std::queue<StateId> frontier;
+    frontier.push(fst->start());
+    visited.insert(fst->start());
+    while (!frontier.empty()) {
+        const StateId s = frontier.front();
+        frontier.pop();
+        for (std::size_t a = fst->arcBegin(s); a < fst->arcEnd(s); ++a) {
+            const StateId dest = fst->arc(a).dest;
+            if (visited.insert(dest).second)
+                frontier.push(dest);
+        }
+    }
+    EXPECT_EQ(visited.size(), fst->stateCount());
+}
+
+TEST_F(GraphFixture, EveryNonStartStateHasSelfLoop)
+{
+    for (StateId s = 1; s < fst->stateCount(); ++s) {
+        bool has_self_loop = false;
+        for (std::size_t a = fst->arcBegin(s); a < fst->arcEnd(s); ++a)
+            has_self_loop |= fst->arc(a).dest == s;
+        EXPECT_TRUE(has_self_loop) << "state " << s;
+    }
+}
+
+TEST_F(GraphFixture, SelfLoopCostMatchesTopology)
+{
+    const float loop_cost = -std::log(0.5f);
+    for (std::size_t a = 0; a < fst->arcCount(); ++a) {
+        const Arc &arc = fst->arc(a);
+        bool self = false;
+        for (StateId s = 0; s < fst->stateCount(); ++s) {
+            if (a >= fst->arcBegin(s) && a < fst->arcEnd(s)) {
+                self = arc.dest == s;
+                break;
+            }
+        }
+        if (self)
+            EXPECT_NEAR(arc.weight, loop_cost, 1e-5f);
+    }
+}
+
+TEST_F(GraphFixture, WordArcsCarryOlabels)
+{
+    // Arcs from the start state all emit a word label.
+    for (std::size_t a = fst->arcBegin(fst->start());
+         a < fst->arcEnd(fst->start()); ++a) {
+        EXPECT_NE(fst->arc(a).olabel, kEpsilon);
+    }
+    // Word-internal (non-boundary) arcs never do; count both kinds.
+    std::size_t emitting_words = 0, silent = 0;
+    for (std::size_t a = 0; a < fst->arcCount(); ++a) {
+        if (fst->arc(a).olabel == kEpsilon)
+            ++silent;
+        else
+            ++emitting_words;
+    }
+    EXPECT_GT(emitting_words, 0u);
+    EXPECT_GT(silent, emitting_words);
+}
+
+TEST_F(GraphFixture, FinalStatesArePerWordLastStates)
+{
+    std::size_t final_states = 0;
+    for (StateId s = 0; s < fst->stateCount(); ++s)
+        final_states += fst->isFinal(s) ? 1 : 0;
+    EXPECT_EQ(final_states, lexicon.wordCount());
+}
+
+TEST_F(GraphFixture, CrossWordArcCostIncludesLm)
+{
+    // The cheapest start arc must equal forward-free start cost:
+    // -log P(start word). Start arcs have no forward cost component.
+    float cheapest = kInfinityCost;
+    for (std::size_t a = fst->arcBegin(fst->start());
+         a < fst->arcEnd(fst->start()); ++a) {
+        cheapest = std::min(cheapest, fst->arc(a).weight);
+    }
+    float best_lm = kInfinityCost;
+    for (const auto &s : grammar.startWords()) {
+        best_lm = std::min(best_lm,
+                           static_cast<float>(-std::log(s.probability)));
+    }
+    EXPECT_NEAR(cheapest, best_lm, 1e-5f);
+}
+
+TEST_F(GraphFixture, PdfSequenceExpandsPronunciation)
+{
+    const auto seq = builder->pdfSequence(4);
+    const auto &pron = lexicon.pronunciation(4);
+    ASSERT_EQ(seq.size(), pron.size() * 3);
+    for (std::size_t i = 0; i < pron.size(); ++i) {
+        for (std::uint32_t s = 0; s < 3; ++s)
+            EXPECT_EQ(seq[i * 3 + s], inventory.pdf(pron[i], s));
+    }
+}
+
+TEST_F(GraphFixture, LmScaleScalesWordCosts)
+{
+    GraphConfig scaled_config;
+    scaled_config.selfLoopProb = 0.5;
+    scaled_config.lmScale = 2.0;
+    GraphBuilder scaled_builder(inventory, lexicon, grammar,
+                                scaled_config);
+    const Wfst scaled = scaled_builder.build();
+
+    // Start arcs (pure LM cost) must double.
+    const std::size_t a0 = fst->arcBegin(fst->start());
+    const std::size_t a1 = scaled.arcBegin(scaled.start());
+    EXPECT_NEAR(scaled.arc(a1).weight, 2.0f * fst->arc(a0).weight,
+                1e-5f);
+}
+
+TEST_F(GraphFixture, DeterministicConstruction)
+{
+    GraphConfig config;
+    config.selfLoopProb = 0.5;
+    GraphBuilder other(inventory, lexicon, grammar, config);
+    const Wfst again = other.build();
+    ASSERT_EQ(again.arcCount(), fst->arcCount());
+    for (std::size_t a = 0; a < again.arcCount(); ++a) {
+        EXPECT_EQ(again.arc(a).dest, fst->arc(a).dest);
+        EXPECT_EQ(again.arc(a).ilabel, fst->arc(a).ilabel);
+        EXPECT_EQ(again.arc(a).weight, fst->arc(a).weight);
+    }
+}
+
+} // namespace
+} // namespace darkside

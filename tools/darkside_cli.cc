@@ -1,0 +1,405 @@
+/**
+ * @file
+ * darkside — command-line front end to the library.
+ *
+ * Subcommands:
+ *   corpus    print language / lexicon / graph statistics
+ *   train     train the dense acoustic model and save it
+ *   prune     prune + retrain a trained model at a target sparsity
+ *   eval      evaluate model quality (top-1/top-5/confidence)
+ *   decode    decode the test set with a chosen hypothesis selector
+ *   simulate  run one full system configuration on the simulated HW
+ *   sweep     run the complete {Baseline,Beam,NBest} x pruning matrix
+ *
+ * All subcommands share the scaled experiment setup; flags tweak the
+ * pieces relevant to each. Run `darkside <subcommand> --help`.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "decoder/lattice.hh"
+#include "system/defaults.hh"
+#include "util/argparse.hh"
+#include "util/text_table.hh"
+
+using namespace darkside;
+
+namespace {
+
+/** Apply the common setup-shaping flags. */
+void
+addSetupFlags(ArgParser &args)
+{
+    args.addOption("utts", "test utterances", 12.0);
+    args.addOption("cache", "model cache directory", "darkside_cache");
+    args.addOption("beam", "beam width override (0 = config default)",
+                   0.0);
+}
+
+ExperimentSetup
+setupFrom(const ArgParser &args)
+{
+    ExperimentSetup setup = scaledSetup();
+    setup.testUtterances =
+        static_cast<std::size_t>(args.getInt("utts"));
+    setup.zoo.cacheDir = args.get("cache");
+    return setup;
+}
+
+PruneLevel
+levelFrom(const std::string &name)
+{
+    if (name == "none" || name == "0")
+        return PruneLevel::None;
+    if (name == "70")
+        return PruneLevel::P70;
+    if (name == "80")
+        return PruneLevel::P80;
+    if (name == "90")
+        return PruneLevel::P90;
+    fatal("unknown pruning level '%s' (use none|70|80|90)",
+          name.c_str());
+}
+
+SearchMode
+modeFrom(const std::string &name)
+{
+    if (name == "baseline")
+        return SearchMode::Baseline;
+    if (name == "beam")
+        return SearchMode::NarrowBeam;
+    if (name == "nbest")
+        return SearchMode::NBestHash;
+    fatal("unknown search mode '%s' (use baseline|beam|nbest)",
+          name.c_str());
+}
+
+int
+cmdCorpus(int argc, const char *const *argv)
+{
+    ArgParser args("darkside corpus", "language and graph statistics");
+    addSetupFlags(args);
+    if (!args.parse(argc, argv))
+        return 1;
+
+    const ExperimentSetup setup = setupFrom(args);
+    const Corpus corpus(setup.corpus);
+    GraphBuilder builder(corpus.inventory(), corpus.lexicon(),
+                         corpus.grammar(), setup.graph);
+    const Wfst fst = builder.build();
+
+    std::printf("phonemes: %u x %u states = %u sub-phoneme classes\n",
+                corpus.inventory().phonemeCount(),
+                corpus.inventory().statesPerPhoneme(),
+                corpus.inventory().pdfCount());
+    std::printf("vocabulary: %u words, %zu phoneme tokens\n",
+                corpus.lexicon().wordCount(),
+                corpus.lexicon().totalPhonemes());
+    std::printf("grammar: %u followers/word, P(eos) = %.2f\n",
+                setup.corpus.grammarBranching,
+                setup.corpus.eosProbability);
+    std::printf("decoding graph: %s\n", fst.summary().c_str());
+    std::printf("DNN input: %zu features (%zu-dim frames, +/-%zu "
+                "context)\n",
+                corpus.spliceDim(),
+                static_cast<std::size_t>(
+                    setup.corpus.synthesizer.featureDim),
+                setup.corpus.contextFrames);
+
+    const auto utts = corpus.sampleUtterances(
+        setup.testUtterances, setup.testSeed);
+    std::size_t frames = 0, words = 0;
+    for (const auto &u : utts) {
+        frames += u.frames.size();
+        words += u.words.size();
+    }
+    std::printf("test set: %zu utterances, %zu words, %zu frames "
+                "(%.1f s of speech)\n",
+                utts.size(), words, frames, frames * 0.01);
+    return 0;
+}
+
+int
+cmdTrain(int argc, const char *const *argv)
+{
+    ArgParser args("darkside train",
+                   "train the dense acoustic model and save it");
+    addSetupFlags(args);
+    args.addOption("out", "output model file", "dense.mlp");
+    args.addOption("epochs", "training epochs", 8.0);
+    if (!args.parse(argc, argv))
+        return 1;
+
+    ExperimentSetup setup = setupFrom(args);
+    setup.zoo.training.epochs =
+        static_cast<std::size_t>(args.getInt("epochs"));
+    setup.zoo.cacheDir = ""; // explicit file output instead
+
+    const Corpus corpus(setup.corpus);
+    const ModelZoo zoo(corpus, setup.zoo);
+    zoo.model(PruneLevel::None).save(args.get("out"));
+    std::printf("saved dense model to %s\n%s",
+                args.get("out").c_str(),
+                zoo.model(PruneLevel::None).summary().c_str());
+    return 0;
+}
+
+int
+cmdPrune(int argc, const char *const *argv)
+{
+    ArgParser args("darkside prune",
+                   "prune + retrain a trained model");
+    addSetupFlags(args);
+    args.addOption("in", "input model file", "dense.mlp");
+    args.addOption("out", "output model file", "pruned.mlp");
+    args.addOption("target", "target pruned fraction", 0.9);
+    args.addOption("retrain-epochs", "retraining epochs", 4.0);
+    if (!args.parse(argc, argv))
+        return 1;
+
+    const ExperimentSetup setup = setupFrom(args);
+    const Corpus corpus(setup.corpus);
+    Mlp model = Mlp::load(args.get("in"));
+
+    const auto train_utts = corpus.sampleUtterances(
+        setup.zoo.trainUtterances, setup.zoo.trainSeed);
+    const FrameDataset data = corpus.frameDataset(train_utts);
+
+    const double quality = MagnitudePruner::findQualityForTarget(
+        model, args.getNumber("target"));
+    TrainerConfig retrain = setup.zoo.retraining;
+    retrain.epochs =
+        static_cast<std::size_t>(args.getInt("retrain-epochs"));
+    PruneReport report;
+    Mlp pruned =
+        pruneAndRetrain(model, data, quality, retrain, &report);
+    pruned.save(args.get("out"));
+    std::printf("%s\nsaved pruned model to %s\n",
+                report.render().c_str(), args.get("out").c_str());
+    return 0;
+}
+
+int
+cmdEval(int argc, const char *const *argv)
+{
+    ArgParser args("darkside eval",
+                   "model quality: accuracy and confidence");
+    addSetupFlags(args);
+    if (!args.parse(argc, argv))
+        return 1;
+
+    const ExperimentSetup setup = setupFrom(args);
+    ExperimentContext ctx(setup);
+    const FrameDataset test = ctx.corpus.frameDataset(ctx.testSet);
+
+    TextTable table;
+    table.header({"model", "top-1", "top-5", "confidence", "xent"});
+    for (PruneLevel level : kAllPruneLevels) {
+        const EvalReport eval =
+            Trainer::evaluate(ctx.zoo.model(level), test, 5);
+        table.row({pruneLevelName(level),
+                   TextTable::num(eval.top1Accuracy, 3),
+                   TextTable::num(eval.topKAccuracy, 3),
+                   TextTable::num(eval.meanConfidence, 3),
+                   TextTable::num(eval.meanCrossEntropy, 3)});
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}
+
+int
+cmdDecode(int argc, const char *const *argv)
+{
+    ArgParser args("darkside decode",
+                   "decode the test set, print WER and workload");
+    addSetupFlags(args);
+    args.addOption("prune", "pruning level (none|70|80|90)", "none");
+    args.addOption("selector",
+                   "unbounded | nbest:<N>:<ways> | accurate:<N>",
+                   "unbounded");
+    args.addSwitch("lattice", "print each utterance's top paths");
+    if (!args.parse(argc, argv))
+        return 1;
+
+    const ExperimentSetup setup = setupFrom(args);
+    ExperimentContext ctx(setup);
+    const PruneLevel level = levelFrom(args.get("prune"));
+    float beam = static_cast<float>(args.getNumber("beam"));
+    if (beam <= 0.0f)
+        beam = setup.baselineBeam;
+
+    auto make_selector =
+        [&]() -> std::unique_ptr<HypothesisSelector> {
+        const std::string &spec = args.get("selector");
+        if (spec == "unbounded") {
+            return std::make_unique<UnboundedSelector>(
+                setup.platform.viterbiBaseline.hashEntries,
+                setup.platform.viterbiBaseline.backupEntries);
+        }
+        unsigned n = 0, ways = 8;
+        if (std::sscanf(spec.c_str(), "nbest:%u:%u", &n, &ways) >= 1 &&
+            n > 0) {
+            return std::make_unique<SetAssociativeHash>(n, ways);
+        }
+        if (std::sscanf(spec.c_str(), "accurate:%u", &n) == 1 && n > 0)
+            return std::make_unique<AccurateNBest>(n);
+        fatal("bad --selector '%s'", spec.c_str());
+    };
+
+    const LatticeDecoder decoder(ctx.fst, DecoderConfig{beam});
+    EditStats wer;
+    std::uint64_t survivors = 0, frames = 0;
+    for (const auto &utt : ctx.testSet) {
+        const auto scores = AcousticScores::fromMlp(
+            ctx.zoo.model(level), ctx.corpus.spliceUtterance(utt),
+            setup.platform.acousticScale);
+        auto selector = make_selector();
+        Lattice lattice;
+        const DecodeResult result =
+            decoder.decode(scores, *selector, lattice);
+        wer.merge(alignSequences(utt.words, result.words));
+        survivors += result.totalSurvivors();
+        frames += result.frames.size();
+        if (args.getSwitch("lattice")) {
+            std::printf("ref:");
+            for (WordId w : utt.words)
+                std::printf(" %u", w);
+            std::printf("\n%s", lattice.render(4).c_str());
+        }
+    }
+    std::printf("WER %.2f%% (%llu errors / %llu words), "
+                "%.0f hypotheses/frame\n",
+                100.0 * wer.wordErrorRate(),
+                static_cast<unsigned long long>(wer.errors()),
+                static_cast<unsigned long long>(wer.referenceLength),
+                static_cast<double>(survivors) /
+                    static_cast<double>(frames));
+    return 0;
+}
+
+int
+cmdSimulate(int argc, const char *const *argv)
+{
+    ArgParser args("darkside simulate",
+                   "run one configuration on the simulated hardware");
+    addSetupFlags(args);
+    args.addOption("prune", "pruning level (none|70|80|90)", "none");
+    args.addOption("mode", "baseline | beam | nbest", "baseline");
+    if (!args.parse(argc, argv))
+        return 1;
+
+    const ExperimentSetup setup = setupFrom(args);
+    ExperimentContext ctx(setup);
+    SystemConfig config = setup.configFor(modeFrom(args.get("mode")),
+                                          levelFrom(args.get("prune")));
+    if (args.getNumber("beam") > 0.0)
+        config.beam = static_cast<float>(args.getNumber("beam"));
+
+    const TestSetResult r = ctx.system.runTestSet(ctx.testSet, config);
+    std::printf("config %s (beam %.1f)\n", config.label().c_str(),
+                config.beam);
+    std::printf("WER           %.2f%%\n",
+                100.0 * r.wer.wordErrorRate());
+    std::printf("confidence    %.3f\n", r.meanConfidence);
+    std::printf("hyps/frame    %.0f\n", r.meanSurvivorsPerFrame());
+    std::printf("DNN           %.3f ms  %.3f mJ\n",
+                1e3 * r.dnn.seconds, 1e3 * r.dnn.joules);
+    std::printf("Viterbi       %.3f ms  %.3f mJ\n",
+                1e3 * r.viterbi.seconds, 1e3 * r.viterbi.joules);
+    std::printf("search ms per speech second: p50 %.2f  p99 %.2f\n",
+                1e3 * r.searchLatencyPerSpeechSecond.percentile(50),
+                1e3 * r.searchLatencyPerSpeechSecond.percentile(99));
+    return 0;
+}
+
+int
+cmdSweep(int argc, const char *const *argv)
+{
+    ArgParser args("darkside sweep",
+                   "the full configuration matrix (Figs. 11/12)");
+    addSetupFlags(args);
+    if (!args.parse(argc, argv))
+        return 1;
+
+    const ExperimentSetup setup = setupFrom(args);
+    ExperimentContext ctx(setup);
+
+    TestSetResult base = ctx.system.runTestSet(
+        ctx.testSet,
+        setup.configFor(SearchMode::Baseline, PruneLevel::None));
+    const double norm_t = base.totalSeconds();
+    const double norm_e = base.totalJoules();
+
+    TextTable table;
+    table.header({"config", "time %", "energy %", "speedup",
+                  "energy sav", "WER %"});
+    for (SearchMode mode : {SearchMode::Baseline, SearchMode::NarrowBeam,
+                            SearchMode::NBestHash}) {
+        for (PruneLevel level : kAllPruneLevels) {
+            const auto r = ctx.system.runTestSet(
+                ctx.testSet, setup.configFor(mode, level));
+            table.row(
+                {r.config.label(),
+                 TextTable::num(100.0 * r.totalSeconds() / norm_t, 1),
+                 TextTable::num(100.0 * r.totalJoules() / norm_e, 1),
+                 TextTable::num(norm_t / r.totalSeconds(), 2) + "x",
+                 TextTable::num(norm_e / r.totalJoules(), 2) + "x",
+                 TextTable::num(100.0 * r.wer.wordErrorRate(), 2)});
+        }
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}
+
+void
+printTopUsage()
+{
+    std::puts(
+        "darkside — reproduction of 'The Dark Side of DNN Pruning'\n"
+        "\n"
+        "usage: darkside <subcommand> [flags]\n"
+        "\n"
+        "subcommands:\n"
+        "  corpus     language and decoding-graph statistics\n"
+        "  train      train the dense acoustic model\n"
+        "  prune      prune + retrain a model\n"
+        "  eval       model accuracy and confidence\n"
+        "  decode     software decode with a chosen selector\n"
+        "  simulate   one configuration on the simulated hardware\n"
+        "  sweep      the full configuration matrix\n"
+        "\n"
+        "run 'darkside <subcommand> --help' for flags");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        printTopUsage();
+        return 1;
+    }
+    const std::string command = argv[1];
+    const int sub_argc = argc - 1;
+    const char *const *sub_argv = argv + 1;
+
+    if (command == "corpus")
+        return cmdCorpus(sub_argc, sub_argv);
+    if (command == "train")
+        return cmdTrain(sub_argc, sub_argv);
+    if (command == "prune")
+        return cmdPrune(sub_argc, sub_argv);
+    if (command == "eval")
+        return cmdEval(sub_argc, sub_argv);
+    if (command == "decode")
+        return cmdDecode(sub_argc, sub_argv);
+    if (command == "simulate")
+        return cmdSimulate(sub_argc, sub_argv);
+    if (command == "sweep")
+        return cmdSweep(sub_argc, sub_argv);
+    printTopUsage();
+    return 1;
+}
