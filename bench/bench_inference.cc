@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Inference-engine throughput bench: frames/sec of acoustic scoring for
+ * the per-frame dense gemv path vs. the batched InferenceEngine vs. the
+ * thread-parallel engine, at every pruning level, plus a per-layer
+ * dense-vs-CSR micro comparison and end-to-end runTestSet scaling.
+ *
+ * Prints a human-readable table and emits a JSON blob (stdout, and to a
+ * file when a path is given as argv[1] or $DARKSIDE_BENCH_JSON) so the
+ * repo's performance trajectory is machine-trackable across PRs.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "dnn/inference.hh"
+#include "pruning/sparse_layer.hh"
+#include "util/rng.hh"
+#include "util/thread_pool.hh"
+
+namespace darkside {
+namespace bench {
+namespace {
+
+/** Wall-clock seconds of one call, averaged until ~0.25 s has elapsed. */
+double
+timeCall(const std::function<void()> &fn)
+{
+    using Clock = std::chrono::steady_clock;
+    fn(); // warm-up (first-touch allocation, cache warm)
+    double total = 0.0;
+    std::size_t reps = 0;
+    while (total < 0.25) {
+        const auto t0 = Clock::now();
+        fn();
+        const auto t1 = Clock::now();
+        total += std::chrono::duration<double>(t1 - t0).count();
+        ++reps;
+    }
+    return total / static_cast<double>(reps);
+}
+
+struct LevelReport
+{
+    std::string label;
+    double density = 1.0;
+    double gemvFps = 0.0;
+    double batchFps = 0.0;
+    double batch4Fps = 0.0;
+    /** Dense-batch time / CSR time over the masked FC layers (0 when
+     *  the model has none). */
+    double csrLayerSpeedup = 0.0;
+};
+
+/** Dense vs CSR on each masked FC layer, weighted by dense work. */
+double
+csrLayerSpeedup(const Mlp &mlp, std::size_t batch)
+{
+    Rng rng(42);
+    double dense_total = 0.0;
+    double sparse_total = 0.0;
+    for (const auto *fc : mlp.fullyConnectedLayers()) {
+        if (!fc->hasMask())
+            continue;
+        const SparseLayer sparse(*fc);
+        Matrix x(batch, fc->inputSize());
+        x.randomize(rng, 1.0f);
+        Matrix y;
+        dense_total += timeCall([&] {
+            gemmBatch(x, fc->weights(), fc->biases(), y);
+        });
+        sparse_total += timeCall([&] { sparse.forwardBatch(x, y); });
+    }
+    return sparse_total > 0.0 ? dense_total / sparse_total : 0.0;
+}
+
+} // namespace
+
+int
+run(int argc, char **argv)
+{
+    printBanner("bench_inference",
+                "acoustic scoring throughput: dense gemv vs batched "
+                "engine vs threads");
+
+    auto &ctx = context();
+
+    // All spliced frames of the shared test set, as one scoring load.
+    std::vector<Vector> inputs;
+    for (const auto &utt : ctx.testSet) {
+        auto spliced = ctx.corpus.spliceUtterance(utt);
+        inputs.insert(inputs.end(),
+                      std::make_move_iterator(spliced.begin()),
+                      std::make_move_iterator(spliced.end()));
+    }
+    const auto frames = static_cast<double>(inputs.size());
+    const unsigned cores = std::thread::hardware_concurrency();
+    std::printf("scoring load: %zu utterances, %zu frames "
+                "(%u hardware threads)\n\n",
+                ctx.testSet.size(), inputs.size(), cores);
+
+    std::vector<LevelReport> reports;
+    ThreadPool pool4(4);
+    for (PruneLevel level : kAllPruneLevels) {
+        const Mlp &mlp = ctx.zoo.model(level);
+        const InferenceEngine engine(mlp);
+
+        LevelReport r;
+        r.label = pruneLevelName(level);
+        std::size_t nonzero = 0, total = 0;
+        for (const auto *fc : mlp.fullyConnectedLayers()) {
+            nonzero += fc->nonzeroWeightCount();
+            total += fc->weights().size();
+        }
+        r.density = total == 0
+            ? 1.0
+            : static_cast<double>(nonzero) / static_cast<double>(total);
+
+        Vector out;
+        MlpWorkspace mws;
+        r.gemvFps = frames / timeCall([&] {
+            for (const auto &in : inputs)
+                mlp.forward(in, out, mws);
+        });
+
+        std::vector<Vector> posteriors;
+        r.batchFps = frames / timeCall([&] {
+            engine.forwardAll(inputs, posteriors);
+        });
+        r.batch4Fps = frames / timeCall([&] {
+            engine.forwardAll(inputs, posteriors, &pool4);
+        });
+        r.csrLayerSpeedup = csrLayerSpeedup(mlp, engine.batchFrames());
+
+        std::printf("%-12s density %.2f | gemv %9.0f f/s | "
+                    "batch %9.0f f/s (%4.2fx) | 4 threads %9.0f f/s "
+                    "(%4.2fx) | CSR-layer speedup %4.2fx\n",
+                    r.label.c_str(), r.density, r.gemvFps, r.batchFps,
+                    r.batchFps / r.gemvFps, r.batch4Fps,
+                    r.batch4Fps / r.gemvFps, r.csrLayerSpeedup);
+        reports.push_back(r);
+    }
+
+    // End-to-end runTestSet scaling: fresh utterances per thread count
+    // so every run scores cold (the LRU cache cannot short-circuit it).
+    std::printf("\nrunTestSet scaling (Baseline-90, fresh %zu-utterance "
+                "sets):\n",
+                ctx.testSet.size());
+    const SystemConfig config =
+        ctx.setup.configFor(SearchMode::Baseline, PruneLevel::P90);
+    struct ScalePoint
+    {
+        std::size_t threads;
+        double seconds;
+    };
+    std::vector<ScalePoint> scaling;
+    double t1 = 0.0;
+    const auto scale_set =
+        ctx.corpus.sampleUtterances(ctx.testSet.size(), 9001);
+    std::uint64_t fresh_id = 1ull << 60;
+    for (std::size_t threads : {1u, 2u, 4u}) {
+        // Same utterance content for every thread count, but fresh ids
+        // so each run scores cold (the LRU cache cannot short-circuit).
+        auto utts = scale_set;
+        for (auto &utt : utts)
+            utt.id = fresh_id++;
+        using Clock = std::chrono::steady_clock;
+        const auto t0 = Clock::now();
+        ctx.system.runTestSet(utts, config, threads);
+        const double secs =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        if (threads == 1)
+            t1 = secs;
+        scaling.push_back({threads, secs});
+        std::printf("  %zu thread(s): %7.3f s  (speedup %4.2fx)\n",
+                    threads, secs, t1 / secs);
+    }
+
+    // --- JSON ---------------------------------------------------------
+    std::ostringstream json;
+    json << "{\n  \"frames\": " << inputs.size()
+         << ",\n  \"hardware_threads\": " << cores
+         << ",\n  \"levels\": [";
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        const auto &r = reports[i];
+        json << (i ? "," : "") << "\n    {\"label\": \"" << r.label
+             << "\", \"density\": " << r.density
+             << ", \"gemv_fps\": " << r.gemvFps
+             << ", \"batch_fps\": " << r.batchFps
+             << ", \"batch4_fps\": " << r.batch4Fps
+             << ", \"csr_layer_speedup\": " << r.csrLayerSpeedup << "}";
+    }
+    json << "\n  ],\n  \"testset_scaling\": [";
+    for (std::size_t i = 0; i < scaling.size(); ++i) {
+        json << (i ? "," : "") << "\n    {\"threads\": "
+             << scaling[i].threads
+             << ", \"seconds\": " << scaling[i].seconds << "}";
+    }
+    json << "\n  ]\n}\n";
+
+    std::printf("\n--- JSON ---\n%s", json.str().c_str());
+
+    std::string path;
+    if (argc > 1)
+        path = argv[1];
+    else if (const char *env = std::getenv("DARKSIDE_BENCH_JSON"))
+        path = env;
+    if (!path.empty()) {
+        std::ofstream os(path);
+        os << json.str();
+        if (!os) {
+            std::fprintf(stderr, "cannot write JSON to %s\n",
+                         path.c_str());
+            return 1;
+        }
+        std::printf("JSON written to %s\n", path.c_str());
+    }
+    return 0;
+}
+
+} // namespace bench
+} // namespace darkside
+
+int
+main(int argc, char **argv)
+{
+    return darkside::bench::run(argc, argv);
+}

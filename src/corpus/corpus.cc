@@ -34,6 +34,10 @@ Corpus::sampleUtterances(std::size_t count, std::uint64_t seed) const
     for (std::size_t i = 0; i < count; ++i) {
         const auto sentence = grammar_->sampleSentence(rng);
         utts.push_back(synthesizer_->synthesize(sentence, *lexicon_, rng));
+        // Stable identity: Fibonacci-hash the (seed, index) pair so
+        // utterances from different sets never collide in score caches.
+        utts.back().id =
+            (seed + 1) * 0x9E3779B97F4A7C15ull + (i + 1);
     }
     return utts;
 }

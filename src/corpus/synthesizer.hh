@@ -23,6 +23,14 @@ namespace darkside {
 /** One synthetic utterance with its ground truth. */
 struct Utterance
 {
+    /**
+     * Stable identity of the utterance, derived from the sampling seed
+     * and the index within the sampled set. Unlike the object's address
+     * it survives vector reallocation and copies, so caches (the
+     * acoustic-score cache in AsrSystem) can key on it safely. 0 marks
+     * a hand-built utterance with no assigned identity.
+     */
+    std::uint64_t id = 0;
     /** Spoken word sequence (reference transcript). */
     std::vector<WordId> words;
     /** Per-frame raw feature vectors (unspliced). */

@@ -40,13 +40,16 @@ AcousticScores
 AcousticScores::fromMlp(const Mlp &mlp, const std::vector<Vector> &inputs,
                         float scale)
 {
+    return fromEngine(InferenceEngine(mlp), inputs, scale);
+}
+
+AcousticScores
+AcousticScores::fromEngine(const InferenceEngine &engine,
+                           const std::vector<Vector> &inputs, float scale,
+                           ThreadPool *pool)
+{
     std::vector<Vector> posteriors;
-    posteriors.reserve(inputs.size());
-    Vector out;
-    for (const auto &in : inputs) {
-        mlp.forward(in, out);
-        posteriors.push_back(out);
-    }
+    engine.forwardAll(inputs, posteriors, pool);
     return fromPosteriors(posteriors, scale);
 }
 

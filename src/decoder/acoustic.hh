@@ -11,7 +11,9 @@
 #include <vector>
 
 #include "corpus/phoneme.hh"
+#include "dnn/inference.hh"
 #include "dnn/mlp.hh"
+#include "util/thread_pool.hh"
 
 namespace darkside {
 
@@ -30,7 +32,10 @@ class AcousticScores
         const std::vector<Vector> &posteriors, float scale);
 
     /**
-     * Score every spliced frame with the given acoustic model.
+     * Score every spliced frame with the given acoustic model. Compiles
+     * a one-shot InferenceEngine; callers scoring many utterances with
+     * the same model should compile an engine once and use fromEngine.
+     *
      * @param mlp the (possibly pruned) acoustic model
      * @param inputs spliced feature vectors (one per frame)
      * @param scale acoustic scale
@@ -38,6 +43,16 @@ class AcousticScores
     static AcousticScores fromMlp(const Mlp &mlp,
                                   const std::vector<Vector> &inputs,
                                   float scale);
+
+    /**
+     * Score every spliced frame with a pre-compiled engine. With a pool,
+     * frame windows are scored in parallel; posteriors are merged in
+     * frame order, so results are identical for any thread count.
+     */
+    static AcousticScores fromEngine(const InferenceEngine &engine,
+                                     const std::vector<Vector> &inputs,
+                                     float scale,
+                                     ThreadPool *pool = nullptr);
 
     std::size_t frameCount() const
     {

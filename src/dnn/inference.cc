@@ -1,0 +1,173 @@
+#include "dnn/inference.hh"
+
+#include <algorithm>
+
+namespace darkside {
+
+InferenceEngine::InferenceEngine(const Mlp &mlp, InferenceOptions options)
+    : options_(options)
+{
+    ds_assert(mlp.layerCount() > 0);
+    ds_assert(options_.batchFrames > 0);
+    inputSize_ = mlp.inputSize();
+    outputSize_ = mlp.outputSize();
+
+    for (std::size_t i = 0; i < mlp.layerCount(); ++i) {
+        const Layer &layer = mlp.layer(i);
+        Op op;
+        op.inWidth = layer.inputSize();
+        op.outWidth = layer.outputSize();
+        switch (layer.kind()) {
+          case LayerKind::FullyConnected: {
+            const auto &fc = static_cast<const FullyConnected &>(layer);
+            op.kind = OpKind::DenseFc;
+            op.fc = &fc;
+            if (fc.hasMask()) {
+                auto compiled = std::make_unique<SparseLayer>(fc);
+                if (compiled->density() <= options_.sparseDensityMax) {
+                    op.kind = OpKind::SparseFc;
+                    op.fc = nullptr;
+                    op.sparse = std::move(compiled);
+                }
+            }
+            if (op.kind == OpKind::SparseFc)
+                ++sparseFc_;
+            else
+                ++denseFc_;
+            break;
+          }
+          case LayerKind::PNormPooling:
+            op.kind = OpKind::PNorm;
+            op.group = static_cast<const PNormPooling &>(layer)
+                           .groupSize();
+            break;
+          case LayerKind::Renormalize:
+            op.kind = OpKind::Renorm;
+            break;
+          case LayerKind::Softmax:
+            op.kind = OpKind::Softmax;
+            break;
+        }
+        ops_.push_back(std::move(op));
+    }
+}
+
+std::size_t
+InferenceEngine::sparseNonzeros() const
+{
+    std::size_t n = 0;
+    for (const auto &op : ops_) {
+        if (op.kind == OpKind::SparseFc)
+            n += op.sparse->nonzeros();
+    }
+    return n;
+}
+
+void
+InferenceEngine::runBatch(const std::vector<Vector> &inputs,
+                          std::size_t begin, std::size_t end,
+                          std::vector<Vector> &posteriors,
+                          InferenceWorkspace &ws) const
+{
+    const std::size_t frames = end - begin;
+    ws.a.resize(frames, inputSize_);
+    for (std::size_t f = 0; f < frames; ++f) {
+        const Vector &in = inputs[begin + f];
+        ds_assert(in.size() == inputSize_);
+        std::copy(in.begin(), in.end(), ws.a.rowPtr(f));
+    }
+
+    for (const auto &op : ops_) {
+        switch (op.kind) {
+          case OpKind::DenseFc:
+            gemmBatch(ws.a, op.fc->weights(), op.fc->biases(), ws.b);
+            break;
+          case OpKind::SparseFc:
+            op.sparse->forwardBatch(ws.a, ws.b);
+            break;
+          case OpKind::PNorm:
+            ws.b.resize(frames, op.outWidth);
+            for (std::size_t f = 0; f < frames; ++f) {
+                PNormPooling::forwardRow(ws.a.rowPtr(f), ws.b.rowPtr(f),
+                                         op.outWidth, op.group);
+            }
+            break;
+          case OpKind::Renorm:
+            ws.b.resize(frames, op.outWidth);
+            for (std::size_t f = 0; f < frames; ++f) {
+                Renormalize::forwardRow(ws.a.rowPtr(f), ws.b.rowPtr(f),
+                                        op.outWidth);
+            }
+            break;
+          case OpKind::Softmax:
+            ws.b.resize(frames, op.outWidth);
+            for (std::size_t f = 0; f < frames; ++f) {
+                const float *src = ws.a.rowPtr(f);
+                float *dst = ws.b.rowPtr(f);
+                std::copy(src, src + op.outWidth, dst);
+                softmaxInPlace(dst, op.outWidth);
+            }
+            break;
+        }
+        std::swap(ws.a, ws.b);
+    }
+
+    for (std::size_t f = 0; f < frames; ++f) {
+        const float *row = ws.a.rowPtr(f);
+        posteriors[begin + f].assign(row, row + outputSize_);
+    }
+}
+
+void
+InferenceEngine::forwardRange(const std::vector<Vector> &inputs,
+                              std::size_t begin, std::size_t end,
+                              std::vector<Vector> &posteriors,
+                              InferenceWorkspace &ws) const
+{
+    ds_assert(end <= inputs.size());
+    ds_assert(posteriors.size() == inputs.size());
+    for (std::size_t f0 = begin; f0 < end; f0 += options_.batchFrames) {
+        const std::size_t f1 =
+            std::min(end, f0 + options_.batchFrames);
+        runBatch(inputs, f0, f1, posteriors, ws);
+    }
+}
+
+void
+InferenceEngine::forwardAll(const std::vector<Vector> &inputs,
+                            std::vector<Vector> &posteriors,
+                            ThreadPool *pool) const
+{
+    posteriors.resize(inputs.size());
+    if (inputs.empty())
+        return;
+    if (!pool || pool->threadCount() == 0) {
+        InferenceWorkspace ws;
+        forwardRange(inputs, 0, inputs.size(), posteriors, ws);
+        return;
+    }
+    const std::size_t batch = options_.batchFrames;
+    const std::size_t windows = (inputs.size() + batch - 1) / batch;
+    pool->parallelFor(
+        windows,
+        [&](std::size_t w0, std::size_t w1) {
+            InferenceWorkspace ws;
+            forwardRange(inputs, w0 * batch,
+                         std::min(inputs.size(), w1 * batch), posteriors,
+                         ws);
+        });
+}
+
+void
+InferenceEngine::forward(const Vector &input, Vector &posteriors,
+                         InferenceWorkspace &ws) const
+{
+    // A batch of one: reuse the batched path end to end so the two
+    // entry points cannot drift apart.
+    const std::vector<Vector> inputs{input};
+    std::vector<Vector> out(1);
+    runBatch(inputs, 0, 1, out, ws);
+    posteriors = std::move(out[0]);
+}
+
+} // namespace darkside

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Sparsity-aware batched inference engine for the acoustic-model MLP.
+ *
+ * An InferenceEngine is compiled once from a (possibly pruned) Mlp and
+ * then evaluated over windows of spliced frames:
+ *
+ *  - Unmasked FC layers execute as cache-blocked batched GEMM
+ *    (gemmBatch): weight rows are streamed once per group of frames
+ *    instead of once per frame, turning the memory-bound per-frame gemv
+ *    into a compute-bound batch kernel.
+ *  - Masked FC layers compile to the CSR SparseLayer path, so a
+ *    90%-pruned model does ~10% of the multiply-accumulate work — the
+ *    "cheap DNN" side of the paper's trade-off that the per-frame dense
+ *    path never realised.
+ *  - P-norm / renormalise / softmax stages reuse the exact row kernels
+ *    of the per-frame layers, keeping batched results bit-identical to
+ *    Mlp::forward.
+ *
+ * Evaluation is reentrant: all scratch lives in a caller-provided
+ * InferenceWorkspace, so one engine can serve many threads. The engine
+ * borrows the Mlp's dense weights; the Mlp must outlive the engine.
+ */
+
+#ifndef DARKSIDE_DNN_INFERENCE_HH
+#define DARKSIDE_DNN_INFERENCE_HH
+
+#include <memory>
+#include <vector>
+
+#include "dnn/mlp.hh"
+#include "pruning/sparse_layer.hh"
+#include "util/thread_pool.hh"
+
+namespace darkside {
+
+/** Compilation knobs. */
+struct InferenceOptions
+{
+    /** Frames per GEMM window (weight traffic is amortised over this). */
+    std::size_t batchFrames = 32;
+    /**
+     * Masked FC layers whose density is at or below this compile to the
+     * CSR path; denser masked layers stay on the (equivalent) dense
+     * batch kernel, where regular access patterns win.
+     */
+    double sparseDensityMax = 0.5;
+};
+
+/** Per-call scratch: ping-pong activation matrices (frames x width). */
+struct InferenceWorkspace
+{
+    Matrix a;
+    Matrix b;
+};
+
+/**
+ * A compiled, immutable evaluation plan for one Mlp.
+ */
+class InferenceEngine
+{
+  public:
+    explicit InferenceEngine(const Mlp &mlp,
+                             InferenceOptions options = {});
+
+    InferenceEngine(InferenceEngine &&) = default;
+    InferenceEngine &operator=(InferenceEngine &&) = default;
+
+    std::size_t inputSize() const { return inputSize_; }
+    std::size_t outputSize() const { return outputSize_; }
+    std::size_t batchFrames() const { return options_.batchFrames; }
+
+    /** FC layers running as dense batched GEMM. */
+    std::size_t denseFcCount() const { return denseFc_; }
+    /** FC layers running on the CSR sparse path. */
+    std::size_t sparseFcCount() const { return sparseFc_; }
+    /** Surviving weights across the CSR layers. */
+    std::size_t sparseNonzeros() const;
+
+    /**
+     * Score frames [begin, end) of `inputs`, writing posteriors[f] for
+     * every f in the range (the posteriors vector must already have
+     * inputs.size() elements). Reentrant given distinct workspaces.
+     */
+    void forwardRange(const std::vector<Vector> &inputs,
+                      std::size_t begin, std::size_t end,
+                      std::vector<Vector> &posteriors,
+                      InferenceWorkspace &ws) const;
+
+    /**
+     * Score every frame. With a pool, frame windows are scored in
+     * parallel with per-task workspaces; posteriors are indexed by
+     * frame, so the result is identical for any thread count.
+     */
+    void forwardAll(const std::vector<Vector> &inputs,
+                    std::vector<Vector> &posteriors,
+                    ThreadPool *pool = nullptr) const;
+
+    /** Single-frame convenience (a batch of one). */
+    void forward(const Vector &input, Vector &posteriors,
+                 InferenceWorkspace &ws) const;
+
+  private:
+    enum class OpKind : std::uint8_t {
+        DenseFc,
+        SparseFc,
+        PNorm,
+        Renorm,
+        Softmax,
+    };
+
+    struct Op
+    {
+        OpKind kind;
+        /** Borrowed dense layer (DenseFc). */
+        const FullyConnected *fc = nullptr;
+        /** Owned CSR compilation (SparseFc). */
+        std::unique_ptr<SparseLayer> sparse;
+        std::size_t inWidth = 0;
+        std::size_t outWidth = 0;
+        /** Pooling group size (PNorm). */
+        std::size_t group = 0;
+    };
+
+    void runBatch(const std::vector<Vector> &inputs, std::size_t begin,
+                  std::size_t end, std::vector<Vector> &posteriors,
+                  InferenceWorkspace &ws) const;
+
+    std::vector<Op> ops_;
+    InferenceOptions options_;
+    std::size_t inputSize_ = 0;
+    std::size_t outputSize_ = 0;
+    std::size_t denseFc_ = 0;
+    std::size_t sparseFc_ = 0;
+};
+
+} // namespace darkside
+
+#endif // DARKSIDE_DNN_INFERENCE_HH

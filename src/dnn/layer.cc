@@ -116,10 +116,17 @@ PNormPooling::forward(const Vector &in, Vector &out) const
 {
     ds_assert(in.size() == inputSize());
     out.resize(outputSize());
-    for (std::size_t g = 0; g < outputSize(); ++g) {
+    forwardRow(in.data(), out.data(), outputSize(), groupSize_);
+}
+
+void
+PNormPooling::forwardRow(const float *in, float *out, std::size_t groups,
+                         std::size_t group_size)
+{
+    for (std::size_t g = 0; g < groups; ++g) {
         float acc = 0.0f;
-        const std::size_t base = g * groupSize_;
-        for (std::size_t i = 0; i < groupSize_; ++i) {
+        const std::size_t base = g * group_size;
+        for (std::size_t i = 0; i < group_size; ++i) {
             const float x = in[base + i];
             acc += x * x;
         }
@@ -156,11 +163,19 @@ Renormalize::forward(const Vector &in, Vector &out) const
 {
     ds_assert(in.size() == inputSize());
     out.resize(in.size());
-    const float norm2 = dot(in, in);
-    const auto dim = static_cast<float>(in.size());
-    const float scale =
-        norm2 > 1e-20f ? std::sqrt(dim / norm2) : 0.0f;
-    for (std::size_t i = 0; i < in.size(); ++i)
+    forwardRow(in.data(), out.data(), in.size());
+}
+
+void
+Renormalize::forwardRow(const float *in, float *out, std::size_t dim)
+{
+    float norm2 = 0.0f;
+    for (std::size_t i = 0; i < dim; ++i)
+        norm2 += in[i] * in[i];
+    const float scale = norm2 > 1e-20f
+        ? std::sqrt(static_cast<float>(dim) / norm2)
+        : 0.0f;
+    for (std::size_t i = 0; i < dim; ++i)
         out[i] = in[i] * scale;
 }
 

@@ -151,6 +151,14 @@ class PNormPooling : public Layer
     void backward(const Vector &in, const Vector &out, const Vector &d_out,
                   Vector &d_in, float lr) override;
 
+    /**
+     * Row kernel shared by forward() and the batched InferenceEngine;
+     * keeping a single implementation guarantees bit-identical results
+     * between the per-frame and batched paths.
+     */
+    static void forwardRow(const float *in, float *out, std::size_t groups,
+                           std::size_t group_size);
+
     std::size_t groupSize() const { return groupSize_; }
 
   private:
@@ -171,6 +179,9 @@ class Renormalize : public Layer
     void forward(const Vector &in, Vector &out) const override;
     void backward(const Vector &in, const Vector &out, const Vector &d_out,
                   Vector &d_in, float lr) override;
+
+    /** Row kernel shared with the batched InferenceEngine. */
+    static void forwardRow(const float *in, float *out, std::size_t dim);
 };
 
 /**

@@ -63,15 +63,6 @@ writeString(std::ostream &os, const std::string &s)
     os.write(s.data(), static_cast<std::streamsize>(s.size()));
 }
 
-std::string
-readString(std::istream &is)
-{
-    const auto len = readPod<std::uint32_t>(is);
-    std::string s(len, '\0');
-    is.read(s.data(), len);
-    return s;
-}
-
 constexpr std::uint32_t kMagic = 0x44534d31; // "DSM1"
 
 } // namespace
@@ -131,45 +122,61 @@ Mlp::fullyConnectedLayers() const
 }
 
 void
-Mlp::forward(const Vector &input, Vector &posteriors) const
+Mlp::forward(const Vector &input, Vector &posteriors,
+             MlpWorkspace &ws) const
 {
     ds_assert(!layers_.empty());
     ds_assert(input.size() == inputSize());
-    activations_.resize(layers_.size() + 1);
-    activations_[0] = input;
+    ws.activations.resize(layers_.size() + 1);
+    ws.activations[0] = input;
     for (std::size_t i = 0; i < layers_.size(); ++i)
-        layers_[i]->forward(activations_[i], activations_[i + 1]);
-    posteriors = activations_.back();
+        layers_[i]->forward(ws.activations[i], ws.activations[i + 1]);
+    posteriors = ws.activations.back();
+}
+
+void
+Mlp::forward(const Vector &input, Vector &posteriors) const
+{
+    MlpWorkspace ws;
+    forward(input, posteriors, ws);
 }
 
 float
-Mlp::trainStep(const Vector &input, std::uint32_t label, float lr)
+Mlp::trainStep(const Vector &input, std::uint32_t label, float lr,
+               MlpWorkspace &ws)
 {
     ds_assert(!layers_.empty());
     ds_assert(layers_.back()->kind() == LayerKind::Softmax);
     ds_assert(label < outputSize());
 
-    activations_.resize(layers_.size() + 1);
-    activations_[0] = input;
+    ws.activations.resize(layers_.size() + 1);
+    ws.activations[0] = input;
     for (std::size_t i = 0; i < layers_.size(); ++i)
-        layers_[i]->forward(activations_[i], activations_[i + 1]);
+        layers_[i]->forward(ws.activations[i], ws.activations[i + 1]);
 
-    const Vector &posteriors = activations_.back();
+    const Vector &posteriors = ws.activations.back();
     const float p_true = std::max(posteriors[label], 1e-20f);
     const float loss = -std::log(p_true);
 
     // Fused softmax + cross-entropy gradient at the softmax *input*:
     // dL/dlogit_i = p_i - [i == label].
-    dOut_ = posteriors;
-    dOut_[label] -= 1.0f;
+    ws.dOut = posteriors;
+    ws.dOut[label] -= 1.0f;
 
     // Skip the softmax layer itself; start at the layer feeding it.
     for (std::size_t i = layers_.size() - 1; i-- > 0;) {
-        layers_[i]->backward(activations_[i], activations_[i + 1], dOut_,
-                             dIn_, lr);
-        std::swap(dOut_, dIn_);
+        layers_[i]->backward(ws.activations[i], ws.activations[i + 1],
+                             ws.dOut, ws.dIn, lr);
+        std::swap(ws.dOut, ws.dIn);
     }
     return loss;
+}
+
+float
+Mlp::trainStep(const Vector &input, std::uint32_t label, float lr)
+{
+    MlpWorkspace ws;
+    return trainStep(input, label, lr, ws);
 }
 
 Mlp
@@ -244,61 +251,140 @@ Mlp::save(const std::string &path) const
         fatal("error while writing '%s'", path.c_str());
 }
 
+namespace {
+
+// Sanity ceilings for model files: generous multiples of the paper's
+// Table I topology, tight enough that a corrupt header cannot drive a
+// multi-gigabyte allocation or a near-infinite layer loop.
+constexpr std::uint32_t kMaxLayers = 256;
+constexpr std::uint32_t kMaxLayerNameLength = 256;
+constexpr std::uint64_t kMaxLayerDim = 1u << 20;           // 1M units
+constexpr std::uint64_t kMaxLayerWeights = 1ull << 28;     // 1 GiB of f32
+
+/** readPod + stream check; a short read means a truncated file. */
+template <typename T>
+T
+loadPod(std::istream &is, const std::string &path)
+{
+    const T v = readPod<T>(is);
+    if (!is)
+        fatal("'%s': truncated model file", path.c_str());
+    return v;
+}
+
+void
+loadBytes(std::istream &is, void *dst, std::size_t bytes,
+          const std::string &path)
+{
+    is.read(static_cast<char *>(dst),
+            static_cast<std::streamsize>(bytes));
+    if (!is || is.gcount() != static_cast<std::streamsize>(bytes))
+        fatal("'%s': truncated model file", path.c_str());
+}
+
+} // namespace
+
 Mlp
 Mlp::load(const std::string &path)
 {
     std::ifstream is(path, std::ios::binary);
     if (!is)
         fatal("cannot open '%s' for reading", path.c_str());
-    if (readPod<std::uint32_t>(is) != kMagic)
+    if (loadPod<std::uint32_t>(is, path) != kMagic)
         fatal("'%s' is not a darkside MLP file", path.c_str());
 
     Mlp mlp;
-    const auto layer_count = readPod<std::uint32_t>(is);
+    const auto layer_count = loadPod<std::uint32_t>(is, path);
+    if (layer_count == 0 || layer_count > kMaxLayers) {
+        fatal("'%s': implausible layer count %u", path.c_str(),
+              layer_count);
+    }
     for (std::uint32_t i = 0; i < layer_count; ++i) {
-        const auto kind = static_cast<LayerKind>(readPod<std::uint8_t>(is));
-        std::string name = readString(is);
-        const auto in = static_cast<std::size_t>(readPod<std::uint64_t>(is));
-        const auto out =
-            static_cast<std::size_t>(readPod<std::uint64_t>(is));
+        const auto kind =
+            static_cast<LayerKind>(loadPod<std::uint8_t>(is, path));
+        const auto name_len = loadPod<std::uint32_t>(is, path);
+        if (name_len > kMaxLayerNameLength) {
+            fatal("'%s': implausible layer name length %u", path.c_str(),
+                  name_len);
+        }
+        std::string name(name_len, '\0');
+        loadBytes(is, name.data(), name_len, path);
+        const auto in = loadPod<std::uint64_t>(is, path);
+        const auto out = loadPod<std::uint64_t>(is, path);
+        if (in == 0 || out == 0 || in > kMaxLayerDim ||
+            out > kMaxLayerDim || in * out > kMaxLayerWeights) {
+            fatal("'%s': layer '%s' has implausible dimensions "
+                  "%llu -> %llu",
+                  path.c_str(), name.c_str(),
+                  static_cast<unsigned long long>(in),
+                  static_cast<unsigned long long>(out));
+        }
+        if (i > 0 && in != mlp.outputSize()) {
+            fatal("'%s': layer '%s' input width %llu does not match the "
+                  "previous layer's output width %zu",
+                  path.c_str(), name.c_str(),
+                  static_cast<unsigned long long>(in), mlp.outputSize());
+        }
         switch (kind) {
           case LayerKind::FullyConnected: {
-            const bool trainable = readPod<std::uint8_t>(is) != 0;
-            auto fc = std::make_unique<FullyConnected>(name, in, out,
-                                                       trainable);
-            is.read(reinterpret_cast<char *>(fc->weights().data()),
-                    static_cast<std::streamsize>(fc->weights().size() *
-                                                 sizeof(float)));
-            is.read(reinterpret_cast<char *>(fc->biases().data()),
-                    static_cast<std::streamsize>(fc->biases().size() *
-                                                 sizeof(float)));
-            if (readPod<std::uint8_t>(is)) {
+            const auto trainable_flag = loadPod<std::uint8_t>(is, path);
+            if (trainable_flag > 1)
+                fatal("'%s': corrupt trainable flag", path.c_str());
+            auto fc = std::make_unique<FullyConnected>(
+                name, static_cast<std::size_t>(in),
+                static_cast<std::size_t>(out), trainable_flag != 0);
+            loadBytes(is, fc->weights().data(),
+                      fc->weights().size() * sizeof(float), path);
+            loadBytes(is, fc->biases().data(),
+                      fc->biases().size() * sizeof(float), path);
+            const auto mask_flag = loadPod<std::uint8_t>(is, path);
+            if (mask_flag > 1)
+                fatal("'%s': corrupt mask flag", path.c_str());
+            if (mask_flag) {
+                if (trainable_flag == 0) {
+                    fatal("'%s': layer '%s' is fixed but carries a prune "
+                          "mask",
+                          path.c_str(), name.c_str());
+                }
                 std::vector<std::uint8_t> mask(fc->weights().size());
-                is.read(reinterpret_cast<char *>(mask.data()),
-                        static_cast<std::streamsize>(mask.size()));
+                loadBytes(is, mask.data(), mask.size(), path);
                 fc->setMask(std::move(mask));
             }
             mlp.add(std::move(fc));
             break;
           }
           case LayerKind::PNormPooling: {
-            const auto group =
-                static_cast<std::size_t>(readPod<std::uint64_t>(is));
-            mlp.add(std::make_unique<PNormPooling>(name, in, group));
+            const auto group = loadPod<std::uint64_t>(is, path);
+            if (group == 0 || in % group != 0 || out != in / group) {
+                fatal("'%s': layer '%s' has inconsistent pooling "
+                      "geometry",
+                      path.c_str(), name.c_str());
+            }
+            mlp.add(std::make_unique<PNormPooling>(
+                name, static_cast<std::size_t>(in),
+                static_cast<std::size_t>(group)));
             break;
           }
           case LayerKind::Renormalize:
-            mlp.add(std::make_unique<Renormalize>(name, in));
+            if (out != in) {
+                fatal("'%s': layer '%s' must preserve its width",
+                      path.c_str(), name.c_str());
+            }
+            mlp.add(std::make_unique<Renormalize>(
+                name, static_cast<std::size_t>(in)));
             break;
           case LayerKind::Softmax:
-            mlp.add(std::make_unique<Softmax>(name, in));
+            if (out != in) {
+                fatal("'%s': layer '%s' must preserve its width",
+                      path.c_str(), name.c_str());
+            }
+            mlp.add(std::make_unique<Softmax>(
+                name, static_cast<std::size_t>(in)));
             break;
           default:
             fatal("'%s': corrupt layer kind", path.c_str());
         }
     }
-    if (!is)
-        fatal("error while reading '%s'", path.c_str());
     return mlp;
 }
 

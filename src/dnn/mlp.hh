@@ -17,6 +17,21 @@
 namespace darkside {
 
 /**
+ * Per-call scratch for Mlp evaluation and training. Owning the scratch
+ * outside the network makes forward() reentrant: concurrent callers
+ * (the thread-parallel scoring pipeline) each bring their own
+ * workspace while sharing one read-only Mlp.
+ */
+struct MlpWorkspace
+{
+    /** Layer activations; [0] is the input, back() the posteriors. */
+    std::vector<Vector> activations;
+    /** Backprop deltas (trainStep only). */
+    Vector dOut;
+    Vector dIn;
+};
+
+/**
  * Feed-forward stack of layers ending in a Softmax, evaluated one frame
  * at a time (matching the accelerator, which scores one 10 ms frame per
  * invocation).
@@ -49,9 +64,20 @@ class Mlp
     std::vector<const FullyConnected *> fullyConnectedLayers() const;
 
     /**
-     * Evaluate the network.
+     * Evaluate the network using caller-provided scratch. Reentrant:
+     * any number of threads may evaluate the same Mlp concurrently as
+     * long as each brings its own workspace.
+     *
      * @param input acoustic feature vector of size inputSize()
      * @param posteriors receives the class posteriors (softmax output)
+     * @param ws scratch reused across calls to avoid per-frame allocation
+     */
+    void forward(const Vector &input, Vector &posteriors,
+                 MlpWorkspace &ws) const;
+
+    /**
+     * Convenience overload allocating a workspace per call. Fine for
+     * one-off evaluations; hot loops should hold a workspace.
      */
     void forward(const Vector &input, Vector &posteriors) const;
 
@@ -61,6 +87,10 @@ class Mlp
      *
      * @return the cross-entropy loss of the frame before the update
      */
+    float trainStep(const Vector &input, std::uint32_t label, float lr,
+                    MlpWorkspace &ws);
+
+    /** Convenience overload allocating a workspace per call. */
     float trainStep(const Vector &input, std::uint32_t label, float lr);
 
     /** Deep copy (used to derive pruned variants of a trained model). */
@@ -75,10 +105,6 @@ class Mlp
 
   private:
     std::vector<std::unique_ptr<Layer>> layers_;
-    // Scratch buffers reused across trainStep calls.
-    mutable std::vector<Vector> activations_;
-    Vector dOut_;
-    Vector dIn_;
 };
 
 } // namespace darkside

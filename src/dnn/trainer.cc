@@ -13,6 +13,7 @@ Trainer::train(Mlp &mlp, const FrameDataset &dataset) const
     ds_assert(!dataset.empty());
     Rng rng(config_.shuffleSeed);
     std::vector<EpochReport> reports;
+    MlpWorkspace ws;
     float lr = config_.learningRate;
 
     for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
@@ -20,7 +21,8 @@ Trainer::train(Mlp &mlp, const FrameDataset &dataset) const
         double loss_sum = 0.0;
         for (auto idx : order) {
             const auto &frame = dataset[idx];
-            loss_sum += mlp.trainStep(frame.features, frame.label, lr);
+            loss_sum +=
+                mlp.trainStep(frame.features, frame.label, lr, ws);
         }
         EpochReport report;
         report.meanLoss = loss_sum / static_cast<double>(dataset.size());
@@ -41,6 +43,7 @@ Trainer::evaluate(const Mlp &mlp, const FrameDataset &dataset,
         return report;
 
     Vector posteriors;
+    MlpWorkspace ws;
     std::vector<std::uint32_t> ranking;
     std::uint64_t top1_hits = 0;
     std::uint64_t topk_hits = 0;
@@ -48,7 +51,7 @@ Trainer::evaluate(const Mlp &mlp, const FrameDataset &dataset,
     double xent_sum = 0.0;
 
     for (const auto &frame : dataset) {
-        mlp.forward(frame.features, posteriors);
+        mlp.forward(frame.features, posteriors, ws);
 
         const std::size_t best = argMax(posteriors);
         confidence_sum += posteriors[best];

@@ -42,15 +42,60 @@ SparseLayer::storageBytes() const
 }
 
 void
+SparseLayer::forwardBatch(const Matrix &x, Matrix &y) const
+{
+    ds_assert(x.cols() == inputSize_);
+    const std::size_t frames = x.rows();
+    const std::size_t out = outputSize();
+    y.resize(frames, out);
+
+    std::size_t f = 0;
+    for (; f + 4 <= frames; f += 4) {
+        const float *x0 = x.rowPtr(f);
+        const float *x1 = x.rowPtr(f + 1);
+        const float *x2 = x.rowPtr(f + 2);
+        const float *x3 = x.rowPtr(f + 3);
+        for (std::size_t r = 0; r < out; ++r) {
+            float a0 = 0.0f, a1 = 0.0f, a2 = 0.0f, a3 = 0.0f;
+            for (std::size_t i = rowPtr_[r]; i < rowPtr_[r + 1]; ++i) {
+                const float wv = weights_[i];
+                const std::uint32_t c = indices_[i];
+                a0 += wv * x0[c];
+                a1 += wv * x1[c];
+                a2 += wv * x2[c];
+                a3 += wv * x3[c];
+            }
+            // Bias is added last so the rounding sequence is identical
+            // to the dense gemv (zero-weight terms add exactly 0.0f).
+            const float bias = biases_[r];
+            y.rowPtr(f)[r] = a0 + bias;
+            y.rowPtr(f + 1)[r] = a1 + bias;
+            y.rowPtr(f + 2)[r] = a2 + bias;
+            y.rowPtr(f + 3)[r] = a3 + bias;
+        }
+    }
+    for (; f < frames; ++f) {
+        const float *xf = x.rowPtr(f);
+        float *yf = y.rowPtr(f);
+        for (std::size_t r = 0; r < out; ++r) {
+            float acc = 0.0f;
+            for (std::size_t i = rowPtr_[r]; i < rowPtr_[r + 1]; ++i)
+                acc += weights_[i] * xf[indices_[i]];
+            yf[r] = acc + biases_[r];
+        }
+    }
+}
+
+void
 SparseLayer::forward(const Vector &x, Vector &y) const
 {
     ds_assert(x.size() == inputSize_);
     y.resize(outputSize());
     for (std::size_t r = 0; r < outputSize(); ++r) {
-        float acc = biases_[r];
+        float acc = 0.0f;
         for (std::size_t i = rowPtr_[r]; i < rowPtr_[r + 1]; ++i)
             acc += weights_[i] * x[indices_[i]];
-        y[r] = acc;
+        y[r] = acc + biases_[r];
     }
 }
 

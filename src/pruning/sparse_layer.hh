@@ -56,6 +56,16 @@ class SparseLayer
     /** y = W_sparse x + b. Bit-exact with the masked dense layer. */
     void forward(const Vector &x, Vector &y) const;
 
+    /**
+     * Batched evaluation: Y = X W_sparse^T + b with one frame per row of
+     * X (frames x in); Y is resized to (frames x out). The CSR stream of
+     * each output neuron is walked once per four-frame group, amortising
+     * index/weight traffic across the batch the same way the dense
+     * gemmBatch amortises weight rows. Accumulation order per (frame,
+     * neuron) matches forward(), so results are bit-identical.
+     */
+    void forwardBatch(const Matrix &x, Matrix &y) const;
+
     const Vector &biases() const { return biases_; }
 
   private:

@@ -42,7 +42,7 @@ SystemConfig::label() const
 AsrSystem::AsrSystem(const Corpus &corpus, const Wfst &fst,
                      const ModelZoo &zoo, const PlatformConfig &platform)
     : corpus_(corpus), fst_(fst), zoo_(zoo), platform_(platform),
-      dnnAccelSim_(platform.dnnAccel), dnnSimCache_(4)
+      dnnAccelSim_(platform.dnnAccel), dnnSimCache_(4), engineCache_(4)
 {}
 
 std::unique_ptr<HypothesisSelector>
@@ -75,35 +75,75 @@ AsrSystem::viterbiConfigFor(const SystemConfig &config) const
 const DnnSimResult &
 AsrSystem::dnnSim(PruneLevel level)
 {
+    std::lock_guard<std::mutex> lock(simMutex_);
     auto &slot = dnnSimCache_[static_cast<std::size_t>(level)];
     if (!slot)
         slot = dnnAccelSim_.simulate(zoo_.model(level));
     return *slot;
 }
 
-const AcousticScores &
-AsrSystem::scoresFor(const Utterance &utt, PruneLevel level)
+const InferenceEngine &
+AsrSystem::engineFor(PruneLevel level)
 {
-    const auto key =
-        std::make_pair(static_cast<int>(level), &utt);
-    auto it = scoreCache_.find(key);
-    if (it == scoreCache_.end()) {
-        const auto inputs = corpus_.spliceUtterance(utt);
-        it = scoreCache_
-                 .emplace(key,
-                          AcousticScores::fromMlp(
-                              zoo_.model(level), inputs,
-                              platform_.acousticScale))
-                 .first;
+    std::lock_guard<std::mutex> lock(engineMutex_);
+    auto &slot = engineCache_[static_cast<std::size_t>(level)];
+    if (!slot)
+        slot.emplace(zoo_.model(level));
+    return *slot;
+}
+
+std::shared_ptr<const AcousticScores>
+AsrSystem::scoresFor(const Utterance &utt, PruneLevel level,
+                     ThreadPool *pool)
+{
+    const ScoreKey key(static_cast<int>(level), utt.id);
+    const bool cacheable = utt.id != 0;
+
+    if (cacheable) {
+        std::lock_guard<std::mutex> lock(scoreMutex_);
+        auto it = scoreIndex_.find(key);
+        if (it != scoreIndex_.end()) {
+            // Refresh recency: move the hit to the front of the list.
+            scoreLru_.splice(scoreLru_.begin(), scoreLru_, it->second);
+            return it->second->second;
+        }
     }
-    return it->second;
+
+    // Compute outside the lock: scoring dominates, and concurrent
+    // requests for *different* utterances must not serialise. Two
+    // threads racing on the same utterance compute identical scores;
+    // the second insert below simply reuses the first one's entry.
+    const InferenceEngine &engine = engineFor(level);
+    auto scores = std::make_shared<const AcousticScores>(
+        AcousticScores::fromEngine(engine, corpus_.spliceUtterance(utt),
+                                   platform_.acousticScale, pool));
+    if (!cacheable)
+        return scores;
+
+    std::lock_guard<std::mutex> lock(scoreMutex_);
+    auto it = scoreIndex_.find(key);
+    if (it != scoreIndex_.end()) {
+        scoreLru_.splice(scoreLru_.begin(), scoreLru_, it->second);
+        return it->second->second;
+    }
+    scoreLru_.emplace_front(key, std::move(scores));
+    scoreIndex_[key] = scoreLru_.begin();
+    while (scoreLru_.size() > kScoreCacheCapacity) {
+        scoreIndex_.erase(scoreLru_.back().first);
+        scoreLru_.pop_back();
+    }
+    return scoreLru_.front().second;
 }
 
 UtteranceRun
 AsrSystem::runUtterance(const Utterance &utt, const SystemConfig &config)
 {
     // --- DNN stage ----------------------------------------------------
-    const AcousticScores &scores = scoresFor(utt, config.prune);
+    // Shared ownership: LRU eviction by a concurrent utterance cannot
+    // invalidate the scores while this decode reads them.
+    const std::shared_ptr<const AcousticScores> scores_ptr =
+        scoresFor(utt, config.prune);
+    const AcousticScores &scores = *scores_ptr;
 
     UtteranceRun run;
     run.frames = scores.frameCount();
@@ -139,17 +179,35 @@ AsrSystem::runUtterance(const Utterance &utt, const SystemConfig &config)
 
 TestSetResult
 AsrSystem::runTestSet(const std::vector<Utterance> &utts,
-                      const SystemConfig &config)
+                      const SystemConfig &config, std::size_t threads)
 {
     TestSetResult result;
     result.config = config;
 
+    // Warm the per-level caches up front so parallel workers only read.
+    if (!utts.empty()) {
+        dnnSim(config.prune);
+        engineFor(config.prune);
+    }
+
+    // Decode utterances in parallel; each worker writes its own slot.
+    std::vector<UtteranceRun> runs(utts.size());
+    {
+        ThreadPool pool(threads);
+        parallelFor(&pool, utts.size(), [&](std::size_t i) {
+            runs[i] = runUtterance(utts[i], config);
+        });
+    }
+
+    // Merge strictly in input order: floating-point accumulation order
+    // is then independent of the thread count, keeping WER, confidence
+    // and energy aggregates bit-identical to a single-threaded run.
     double confidence_weighted = 0.0;
     std::vector<std::vector<WordId>> hyps;
     std::vector<std::vector<WordId>> refs;
 
-    for (const auto &utt : utts) {
-        UtteranceRun run = runUtterance(utt, config);
+    for (std::size_t i = 0; i < utts.size(); ++i) {
+        UtteranceRun &run = runs[i];
         result.dnn.add(run.dnn);
         result.viterbi.add(run.viterbi);
         result.frames += run.frames;
@@ -158,8 +216,8 @@ AsrSystem::runTestSet(const std::vector<Utterance> &utts,
         result.searchLatencyPerSpeechSecond.add(
             run.viterbi.seconds / run.speechSeconds());
 
-        hyps.push_back(run.decode.words);
-        refs.push_back(utt.words);
+        hyps.push_back(std::move(run.decode.words));
+        refs.push_back(utts[i].words);
         confidence_weighted += run.meanConfidence *
             static_cast<double>(run.frames);
     }

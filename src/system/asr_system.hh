@@ -11,17 +11,21 @@
 #ifndef DARKSIDE_SYSTEM_ASR_SYSTEM_HH
 #define DARKSIDE_SYSTEM_ASR_SYSTEM_HH
 
+#include <list>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <utility>
 
 #include "accel/dnn/dnn_accel.hh"
 #include "accel/viterbi/viterbi_accel.hh"
 #include "decoder/viterbi_decoder.hh"
+#include "dnn/inference.hh"
 #include "nbest/selectors.hh"
 #include "system/model_zoo.hh"
 #include "util/stats.hh"
+#include "util/thread_pool.hh"
 #include "wfst/wfst.hh"
 
 namespace darkside {
@@ -131,13 +135,24 @@ class AsrSystem
     AsrSystem(const Corpus &corpus, const Wfst &fst, const ModelZoo &zoo,
               const PlatformConfig &platform);
 
-    /** Run one utterance under a configuration. */
+    /** Run one utterance under a configuration. Thread-safe. */
     UtteranceRun runUtterance(const Utterance &utt,
                               const SystemConfig &config);
 
-    /** Run a whole test set and aggregate. */
+    /**
+     * Run a whole test set and aggregate.
+     *
+     * @param threads worker count; utterances are decoded in parallel
+     *        and merged in input order, so every aggregate (WER,
+     *        confidence, energy, latency percentiles) is bit-identical
+     *        to the single-threaded run
+     */
     TestSetResult runTestSet(const std::vector<Utterance> &utts,
-                             const SystemConfig &config);
+                             const SystemConfig &config,
+                             std::size_t threads = 1);
+
+    /** Compiled inference engine for a pruning level (cached). */
+    const InferenceEngine &engineFor(PruneLevel level);
 
     /** Selector implementing a configuration's survival policy. */
     std::unique_ptr<HypothesisSelector>
@@ -154,21 +169,38 @@ class AsrSystem
     const ModelZoo &zoo() const { return zoo_; }
     const PlatformConfig &platform() const { return platform_; }
 
+    /** Entries kept in the acoustic-score LRU cache. */
+    static constexpr std::size_t kScoreCacheCapacity = 256;
+
   private:
-    /** Score an utterance with a model, memoised per (level, utt). */
-    const AcousticScores &scoresFor(const Utterance &utt,
-                                    PruneLevel level);
+    /** (prune level, utterance id). */
+    using ScoreKey = std::pair<int, std::uint64_t>;
+
+    /**
+     * Score an utterance with a model, memoised per (level, utterance
+     * id) in a bounded LRU cache. Utterances without an id (id == 0)
+     * are scored fresh each time. Thread-safe; the returned scores are
+     * shared ownership so eviction cannot invalidate a reader.
+     */
+    std::shared_ptr<const AcousticScores>
+    scoresFor(const Utterance &utt, PruneLevel level,
+              ThreadPool *pool = nullptr);
 
     const Corpus &corpus_;
     const Wfst &fst_;
     const ModelZoo &zoo_;
     PlatformConfig platform_;
     DnnAcceleratorSim dnnAccelSim_;
+    std::mutex simMutex_;
     std::vector<std::optional<DnnSimResult>> dnnSimCache_;
-    /** (level, utterance address) -> scores; utterances are assumed to
-     *  outlive the system (they live in the caller's test set). */
-    std::map<std::pair<int, const Utterance *>, AcousticScores>
-        scoreCache_;
+    std::mutex engineMutex_;
+    std::vector<std::optional<InferenceEngine>> engineCache_;
+
+    /** LRU acoustic-score cache: most recent at the list front. */
+    std::mutex scoreMutex_;
+    std::list<std::pair<ScoreKey, std::shared_ptr<const AcousticScores>>>
+        scoreLru_;
+    std::map<ScoreKey, decltype(scoreLru_)::iterator> scoreIndex_;
 };
 
 } // namespace darkside

@@ -67,6 +67,61 @@ gemvTransposed(const Matrix &w, const Vector &x, Vector &y)
 }
 
 void
+gemmBatch(const Matrix &x, const Matrix &w, const Vector &b, Matrix &y)
+{
+    ds_assert(x.cols() == w.cols());
+    ds_assert(b.size() == w.rows());
+    const std::size_t frames = x.rows();
+    const std::size_t in = w.cols();
+    const std::size_t out = w.rows();
+    y.resize(frames, out);
+
+    // Block output rows so the active slice of W stays L1-resident
+    // (~32 KB) while the frame loop sweeps over it.
+    const std::size_t row_block =
+        std::max<std::size_t>(4, 8192 / std::max<std::size_t>(in, 1));
+
+    for (std::size_t r0 = 0; r0 < out; r0 += row_block) {
+        const std::size_t r1 = std::min(out, r0 + row_block);
+        std::size_t f = 0;
+        // Four frames share each streamed weight row.
+        for (; f + 4 <= frames; f += 4) {
+            const float *x0 = x.rowPtr(f);
+            const float *x1 = x.rowPtr(f + 1);
+            const float *x2 = x.rowPtr(f + 2);
+            const float *x3 = x.rowPtr(f + 3);
+            for (std::size_t r = r0; r < r1; ++r) {
+                const float *wr = w.rowPtr(r);
+                float a0 = 0.0f, a1 = 0.0f, a2 = 0.0f, a3 = 0.0f;
+                for (std::size_t c = 0; c < in; ++c) {
+                    const float wv = wr[c];
+                    a0 += wv * x0[c];
+                    a1 += wv * x1[c];
+                    a2 += wv * x2[c];
+                    a3 += wv * x3[c];
+                }
+                const float bias = b[r];
+                y.rowPtr(f)[r] = a0 + bias;
+                y.rowPtr(f + 1)[r] = a1 + bias;
+                y.rowPtr(f + 2)[r] = a2 + bias;
+                y.rowPtr(f + 3)[r] = a3 + bias;
+            }
+        }
+        for (; f < frames; ++f) {
+            const float *xf = x.rowPtr(f);
+            float *yf = y.rowPtr(f);
+            for (std::size_t r = r0; r < r1; ++r) {
+                const float *wr = w.rowPtr(r);
+                float acc = 0.0f;
+                for (std::size_t c = 0; c < in; ++c)
+                    acc += wr[c] * xf[c];
+                yf[r] = acc + b[r];
+            }
+        }
+    }
+}
+
+void
 axpy(float scale, const Vector &x, Vector &y)
 {
     ds_assert(x.size() == y.size());
@@ -88,16 +143,23 @@ void
 softmaxInPlace(Vector &v)
 {
     ds_assert(!v.empty());
-    const float peak = *std::max_element(v.begin(), v.end());
+    softmaxInPlace(v.data(), v.size());
+}
+
+void
+softmaxInPlace(float *v, std::size_t n)
+{
+    ds_assert(n > 0);
+    const float peak = *std::max_element(v, v + n);
     float sum = 0.0f;
-    for (auto &x : v) {
-        x = std::exp(x - peak);
-        sum += x;
+    for (std::size_t i = 0; i < n; ++i) {
+        v[i] = std::exp(v[i] - peak);
+        sum += v[i];
     }
     ds_assert(sum > 0.0f);
     const float inv = 1.0f / sum;
-    for (auto &x : v)
-        x *= inv;
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] *= inv;
 }
 
 float

@@ -58,6 +58,18 @@ class Matrix
     float *data() { return data_.data(); }
     const float *data() const { return data_.data(); }
 
+    /**
+     * Reshape to rows x cols, reusing the existing allocation when it is
+     * large enough. Contents are unspecified afterwards (scratch-buffer
+     * semantics for the batched kernels).
+     */
+    void resize(std::size_t rows, std::size_t cols)
+    {
+        rows_ = rows;
+        cols_ = cols;
+        data_.resize(rows * cols);
+    }
+
     /** Fill every element with the given value. */
     void fill(float v);
 
@@ -95,6 +107,21 @@ void addOuterProduct(Matrix &w, const Vector &a, const Vector &b,
  */
 void gemvTransposed(const Matrix &w, const Vector &x, Vector &y);
 
+/**
+ * Batched fully-connected evaluation: Y = X W^T + b, where X packs one
+ * input vector per row (frames x in), W is (out x in) and Y is resized
+ * to (frames x out).
+ *
+ * The kernel is cache-blocked two ways: output rows of W are processed
+ * in L1-sized blocks, and frames are walked in groups of four sharing
+ * each streamed weight row, so weight traffic is amortised across the
+ * frame batch instead of re-read per frame (the gemv regime). Each
+ * output element accumulates in the same column order as gemv(), so
+ * results are bit-identical with the per-frame path.
+ */
+void gemmBatch(const Matrix &x, const Matrix &w, const Vector &b,
+               Matrix &y);
+
 /** Elementwise: y[i] += scale * x[i]. */
 void axpy(float scale, const Vector &x, Vector &y);
 
@@ -103,6 +130,9 @@ float dot(const Vector &a, const Vector &b);
 
 /** In-place softmax with max-subtraction for numerical stability. */
 void softmaxInPlace(Vector &v);
+
+/** Row-pointer softmax; the Vector overload delegates here. */
+void softmaxInPlace(float *v, std::size_t n);
 
 /** @return log(sum(exp(v))) computed stably. */
 float logSumExp(const Vector &v);

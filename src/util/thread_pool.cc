@@ -1,0 +1,170 @@
+#include "util/thread_pool.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "util/logging.hh"
+
+namespace darkside {
+
+namespace {
+
+/** Pool whose workerLoop the current thread is running (nullptr on
+ *  external threads). Used to detect nested parallelFor calls. */
+thread_local const ThreadPool *current_pool = nullptr;
+
+} // namespace
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    if (threads <= 1)
+        return;
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+
+    // Inline pool: nothing was queued (submit runs inline); workers
+    // drain the queue before exiting, so it must be empty here.
+    ds_assert(queue_.empty());
+}
+
+bool
+ThreadPool::onWorkerThread() const
+{
+    return current_pool == this;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    current_pool = this;
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock,
+                       [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping_ and fully drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    if (workers_.empty()) {
+        task();
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ds_assert(!stopping_);
+        queue_.push_back(std::move(task));
+    }
+    wake_.notify_one();
+}
+
+void
+ThreadPool::parallelFor(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t)> &body,
+    std::size_t grain)
+{
+    if (n == 0)
+        return;
+    // Inline pool, nested call from a worker, or trivially small loop:
+    // run serially on this thread.
+    if (workers_.empty() || onWorkerThread() || n == 1) {
+        body(0, n);
+        return;
+    }
+
+    if (grain == 0) {
+        // ~4 chunks per participant keeps load balanced without
+        // excessive queue traffic.
+        const std::size_t participants = workers_.size() + 1;
+        grain = std::max<std::size_t>(1, n / (participants * 4));
+    }
+
+    struct SharedState
+    {
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> pending{0};
+        std::exception_ptr error;
+        std::mutex errorMutex;
+        std::mutex doneMutex;
+        std::condition_variable done;
+    } state;
+
+    auto runChunks = [&body, &state, n, grain] {
+        for (;;) {
+            const std::size_t begin = state.next.fetch_add(grain);
+            if (begin >= n)
+                break;
+            const std::size_t end = std::min(n, begin + grain);
+            try {
+                body(begin, end);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(state.errorMutex);
+                if (!state.error)
+                    state.error = std::current_exception();
+            }
+        }
+    };
+
+    const std::size_t helpers =
+        std::min(workers_.size(), (n + grain - 1) / grain);
+    state.pending.store(helpers);
+    for (std::size_t i = 0; i < helpers; ++i) {
+        submit([&runChunks, &state] {
+            runChunks();
+            // Decrement and notify under the lock: the caller may
+            // destroy `state` the moment it observes pending == 0.
+            std::lock_guard<std::mutex> lock(state.doneMutex);
+            if (state.pending.fetch_sub(1) == 1)
+                state.done.notify_one();
+        });
+    }
+
+    runChunks();
+    {
+        std::unique_lock<std::mutex> lock(state.doneMutex);
+        state.done.wait(lock,
+                        [&state] { return state.pending.load() == 0; });
+    }
+    if (state.error)
+        std::rethrow_exception(state.error);
+}
+
+void
+parallelFor(ThreadPool *pool, std::size_t n,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (!pool || pool->threadCount() == 0) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    pool->parallelFor(n, [&fn](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i)
+            fn(i);
+    });
+}
+
+} // namespace darkside

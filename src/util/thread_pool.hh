@@ -1,0 +1,89 @@
+/**
+ * @file
+ * A small fixed-size worker pool with a blocking parallelFor. Built for
+ * the scoring pipeline: deterministic work partitioning (results are
+ * indexed by iteration, never by completion order), first-exception
+ * propagation to the caller, and a drain-on-destruction guarantee so
+ * fire-and-forget tasks always complete.
+ *
+ * parallelFor is reentrant-safe: when called from inside a pool worker
+ * (nested parallelism) it degrades to a serial loop on that worker
+ * instead of deadlocking on the shared queue.
+ */
+
+#ifndef DARKSIDE_UTIL_THREAD_POOL_HH
+#define DARKSIDE_UTIL_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace darkside {
+
+/**
+ * Fixed set of worker threads over a shared task queue.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads worker count; 0 or 1 creates no workers and every
+     *        operation runs inline on the calling thread
+     */
+    explicit ThreadPool(std::size_t threads);
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Finishes every queued task, then joins the workers. */
+    ~ThreadPool();
+
+    /** Worker threads (0 when the pool runs inline). */
+    std::size_t threadCount() const { return workers_.size(); }
+
+    /**
+     * Enqueue a fire-and-forget task. Tasks enqueued before destruction
+     * are guaranteed to run. With no workers the task runs inline.
+     */
+    void submit(std::function<void()> task);
+
+    /**
+     * Run body(begin, end) over a partition of [0, n) across the workers
+     * and the calling thread; blocks until every chunk is done. The first
+     * exception thrown by any chunk is rethrown on the caller.
+     *
+     * @param n iteration count
+     * @param grain max chunk size (0 = choose automatically)
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t, std::size_t)>
+                         &body,
+                     std::size_t grain = 0);
+
+    /** @return true when the current thread is one of this pool's workers. */
+    bool onWorkerThread() const;
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    mutable std::mutex mutex_;
+    std::condition_variable wake_;
+    bool stopping_ = false;
+};
+
+/**
+ * Convenience element-wise wrapper: run fn(i) for every i in [0, n).
+ * A null pool (or a pool with no workers) runs the loop inline.
+ */
+void parallelFor(ThreadPool *pool, std::size_t n,
+                 const std::function<void(std::size_t)> &fn);
+
+} // namespace darkside
+
+#endif // DARKSIDE_UTIL_THREAD_POOL_HH

@@ -124,8 +124,9 @@ TEST(BigramGrammar, MissingBigramInfiniteCost)
     for (const auto &s : succ)
         followers.insert(s.word);
     for (WordId w = 0; w < 100; ++w) {
-        if (!followers.count(w))
+        if (!followers.count(w)) {
             EXPECT_TRUE(std::isinf(grammar.transitionCost(0, w)));
+        }
     }
 }
 

@@ -121,8 +121,9 @@ TEST(WeightQuantizer, EightBitNearlyLossless)
     const QuantReport report = WeightQuantizer(8).quantize(quantized);
 
     for (const auto &layer : report.layers) {
-        if (layer.quantized)
+        if (layer.quantized) {
             EXPECT_GT(layer.sqnrDb, 30.0) << layer.layerName;
+        }
     }
     // Outputs barely move.
     Vector in(12, 0.3f), a, b;

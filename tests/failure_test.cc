@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 
@@ -128,6 +129,164 @@ TEST(FailureTest, LexiconImpossibleVocabularyIsFatal)
     PhonemeInventory inv(2, 3);
     EXPECT_EXIT(Lexicon(inv, 10, 1, 1, 1),
                 ::testing::ExitedWithCode(1), "unique pronunciations");
+}
+
+/** Write a crafted binary model header for loader-hardening tests. */
+class ModelFileWriter
+{
+  public:
+    explicit ModelFileWriter(const std::string &path)
+        : path_(path), os_(path, std::ios::binary)
+    {}
+
+    template <typename T>
+    ModelFileWriter &
+    pod(T value)
+    {
+        os_.write(reinterpret_cast<const char *>(&value), sizeof(T));
+        return *this;
+    }
+
+    ModelFileWriter &
+    str(const std::string &s)
+    {
+        pod<std::uint32_t>(static_cast<std::uint32_t>(s.size()));
+        os_.write(s.data(), static_cast<std::streamsize>(s.size()));
+        return *this;
+    }
+
+    ModelFileWriter &
+    magic()
+    {
+        return pod<std::uint32_t>(0x44534d31); // "DSM1"
+    }
+
+    void close() { os_.close(); }
+
+  private:
+    std::string path_;
+    std::ofstream os_;
+};
+
+TEST(FailureTest, ImplausibleLayerCountIsFatal)
+{
+    const std::string path = testing::TempDir() + "/layer_count.bin";
+    ModelFileWriter w(path);
+    w.magic().pod<std::uint32_t>(1000000000u);
+    w.close();
+    EXPECT_EXIT(Mlp::load(path), ::testing::ExitedWithCode(1),
+                "implausible layer count");
+    std::remove(path.c_str());
+}
+
+TEST(FailureTest, ImplausibleLayerNameLengthIsFatal)
+{
+    const std::string path = testing::TempDir() + "/name_len.bin";
+    ModelFileWriter w(path);
+    w.magic()
+        .pod<std::uint32_t>(1)  // one layer
+        .pod<std::uint8_t>(0)   // FullyConnected
+        .pod<std::uint32_t>(0xFFFFFFFFu); // absurd name length
+    w.close();
+    EXPECT_EXIT(Mlp::load(path), ::testing::ExitedWithCode(1),
+                "implausible layer name length");
+    std::remove(path.c_str());
+}
+
+TEST(FailureTest, ImplausibleLayerDimensionsAreFatal)
+{
+    const std::string path = testing::TempDir() + "/dims.bin";
+    ModelFileWriter w(path);
+    w.magic()
+        .pod<std::uint32_t>(1)
+        .pod<std::uint8_t>(0)
+        .str("fc1")
+        .pod<std::uint64_t>(0)  // zero input width
+        .pod<std::uint64_t>(8);
+    w.close();
+    EXPECT_EXIT(Mlp::load(path), ::testing::ExitedWithCode(1),
+                "implausible dimensions");
+    std::remove(path.c_str());
+
+    // A giant weight matrix must be rejected before any allocation.
+    ModelFileWriter g(path);
+    g.magic()
+        .pod<std::uint32_t>(1)
+        .pod<std::uint8_t>(0)
+        .str("fc1")
+        .pod<std::uint64_t>(1u << 20)
+        .pod<std::uint64_t>(1u << 20);
+    g.close();
+    EXPECT_EXIT(Mlp::load(path), ::testing::ExitedWithCode(1),
+                "implausible dimensions");
+    std::remove(path.c_str());
+}
+
+TEST(FailureTest, CorruptLayerKindIsFatal)
+{
+    const std::string path = testing::TempDir() + "/kind.bin";
+    ModelFileWriter w(path);
+    w.magic()
+        .pod<std::uint32_t>(1)
+        .pod<std::uint8_t>(200) // no such LayerKind
+        .str("x")
+        .pod<std::uint64_t>(4)
+        .pod<std::uint64_t>(4);
+    w.close();
+    EXPECT_EXIT(Mlp::load(path), ::testing::ExitedWithCode(1),
+                "corrupt layer kind");
+    std::remove(path.c_str());
+}
+
+TEST(FailureTest, MismatchedLayerWidthsAreFatal)
+{
+    const std::string path = testing::TempDir() + "/chain.bin";
+    ModelFileWriter w(path);
+    w.magic().pod<std::uint32_t>(2);
+    // Layer 0: a valid 4-wide Renormalize.
+    w.pod<std::uint8_t>(2).str("N0").pod<std::uint64_t>(4).pod<
+        std::uint64_t>(4);
+    // Layer 1: claims 8 inputs; the previous layer produced 4.
+    w.pod<std::uint8_t>(2).str("N1").pod<std::uint64_t>(8).pod<
+        std::uint64_t>(8);
+    w.close();
+    EXPECT_EXIT(Mlp::load(path), ::testing::ExitedWithCode(1),
+                "does not match the previous layer");
+    std::remove(path.c_str());
+}
+
+TEST(FailureTest, InconsistentPoolingGeometryIsFatal)
+{
+    const std::string path = testing::TempDir() + "/pool.bin";
+    ModelFileWriter w(path);
+    w.magic().pod<std::uint32_t>(1);
+    // PNormPooling 6 -> 3 but claiming group size 4 (6 % 4 != 0).
+    w.pod<std::uint8_t>(1).str("P0").pod<std::uint64_t>(6).pod<
+        std::uint64_t>(3);
+    w.pod<std::uint64_t>(4);
+    w.close();
+    EXPECT_EXIT(Mlp::load(path), ::testing::ExitedWithCode(1),
+                "inconsistent pooling geometry");
+    std::remove(path.c_str());
+}
+
+TEST(FailureTest, MaskOnFixedLayerInFileIsFatal)
+{
+    const std::string path = testing::TempDir() + "/fixed_mask.bin";
+    ModelFileWriter w(path);
+    w.magic().pod<std::uint32_t>(1);
+    w.pod<std::uint8_t>(0).str("FC0").pod<std::uint64_t>(2).pod<
+        std::uint64_t>(2);
+    w.pod<std::uint8_t>(0); // trainable = false
+    for (int i = 0; i < 4; ++i)
+        w.pod<float>(0.5f); // weights
+    for (int i = 0; i < 2; ++i)
+        w.pod<float>(0.0f); // biases
+    w.pod<std::uint8_t>(1); // mask flag on a fixed layer
+    w.close();
+    EXPECT_EXIT(Mlp::load(path), ::testing::ExitedWithCode(1),
+                "fixed but carries a prune mask");
+    std::remove(path.c_str());
 }
 
 TEST(FailureTest, TruncatedModelFileDetected)

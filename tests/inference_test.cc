@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Tests of the sparsity-aware batched InferenceEngine: compilation
+ * (masked FC layers become CSR ops), numerical equivalence of the
+ * batched/sparse/threaded paths with the per-frame dense Mlp::forward
+ * reference at every pruning level, and identical decode output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "decoder/viterbi_decoder.hh"
+#include "dnn/inference.hh"
+#include "system/defaults.hh"
+
+namespace darkside {
+namespace {
+
+/** A miniature setup that trains in well under a second. */
+ExperimentSetup
+miniSetup()
+{
+    ExperimentSetup setup;
+    setup.corpus.phonemes = 10;
+    setup.corpus.statesPerPhoneme = 3;
+    setup.corpus.words = 50;
+    setup.corpus.minPhonemesPerWord = 2;
+    setup.corpus.maxPhonemesPerWord = 4;
+    setup.corpus.grammarBranching = 6;
+    setup.corpus.contextFrames = 1;
+    setup.corpus.synthesizer.featureDim = 8;
+    setup.corpus.synthesizer.noiseStddev = 0.4;
+    setup.corpus.seed = 4242;
+
+    setup.zoo.topology = KaldiTopology::scaled(
+        /*classes=*/30, /*input_dim=*/24, /*fc_width=*/32,
+        /*pool_group=*/2);
+    setup.zoo.topology.hiddenBlocks = 2;
+    setup.zoo.trainUtterances = 40;
+    setup.zoo.training.epochs = 3;
+    setup.zoo.retraining.epochs = 1;
+    setup.zoo.cacheDir = "";
+    setup.testUtterances = 4;
+    return setup;
+}
+
+/** Shared across tests in this binary: training once is enough. */
+ExperimentContext &
+context()
+{
+    static ExperimentContext ctx(miniSetup());
+    return ctx;
+}
+
+/** All spliced frames of the shared test set. */
+const std::vector<Vector> &
+testFrames()
+{
+    static const std::vector<Vector> frames = [] {
+        std::vector<Vector> all;
+        for (const auto &utt : context().testSet) {
+            auto spliced = context().corpus.spliceUtterance(utt);
+            all.insert(all.end(),
+                       std::make_move_iterator(spliced.begin()),
+                       std::make_move_iterator(spliced.end()));
+        }
+        return all;
+    }();
+    return frames;
+}
+
+/** Per-frame reference posteriors through the scalar gemv path. */
+std::vector<Vector>
+referencePosteriors(const Mlp &mlp, const std::vector<Vector> &inputs)
+{
+    std::vector<Vector> out(inputs.size());
+    MlpWorkspace ws;
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+        mlp.forward(inputs[i], out[i], ws);
+    return out;
+}
+
+TEST(InferenceEngine, DenseModelCompilesToDenseOps)
+{
+    const InferenceEngine engine(context().zoo.model(PruneLevel::None));
+    EXPECT_GT(engine.denseFcCount(), 0u);
+    EXPECT_EQ(engine.sparseFcCount(), 0u);
+    EXPECT_EQ(engine.sparseNonzeros(), 0u);
+    EXPECT_EQ(engine.inputSize(), context().corpus.spliceDim());
+    EXPECT_EQ(engine.outputSize(), context().corpus.classCount());
+}
+
+TEST(InferenceEngine, PrunedModelsCompileMaskedLayersToCsr)
+{
+    for (PruneLevel level :
+         {PruneLevel::P70, PruneLevel::P80, PruneLevel::P90}) {
+        const Mlp &mlp = context().zoo.model(level);
+        const InferenceEngine engine(mlp);
+        EXPECT_GT(engine.sparseFcCount(), 0u) << pruneLevelName(level);
+        std::size_t masked_nonzeros = 0;
+        for (const auto *fc : mlp.fullyConnectedLayers()) {
+            if (fc->hasMask())
+                masked_nonzeros += fc->nonzeroWeightCount();
+        }
+        EXPECT_EQ(engine.sparseNonzeros(), masked_nonzeros)
+            << pruneLevelName(level);
+    }
+}
+
+TEST(InferenceEngine, PosteriorsMatchPerFrameForwardAtEveryLevel)
+{
+    const auto &inputs = testFrames();
+    ASSERT_FALSE(inputs.empty());
+    for (PruneLevel level : kAllPruneLevels) {
+        const Mlp &mlp = context().zoo.model(level);
+        const InferenceEngine engine(mlp);
+        const auto reference = referencePosteriors(mlp, inputs);
+
+        std::vector<Vector> batched;
+        engine.forwardAll(inputs, batched);
+        ASSERT_EQ(batched.size(), reference.size());
+
+        std::size_t exact_mismatches = 0;
+        for (std::size_t f = 0; f < reference.size(); ++f) {
+            ASSERT_EQ(batched[f].size(), reference[f].size());
+            for (std::size_t c = 0; c < reference[f].size(); ++c) {
+                ASSERT_NEAR(batched[f][c], reference[f][c], 1e-5f)
+                    << pruneLevelName(level) << " frame " << f
+                    << " class " << c;
+                if (batched[f][c] != reference[f][c])
+                    ++exact_mismatches;
+            }
+        }
+        // Stronger than the 1e-5 contract: the batched and CSR kernels
+        // accumulate in gemv order, so results are bit-identical.
+        EXPECT_EQ(exact_mismatches, 0u) << pruneLevelName(level);
+    }
+}
+
+TEST(InferenceEngine, ThreadedForwardAllIsBitIdentical)
+{
+    const auto &inputs = testFrames();
+    const InferenceEngine engine(context().zoo.model(PruneLevel::P90));
+
+    std::vector<Vector> serial, threaded;
+    engine.forwardAll(inputs, serial);
+    ThreadPool pool(4);
+    engine.forwardAll(inputs, threaded, &pool);
+
+    ASSERT_EQ(threaded.size(), serial.size());
+    for (std::size_t f = 0; f < serial.size(); ++f) {
+        ASSERT_EQ(threaded[f].size(), serial[f].size());
+        for (std::size_t c = 0; c < serial[f].size(); ++c)
+            ASSERT_EQ(threaded[f][c], serial[f][c])
+                << "frame " << f << " class " << c;
+    }
+}
+
+TEST(InferenceEngine, SingleFrameForwardMatchesBatch)
+{
+    const auto &inputs = testFrames();
+    const InferenceEngine engine(context().zoo.model(PruneLevel::P80));
+
+    std::vector<Vector> batched;
+    engine.forwardAll(inputs, batched);
+
+    InferenceWorkspace ws;
+    Vector single;
+    for (std::size_t f = 0; f < std::min<std::size_t>(8, inputs.size());
+         ++f) {
+        engine.forward(inputs[f], single, ws);
+        ASSERT_EQ(single.size(), batched[f].size());
+        for (std::size_t c = 0; c < single.size(); ++c)
+            ASSERT_EQ(single[c], batched[f][c]);
+    }
+}
+
+TEST(InferenceEngine, DensityThresholdKeepsDenseKernelEquivalent)
+{
+    // Forcing every masked layer onto the dense batch kernel must not
+    // change the numbers (the mask only zeroes weights).
+    const auto &inputs = testFrames();
+    const Mlp &mlp = context().zoo.model(PruneLevel::P90);
+
+    InferenceOptions dense_only;
+    dense_only.sparseDensityMax = 0.0;
+    const InferenceEngine engine(mlp, dense_only);
+    EXPECT_EQ(engine.sparseFcCount(), 0u);
+
+    const auto reference = referencePosteriors(mlp, inputs);
+    std::vector<Vector> batched;
+    engine.forwardAll(inputs, batched);
+    for (std::size_t f = 0; f < reference.size(); ++f)
+        for (std::size_t c = 0; c < reference[f].size(); ++c)
+            ASSERT_EQ(batched[f][c], reference[f][c]);
+}
+
+TEST(InferenceEngine, DecodeOutputIdenticalToDensePath)
+{
+    auto &ctx = context();
+    const auto config =
+        ctx.setup.configFor(SearchMode::Baseline, PruneLevel::P90);
+    const Mlp &mlp = ctx.zoo.model(PruneLevel::P90);
+    const InferenceEngine engine(mlp);
+    const ViterbiDecoder decoder(ctx.fst, DecoderConfig{config.beam});
+
+    for (const auto &utt : ctx.testSet) {
+        const auto inputs = ctx.corpus.spliceUtterance(utt);
+        const auto dense_scores = AcousticScores::fromPosteriors(
+            referencePosteriors(mlp, inputs),
+            ctx.setup.platform.acousticScale);
+        const auto engine_scores = AcousticScores::fromEngine(
+            engine, inputs, ctx.setup.platform.acousticScale);
+
+        auto sel_a = ctx.system.makeSelector(config);
+        auto sel_b = ctx.system.makeSelector(config);
+        const DecodeResult a = decoder.decode(dense_scores, *sel_a);
+        const DecodeResult b = decoder.decode(engine_scores, *sel_b);
+
+        EXPECT_EQ(a.words, b.words);
+        EXPECT_EQ(a.totalSurvivors(), b.totalSurvivors());
+        EXPECT_EQ(a.totalGenerated(), b.totalGenerated());
+        EXPECT_EQ(engine_scores.meanConfidence(),
+                  dense_scores.meanConfidence());
+    }
+}
+
+} // namespace
+} // namespace darkside

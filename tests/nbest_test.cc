@@ -290,8 +290,9 @@ TEST(SetAssociativeHash, RecombinationBeforeEviction)
     const auto survivors = selector.finishFrame();
     EXPECT_EQ(survivors.size(), 8u);
     for (const auto &h : survivors) {
-        if (h.state == 3)
+        if (h.state == 3) {
             EXPECT_FLOAT_EQ(h.cost, 1.0f);
+        }
     }
     EXPECT_EQ(selector.frameStats().recombinations, 1u);
     EXPECT_EQ(selector.frameStats().evictions, 0u);

@@ -162,8 +162,9 @@ TEST(PruneAndRetrain, MaskSurvivesRetraining)
         const auto &mask = fc->mask();
         const float *w = fc->weights().data();
         for (std::size_t i = 0; i < mask.size(); ++i) {
-            if (!mask[i])
+            if (!mask[i]) {
                 EXPECT_EQ(w[i], 0.0f);
+            }
         }
     }
 

@@ -239,6 +239,75 @@ TEST(AsrSystem, NBestBoundsSurvivors)
     EXPECT_LE(result.meanSurvivorsPerFrame(), 128.0);
 }
 
+/** Every aggregate that must be independent of the thread count. */
+void
+expectIdenticalResults(const TestSetResult &a, const TestSetResult &b)
+{
+    EXPECT_EQ(a.wer.substitutions, b.wer.substitutions);
+    EXPECT_EQ(a.wer.insertions, b.wer.insertions);
+    EXPECT_EQ(a.wer.deletions, b.wer.deletions);
+    EXPECT_EQ(a.wer.referenceLength, b.wer.referenceLength);
+    EXPECT_EQ(a.meanConfidence, b.meanConfidence);
+    EXPECT_EQ(a.frames, b.frames);
+    EXPECT_EQ(a.survivors, b.survivors);
+    EXPECT_EQ(a.generated, b.generated);
+    EXPECT_EQ(a.dnn.seconds, b.dnn.seconds);
+    EXPECT_EQ(a.dnn.joules, b.dnn.joules);
+    EXPECT_EQ(a.viterbi.seconds, b.viterbi.seconds);
+    EXPECT_EQ(a.viterbi.joules, b.viterbi.joules);
+}
+
+TEST(AsrSystem, RunTestSetIsThreadCountInvariant)
+{
+    auto &ctx = context();
+    const auto config =
+        ctx.setup.configFor(SearchMode::Baseline, PruneLevel::P90);
+
+    // Fresh ids per run so every run scores cold — the comparison then
+    // covers the threaded scoring path, not just cache replay.
+    auto cold = [&](std::uint64_t base) {
+        auto utts = ctx.testSet;
+        for (std::size_t i = 0; i < utts.size(); ++i)
+            utts[i].id = base + i;
+        return utts;
+    };
+    const TestSetResult r1 =
+        ctx.system.runTestSet(cold(1ull << 50), config, 1);
+    const TestSetResult r2 =
+        ctx.system.runTestSet(cold(1ull << 51), config, 2);
+    const TestSetResult r4 =
+        ctx.system.runTestSet(cold(1ull << 52), config, 4);
+    expectIdenticalResults(r1, r2);
+    expectIdenticalResults(r1, r4);
+}
+
+TEST(AsrSystem, ScoreCacheReplayMatchesColdRun)
+{
+    auto &ctx = context();
+    const auto config =
+        ctx.setup.configFor(SearchMode::Baseline, PruneLevel::P70);
+    // First run populates the (level, utterance id) LRU; the second is
+    // served from it and must reproduce every aggregate.
+    const TestSetResult cold =
+        ctx.system.runTestSet(ctx.testSet, config, 1);
+    const TestSetResult warm =
+        ctx.system.runTestSet(ctx.testSet, config, 1);
+    expectIdenticalResults(cold, warm);
+}
+
+TEST(AsrSystem, UncacheableUtterancesStillDecode)
+{
+    auto &ctx = context();
+    const auto config =
+        ctx.setup.configFor(SearchMode::Baseline, PruneLevel::None);
+    auto utts = ctx.testSet;
+    for (auto &utt : utts)
+        utt.id = 0; // hand-built: no stable identity, no caching
+    const TestSetResult a = ctx.system.runTestSet(utts, config, 2);
+    const TestSetResult b = ctx.system.runTestSet(utts, config, 2);
+    expectIdenticalResults(a, b);
+}
+
 TEST(PaperConfigs, TableIIAndIIIVerbatim)
 {
     const DnnAccelConfig dnn = paperDnnAccelConfig();

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit tests for the worker pool: full coverage of the iteration space,
+ * deterministic per-index results, exception propagation to the caller,
+ * drain-on-destruction of submitted tasks, inline degradation with no
+ * workers, and nested parallelFor safety.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.hh"
+
+namespace darkside {
+namespace {
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    const std::size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallelFor(n, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i)
+            hits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ElementWiseWrapperWritesByIndex)
+{
+    ThreadPool pool(3);
+    std::vector<std::size_t> out(257, 0);
+    parallelFor(&pool, out.size(),
+                [&](std::size_t i) { out[i] = i * i; });
+    for (std::size_t i = 0; i < out.size(); ++i)
+        ASSERT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, NullPoolRunsInline)
+{
+    std::vector<int> out(10, 0);
+    parallelFor(nullptr, out.size(), [&](std::size_t i) { out[i] = 1; });
+    for (int v : out)
+        EXPECT_EQ(v, 1);
+}
+
+TEST(ThreadPool, ZeroAndOneThreadPoolsHaveNoWorkers)
+{
+    ThreadPool p0(0);
+    ThreadPool p1(1);
+    EXPECT_EQ(p0.threadCount(), 0u);
+    EXPECT_EQ(p1.threadCount(), 0u);
+
+    // Everything still works, inline on the caller.
+    int calls = 0;
+    p0.submit([&] { ++calls; });
+    EXPECT_EQ(calls, 1);
+    std::vector<int> out(8, 0);
+    p1.parallelFor(out.size(), [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i)
+            out[i] = 1;
+    });
+    for (int v : out)
+        EXPECT_EQ(v, 1);
+}
+
+TEST(ThreadPool, FirstExceptionPropagatesToCaller)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(100,
+                         [&](std::size_t begin, std::size_t end) {
+                             for (std::size_t i = begin; i < end; ++i) {
+                                 if (i == 57)
+                                     throw std::runtime_error("boom");
+                             }
+                         }),
+        std::runtime_error);
+
+    // The pool survives a throwing loop and keeps working.
+    std::atomic<std::size_t> done{0};
+    pool.parallelFor(64, [&](std::size_t begin, std::size_t end) {
+        done.fetch_add(end - begin);
+    });
+    EXPECT_EQ(done.load(), 64u);
+}
+
+TEST(ThreadPool, SubmittedTasksCompleteBeforeDestruction)
+{
+    std::atomic<int> completed{0};
+    const int tasks = 64;
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < tasks; ++i) {
+            pool.submit([&completed] {
+                std::this_thread::sleep_for(std::chrono::microseconds(200));
+                completed.fetch_add(1);
+            });
+        }
+        // Destructor must drain the queue, not drop it.
+    }
+    EXPECT_EQ(completed.load(), tasks);
+}
+
+TEST(ThreadPool, NestedParallelForDegradesToSerial)
+{
+    ThreadPool pool(2);
+    const std::size_t outer = 4, inner = 8;
+    std::vector<std::atomic<int>> cells(outer * inner);
+    parallelFor(&pool, outer, [&](std::size_t o) {
+        // Runs on a pool worker (or the caller); a nested call must not
+        // deadlock on the shared queue.
+        pool.parallelFor(inner, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i)
+                cells[o * inner + i].fetch_add(1);
+        });
+    });
+    for (auto &c : cells)
+        EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, GrainBoundsChunkSize)
+{
+    ThreadPool pool(2);
+    std::mutex m;
+    std::vector<std::size_t> chunk_sizes;
+    pool.parallelFor(
+        100,
+        [&](std::size_t begin, std::size_t end) {
+            std::lock_guard<std::mutex> lock(m);
+            chunk_sizes.push_back(end - begin);
+        },
+        /*grain=*/7);
+    std::size_t total = 0;
+    for (std::size_t s : chunk_sizes) {
+        EXPECT_LE(s, 7u);
+        total += s;
+    }
+    EXPECT_EQ(total, 100u);
+}
+
+} // namespace
+} // namespace darkside

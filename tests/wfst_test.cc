@@ -127,8 +127,9 @@ TEST_F(GraphFixture, SelfLoopCostMatchesTopology)
                 break;
             }
         }
-        if (self)
+        if (self) {
             EXPECT_NEAR(arc.weight, loop_cost, 1e-5f);
+        }
     }
 }
 
