@@ -17,8 +17,9 @@
 using namespace darkside;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::metricsInit(&argc, argv);
     bench::printBanner("Ablation", "acoustic-scale sweep: workload "
                                    "amplification of confidence loss");
     auto &ctx = bench::context();
@@ -68,5 +69,5 @@ main()
                 "alive and amplify the pruned model's workload "
                 "inflation; large scales collapse the search (few "
                 "hypotheses) at the cost of WER robustness.\n");
-    return 0;
+    return bench::metricsFinish();
 }

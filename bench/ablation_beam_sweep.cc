@@ -17,8 +17,9 @@
 using namespace darkside;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::metricsInit(&argc, argv);
     bench::printBanner("Ablation", "beam-width sweep: average vs tail "
                                    "workload and WER");
     auto &ctx = bench::context();
@@ -49,5 +50,5 @@ main()
     std::printf("expected shape: under the pruned model, no beam both "
                 "keeps WER and kills the p99 tail — the motivation for "
                 "bounding hypotheses in hardware instead.\n");
-    return 0;
+    return bench::metricsFinish();
 }

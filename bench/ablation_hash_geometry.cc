@@ -72,8 +72,9 @@ class OracleTee : public HypothesisSelector
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::metricsInit(&argc, argv);
     bench::printBanner("Ablation", "N-best hash geometry: capacity x "
                                    "associativity");
     auto &ctx = bench::context();
@@ -128,5 +129,5 @@ main()
                 "similarity and WER at constant single-cycle latency "
                 "(the Max-Heap's point); capacity beyond the knee buys "
                 "nothing but area.\n");
-    return 0;
+    return bench::metricsFinish();
 }

@@ -18,8 +18,9 @@
 using namespace darkside;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::metricsInit(&argc, argv);
     bench::printBanner("Extension", "quantization's effect on "
                                     "confidence and search workload");
     auto &ctx = bench::context();
@@ -84,5 +85,5 @@ main()
                 "compression knob); at 2 bits the model degenerates "
                 "into confidently-wrong scores and the search "
                 "collapses onto garbage paths.\n");
-    return 0;
+    return bench::metricsFinish();
 }

@@ -20,8 +20,9 @@
 using namespace darkside;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::metricsInit(&argc, argv);
     bench::printBanner("Ablation", "bounding strategies: hash vs sort "
                                    "vs histogram pruning");
     auto &ctx = bench::context();
@@ -91,5 +92,5 @@ main()
                 "max-heap hash does it in a single pass at one cycle "
                 "per hypothesis — the paper's hardware argument.\n",
                 n);
-    return 0;
+    return bench::metricsFinish();
 }

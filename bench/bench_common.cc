@@ -2,7 +2,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <string>
+
+#include "telemetry/metrics.hh"
+#include "telemetry/snapshot.hh"
 
 namespace darkside {
 namespace bench {
@@ -16,6 +21,9 @@ envUtterances()
         return static_cast<std::size_t>(std::atoi(v));
     return 12;
 }
+
+/** Destination captured by metricsInit (empty = no export). */
+std::string metrics_path;
 
 } // namespace
 
@@ -55,6 +63,42 @@ printBanner(const char *experiment_id, const char *description)
     std::printf("reproduction of \"The Dark Side of DNN Pruning\" "
                 "(ISCA 2018)\n");
     std::printf("==============================================================\n\n");
+}
+
+void
+metricsInit(int *argc, char **argv)
+{
+    if (const char *v = std::getenv("DARKSIDE_METRICS"))
+        metrics_path = v;
+
+    // Strip the flag so downstream argv consumers never see it.
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+        if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < *argc) {
+            metrics_path = argv[++i];
+        } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
+            metrics_path = argv[i] + 10;
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    *argc = out;
+    argv[out] = nullptr;
+}
+
+int
+metricsFinish()
+{
+    if (metrics_path.empty())
+        return 0;
+    const auto snap = telemetry::MetricRegistry::global().snapshot();
+    if (!snap.writeJsonFile(metrics_path)) {
+        std::fprintf(stderr, "cannot write metrics to '%s'\n",
+                     metrics_path.c_str());
+        return 1;
+    }
+    std::printf("# metrics written to %s\n", metrics_path.c_str());
+    return 0;
 }
 
 } // namespace bench

@@ -32,6 +32,20 @@ TestSetResult runConfig(SearchMode mode, PruneLevel level);
 /** Pretty header naming the paper artefact being reproduced. */
 void printBanner(const char *experiment_id, const char *description);
 
+/**
+ * Parse and remove `--metrics <path>` / `--metrics=<path>` from the
+ * argument vector (the DARKSIDE_METRICS environment variable is the
+ * fallback). Call first thing in main, before any other argv consumer
+ * (e.g. benchmark::Initialize).
+ */
+void metricsInit(int *argc, char **argv);
+
+/**
+ * If metricsInit captured a path, export the global registry there as
+ * darkside-metrics-v1 JSON. @return the process exit status to use.
+ */
+int metricsFinish();
+
 } // namespace bench
 } // namespace darkside
 

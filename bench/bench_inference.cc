@@ -232,5 +232,8 @@ run(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    return darkside::bench::run(argc, argv);
+    darkside::bench::metricsInit(&argc, argv);
+    const int rc = darkside::bench::run(argc, argv);
+    const int metrics_rc = darkside::bench::metricsFinish();
+    return rc ? rc : metrics_rc;
 }

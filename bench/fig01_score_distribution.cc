@@ -19,8 +19,9 @@
 using namespace darkside;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::metricsInit(&argc, argv);
     bench::printBanner("Figure 1", "score distribution of one frame, "
                                    "dense vs pruned models");
     auto &ctx = bench::context();
@@ -89,5 +90,5 @@ main()
     std::printf("expected shape: same top-1 class across models; "
                 "likelihood mass spreads and confidence drops as "
                 "pruning increases.\n");
-    return 0;
+    return bench::metricsFinish();
 }

@@ -16,8 +16,9 @@
 using namespace darkside;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::metricsInit(&argc, argv);
     bench::printBanner("Figure 2", "normalized decoding time and WER "
                                    "vs pruning (baseline search)");
 
@@ -41,5 +42,5 @@ main()
     std::printf("expected shape: DNN %% falls with pruning; Viterbi %% "
                 "rises enough that 90%% pruning is a net slowdown "
                 "(paper: +33%%); WER roughly flat until 90%%.\n");
-    return 0;
+    return bench::metricsFinish();
 }

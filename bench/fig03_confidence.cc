@@ -15,8 +15,9 @@
 using namespace darkside;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::metricsInit(&argc, argv);
     bench::printBanner("Figure 3", "average DNN confidence vs pruning");
     auto &ctx = bench::context();
 
@@ -50,5 +51,5 @@ main()
     std::printf("expected shape: confidence decays monotonically with "
                 "pruning (paper: 5%% / 9%% / 22%% drops) while top-5 "
                 "accuracy stays within a few percent.\n");
-    return 0;
+    return bench::metricsFinish();
 }

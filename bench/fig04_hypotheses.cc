@@ -14,8 +14,9 @@
 using namespace darkside;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::metricsInit(&argc, argv);
     bench::printBanner("Figure 4", "normalized Viterbi hypotheses "
                                    "explored vs pruning");
 
@@ -40,5 +41,5 @@ main()
     std::printf("%s\n", table.render().c_str());
     std::printf("expected shape: hypotheses grow monotonically as "
                 "confidence falls (paper: 1x / >1.5x / ~2x / >3x).\n");
-    return 0;
+    return bench::metricsFinish();
 }

@@ -13,6 +13,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench/bench_common.hh"
 #include "scoremodel/score_model.hh"
 #include "tensor/matrix.hh"
 #include "util/text_table.hh"
@@ -70,8 +71,9 @@ showCase(const char *label, const Vector &posteriors,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::metricsInit(&argc, argv);
     std::printf("==============================================================\n");
     std::printf("Figure 5 — beam-search behaviour for one frame, "
                 "confident vs pruned DNN\n");
@@ -120,5 +122,5 @@ main()
                 "S2-paths survive; under the pruned DNN the flat "
                 "scores pull extra paths inside the beam, inflating "
                 "next-frame workload.\n");
-    return 0;
+    return bench::metricsFinish();
 }

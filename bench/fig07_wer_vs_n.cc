@@ -19,8 +19,9 @@
 using namespace darkside;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::metricsInit(&argc, argv);
     bench::printBanner("Figure 7", "WER vs max hypotheses per frame N "
                                    "(accurate / direct / 8-way)");
     auto &ctx = bench::context();
@@ -78,5 +79,5 @@ main()
     std::printf("expected shape: all curves fall towards the baseline "
                 "WER as N grows; 8-way ~= accurate at every N; "
                 "direct-mapped needs several times larger N.\n");
-    return 0;
+    return bench::metricsFinish();
 }

@@ -15,6 +15,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.hh"
 #include "nbest/max_heap_set.hh"
 #include "sim/timing_model.hh"
 #include "util/rng.hh"
@@ -133,6 +134,7 @@ BENCHMARK(BM_SortBasedSelect)->Arg(4)->Arg(8)->Arg(16);
 int
 main(int argc, char **argv)
 {
+    bench::metricsInit(&argc, argv);
     std::printf("==============================================================\n");
     std::printf("Figure 8 — Max-Heap single-cycle replacement\n");
     std::printf("==============================================================\n\n");
@@ -142,5 +144,5 @@ main(int argc, char **argv)
     std::printf("--- software-model insertion throughput ---\n");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return bench::metricsFinish();
 }

@@ -77,8 +77,9 @@ class SimilarityTee : public HypothesisSelector
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::metricsInit(&argc, argv);
     bench::printBanner("Figure 9", "similarity to accurate N-best vs "
                                    "hash associativity and pruning");
     auto &ctx = bench::context();
@@ -109,5 +110,5 @@ main()
     std::printf("expected shape: similarity rises with associativity "
                 "(8-way between 0.8 and 0.95) and dips slightly as "
                 "pruning inflates the hypothesis count.\n");
-    return 0;
+    return bench::metricsFinish();
 }

@@ -15,8 +15,9 @@
 using namespace darkside;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::metricsInit(&argc, argv);
     bench::printBanner("Sec. III-D / Fig. 10",
                        "DNN accelerator utilization and footprint vs "
                        "pruning");
@@ -64,5 +65,5 @@ main()
                 "drops with sparsity (paper: 11%%/18%%/33%%) and the "
                 "on-chip model shrinks enough to power-gate most "
                 "eDRAM banks.\n");
-    return 0;
+    return bench::metricsFinish();
 }

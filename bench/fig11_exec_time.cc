@@ -17,8 +17,9 @@
 using namespace darkside;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::metricsInit(&argc, argv);
     bench::printBanner("Figure 11", "normalized ASR execution time, "
                                     "all configurations");
 
@@ -68,5 +69,5 @@ main()
                 "(the dark side); NBest rows flat in Viterbi time "
                 "across pruning; Beam rows keep a latency tail "
                 "(p99 >> p50) that NBest rows do not.\n");
-    return 0;
+    return bench::metricsFinish();
 }

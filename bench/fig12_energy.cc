@@ -16,8 +16,9 @@
 using namespace darkside;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::metricsInit(&argc, argv);
     bench::printBanner("Figure 12",
                        "normalized ASR energy, all configurations");
 
@@ -62,5 +63,5 @@ main()
                 "pruning; Viterbi energy rises under Baseline, is "
                 "partially contained by Beam, and stays flat under "
                 "NBest.\n");
-    return 0;
+    return bench::metricsFinish();
 }

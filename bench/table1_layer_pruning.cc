@@ -15,8 +15,9 @@
 using namespace darkside;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::metricsInit(&argc, argv);
     bench::printBanner("Table I", "layer structure and per-layer "
                                   "pruning percentages");
 
@@ -45,5 +46,5 @@ main()
     std::printf("expected shape: FC0 fixed (never pruned); per-layer "
                 "percentages cluster around the global target with the "
                 "narrowest layer pruned hardest.\n");
-    return 0;
+    return bench::metricsFinish();
 }

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "accel/viterbi/viterbi_accel.hh"
+#include "bench/bench_common.hh"
 #include "system/defaults.hh"
 #include "util/text_table.hh"
 #include "wfst/wfst.hh"
@@ -60,8 +61,9 @@ printViterbiConfig(const char *label, const ViterbiAccelConfig &config)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::metricsInit(&argc, argv);
     std::printf("==============================================================\n");
     std::printf("Tables II & III — accelerator configurations\n");
     std::printf("==============================================================\n\n");
@@ -115,5 +117,5 @@ main()
     std::printf("N-best accelerator area:   %.2f mm^2  (%.2fx smaller; "
                 "paper: 21.45 -> 10.74 mm^2, ~2x)\n",
                 nbest_sim.area(), base_sim.area() / nbest_sim.area());
-    return 0;
+    return bench::metricsFinish();
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.hh"
+
 namespace darkside {
 
 namespace {
@@ -163,6 +165,21 @@ ViterbiAcceleratorSim::result() const
     r.overflowLines = overflowLines_;
     r.frames = frames_;
     return r;
+}
+
+void
+ViterbiAcceleratorSim::recordTelemetry() const
+{
+    auto &reg = telemetry::MetricRegistry::global();
+    reg.counter("accel.viterbi.cycles", "cycles").add(cycles_);
+    reg.counter("accel.viterbi.frames", "frames").add(frames_);
+    reg.counter("accel.viterbi.miss_lines", "lines").add(missLines_);
+    reg.counter("accel.viterbi.overflow_lines", "lines")
+        .add(overflowLines_);
+    reg.counter("accel.viterbi.state_cache_misses", "accesses")
+        .add(stateCache_.stats().misses);
+    reg.counter("accel.viterbi.arc_cache_misses", "accesses")
+        .add(arcCache_.stats().misses);
 }
 
 void

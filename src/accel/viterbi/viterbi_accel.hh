@@ -106,6 +106,15 @@ class ViterbiAcceleratorSim : public SearchObserver
     /** Results accumulated since construction (or resetStats()). */
     ViterbiSimResult result() const;
 
+    /**
+     * Publish the accumulated counters to the global telemetry registry
+     * (docs/METRICS.md "accel.viterbi.*"). Call once per simulator
+     * instance, after the decode it observed; the cycle and DRAM-line
+     * counts are pure functions of the observed access stream, so the
+     * counters stay deterministic under parallel test-set runs.
+     */
+    void recordTelemetry() const;
+
     /** Clear accumulated counters (cache contents persist). */
     void resetStats();
 

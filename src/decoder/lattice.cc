@@ -89,11 +89,11 @@ LatticeDecoder::LatticeDecoder(const Wfst &fst,
 
 DecodeResult
 LatticeDecoder::decode(const AcousticScores &scores,
-                       HypothesisSelector &selector,
-                       Lattice &lattice) const
+                       HypothesisSelector &selector, Lattice &lattice,
+                       SearchObserver *observer) const
 {
     const ViterbiDecoder decoder(fst_, config_);
-    DecodeResult result = decoder.decode(scores, selector);
+    DecodeResult result = decoder.decode(scores, selector, observer);
 
     // Every final-frame survivor is an alternative transcription; a
     // survivor ending in a final WFST state is a complete sentence and

@@ -82,11 +82,12 @@ class LatticeDecoder
      * @param scores acoustic costs
      * @param selector survival policy
      * @param lattice receives the alternatives
+     * @param observer optional search hooks (telemetry, simulators)
      * @return the standard decode result (best path, activity)
      */
     DecodeResult decode(const AcousticScores &scores,
-                        HypothesisSelector &selector,
-                        Lattice &lattice) const;
+                        HypothesisSelector &selector, Lattice &lattice,
+                        SearchObserver *observer = nullptr) const;
 
   private:
     const Wfst &fst_;

@@ -2,7 +2,51 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.hh"
+
 namespace darkside {
+
+namespace {
+
+/**
+ * Scoring-stage telemetry (docs/METRICS.md "dnn.infer.*"). Frame and
+ * window counts are deterministic: windows fall on fixed batchFrames
+ * boundaries, so the same scoring load produces the same counts for
+ * any thread count. Wall time is not, and is flagged accordingly.
+ */
+struct InferMetrics
+{
+    telemetry::Counter frames;
+    telemetry::Counter windows;
+    telemetry::Counter denseFcWindows;
+    telemetry::Counter sparseFcWindows;
+    telemetry::Histogram windowFrames;
+    telemetry::Histogram windowWallUs;
+
+    static const InferMetrics &
+    get()
+    {
+        static const InferMetrics m = [] {
+            auto &reg = telemetry::MetricRegistry::global();
+            InferMetrics im;
+            im.frames = reg.counter("dnn.infer.frames", "frames");
+            im.windows = reg.counter("dnn.infer.windows", "windows");
+            im.denseFcWindows = reg.counter(
+                "dnn.infer.dense_fc_windows", "layer-windows");
+            im.sparseFcWindows = reg.counter(
+                "dnn.infer.sparse_fc_windows", "layer-windows");
+            im.windowFrames = reg.histogram(
+                "dnn.infer.window_frames", "frames", {0.0, 128.0, 32});
+            im.windowWallUs = reg.histogram(
+                "dnn.infer.window_wall_us", "us", {0.0, 20000.0, 50},
+                /*deterministic=*/false);
+            return im;
+        }();
+        return m;
+    }
+};
+
+} // namespace
 
 InferenceEngine::InferenceEngine(const Mlp &mlp, InferenceOptions options)
     : options_(options)
@@ -69,7 +113,12 @@ InferenceEngine::runBatch(const std::vector<Vector> &inputs,
                           std::vector<Vector> &posteriors,
                           InferenceWorkspace &ws) const
 {
+    const InferMetrics &metrics = InferMetrics::get();
+    const telemetry::ScopedTimer timer(metrics.windowWallUs);
     const std::size_t frames = end - begin;
+    metrics.frames.add(frames);
+    metrics.windows.add(1);
+    metrics.windowFrames.observe(static_cast<double>(frames));
     ws.a.resize(frames, inputSize_);
     for (std::size_t f = 0; f < frames; ++f) {
         const Vector &in = inputs[begin + f];
@@ -81,9 +130,11 @@ InferenceEngine::runBatch(const std::vector<Vector> &inputs,
         switch (op.kind) {
           case OpKind::DenseFc:
             gemmBatch(ws.a, op.fc->weights(), op.fc->biases(), ws.b);
+            metrics.denseFcWindows.add(1);
             break;
           case OpKind::SparseFc:
             op.sparse->forwardBatch(ws.a, ws.b);
+            metrics.sparseFcWindows.add(1);
             break;
           case OpKind::PNorm:
             ws.b.resize(frames, op.outWidth);

@@ -2,7 +2,31 @@
 
 #include <optional>
 
+#include "decoder/search_telemetry.hh"
+#include "telemetry/metrics.hh"
+
 namespace darkside {
+
+namespace {
+
+/** Lower-case pruning-level suffix for metric names ("np", "70", ...). */
+const char *
+pruneSuffix(PruneLevel level)
+{
+    switch (level) {
+      case PruneLevel::None:
+        return "np";
+      case PruneLevel::P70:
+        return "70";
+      case PruneLevel::P80:
+        return "80";
+      case PruneLevel::P90:
+        return "90";
+    }
+    return "?";
+}
+
+} // namespace
 
 const char *
 searchModeName(SearchMode mode)
@@ -79,6 +103,25 @@ AsrSystem::dnnSim(PruneLevel level)
     auto &slot = dnnSimCache_[static_cast<std::size_t>(level)];
     if (!slot)
         slot = dnnAccelSim_.simulate(zoo_.model(level));
+
+    // Republished on every call (not just the computing one): the sim
+    // cache outlives telemetry resets, and the values are pure functions
+    // of the model, so rewriting them is idempotent and keeps gauges
+    // present after a MetricRegistry::reset().
+    auto &reg = telemetry::MetricRegistry::global();
+    const std::string prefix =
+        std::string("accel.dnn.") + pruneSuffix(level) + ".";
+    reg.setGauge(prefix + "cycles_per_frame", "cycles",
+                 static_cast<double>(slot->cyclesPerFrame));
+    reg.setGauge(prefix + "seconds_per_frame", "s",
+                 slot->secondsPerFrame);
+    reg.setGauge(prefix + "dynamic_joules_per_frame", "J",
+                 slot->dynamicJoulesPerFrame);
+    reg.setGauge(prefix + "fc_utilization", "ratio",
+                 slot->fcUtilization);
+    reg.setGauge(prefix + "model_bytes", "bytes",
+                 static_cast<double>(slot->modelBytes));
+    reg.setGauge(prefix + "load_seconds", "s", slot->loadSeconds);
     return *slot;
 }
 
@@ -99,15 +142,25 @@ AsrSystem::scoresFor(const Utterance &utt, PruneLevel level,
     const ScoreKey key(static_cast<int>(level), utt.id);
     const bool cacheable = utt.id != 0;
 
+    // Hit/miss totals depend on which thread computes first, so they
+    // are registered non-deterministic.
+    auto &reg = telemetry::MetricRegistry::global();
+    static const telemetry::Counter cache_hits =
+        reg.counter("system.score_cache_hits", "lookups", false);
+    static const telemetry::Counter cache_misses =
+        reg.counter("system.score_cache_misses", "lookups", false);
+
     if (cacheable) {
         std::lock_guard<std::mutex> lock(scoreMutex_);
         auto it = scoreIndex_.find(key);
         if (it != scoreIndex_.end()) {
             // Refresh recency: move the hit to the front of the list.
             scoreLru_.splice(scoreLru_.begin(), scoreLru_, it->second);
+            cache_hits.add(1);
             return it->second->second;
         }
     }
+    cache_misses.add(1);
 
     // Compute outside the lock: scoring dominates, and concurrent
     // requests for *different* utterances must not serialise. Two
@@ -169,7 +222,13 @@ AsrSystem::runUtterance(const Utterance &utt, const SystemConfig &config)
     ViterbiAcceleratorSim accel(vc, fst_);
     auto selector = makeSelector(config);
     const ViterbiDecoder decoder(fst_, DecoderConfig{config.beam});
-    run.decode = decoder.decode(scores, *selector, &accel);
+
+    // The accelerator simulator and the telemetry observer both ride
+    // the same decode through a tee.
+    SearchTelemetry search_telemetry;
+    TeeSearchObserver observer(&accel, &search_telemetry);
+    run.decode = decoder.decode(scores, *selector, &observer);
+    accel.recordTelemetry();
 
     const ViterbiSimResult vr = accel.result();
     run.viterbi.seconds = vr.seconds + buffer_seconds;
@@ -226,6 +285,24 @@ AsrSystem::runTestSet(const std::vector<Utterance> &utts,
     result.meanConfidence = result.frames == 0
         ? 0.0
         : confidence_weighted / static_cast<double>(result.frames);
+
+    // Publish test-set aggregates. This merge runs serially in input
+    // order, so even the floating-point sums are bit-identical for any
+    // thread count; set-style gauges reflect the most recent test set.
+    auto &reg = telemetry::MetricRegistry::global();
+    reg.counter("system.utterances", "utterances").add(utts.size());
+    reg.counter("system.frames", "frames").add(result.frames);
+    reg.counter("system.survivors", "hypotheses").add(result.survivors);
+    reg.counter("system.generated", "hypotheses").add(result.generated);
+    reg.addGauge("system.dnn.seconds", "s", result.dnn.seconds);
+    reg.addGauge("system.dnn.joules", "J", result.dnn.joules);
+    reg.addGauge("system.viterbi.seconds", "s", result.viterbi.seconds);
+    reg.addGauge("system.viterbi.joules", "J", result.viterbi.joules);
+    reg.setGauge("system.wer", "ratio", result.wer.wordErrorRate());
+    reg.setGauge("system.mean_confidence", "ratio",
+                 result.meanConfidence);
+    reg.setGauge("system.hyps_per_frame", "hypotheses",
+                 result.meanSurvivorsPerFrame());
     return result;
 }
 

@@ -1,0 +1,240 @@
+#include "telemetry/snapshot.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hh"
+#include "util/logging.hh"
+
+namespace darkside {
+namespace telemetry {
+
+const char *const kSchemaName = "darkside-metrics-v1";
+
+namespace {
+
+/** Shortest round-trippable decimal form, locale-independent. */
+std::string
+formatDouble(double x)
+{
+    char buf[64];
+    // %.17g round-trips any double; try the shorter %.15g first so the
+    // common case stays readable.
+    std::snprintf(buf, sizeof(buf), "%.15g", x);
+    if (std::strtod(buf, nullptr) != x)
+        std::snprintf(buf, sizeof(buf), "%.17g", x);
+    return buf;
+}
+
+std::string
+escapeJson(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+double
+HistogramSample::quantile(double p) const
+{
+    if (count == 0)
+        return 0.0;
+    const auto target = static_cast<std::uint64_t>(
+        p * static_cast<double>(count - 1));
+    std::uint64_t seen = underflow;
+    if (target < seen)
+        return min;
+    const double width =
+        (hi - lo) / static_cast<double>(buckets.size());
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+        seen += buckets[b];
+        if (target < seen)
+            return lo + (static_cast<double>(b) + 0.5) * width;
+    }
+    return max;
+}
+
+double
+HistogramSample::approxMean() const
+{
+    if (count == 0)
+        return 0.0;
+    const double width =
+        (hi - lo) / static_cast<double>(buckets.size());
+    double sum = static_cast<double>(underflow) * min +
+        static_cast<double>(overflow) * max;
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+        sum += static_cast<double>(buckets[b]) *
+            (lo + (static_cast<double>(b) + 0.5) * width);
+    }
+    return sum / static_cast<double>(count);
+}
+
+Snapshot
+Snapshot::deterministic() const
+{
+    Snapshot out;
+    for (const auto &c : counters) {
+        if (c.deterministic)
+            out.counters.push_back(c);
+    }
+    out.gauges = gauges;
+    for (const auto &h : histograms) {
+        if (h.deterministic)
+            out.histograms.push_back(h);
+    }
+    return out;
+}
+
+void
+Snapshot::sortByName()
+{
+    const auto byName = [](const auto &a, const auto &b) {
+        return a.name < b.name;
+    };
+    std::sort(counters.begin(), counters.end(), byName);
+    std::sort(gauges.begin(), gauges.end(), byName);
+    std::sort(histograms.begin(), histograms.end(), byName);
+}
+
+std::string
+Snapshot::toJson() const
+{
+    std::ostringstream os;
+    os << "{\n  \"schema\": \"" << kSchemaName << "\",\n";
+
+    os << "  \"counters\": [";
+    for (std::size_t i = 0; i < counters.size(); ++i) {
+        const auto &c = counters[i];
+        os << (i ? "," : "") << "\n    {\"name\": \""
+           << escapeJson(c.name) << "\", \"unit\": \""
+           << escapeJson(c.unit) << "\", \"deterministic\": "
+           << (c.deterministic ? "true" : "false")
+           << ", \"value\": " << c.value << "}";
+    }
+    os << (counters.empty() ? "]" : "\n  ]") << ",\n";
+
+    os << "  \"gauges\": [";
+    for (std::size_t i = 0; i < gauges.size(); ++i) {
+        const auto &g = gauges[i];
+        os << (i ? "," : "") << "\n    {\"name\": \""
+           << escapeJson(g.name) << "\", \"unit\": \""
+           << escapeJson(g.unit) << "\", \"value\": "
+           << formatDouble(g.value) << "}";
+    }
+    os << (gauges.empty() ? "]" : "\n  ]") << ",\n";
+
+    os << "  \"histograms\": [";
+    for (std::size_t i = 0; i < histograms.size(); ++i) {
+        const auto &h = histograms[i];
+        os << (i ? "," : "") << "\n    {\"name\": \""
+           << escapeJson(h.name) << "\", \"unit\": \""
+           << escapeJson(h.unit) << "\", \"deterministic\": "
+           << (h.deterministic ? "true" : "false")
+           << ", \"lo\": " << formatDouble(h.lo)
+           << ", \"hi\": " << formatDouble(h.hi)
+           << ", \"count\": " << h.count
+           << ", \"underflow\": " << h.underflow
+           << ", \"overflow\": " << h.overflow
+           << ", \"min\": " << formatDouble(h.min)
+           << ", \"max\": " << formatDouble(h.max)
+           << ",\n     \"buckets\": [";
+        for (std::size_t b = 0; b < h.buckets.size(); ++b)
+            os << (b ? "," : "") << h.buckets[b];
+        os << "]}";
+    }
+    os << (histograms.empty() ? "]" : "\n  ]") << "\n}\n";
+    return os.str();
+}
+
+bool
+Snapshot::writeJsonFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    os << toJson();
+    return static_cast<bool>(os);
+}
+
+void
+Snapshot::writeCsv(CsvWriter &csv) const
+{
+    csv.header({"kind", "name", "unit", "deterministic", "value",
+                "count", "min", "max", "p50"});
+    for (const auto &c : counters) {
+        csv.row({"counter", c.name, c.unit,
+                 c.deterministic ? "1" : "0", std::to_string(c.value),
+                 "", "", "", ""});
+    }
+    for (const auto &g : gauges) {
+        csv.row({"gauge", g.name, g.unit, "1", formatDouble(g.value),
+                 "", "", "", ""});
+    }
+    for (const auto &h : histograms) {
+        csv.row({"histogram", h.name, h.unit,
+                 h.deterministic ? "1" : "0", "",
+                 std::to_string(h.count), formatDouble(h.min),
+                 formatDouble(h.max), formatDouble(h.quantile(0.5))});
+    }
+}
+
+const CounterSample *
+Snapshot::findCounter(const std::string &name) const
+{
+    for (const auto &c : counters) {
+        if (c.name == name)
+            return &c;
+    }
+    return nullptr;
+}
+
+const GaugeSample *
+Snapshot::findGauge(const std::string &name) const
+{
+    for (const auto &g : gauges) {
+        if (g.name == name)
+            return &g;
+    }
+    return nullptr;
+}
+
+const HistogramSample *
+Snapshot::findHistogram(const std::string &name) const
+{
+    for (const auto &h : histograms) {
+        if (h.name == name)
+            return &h;
+    }
+    return nullptr;
+}
+
+} // namespace telemetry
+} // namespace darkside

@@ -1,0 +1,340 @@
+#include "util/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace darkside {
+
+bool
+JsonValue::asBool() const
+{
+    ds_assert(kind_ == Kind::Bool);
+    return bool_;
+}
+
+double
+JsonValue::asNumber() const
+{
+    ds_assert(kind_ == Kind::Number);
+    return number_;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    ds_assert(kind_ == Kind::String);
+    return string_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::asArray() const
+{
+    ds_assert(kind_ == Kind::Array);
+    return array_;
+}
+
+const std::vector<JsonValue::Member> &
+JsonValue::asObject() const
+{
+    ds_assert(kind_ == Kind::Object);
+    return object_;
+}
+
+const JsonValue *
+JsonValue::member(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &[name, value] : object_) {
+        if (name == key)
+            return &value;
+    }
+    return nullptr;
+}
+
+bool
+JsonValue::isNonNegativeInteger() const
+{
+    if (kind_ != Kind::Number)
+        return false;
+    return number_ >= 0.0 && std::floor(number_) == number_ &&
+        number_ <= 1.8446744073709552e19; // 2^64
+}
+
+/**
+ * Recursive-descent parser over the raw document text.
+ */
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text, std::string *error)
+        : text_(text), error_(error)
+    {}
+
+    JsonValue
+    run()
+    {
+        JsonValue value = parseValue();
+        if (failed_)
+            return JsonValue();
+        skipSpace();
+        if (pos_ != text_.size()) {
+            fail("trailing characters after document");
+            return JsonValue();
+        }
+        return value;
+    }
+
+  private:
+    void
+    fail(const std::string &what)
+    {
+        if (!failed_ && error_) {
+            *error_ = what + " at offset " + std::to_string(pos_);
+        }
+        failed_ = true;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::char_traits<char>::length(word);
+        if (text_.compare(pos_, n, word) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        skipSpace();
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of document");
+            return JsonValue();
+        }
+        const char c = text_[pos_];
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"')
+            return parseString();
+        if (c == 't' || c == 'f')
+            return parseBool();
+        if (c == 'n') {
+            if (!literal("null"))
+                fail("bad literal");
+            return JsonValue();
+        }
+        return parseNumber();
+    }
+
+    JsonValue
+    parseBool()
+    {
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::Bool;
+        if (literal("true")) {
+            v.bool_ = true;
+        } else if (literal("false")) {
+            v.bool_ = false;
+        } else {
+            fail("bad literal");
+        }
+        return v;
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        const char *start = text_.c_str() + pos_;
+        char *end = nullptr;
+        const double x = std::strtod(start, &end);
+        if (end == start) {
+            fail("bad number");
+            return JsonValue();
+        }
+        pos_ += static_cast<std::size_t>(end - start);
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::Number;
+        v.number_ = x;
+        return v;
+    }
+
+    JsonValue
+    parseString()
+    {
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::String;
+        v.string_ = parseRawString();
+        return v;
+    }
+
+    std::string
+    parseRawString()
+    {
+        std::string out;
+        if (!consume('"')) {
+            fail("expected string");
+            return out;
+        }
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"':
+              case '\\':
+              case '/':
+                out += esc;
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                if (pos_ + 4 > text_.size()) {
+                    fail("truncated \\u escape");
+                    return out;
+                }
+                unsigned code = 0;
+                if (std::sscanf(text_.c_str() + pos_, "%4x", &code) !=
+                    1) {
+                    fail("bad \\u escape");
+                    return out;
+                }
+                pos_ += 4;
+                // Encode the BMP code point as UTF-8.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                fail("bad escape");
+                return out;
+            }
+        }
+        fail("unterminated string");
+        return out;
+    }
+
+    JsonValue
+    parseArray()
+    {
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::Array;
+        consume('[');
+        skipSpace();
+        if (consume(']'))
+            return v;
+        for (;;) {
+            v.array_.push_back(parseValue());
+            if (failed_)
+                return v;
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return v;
+            fail("expected ',' or ']'");
+            return v;
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::Object;
+        consume('{');
+        skipSpace();
+        if (consume('}'))
+            return v;
+        for (;;) {
+            skipSpace();
+            std::string key = parseRawString();
+            if (failed_)
+                return v;
+            if (!consume(':')) {
+                fail("expected ':'");
+                return v;
+            }
+            v.object_.emplace_back(std::move(key), parseValue());
+            if (failed_)
+                return v;
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return v;
+            fail("expected ',' or '}'");
+            return v;
+        }
+    }
+
+    const std::string &text_;
+    std::string *error_;
+    std::size_t pos_ = 0;
+    bool failed_ = false;
+};
+
+JsonValue
+JsonValue::parse(const std::string &text, std::string *error)
+{
+    if (error)
+        error->clear();
+    return JsonParser(text, error).run();
+}
+
+} // namespace darkside

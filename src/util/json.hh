@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Minimal JSON document model and recursive-descent parser. Built for
+ * the telemetry schema checker (tools/metrics_check) and the exporter
+ * round-trip tests — small inputs, strict parsing, no streaming.
+ * Object member order is preserved so validators can check that
+ * exporters emit sorted keys.
+ */
+
+#ifndef DARKSIDE_UTIL_JSON_HH
+#define DARKSIDE_UTIL_JSON_HH
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace darkside {
+
+/**
+ * One JSON value: null, bool, number, string, array or object.
+ */
+class JsonValue
+{
+  public:
+    enum class Kind : std::uint8_t {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    using Member = std::pair<std::string, JsonValue>;
+
+    JsonValue() = default;
+
+    /**
+     * Parse a complete JSON document (trailing garbage is an error).
+     * @param text the document
+     * @param error receives a message with offset on failure (optional)
+     * @return the parsed value, or a Null value on failure (a valid
+     *         document can itself be null, so pass `error` and check
+     *         it is empty to distinguish)
+     */
+    static JsonValue parse(const std::string &text,
+                           std::string *error = nullptr);
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Requires the matching kind. */
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+    const std::vector<JsonValue> &asArray() const;
+    const std::vector<Member> &asObject() const;
+
+    /** Object member by key; nullptr when absent (or not an object). */
+    const JsonValue *member(const std::string &key) const;
+
+    /** True when the number has no fractional part and fits uint64. */
+    bool isNonNegativeInteger() const;
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> array_;
+    std::vector<Member> object_;
+
+    friend class JsonParser;
+};
+
+} // namespace darkside
+
+#endif // DARKSIDE_UTIL_JSON_HH

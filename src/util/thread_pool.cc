@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 
+#include "telemetry/metrics.hh"
 #include "util/logging.hh"
 
 namespace darkside {
@@ -13,6 +15,63 @@ namespace {
 /** Pool whose workerLoop the current thread is running (nullptr on
  *  external threads). Used to detect nested parallelFor calls. */
 thread_local const ThreadPool *current_pool = nullptr;
+
+/**
+ * Pool telemetry (docs/METRICS.md "pool.*"): task counts, queue wait
+ * and task latency. Everything here depends on scheduling and thread
+ * count, so it is all registered non-deterministic and excluded from
+ * reproducibility snapshots.
+ */
+struct PoolMetrics
+{
+    telemetry::Counter tasks;
+    telemetry::Counter inlineTasks;
+    telemetry::Counter busyUs;
+    telemetry::Histogram queueWaitUs;
+    telemetry::Histogram taskWallUs;
+
+    static const PoolMetrics &
+    get()
+    {
+        static const PoolMetrics m = [] {
+            auto &reg = telemetry::MetricRegistry::global();
+            PoolMetrics pm;
+            pm.tasks = reg.counter("pool.tasks", "tasks", false);
+            pm.inlineTasks =
+                reg.counter("pool.inline_tasks", "tasks", false);
+            pm.busyUs = reg.counter("pool.busy_us", "us", false);
+            pm.queueWaitUs = reg.histogram(
+                "pool.queue_wait_us", "us", {0.0, 10000.0, 50}, false);
+            pm.taskWallUs = reg.histogram(
+                "pool.task_wall_us", "us", {0.0, 100000.0, 50}, false);
+            return pm;
+        }();
+        return m;
+    }
+};
+
+using PoolClock = std::chrono::steady_clock;
+
+double
+microsSince(PoolClock::time_point start)
+{
+    return std::chrono::duration<double, std::micro>(PoolClock::now() -
+                                                     start)
+        .count();
+}
+
+/** Run one task under the latency/utilization accounting. */
+void
+runTimed(const std::function<void()> &task, bool inline_path)
+{
+    const PoolMetrics &m = PoolMetrics::get();
+    const auto start = PoolClock::now();
+    task();
+    const double us = microsSince(start);
+    m.taskWallUs.observe(us);
+    m.busyUs.add(static_cast<std::uint64_t>(us));
+    (inline_path ? m.inlineTasks : m.tasks).add(1);
+}
 
 } // namespace
 
@@ -51,7 +110,7 @@ ThreadPool::workerLoop()
 {
     current_pool = this;
     for (;;) {
-        std::function<void()> task;
+        QueuedTask task;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             wake_.wait(lock,
@@ -61,7 +120,9 @@ ThreadPool::workerLoop()
             task = std::move(queue_.front());
             queue_.pop_front();
         }
-        task();
+        PoolMetrics::get().queueWaitUs.observe(
+            microsSince(task.enqueued));
+        runTimed(task.fn, /*inline_path=*/false);
     }
 }
 
@@ -69,13 +130,13 @@ void
 ThreadPool::submit(std::function<void()> task)
 {
     if (workers_.empty()) {
-        task();
+        runTimed(task, /*inline_path=*/true);
         return;
     }
     {
         std::lock_guard<std::mutex> lock(mutex_);
         ds_assert(!stopping_);
-        queue_.push_back(std::move(task));
+        queue_.push_back({std::move(task), PoolClock::now()});
     }
     wake_.notify_one();
 }

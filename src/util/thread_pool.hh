@@ -14,6 +14,7 @@
 #ifndef DARKSIDE_UTIL_THREAD_POOL_HH
 #define DARKSIDE_UTIL_THREAD_POOL_HH
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -68,10 +69,18 @@ class ThreadPool
     bool onWorkerThread() const;
 
   private:
+    /** Queue entry; the timestamp feeds the pool.queue_wait_us
+     *  telemetry histogram. */
+    struct QueuedTask
+    {
+        std::function<void()> fn;
+        std::chrono::steady_clock::time_point enqueued;
+    };
+
     void workerLoop();
 
     std::vector<std::thread> workers_;
-    std::deque<std::function<void()>> queue_;
+    std::deque<QueuedTask> queue_;
     mutable std::mutex mutex_;
     std::condition_variable wake_;
     bool stopping_ = false;

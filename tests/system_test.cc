@@ -8,8 +8,11 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <string>
 
 #include "system/defaults.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/snapshot.hh"
 
 namespace darkside {
 namespace {
@@ -279,6 +282,36 @@ TEST(AsrSystem, RunTestSetIsThreadCountInvariant)
         ctx.system.runTestSet(cold(1ull << 52), config, 4);
     expectIdenticalResults(r1, r2);
     expectIdenticalResults(r1, r4);
+}
+
+TEST(AsrSystem, MetricsSnapshotIsThreadCountInvariant)
+{
+    auto &ctx = context();
+    const auto config =
+        ctx.setup.configFor(SearchMode::Baseline, PruneLevel::P90);
+
+    // Fresh ids so both runs score cold (the LRU score cache would
+    // otherwise short-circuit the second run's DNN stage).
+    auto cold = [&](std::uint64_t base) {
+        auto utts = ctx.testSet;
+        for (std::size_t i = 0; i < utts.size(); ++i)
+            utts[i].id = base + i;
+        return utts;
+    };
+
+    auto &reg = telemetry::MetricRegistry::global();
+    auto run = [&](std::uint64_t base, std::size_t threads) {
+        reg.reset();
+        ctx.system.runTestSet(cold(base), config, threads);
+        return reg.snapshot().deterministic().toJson();
+    };
+
+    // The deterministic view must serialize byte-identically for any
+    // worker count; non-deterministic metrics (wall timers, pool
+    // scheduling, cache races) are excluded by contract.
+    const std::string serial = run(1ull << 53, 1);
+    EXPECT_EQ(serial, run(1ull << 54, 2));
+    EXPECT_EQ(serial, run(1ull << 55, 4));
 }
 
 TEST(AsrSystem, ScoreCacheReplayMatchesColdRun)

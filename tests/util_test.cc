@@ -11,6 +11,7 @@
 
 #include "util/bits.hh"
 #include "util/edit_distance.hh"
+#include "util/json.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
 #include "util/text_table.hh"
@@ -362,6 +363,80 @@ TEST(TextTable, NumFormatsPrecision)
 {
     EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
     EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+TEST(Json, ParsesScalars)
+{
+    std::string error;
+    EXPECT_TRUE(JsonValue::parse("null", &error).isNull());
+    EXPECT_TRUE(error.empty());
+    EXPECT_EQ(JsonValue::parse("true", &error).asBool(), true);
+    EXPECT_EQ(JsonValue::parse("false", &error).asBool(), false);
+    EXPECT_DOUBLE_EQ(JsonValue::parse("-2.5e2", &error).asNumber(),
+                     -250.0);
+    EXPECT_EQ(JsonValue::parse("\"hi\"", &error).asString(), "hi");
+    EXPECT_TRUE(error.empty());
+}
+
+TEST(Json, ParsesNestedStructure)
+{
+    std::string error;
+    const JsonValue v = JsonValue::parse(
+        "{\"a\": [1, 2, {\"b\": true}], \"c\": \"x\"}", &error);
+    ASSERT_TRUE(error.empty()) << error;
+    ASSERT_TRUE(v.isObject());
+    const JsonValue *a = v.member("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_EQ(a->asArray().size(), 3u);
+    EXPECT_DOUBLE_EQ(a->asArray()[0].asNumber(), 1.0);
+    EXPECT_TRUE(a->asArray()[2].member("b")->asBool());
+    EXPECT_EQ(v.member("c")->asString(), "x");
+    EXPECT_EQ(v.member("missing"), nullptr);
+}
+
+TEST(Json, PreservesMemberOrder)
+{
+    std::string error;
+    const JsonValue v =
+        JsonValue::parse("{\"z\": 1, \"a\": 2, \"m\": 3}", &error);
+    ASSERT_TRUE(error.empty());
+    ASSERT_EQ(v.asObject().size(), 3u);
+    EXPECT_EQ(v.asObject()[0].first, "z");
+    EXPECT_EQ(v.asObject()[1].first, "a");
+    EXPECT_EQ(v.asObject()[2].first, "m");
+}
+
+TEST(Json, DecodesStringEscapes)
+{
+    std::string error;
+    const JsonValue v = JsonValue::parse(
+        "\"a\\\"b\\\\c\\n\\t\\u0041\"", &error);
+    ASSERT_TRUE(error.empty()) << error;
+    EXPECT_EQ(v.asString(), "a\"b\\c\n\tA");
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    for (const char *bad :
+         {"", "{", "[1,]", "{\"a\":}", "tru", "1 2", "\"unterminated",
+          "{\"a\" 1}", "[1 2]"}) {
+        std::string error;
+        JsonValue::parse(bad, &error);
+        EXPECT_FALSE(error.empty()) << "accepted: " << bad;
+    }
+}
+
+TEST(Json, NonNegativeIntegerPredicate)
+{
+    std::string error;
+    EXPECT_TRUE(JsonValue::parse("42", &error).isNonNegativeInteger());
+    EXPECT_TRUE(JsonValue::parse("0", &error).isNonNegativeInteger());
+    EXPECT_FALSE(
+        JsonValue::parse("-1", &error).isNonNegativeInteger());
+    EXPECT_FALSE(
+        JsonValue::parse("1.5", &error).isNonNegativeInteger());
+    EXPECT_FALSE(
+        JsonValue::parse("true", &error).isNonNegativeInteger());
 }
 
 } // namespace

@@ -20,7 +20,10 @@
 #include <string>
 
 #include "decoder/lattice.hh"
+#include "decoder/search_telemetry.hh"
 #include "system/defaults.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/snapshot.hh"
 #include "util/argparse.hh"
 #include "util/text_table.hh"
 
@@ -36,6 +39,24 @@ addSetupFlags(ArgParser &args)
     args.addOption("cache", "model cache directory", "darkside_cache");
     args.addOption("beam", "beam width override (0 = config default)",
                    0.0);
+    args.addOption("metrics",
+                   "write a darkside-metrics-v1 JSON snapshot here", "");
+}
+
+/** Honour --metrics: dump the global registry as schema JSON. */
+int
+writeMetrics(const ArgParser &args)
+{
+    const std::string &path = args.get("metrics");
+    if (path.empty())
+        return 0;
+    const auto snap = telemetry::MetricRegistry::global().snapshot();
+    if (!snap.writeJsonFile(path)) {
+        std::fprintf(stderr, "cannot write metrics to '%s'\n",
+                     path.c_str());
+        return 1;
+    }
+    return 0;
 }
 
 ExperimentSetup
@@ -248,17 +269,22 @@ cmdDecode(int argc, const char *const *argv)
         fatal("bad --selector '%s'", spec.c_str());
     };
 
+    // One compiled engine for the whole test set; each decode feeds
+    // the telemetry observer, so --metrics captures both stages.
+    const InferenceEngine engine(ctx.zoo.model(level));
     const LatticeDecoder decoder(ctx.fst, DecoderConfig{beam});
+    SearchTelemetry search_telemetry;
     EditStats wer;
     std::uint64_t survivors = 0, frames = 0;
     for (const auto &utt : ctx.testSet) {
-        const auto scores = AcousticScores::fromMlp(
-            ctx.zoo.model(level), ctx.corpus.spliceUtterance(utt),
+        const auto scores = AcousticScores::fromEngine(
+            engine, ctx.corpus.spliceUtterance(utt),
             setup.platform.acousticScale);
         auto selector = make_selector();
         Lattice lattice;
         const DecodeResult result =
-            decoder.decode(scores, *selector, lattice);
+            decoder.decode(scores, *selector, lattice,
+                           &search_telemetry);
         wer.merge(alignSequences(utt.words, result.words));
         survivors += result.totalSurvivors();
         frames += result.frames.size();
@@ -276,7 +302,7 @@ cmdDecode(int argc, const char *const *argv)
                 static_cast<unsigned long long>(wer.referenceLength),
                 static_cast<double>(survivors) /
                     static_cast<double>(frames));
-    return 0;
+    return writeMetrics(args);
 }
 
 int
@@ -311,7 +337,7 @@ cmdSimulate(int argc, const char *const *argv)
     std::printf("search ms per speech second: p50 %.2f  p99 %.2f\n",
                 1e3 * r.searchLatencyPerSpeechSecond.percentile(50),
                 1e3 * r.searchLatencyPerSpeechSecond.percentile(99));
-    return 0;
+    return writeMetrics(args);
 }
 
 int
@@ -350,7 +376,7 @@ cmdSweep(int argc, const char *const *argv)
         }
     }
     std::printf("%s", table.render().c_str());
-    return 0;
+    return writeMetrics(args);
 }
 
 void

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * metrics_check — schema validator for darkside-metrics-v1 JSON files
+ * (the --metrics output of the CLI and the benches). CI runs it over
+ * freshly produced snapshots so an exporter regression fails the build
+ * rather than silently producing unreadable artefacts.
+ *
+ * Checks, per file:
+ *   - parses as JSON; top level is an object with schema/counters/
+ *     gauges/histograms and nothing else
+ *   - "schema" equals "darkside-metrics-v1"
+ *   - each section is an array sorted by strictly increasing "name"
+ *   - counters: non-negative integer "value", string unit, bool flag
+ *   - histograms: lo < hi, min <= max when count > 0, and
+ *     count == underflow + overflow + sum(buckets)
+ *
+ * usage: metrics_check <file.json> [more.json ...]
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.hh"
+
+using darkside::JsonValue;
+
+namespace {
+
+int failures = 0;
+const char *current_file = "";
+
+void
+fail(const std::string &what)
+{
+    std::fprintf(stderr, "%s: %s\n", current_file, what.c_str());
+    ++failures;
+}
+
+/** Non-empty string member `key`. */
+bool
+checkString(const JsonValue &obj, const char *key)
+{
+    const JsonValue *v = obj.member(key);
+    if (!v || !v->isString()) {
+        fail(std::string("missing string member '") + key + "'");
+        return false;
+    }
+    return true;
+}
+
+bool
+checkBool(const JsonValue &obj, const char *key)
+{
+    const JsonValue *v = obj.member(key);
+    if (!v || !v->isBool()) {
+        fail(std::string("missing bool member '") + key + "'");
+        return false;
+    }
+    return true;
+}
+
+bool
+checkNumber(const JsonValue &obj, const char *key)
+{
+    const JsonValue *v = obj.member(key);
+    if (!v || !v->isNumber()) {
+        fail(std::string("missing numeric member '") + key + "'");
+        return false;
+    }
+    return true;
+}
+
+bool
+checkUint(const JsonValue &obj, const char *key)
+{
+    const JsonValue *v = obj.member(key);
+    if (!v || !v->isNonNegativeInteger()) {
+        fail(std::string("member '") + key +
+             "' is not a non-negative integer");
+        return false;
+    }
+    return true;
+}
+
+/** The array section `key`, sorted by strictly increasing name. */
+const std::vector<JsonValue> *
+section(const JsonValue &root, const char *key)
+{
+    const JsonValue *v = root.member(key);
+    if (!v || !v->isArray()) {
+        fail(std::string("missing array section '") + key + "'");
+        return nullptr;
+    }
+    std::string prev;
+    for (std::size_t i = 0; i < v->asArray().size(); ++i) {
+        const JsonValue &entry = v->asArray()[i];
+        if (!entry.isObject() || !entry.member("name") ||
+            !entry.member("name")->isString()) {
+            fail(std::string(key) + "[" + std::to_string(i) +
+                 "]: entry without a string 'name'");
+            return nullptr;
+        }
+        const std::string &name = entry.member("name")->asString();
+        if (i > 0 && name <= prev) {
+            fail(std::string(key) + ": names not sorted/unique at '" +
+                 name + "'");
+        }
+        prev = name;
+    }
+    return &v->asArray();
+}
+
+void
+checkCounters(const JsonValue &root)
+{
+    const auto *entries = section(root, "counters");
+    if (!entries)
+        return;
+    for (const JsonValue &c : *entries) {
+        checkString(c, "unit");
+        checkBool(c, "deterministic");
+        checkUint(c, "value");
+    }
+}
+
+void
+checkGauges(const JsonValue &root)
+{
+    const auto *entries = section(root, "gauges");
+    if (!entries)
+        return;
+    for (const JsonValue &g : *entries) {
+        checkString(g, "unit");
+        checkNumber(g, "value");
+    }
+}
+
+void
+checkHistograms(const JsonValue &root)
+{
+    const auto *entries = section(root, "histograms");
+    if (!entries)
+        return;
+    for (const JsonValue &h : *entries) {
+        const std::string name = h.member("name")->asString();
+        checkString(h, "unit");
+        checkBool(h, "deterministic");
+        if (!checkNumber(h, "lo") || !checkNumber(h, "hi") ||
+            !checkNumber(h, "min") || !checkNumber(h, "max") ||
+            !checkUint(h, "count") || !checkUint(h, "underflow") ||
+            !checkUint(h, "overflow")) {
+            continue;
+        }
+        if (!(h.member("lo")->asNumber() < h.member("hi")->asNumber()))
+            fail(name + ": lo must be < hi");
+
+        const JsonValue *buckets = h.member("buckets");
+        if (!buckets || !buckets->isArray() ||
+            buckets->asArray().empty()) {
+            fail(name + ": missing non-empty 'buckets' array");
+            continue;
+        }
+        double total = h.member("underflow")->asNumber() +
+            h.member("overflow")->asNumber();
+        bool buckets_ok = true;
+        for (const JsonValue &b : buckets->asArray()) {
+            if (!b.isNonNegativeInteger()) {
+                fail(name + ": bucket is not a non-negative integer");
+                buckets_ok = false;
+                break;
+            }
+            total += b.asNumber();
+        }
+        if (buckets_ok && total != h.member("count")->asNumber())
+            fail(name + ": count != underflow + overflow + sum(buckets)");
+        if (h.member("count")->asNumber() > 0 &&
+            h.member("min")->asNumber() > h.member("max")->asNumber()) {
+            fail(name + ": min > max with samples present");
+        }
+    }
+}
+
+void
+checkFile(const char *path)
+{
+    current_file = path;
+    std::ifstream is(path);
+    if (!is) {
+        fail("cannot open");
+        return;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+
+    std::string error;
+    const JsonValue root = JsonValue::parse(buf.str(), &error);
+    if (!error.empty()) {
+        fail("parse error: " + error);
+        return;
+    }
+    if (!root.isObject()) {
+        fail("top level is not an object");
+        return;
+    }
+    const JsonValue *schema = root.member("schema");
+    if (!schema || !schema->isString() ||
+        schema->asString() != "darkside-metrics-v1") {
+        fail("schema is not \"darkside-metrics-v1\"");
+        return;
+    }
+    for (const auto &[key, value] : root.asObject()) {
+        if (key != "schema" && key != "counters" && key != "gauges" &&
+            key != "histograms") {
+            fail("unexpected top-level member '" + key + "'");
+        }
+    }
+    checkCounters(root);
+    checkGauges(root);
+    checkHistograms(root);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: metrics_check <file.json> [...]\n");
+        return 2;
+    }
+    for (int i = 1; i < argc; ++i)
+        checkFile(argv[i]);
+    if (failures > 0) {
+        std::fprintf(stderr, "%d problem(s) found\n", failures);
+        return 1;
+    }
+    std::printf("%d file(s) OK\n", argc - 1);
+    return 0;
+}
