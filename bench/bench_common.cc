@@ -6,8 +6,10 @@
 #include <memory>
 #include <string>
 
+#include "fault/fault.hh"
 #include "telemetry/metrics.hh"
 #include "telemetry/snapshot.hh"
+#include "util/logging.hh"
 
 namespace darkside {
 namespace bench {
@@ -70,20 +72,37 @@ metricsInit(int *argc, char **argv)
 {
     if (const char *v = std::getenv("DARKSIDE_METRICS"))
         metrics_path = v;
+    std::string fault_plan;
+    if (const char *v = std::getenv("DARKSIDE_FAULT_PLAN"))
+        fault_plan = v;
 
-    // Strip the flag so downstream argv consumers never see it.
+    // Strip the flags so downstream argv consumers never see them.
     int out = 1;
     for (int i = 1; i < *argc; ++i) {
         if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < *argc) {
             metrics_path = argv[++i];
         } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
             metrics_path = argv[i] + 10;
+        } else if (std::strcmp(argv[i], "--fault-plan") == 0 &&
+                   i + 1 < *argc) {
+            fault_plan = argv[++i];
+        } else if (std::strncmp(argv[i], "--fault-plan=", 13) == 0) {
+            fault_plan = argv[i] + 13;
         } else {
             argv[out++] = argv[i];
         }
     }
     *argc = out;
     argv[out] = nullptr;
+
+    if (!fault_plan.empty()) {
+        auto plan = FaultPlan::loadFile(fault_plan);
+        if (!plan)
+            fatal("%s", plan.message().c_str());
+        FaultInjector::global().arm(plan.take());
+        std::printf("# fault injection armed from %s\n",
+                    fault_plan.c_str());
+    }
 }
 
 int

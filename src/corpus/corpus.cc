@@ -1,5 +1,7 @@
 #include "corpus/corpus.hh"
 
+#include "fault/fault.hh"
+
 namespace darkside {
 
 Corpus::Corpus(const CorpusConfig &config)
@@ -60,6 +62,12 @@ Corpus::frameDataset(const std::vector<Utterance> &utts) const
 std::vector<Vector>
 Corpus::spliceUtterance(const Utterance &utt) const
 {
+    // Feature extraction is the first per-utterance stage; a fault
+    // here throws to the isolation boundary and degrades just this
+    // utterance.
+    if (auto kind =
+            FaultInjector::global().trigger("corpus.splice", utt.id))
+        throw FaultError("corpus.splice", *kind, utt.id);
     return spliceFrames(utt.frames, config_.contextFrames);
 }
 

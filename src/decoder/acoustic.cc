@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace darkside {
 
@@ -51,6 +52,29 @@ AcousticScores::fromEngine(const InferenceEngine &engine,
     std::vector<Vector> posteriors;
     engine.forwardAll(inputs, posteriors, pool);
     return fromPosteriors(posteriors, scale);
+}
+
+AcousticScores
+AcousticScores::poisoned(std::size_t frames, std::size_t classes)
+{
+    ds_assert(frames > 0 && classes > 0);
+    AcousticScores scores;
+    scores.classes_ = classes;
+    scores.costs_.assign(frames * classes,
+                         std::numeric_limits<float>::quiet_NaN());
+    scores.meanConfidence_ =
+        std::numeric_limits<double>::quiet_NaN();
+    return scores;
+}
+
+bool
+AcousticScores::finite() const
+{
+    for (float c : costs_) {
+        if (!std::isfinite(c))
+            return false;
+    }
+    return true;
 }
 
 } // namespace darkside

@@ -54,6 +54,17 @@ class AcousticScores
                                      float scale,
                                      ThreadPool *pool = nullptr);
 
+    /**
+     * A score matrix filled with NaN costs, modelling a corrupted
+     * scoring stage (the inference.scores nan_scores fault). Never
+     * cache-inserted; finite() detects it before decoding.
+     */
+    static AcousticScores poisoned(std::size_t frames,
+                                   std::size_t classes);
+
+    /** True when every cost is finite (no NaN/Inf corruption). */
+    bool finite() const;
+
     std::size_t frameCount() const
     {
         return classes_ == 0 ? 0 : costs_.size() / classes_;

@@ -1,9 +1,13 @@
 #include "dnn/mlp.hh"
 
 #include <cmath>
+#include <cstdarg>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
+
+#include "fault/fault.hh"
 
 namespace darkside {
 
@@ -261,6 +265,26 @@ constexpr std::uint32_t kMaxLayerNameLength = 256;
 constexpr std::uint64_t kMaxLayerDim = 1u << 20;           // 1M units
 constexpr std::uint64_t kMaxLayerWeights = 1ull << 28;     // 1 GiB of f32
 
+/** Internal to the loader; caught at the tryLoad boundary. */
+struct MlpLoadError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+[[noreturn]] void loadFail(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void
+loadFail(const char *fmt, ...)
+{
+    char buf[512];
+    std::va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof buf, fmt, args);
+    va_end(args);
+    throw MlpLoadError(buf);
+}
+
 /** readPod + stream check; a short read means a truncated file. */
 template <typename T>
 T
@@ -268,7 +292,7 @@ loadPod(std::istream &is, const std::string &path)
 {
     const T v = readPod<T>(is);
     if (!is)
-        fatal("'%s': truncated model file", path.c_str());
+        loadFail("'%s': truncated model file", path.c_str());
     return v;
 }
 
@@ -279,24 +303,23 @@ loadBytes(std::istream &is, void *dst, std::size_t bytes,
     is.read(static_cast<char *>(dst),
             static_cast<std::streamsize>(bytes));
     if (!is || is.gcount() != static_cast<std::streamsize>(bytes))
-        fatal("'%s': truncated model file", path.c_str());
+        loadFail("'%s': truncated model file", path.c_str());
 }
 
-} // namespace
-
+/** The loader proper; reports malformed files by throwing. */
 Mlp
-Mlp::load(const std::string &path)
+loadImpl(const std::string &path)
 {
     std::ifstream is(path, std::ios::binary);
     if (!is)
-        fatal("cannot open '%s' for reading", path.c_str());
+        loadFail("cannot open '%s' for reading", path.c_str());
     if (loadPod<std::uint32_t>(is, path) != kMagic)
-        fatal("'%s' is not a darkside MLP file", path.c_str());
+        loadFail("'%s' is not a darkside MLP file", path.c_str());
 
     Mlp mlp;
     const auto layer_count = loadPod<std::uint32_t>(is, path);
     if (layer_count == 0 || layer_count > kMaxLayers) {
-        fatal("'%s': implausible layer count %u", path.c_str(),
+        loadFail("'%s': implausible layer count %u", path.c_str(),
               layer_count);
     }
     for (std::uint32_t i = 0; i < layer_count; ++i) {
@@ -304,7 +327,7 @@ Mlp::load(const std::string &path)
             static_cast<LayerKind>(loadPod<std::uint8_t>(is, path));
         const auto name_len = loadPod<std::uint32_t>(is, path);
         if (name_len > kMaxLayerNameLength) {
-            fatal("'%s': implausible layer name length %u", path.c_str(),
+            loadFail("'%s': implausible layer name length %u", path.c_str(),
                   name_len);
         }
         std::string name(name_len, '\0');
@@ -313,14 +336,14 @@ Mlp::load(const std::string &path)
         const auto out = loadPod<std::uint64_t>(is, path);
         if (in == 0 || out == 0 || in > kMaxLayerDim ||
             out > kMaxLayerDim || in * out > kMaxLayerWeights) {
-            fatal("'%s': layer '%s' has implausible dimensions "
+            loadFail("'%s': layer '%s' has implausible dimensions "
                   "%llu -> %llu",
                   path.c_str(), name.c_str(),
                   static_cast<unsigned long long>(in),
                   static_cast<unsigned long long>(out));
         }
         if (i > 0 && in != mlp.outputSize()) {
-            fatal("'%s': layer '%s' input width %llu does not match the "
+            loadFail("'%s': layer '%s' input width %llu does not match the "
                   "previous layer's output width %zu",
                   path.c_str(), name.c_str(),
                   static_cast<unsigned long long>(in), mlp.outputSize());
@@ -329,7 +352,7 @@ Mlp::load(const std::string &path)
           case LayerKind::FullyConnected: {
             const auto trainable_flag = loadPod<std::uint8_t>(is, path);
             if (trainable_flag > 1)
-                fatal("'%s': corrupt trainable flag", path.c_str());
+                loadFail("'%s': corrupt trainable flag", path.c_str());
             auto fc = std::make_unique<FullyConnected>(
                 name, static_cast<std::size_t>(in),
                 static_cast<std::size_t>(out), trainable_flag != 0);
@@ -339,10 +362,10 @@ Mlp::load(const std::string &path)
                       fc->biases().size() * sizeof(float), path);
             const auto mask_flag = loadPod<std::uint8_t>(is, path);
             if (mask_flag > 1)
-                fatal("'%s': corrupt mask flag", path.c_str());
+                loadFail("'%s': corrupt mask flag", path.c_str());
             if (mask_flag) {
                 if (trainable_flag == 0) {
-                    fatal("'%s': layer '%s' is fixed but carries a prune "
+                    loadFail("'%s': layer '%s' is fixed but carries a prune "
                           "mask",
                           path.c_str(), name.c_str());
                 }
@@ -356,7 +379,7 @@ Mlp::load(const std::string &path)
           case LayerKind::PNormPooling: {
             const auto group = loadPod<std::uint64_t>(is, path);
             if (group == 0 || in % group != 0 || out != in / group) {
-                fatal("'%s': layer '%s' has inconsistent pooling "
+                loadFail("'%s': layer '%s' has inconsistent pooling "
                       "geometry",
                       path.c_str(), name.c_str());
             }
@@ -367,7 +390,7 @@ Mlp::load(const std::string &path)
           }
           case LayerKind::Renormalize:
             if (out != in) {
-                fatal("'%s': layer '%s' must preserve its width",
+                loadFail("'%s': layer '%s' must preserve its width",
                       path.c_str(), name.c_str());
             }
             mlp.add(std::make_unique<Renormalize>(
@@ -375,17 +398,44 @@ Mlp::load(const std::string &path)
             break;
           case LayerKind::Softmax:
             if (out != in) {
-                fatal("'%s': layer '%s' must preserve its width",
+                loadFail("'%s': layer '%s' must preserve its width",
                       path.c_str(), name.c_str());
             }
             mlp.add(std::make_unique<Softmax>(
                 name, static_cast<std::size_t>(in)));
             break;
           default:
-            fatal("'%s': corrupt layer kind", path.c_str());
+            loadFail("'%s': corrupt layer kind", path.c_str());
         }
     }
     return mlp;
+}
+
+} // namespace
+
+Mlp
+Mlp::load(const std::string &path)
+{
+    auto mlp = tryLoad(path);
+    if (!mlp)
+        fatal("%s", mlp.message().c_str());
+    return mlp.take();
+}
+
+Result<Mlp>
+Mlp::tryLoad(const std::string &path)
+{
+    if (auto kind = FaultInjector::global().trigger("dnn.model_load",
+                                                    faultKey(path))) {
+        return Status::error("'" + path + "': injected " +
+                             faultKindName(*kind) +
+                             " (fault dnn.model_load)");
+    }
+    try {
+        return loadImpl(path);
+    } catch (const MlpLoadError &e) {
+        return Status::error(e.what());
+    }
 }
 
 } // namespace darkside

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "dnn/layer.hh"
+#include "util/status.hh"
 
 namespace darkside {
 
@@ -101,7 +102,20 @@ class Mlp
 
     /** Serialise to / restore from a binary file. */
     void save(const std::string &path) const;
+
+    /**
+     * Restore from a binary file, or die. Kept for call sites where a
+     * missing model is an unrecoverable setup error; recoverable paths
+     * (the model zoo's cache) use tryLoad.
+     */
     static Mlp load(const std::string &path);
+
+    /**
+     * Restore from a binary file, reporting unreadable, truncated or
+     * corrupt files (and the dnn.model_load fault probe) as a Status
+     * error instead of dying.
+     */
+    static Result<Mlp> tryLoad(const std::string &path);
 
   private:
     std::vector<std::unique_ptr<Layer>> layers_;

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Deterministic fault injection (docs/FAULTS.md).
+ *
+ * A FaultPlan maps named *probe points* — fixed call sites registered
+ * across the pipeline (loaders, the scoring stage, the score cache,
+ * the decoder, the thread pool) — to fault kinds with per-point
+ * trigger schedules. Probes fire on (probe, key) pairs where the key
+ * is a stable scope identifier (utterance id, pruning level, loop
+ * index), so whether a given fault fires is a pure function of the
+ * plan and the key: replaying the same plan over the same inputs
+ * reproduces the exact same fault sites, independent of thread count
+ * or scheduling (the one documented exception is pool.chunk, whose
+ * keys are chunk offsets that depend on the worker count).
+ *
+ * The injector only *decides*; each probe site implements its own
+ * documented reaction — return a Status error, poison scores, discard
+ * a cache entry, or throw FaultError for the per-utterance isolation
+ * boundary in AsrSystem::runTestSet to convert into a degraded
+ * utterance. Outcomes are counted in the fault.* telemetry namespace.
+ */
+
+#ifndef DARKSIDE_FAULT_FAULT_HH
+#define DARKSIDE_FAULT_FAULT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/status.hh"
+
+namespace darkside {
+
+/** The injectable fault kinds. */
+enum class FaultKind : std::uint8_t {
+    /** I/O returned fewer bytes than asked (truncated/partial read). */
+    ShortRead,
+    /** Acoustic scores poisoned with NaN/Inf. */
+    NanScores,
+    /** Allocation failure at the probe site. */
+    AllocFail,
+    /** The guarded task exceeded its deadline. */
+    Timeout,
+    /** A cached entry is corrupt and must not be trusted. */
+    CorruptCache,
+};
+
+/** Plan-file spelling of a kind ("short_read", ...). */
+const char *faultKindName(FaultKind kind);
+
+/**
+ * Stable 64-bit key for probes whose natural scope is a string (model
+ * paths). FNV-1a, so plans can precompute keys for known inputs.
+ */
+std::uint64_t faultKey(const std::string &text);
+
+/** Parse a plan-file kind name. @return false on unknown names. */
+bool faultKindFromName(const std::string &name, FaultKind *kind);
+
+/**
+ * One registered probe point. The registry is the contract the
+ * fault-matrix test suite (tests/fault_test.cc) iterates: every
+ * (probe, supported kind) pair has a documented outcome.
+ */
+struct ProbePoint
+{
+    /** Dotted name, e.g. "decoder.decode". */
+    const char *name;
+    /** Kinds this site knows how to inject. */
+    std::vector<FaultKind> kinds;
+    /**
+     * False when the probe's keys depend on execution geometry
+     * (pool.chunk): its injections are excluded from the deterministic
+     * fault.injected counter.
+     */
+    bool deterministic;
+    /** Documented reaction, one line. */
+    const char *outcome;
+};
+
+/** All registered probe points, in registry order. */
+const std::vector<ProbePoint> &probeRegistry();
+
+/** Registry entry by name; nullptr when unknown. */
+const ProbePoint *findProbe(const std::string &name);
+
+/**
+ * One rule of a plan: a probe, a kind, and exactly one trigger
+ * schedule (or none, meaning "every hit").
+ */
+struct FaultRule
+{
+    std::string probe;
+    FaultKind kind = FaultKind::ShortRead;
+    /** Fire exactly for these keys. */
+    std::vector<std::uint64_t> keys;
+    /** Fire when key % every == phase (0 = off). */
+    std::uint64_t every = 0;
+    std::uint64_t phase = 0;
+    /** Fire with this probability per key (seeded hash coin; 0 = off). */
+    double probability = 0.0;
+    /** Fire on the first N *hits* of this rule, then stop (0 = off).
+     *  Count-based: only meaningful on serially-executed probes
+     *  (the load paths); used to model transient I/O faults that a
+     *  retry loop outlasts. */
+    std::uint64_t failCount = 0;
+};
+
+/**
+ * A parsed, validated fault plan ("darkside-fault-plan-v1", see
+ * docs/FAULTS.md for the JSON format).
+ */
+struct FaultPlan
+{
+    std::uint64_t seed = 0;
+    std::vector<FaultRule> rules;
+
+    /** Parse + validate a JSON plan document. */
+    static Result<FaultPlan> parseJson(const std::string &text);
+
+    /** Read + parse a plan file. */
+    static Result<FaultPlan> loadFile(const std::string &path);
+};
+
+/**
+ * Thrown at probe sites whose only graceful reaction is to abandon
+ * the current unit of work. The per-utterance isolation boundary
+ * (AsrSystem::runTestSet, the decode CLI loop) catches it and records
+ * the utterance as degraded with this cause; FaultError escaping past
+ * that boundary is a plan targeting a coarser-grained probe
+ * (pool.chunk) and fails the whole call, by design.
+ */
+class FaultError : public std::runtime_error
+{
+  public:
+    FaultError(std::string probe, FaultKind kind, std::uint64_t key);
+
+    const std::string &probe() const { return probe_; }
+    FaultKind kind() const { return kind_; }
+    std::uint64_t key() const { return key_; }
+
+  private:
+    std::string probe_;
+    FaultKind kind_;
+    std::uint64_t key_;
+};
+
+/**
+ * Process-wide injector the probe sites query. Disarmed (the default)
+ * every trigger() is a single relaxed atomic load; armed, a trigger
+ * scans the plan's rules for the probe and fires at most one fault.
+ */
+class FaultInjector
+{
+  public:
+    static FaultInjector &global();
+
+    FaultInjector() = default;
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    /**
+     * Install a plan (replacing any previous one) and reset the
+     * per-rule hit counters. Registers the fault.* counters so they
+     * appear in snapshots even before the first fault fires.
+     */
+    void arm(FaultPlan plan);
+
+    /** Remove the plan; probes stop firing. */
+    void disarm();
+
+    bool armed() const;
+
+    /**
+     * Should a fault fire at this probe site for this key?
+     * Counts fault.injected (deterministic probes) and
+     * fault.injected.<probe> on a hit.
+     */
+    std::optional<FaultKind> trigger(const char *probe,
+                                     std::uint64_t key);
+
+    /** Count a retry of a faulted operation (fault.retried). */
+    void noteRetried();
+
+    /** Count an operation that succeeded after faults (fault.recovered). */
+    void noteRecovered();
+
+    /** Count an utterance recorded as degraded (fault.degraded). */
+    void noteDegraded();
+
+  private:
+    struct ArmedPlan
+    {
+        FaultPlan plan;
+        /** Hits so far, per rule (failCount schedules). */
+        std::vector<std::atomic<std::uint64_t>> hits;
+    };
+
+    std::atomic<bool> armed_{false};
+    /** Shared so a disarm cannot free a plan under a reader. */
+    std::shared_ptr<ArmedPlan> plan_;
+    mutable std::mutex mutex_;
+};
+
+/** RAII plan for tests: arms on construction, disarms on destruction. */
+class ScopedFaultPlan
+{
+  public:
+    explicit ScopedFaultPlan(FaultPlan plan)
+    {
+        FaultInjector::global().arm(std::move(plan));
+    }
+
+    ScopedFaultPlan(const ScopedFaultPlan &) = delete;
+    ScopedFaultPlan &operator=(const ScopedFaultPlan &) = delete;
+
+    ~ScopedFaultPlan() { FaultInjector::global().disarm(); }
+};
+
+} // namespace darkside
+
+#endif // DARKSIDE_FAULT_FAULT_HH

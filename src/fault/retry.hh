@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Retry-with-exponential-backoff for transient faults (I/O short
+ * reads, corrupt cache entries). The policy bounds total attempts;
+ * callers decide what to do when the budget is exhausted (the model
+ * zoo falls back to training, loaders surface the final Status).
+ * Retries and eventual recoveries are counted in fault.retried /
+ * fault.recovered.
+ */
+
+#ifndef DARKSIDE_FAULT_RETRY_HH
+#define DARKSIDE_FAULT_RETRY_HH
+
+#include <chrono>
+#include <cstddef>
+#include <thread>
+#include <utility>
+
+#include "fault/fault.hh"
+
+namespace darkside {
+
+/** Backoff shape for retryWithBackoff. */
+struct RetryPolicy
+{
+    /** Total attempts, including the first (>= 1). */
+    std::size_t maxAttempts = 3;
+    /** Sleep before the first retry; doubled per further retry. */
+    std::chrono::microseconds initialBackoff{100};
+};
+
+/**
+ * Run `fn` (returning Status or Result<T>) until it succeeds or the
+ * attempt budget is spent; sleeps an exponentially growing backoff
+ * between attempts. @return the last attempt's result.
+ */
+template <typename Fn>
+auto
+retryWithBackoff(const RetryPolicy &policy, Fn &&fn) -> decltype(fn())
+{
+    auto backoff = policy.initialBackoff;
+    for (std::size_t attempt = 1;; ++attempt) {
+        auto result = fn();
+        if (result.isOk()) {
+            if (attempt > 1)
+                FaultInjector::global().noteRecovered();
+            return result;
+        }
+        if (attempt >= policy.maxAttempts || policy.maxAttempts == 0)
+            return result;
+        FaultInjector::global().noteRetried();
+        std::this_thread::sleep_for(backoff);
+        backoff *= 2;
+    }
+}
+
+} // namespace darkside
+
+#endif // DARKSIDE_FAULT_RETRY_HH

@@ -3,6 +3,8 @@
 #include <optional>
 
 #include "decoder/search_telemetry.hh"
+#include "decoder/watchdog.hh"
+#include "fault/fault.hh"
 #include "telemetry/metrics.hh"
 
 namespace darkside {
@@ -150,14 +152,25 @@ AsrSystem::scoresFor(const Utterance &utt, PruneLevel level,
     static const telemetry::Counter cache_misses =
         reg.counter("system.score_cache_misses", "lookups", false);
 
+    bool discarded_corrupt_hit = false;
     if (cacheable) {
         std::lock_guard<std::mutex> lock(scoreMutex_);
         auto it = scoreIndex_.find(key);
         if (it != scoreIndex_.end()) {
-            // Refresh recency: move the hit to the front of the list.
-            scoreLru_.splice(scoreLru_.begin(), scoreLru_, it->second);
-            cache_hits.add(1);
-            return it->second->second;
+            if (FaultInjector::global().trigger("system.score_cache",
+                                                utt.id)) {
+                // Corrupt cache entry: the only safe reaction is to
+                // drop it and recompute below.
+                scoreLru_.erase(it->second);
+                scoreIndex_.erase(it);
+                discarded_corrupt_hit = true;
+            } else {
+                // Refresh recency: move the hit to the front.
+                scoreLru_.splice(scoreLru_.begin(), scoreLru_,
+                                 it->second);
+                cache_hits.add(1);
+                return it->second->second;
+            }
         }
     }
     cache_misses.add(1);
@@ -166,10 +179,23 @@ AsrSystem::scoresFor(const Utterance &utt, PruneLevel level,
     // requests for *different* utterances must not serialise. Two
     // threads racing on the same utterance compute identical scores;
     // the second insert below simply reuses the first one's entry.
+    auto spliced = corpus_.spliceUtterance(utt);
+    if (auto kind = FaultInjector::global().trigger("inference.scores",
+                                                    utt.id)) {
+        if (*kind != FaultKind::NanScores)
+            throw FaultError("inference.scores", *kind, utt.id);
+        // Poisoned scores are returned but never cached, so a later
+        // fault-free run of the same utterance recomputes cleanly.
+        return std::make_shared<const AcousticScores>(
+            AcousticScores::poisoned(spliced.size(),
+                                     corpus_.classCount()));
+    }
     const InferenceEngine &engine = engineFor(level);
     auto scores = std::make_shared<const AcousticScores>(
-        AcousticScores::fromEngine(engine, corpus_.spliceUtterance(utt),
+        AcousticScores::fromEngine(engine, spliced,
                                    platform_.acousticScale, pool));
+    if (discarded_corrupt_hit)
+        FaultInjector::global().noteRecovered();
     if (!cacheable)
         return scores;
 
@@ -197,6 +223,13 @@ AsrSystem::runUtterance(const Utterance &utt, const SystemConfig &config)
     const std::shared_ptr<const AcousticScores> scores_ptr =
         scoresFor(utt, config.prune);
     const AcousticScores &scores = *scores_ptr;
+    if (!scores.finite()) {
+        // NaN/Inf acoustic scores (the inference.scores nan_scores
+        // fault, or a genuinely corrupt scoring stage) would silently
+        // produce garbage transcripts; abandon the utterance instead.
+        throw FaultError("inference.scores", FaultKind::NanScores,
+                         utt.id);
+    }
 
     UtteranceRun run;
     run.frames = scores.frameCount();
@@ -218,15 +251,29 @@ AsrSystem::runUtterance(const Utterance &utt, const SystemConfig &config)
     run.dnn.joules += buffer_joules;
 
     // --- Viterbi stage --------------------------------------------------
+    double watchdog_budget = platform_.decodeWatchdogSeconds;
+    if (auto kind = FaultInjector::global().trigger("decoder.decode",
+                                                    utt.id)) {
+        if (*kind != FaultKind::Timeout)
+            throw FaultError("decoder.decode", *kind, utt.id);
+        // Injected timeout: arm the watchdog already expired so the
+        // fault exercises the real frame-boundary abort path.
+        watchdog_budget = -1.0;
+    }
+
     const ViterbiAccelConfig vc = viterbiConfigFor(config);
     ViterbiAcceleratorSim accel(vc, fst_);
     auto selector = makeSelector(config);
     const ViterbiDecoder decoder(fst_, DecoderConfig{config.beam});
 
     // The accelerator simulator and the telemetry observer both ride
-    // the same decode through a tee.
+    // the same decode through a tee; the watchdog (when armed) hangs
+    // off a second tee and aborts an overrunning decode.
     SearchTelemetry search_telemetry;
-    TeeSearchObserver observer(&accel, &search_telemetry);
+    TeeSearchObserver sim_tee(&accel, &search_telemetry);
+    DecodeWatchdog watchdog(watchdog_budget, utt.id);
+    TeeSearchObserver observer(
+        &sim_tee, watchdog.enabled() ? &watchdog : nullptr);
     run.decode = decoder.decode(scores, *selector, &observer);
     accel.recordTelemetry();
 
@@ -250,11 +297,21 @@ AsrSystem::runTestSet(const std::vector<Utterance> &utts,
     }
 
     // Decode utterances in parallel; each worker writes its own slot.
+    // FaultError is the per-utterance isolation boundary: a faulted
+    // utterance is recorded as degraded in its own slot and the batch
+    // carries on. Anything else (internal bugs, pool.chunk faults)
+    // still propagates through the pool's first-exception channel.
     std::vector<UtteranceRun> runs(utts.size());
     {
         ThreadPool pool(threads);
         parallelFor(&pool, utts.size(), [&](std::size_t i) {
-            runs[i] = runUtterance(utts[i], config);
+            try {
+                runs[i] = runUtterance(utts[i], config);
+            } catch (const FaultError &e) {
+                runs[i] = UtteranceRun{};
+                runs[i].degraded = true;
+                runs[i].faultCause = e.what();
+            }
         });
     }
 
@@ -267,6 +324,15 @@ AsrSystem::runTestSet(const std::vector<Utterance> &utts,
 
     for (std::size_t i = 0; i < utts.size(); ++i) {
         UtteranceRun &run = runs[i];
+        result.outcomes.push_back(run.faultCause);
+        if (run.degraded) {
+            // Degraded utterances are excluded from every aggregate;
+            // counting here (serial, input order) keeps fault.degraded
+            // deterministic for any thread count.
+            ++result.degraded;
+            FaultInjector::global().noteDegraded();
+            continue;
+        }
         result.dnn.add(run.dnn);
         result.viterbi.add(run.viterbi);
         result.frames += run.frames;

@@ -81,6 +81,10 @@ struct UtteranceRun
     std::size_t frames = 0;
     /** Mean acoustic confidence of this utterance's frames. */
     double meanConfidence = 0.0;
+    /** True when a fault abandoned this utterance mid-pipeline. */
+    bool degraded = false;
+    /** Fault cause when degraded ("injected fault timeout at ..."). */
+    std::string faultCause;
 
     /** Seconds of speech this utterance represents (10 ms frames). */
     double speechSeconds() const
@@ -103,6 +107,16 @@ struct TestSetResult
     double meanConfidence = 0.0;
     /** Per-utterance Viterbi-search latency per second of speech. */
     PercentileTracker searchLatencyPerSpeechSecond;
+    /** Utterances abandoned by a fault (graceful degradation). */
+    std::uint64_t degraded = 0;
+    /**
+     * Per-utterance fault cause, parallel to the input set; empty
+     * string for healthy utterances. Aggregates (WER, confidence,
+     * energy, latency) cover only the healthy utterances, so every
+     * healthy transcript and sum stays bit-identical to a fault-free
+     * run over the same inputs minus the degraded ones.
+     */
+    std::vector<std::string> outcomes;
 
     double totalSeconds() const { return dnn.seconds + viterbi.seconds; }
     double totalJoules() const { return dnn.joules + viterbi.joules; }
@@ -124,6 +138,13 @@ struct PlatformConfig
     /** Proposal Viterbi accelerator (hash fields overridden per run). */
     ViterbiAccelConfig viterbiNBest;
     float acousticScale = 1.0f;
+    /**
+     * Wall-clock budget per decode task; an overrunning decode is
+     * aborted at the next frame boundary and the utterance degraded.
+     * 0 disables the watchdog (the default: wall-clock deadlines are
+     * inherently nondeterministic, so opt-in only).
+     */
+    double decodeWatchdogSeconds = 0.0;
 };
 
 /**

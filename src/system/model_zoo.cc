@@ -2,6 +2,8 @@
 
 #include <filesystem>
 
+#include "fault/fault.hh"
+#include "fault/retry.hh"
 #include "util/bits.hh"
 
 namespace darkside {
@@ -190,7 +192,28 @@ ModelZoo::tryLoad(PruneLevel level)
     const std::string path = cachePath(level);
     if (!std::filesystem::exists(path))
         return false;
-    models_[static_cast<std::size_t>(level)] = Mlp::load(path);
+
+    // Cache reads are retried (transient I/O faults heal under the
+    // zoo.model_load probe's fail_count schedule); a cache that stays
+    // unreadable falls back to training rather than killing the run.
+    const auto key = static_cast<std::uint64_t>(level);
+    auto loaded =
+        retryWithBackoff(RetryPolicy{}, [&]() -> Result<Mlp> {
+            if (auto kind = FaultInjector::global().trigger(
+                    "zoo.model_load", key)) {
+                return Status::error("'" + path + "': injected " +
+                                     faultKindName(*kind) +
+                                     " (fault zoo.model_load)");
+            }
+            return Mlp::tryLoad(path);
+        });
+    if (!loaded) {
+        warn("model zoo: cache model %s unusable (%s); falling back "
+             "to training",
+             pruneLevelName(level), loaded.message().c_str());
+        return false;
+    }
+    models_[static_cast<std::size_t>(level)] = loaded.take();
     return true;
 }
 

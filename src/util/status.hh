@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Minimal status/expected-style result types for recoverable errors.
+ *
+ * The library distinguishes three failure classes (see DESIGN.md):
+ * internal invariant violations panic(), impossible *configurations*
+ * are fatal(), but errors an operator can meet in production — a
+ * corrupt model file, a truncated read, a faulted utterance — must
+ * propagate as values so the caller can retry, fall back or degrade
+ * instead of killing a whole serving batch. Status/Result are that
+ * propagation channel: no exceptions across module boundaries, no
+ * exit() below the CLI layer.
+ */
+
+#ifndef DARKSIDE_UTIL_STATUS_HH
+#define DARKSIDE_UTIL_STATUS_HH
+
+#include <string>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace darkside {
+
+/** Success, or an error with a human-readable message. */
+class Status
+{
+  public:
+    /** Success. */
+    Status() = default;
+
+    static Status ok() { return Status(); }
+
+    static Status
+    error(std::string message)
+    {
+        Status s;
+        s.failed_ = true;
+        s.message_ = std::move(message);
+        return s;
+    }
+
+    bool isOk() const { return !failed_; }
+    explicit operator bool() const { return isOk(); }
+
+    /** Error description; empty on success. */
+    const std::string &message() const { return message_; }
+
+  private:
+    bool failed_ = false;
+    std::string message_;
+};
+
+/**
+ * A value or a Status error. Accessing value() on an error is an
+ * internal invariant violation (panics) — check isOk() first.
+ */
+template <typename T>
+class Result
+{
+  public:
+    Result(T value) // NOLINT(google-explicit-constructor)
+        : value_(std::move(value))
+    {}
+
+    Result(Status status) // NOLINT(google-explicit-constructor)
+        : status_(std::move(status))
+    {
+        ds_assert(!status_.isOk());
+    }
+
+    bool isOk() const { return status_.isOk(); }
+    explicit operator bool() const { return isOk(); }
+
+    const Status &status() const { return status_; }
+    const std::string &message() const { return status_.message(); }
+
+    const T &
+    value() const
+    {
+        ds_assert(isOk());
+        return value_;
+    }
+
+    T &
+    value()
+    {
+        ds_assert(isOk());
+        return value_;
+    }
+
+    /** Move the value out (the Result is then spent). */
+    T
+    take()
+    {
+        ds_assert(isOk());
+        return std::move(value_);
+    }
+
+  private:
+    T value_{};
+    Status status_;
+};
+
+} // namespace darkside
+
+#endif // DARKSIDE_UTIL_STATUS_HH

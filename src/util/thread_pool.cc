@@ -5,6 +5,7 @@
 #include <chrono>
 #include <exception>
 
+#include "fault/fault.hh"
 #include "telemetry/metrics.hh"
 #include "util/logging.hh"
 
@@ -180,6 +181,15 @@ ThreadPool::parallelFor(
                 break;
             const std::size_t end = std::min(n, begin + grain);
             try {
+                // pool.chunk is the coarse-grained probe: a chunk
+                // fault rides the pool's first-exception channel to
+                // the parallelFor caller (remaining chunks still run,
+                // the pool survives). Keys are chunk begin offsets,
+                // which depend on worker count — registered
+                // non-deterministic for that reason.
+                if (auto kind = FaultInjector::global().trigger(
+                        "pool.chunk", begin))
+                    throw FaultError("pool.chunk", *kind, begin);
                 body(begin, end);
             } catch (...) {
                 std::lock_guard<std::mutex> lock(state.errorMutex);

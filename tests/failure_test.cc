@@ -1,9 +1,12 @@
 /**
  * @file
- * Failure-injection tests: the library's error-handling contract.
- * Internal invariant violations must panic (abort), user errors must be
- * fatal (exit 1), and corrupted inputs must be rejected rather than
- * silently mis-parsed. Uses gtest death tests.
+ * Failure-injection tests: the library's three-tier error-handling
+ * contract (DESIGN.md). Internal invariant violations panic (abort,
+ * death tests); impossible configurations are fatal (exit 1, death
+ * tests); operator-recoverable errors — corrupt model files,
+ * truncated reads — propagate as Status through Mlp::tryLoad so
+ * callers can retry or fall back. The Mlp::load wrapper stays fatal
+ * for call sites where a missing model really is unrecoverable.
  */
 
 #include <gtest/gtest.h>
@@ -25,6 +28,15 @@ namespace darkside {
 namespace {
 
 using FailureDeathTest = ::testing::Test;
+
+/** tryLoad must reject this file; returns the status message. */
+std::string
+tryLoadError(const std::string &path)
+{
+    auto result = Mlp::tryLoad(path);
+    EXPECT_FALSE(result.isOk()) << path;
+    return result.message();
+}
 
 TEST(FailureDeathTest, MatrixOutOfBoundsPanics)
 {
@@ -77,21 +89,32 @@ TEST(FailureDeathTest, TrainStepWithBadLabelPanics)
     EXPECT_DEATH(mlp.trainStep(in, 3, 0.1f), "assertion");
 }
 
+// Mlp::load is the die-on-error wrapper; it must still be fatal so
+// setup paths keep their crash-on-misconfiguration behaviour.
 TEST(FailureDeathTest, LoadMissingModelFileIsFatal)
 {
     EXPECT_EXIT(Mlp::load("/nonexistent/path/model.bin"),
                 ::testing::ExitedWithCode(1), "cannot open");
 }
 
-TEST(FailureDeathTest, LoadCorruptModelFileIsFatal)
+// The recoverable channel: the same errors surface as Status from
+// tryLoad, without killing the process.
+TEST(FailureTest, TryLoadMissingModelReturnsStatus)
+{
+    const std::string message =
+        tryLoadError("/nonexistent/path/model.bin");
+    EXPECT_NE(message.find("cannot open"), std::string::npos);
+}
+
+TEST(FailureTest, TryLoadCorruptModelReturnsStatus)
 {
     const std::string path = testing::TempDir() + "/corrupt_model.bin";
     {
         std::ofstream os(path, std::ios::binary);
         os << "this is not a model file at all";
     }
-    EXPECT_EXIT(Mlp::load(path), ::testing::ExitedWithCode(1),
-                "not a darkside MLP");
+    const std::string message = tryLoadError(path);
+    EXPECT_NE(message.find("not a darkside MLP"), std::string::npos);
     std::remove(path.c_str());
 }
 
@@ -168,18 +191,18 @@ class ModelFileWriter
     std::ofstream os_;
 };
 
-TEST(FailureTest, ImplausibleLayerCountIsFatal)
+TEST(FailureTest, ImplausibleLayerCountRejected)
 {
     const std::string path = testing::TempDir() + "/layer_count.bin";
     ModelFileWriter w(path);
     w.magic().pod<std::uint32_t>(1000000000u);
     w.close();
-    EXPECT_EXIT(Mlp::load(path), ::testing::ExitedWithCode(1),
-                "implausible layer count");
+    EXPECT_NE(tryLoadError(path).find("implausible layer count"),
+              std::string::npos);
     std::remove(path.c_str());
 }
 
-TEST(FailureTest, ImplausibleLayerNameLengthIsFatal)
+TEST(FailureTest, ImplausibleLayerNameLengthRejected)
 {
     const std::string path = testing::TempDir() + "/name_len.bin";
     ModelFileWriter w(path);
@@ -188,12 +211,12 @@ TEST(FailureTest, ImplausibleLayerNameLengthIsFatal)
         .pod<std::uint8_t>(0)   // FullyConnected
         .pod<std::uint32_t>(0xFFFFFFFFu); // absurd name length
     w.close();
-    EXPECT_EXIT(Mlp::load(path), ::testing::ExitedWithCode(1),
-                "implausible layer name length");
+    EXPECT_NE(tryLoadError(path).find("implausible layer name length"),
+              std::string::npos);
     std::remove(path.c_str());
 }
 
-TEST(FailureTest, ImplausibleLayerDimensionsAreFatal)
+TEST(FailureTest, ImplausibleLayerDimensionsRejected)
 {
     const std::string path = testing::TempDir() + "/dims.bin";
     ModelFileWriter w(path);
@@ -204,8 +227,8 @@ TEST(FailureTest, ImplausibleLayerDimensionsAreFatal)
         .pod<std::uint64_t>(0)  // zero input width
         .pod<std::uint64_t>(8);
     w.close();
-    EXPECT_EXIT(Mlp::load(path), ::testing::ExitedWithCode(1),
-                "implausible dimensions");
+    EXPECT_NE(tryLoadError(path).find("implausible dimensions"),
+              std::string::npos);
     std::remove(path.c_str());
 
     // A giant weight matrix must be rejected before any allocation.
@@ -217,12 +240,12 @@ TEST(FailureTest, ImplausibleLayerDimensionsAreFatal)
         .pod<std::uint64_t>(1u << 20)
         .pod<std::uint64_t>(1u << 20);
     g.close();
-    EXPECT_EXIT(Mlp::load(path), ::testing::ExitedWithCode(1),
-                "implausible dimensions");
+    EXPECT_NE(tryLoadError(path).find("implausible dimensions"),
+              std::string::npos);
     std::remove(path.c_str());
 }
 
-TEST(FailureTest, CorruptLayerKindIsFatal)
+TEST(FailureTest, CorruptLayerKindRejected)
 {
     const std::string path = testing::TempDir() + "/kind.bin";
     ModelFileWriter w(path);
@@ -233,12 +256,12 @@ TEST(FailureTest, CorruptLayerKindIsFatal)
         .pod<std::uint64_t>(4)
         .pod<std::uint64_t>(4);
     w.close();
-    EXPECT_EXIT(Mlp::load(path), ::testing::ExitedWithCode(1),
-                "corrupt layer kind");
+    EXPECT_NE(tryLoadError(path).find("corrupt layer kind"),
+              std::string::npos);
     std::remove(path.c_str());
 }
 
-TEST(FailureTest, MismatchedLayerWidthsAreFatal)
+TEST(FailureTest, MismatchedLayerWidthsRejected)
 {
     const std::string path = testing::TempDir() + "/chain.bin";
     ModelFileWriter w(path);
@@ -250,12 +273,13 @@ TEST(FailureTest, MismatchedLayerWidthsAreFatal)
     w.pod<std::uint8_t>(2).str("N1").pod<std::uint64_t>(8).pod<
         std::uint64_t>(8);
     w.close();
-    EXPECT_EXIT(Mlp::load(path), ::testing::ExitedWithCode(1),
-                "does not match the previous layer");
+    EXPECT_NE(
+        tryLoadError(path).find("does not match the previous layer"),
+        std::string::npos);
     std::remove(path.c_str());
 }
 
-TEST(FailureTest, InconsistentPoolingGeometryIsFatal)
+TEST(FailureTest, InconsistentPoolingGeometryRejected)
 {
     const std::string path = testing::TempDir() + "/pool.bin";
     ModelFileWriter w(path);
@@ -265,12 +289,12 @@ TEST(FailureTest, InconsistentPoolingGeometryIsFatal)
         std::uint64_t>(3);
     w.pod<std::uint64_t>(4);
     w.close();
-    EXPECT_EXIT(Mlp::load(path), ::testing::ExitedWithCode(1),
-                "inconsistent pooling geometry");
+    EXPECT_NE(tryLoadError(path).find("inconsistent pooling geometry"),
+              std::string::npos);
     std::remove(path.c_str());
 }
 
-TEST(FailureTest, MaskOnFixedLayerInFileIsFatal)
+TEST(FailureTest, MaskOnFixedLayerInFileRejected)
 {
     const std::string path = testing::TempDir() + "/fixed_mask.bin";
     ModelFileWriter w(path);
@@ -284,14 +308,16 @@ TEST(FailureTest, MaskOnFixedLayerInFileIsFatal)
         w.pod<float>(0.0f); // biases
     w.pod<std::uint8_t>(1); // mask flag on a fixed layer
     w.close();
-    EXPECT_EXIT(Mlp::load(path), ::testing::ExitedWithCode(1),
-                "fixed but carries a prune mask");
+    EXPECT_NE(
+        tryLoadError(path).find("fixed but carries a prune mask"),
+        std::string::npos);
     std::remove(path.c_str());
 }
 
-TEST(FailureTest, TruncatedModelFileDetected)
+TEST(FailureTest, TruncatedModelFileRejected)
 {
-    // Write a valid model, truncate it, expect a clean fatal error.
+    // Write a valid model, truncate it, expect a clean Status error —
+    // never a half-parsed model.
     Rng rng(1);
     TopologyConfig config;
     config.inputDim = 4;
@@ -315,10 +341,8 @@ TEST(FailureTest, TruncatedModelFileDetected)
         os.write(bytes.data(),
                  static_cast<std::streamsize>(bytes.size()));
     }
-    // Either the loader hits the clean "error while reading" fatal or
-    // an internal shape assertion fires first; both must kill the
-    // process rather than return a half-parsed model.
-    EXPECT_DEATH(Mlp::load(path), "");
+    EXPECT_NE(tryLoadError(path).find("truncated model file"),
+              std::string::npos);
     std::remove(path.c_str());
 }
 

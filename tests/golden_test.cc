@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Golden regression baseline: tests/golden/baseline.json pins the
+ * behavioural outputs of the miniature seeded experiment — WER, mean
+ * acoustic confidence and hypotheses/frame per pruning level — so a
+ * future perf PR that silently shifts decode behaviour fails here
+ * rather than in a bench nobody reran.
+ *
+ * The derived values are deterministic (seeded corpus, seeded
+ * training, integer survivor counts), but the comparison allows a
+ * small tolerance so a compiler's float reassociation does not count
+ * as drift.
+ *
+ * Regenerate after an *intentional* behaviour change with:
+ *   DS_GOLDEN_REGENERATE=1 ./build/tests/golden_test
+ * and commit the diff of tests/golden/baseline.json alongside the
+ * change that caused it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mini_setup.hh"
+#include "util/json.hh"
+
+namespace darkside {
+namespace {
+
+#ifndef DS_GOLDEN_DIR
+#error "DS_GOLDEN_DIR must point at tests/golden"
+#endif
+
+const char *const kBaselinePath = DS_GOLDEN_DIR "/baseline.json";
+
+struct GoldenRow
+{
+    PruneLevel level;
+    double wer = 0.0;
+    double meanConfidence = 0.0;
+    double hypsPerFrame = 0.0;
+};
+
+std::vector<GoldenRow>
+derive()
+{
+    static ExperimentContext ctx(miniSetup());
+    std::vector<GoldenRow> rows;
+    for (PruneLevel level :
+         {PruneLevel::None, PruneLevel::P70, PruneLevel::P90}) {
+        const TestSetResult r = ctx.system.runTestSet(
+            ctx.testSet,
+            ctx.setup.configFor(SearchMode::Baseline, level));
+        rows.push_back({level, r.wer.wordErrorRate(),
+                        r.meanConfidence, r.meanSurvivorsPerFrame()});
+    }
+    return rows;
+}
+
+void
+writeBaseline(const std::vector<GoldenRow> &rows)
+{
+    std::ofstream os(kBaselinePath);
+    ASSERT_TRUE(os.is_open()) << kBaselinePath;
+    os << "{\n  \"schema\": \"darkside-golden-v1\",\n"
+       << "  \"setup\": \"miniSetup(777), Baseline search mode\",\n"
+       << "  \"levels\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "    {\"level\": \"%s\", \"wer\": %.6f, "
+                      "\"mean_confidence\": %.6f, "
+                      "\"hyps_per_frame\": %.4f}%s\n",
+                      pruneLevelName(rows[i].level), rows[i].wer,
+                      rows[i].meanConfidence, rows[i].hypsPerFrame,
+                      i + 1 < rows.size() ? "," : "");
+        os << buf;
+    }
+    os << "  ]\n}\n";
+}
+
+TEST(GoldenRegression, MatchesCommittedBaseline)
+{
+    const std::vector<GoldenRow> rows = derive();
+
+    // The paper's core effect must hold before anything is compared:
+    // pruning keeps WER in the same ballpark while inflating the
+    // number of hypotheses the search has to carry.
+    EXPECT_GT(rows[2].hypsPerFrame, rows[0].hypsPerFrame);
+
+    if (std::getenv("DS_GOLDEN_REGENERATE")) {
+        writeBaseline(rows);
+        std::printf("golden baseline regenerated at %s\n",
+                    kBaselinePath);
+        return;
+    }
+
+    std::ifstream is(kBaselinePath);
+    ASSERT_TRUE(is.is_open())
+        << kBaselinePath
+        << " missing; regenerate with DS_GOLDEN_REGENERATE=1";
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    std::string error;
+    const JsonValue root = JsonValue::parse(buf.str(), &error);
+    ASSERT_TRUE(error.empty()) << error;
+    ASSERT_TRUE(root.isObject());
+    ASSERT_TRUE(root.member("schema") &&
+                root.member("schema")->asString() ==
+                    "darkside-golden-v1");
+    const JsonValue *levels = root.member("levels");
+    ASSERT_TRUE(levels && levels->isArray());
+    ASSERT_EQ(levels->asArray().size(), rows.size());
+
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const JsonValue &entry = levels->asArray()[i];
+        ASSERT_TRUE(entry.isObject());
+        const std::string label = pruneLevelName(rows[i].level);
+        ASSERT_TRUE(entry.member("level"));
+        EXPECT_EQ(entry.member("level")->asString(), label);
+        ASSERT_TRUE(entry.member("wer") &&
+                    entry.member("mean_confidence") &&
+                    entry.member("hyps_per_frame"))
+            << label;
+        EXPECT_NEAR(rows[i].wer, entry.member("wer")->asNumber(), 0.05)
+            << label;
+        EXPECT_NEAR(rows[i].meanConfidence,
+                    entry.member("mean_confidence")->asNumber(), 0.03)
+            << label;
+        const double golden_hyps =
+            entry.member("hyps_per_frame")->asNumber();
+        EXPECT_NEAR(rows[i].hypsPerFrame, golden_hyps,
+                    0.15 * golden_hyps)
+            << label;
+    }
+}
+
+} // namespace
+} // namespace darkside

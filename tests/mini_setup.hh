@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Shared miniature experiment setup for the heavy test suites: trains
+ * in well under a second, yet exercises the full pipeline (synthetic
+ * corpus -> trained/pruned models -> accelerator sims -> decoder).
+ * Keep the parameters stable: tests/golden/baseline.json is derived
+ * from the default seed.
+ */
+
+#ifndef DARKSIDE_TESTS_MINI_SETUP_HH
+#define DARKSIDE_TESTS_MINI_SETUP_HH
+
+#include "system/defaults.hh"
+
+namespace darkside {
+
+inline ExperimentSetup
+miniSetup(std::uint64_t corpus_seed = 777)
+{
+    ExperimentSetup setup;
+    setup.corpus.phonemes = 10;
+    setup.corpus.statesPerPhoneme = 3;
+    setup.corpus.words = 50;
+    setup.corpus.minPhonemesPerWord = 2;
+    setup.corpus.maxPhonemesPerWord = 4;
+    setup.corpus.grammarBranching = 6;
+    setup.corpus.contextFrames = 1;
+    setup.corpus.synthesizer.featureDim = 8;
+    setup.corpus.synthesizer.noiseStddev = 0.4;
+    setup.corpus.seed = corpus_seed;
+
+    setup.zoo.topology = KaldiTopology::scaled(
+        /*classes=*/30, /*input_dim=*/24, /*fc_width=*/32,
+        /*pool_group=*/2);
+    setup.zoo.topology.hiddenBlocks = 2;
+    setup.zoo.trainUtterances = 40;
+    setup.zoo.training.epochs = 3;
+    setup.zoo.retraining.epochs = 1;
+    setup.zoo.cacheDir = "";
+
+    setup.platform.viterbiBaseline.hashEntries = 1024;
+    setup.platform.viterbiBaseline.backupEntries = 512;
+    setup.platform.viterbiNBest.hashEntries = 128;
+    setup.testUtterances = 4;
+    return setup;
+}
+
+} // namespace darkside
+
+#endif // DARKSIDE_TESTS_MINI_SETUP_HH

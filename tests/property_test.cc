@@ -4,19 +4,27 @@
  * invariants: heap-set correctness for every associativity, selector
  * capacity bounds, cache-model sanity across geometries, hash spread
  * across index widths, edit-distance metric properties and pruning
- * monotonicity.
+ * monotonicity; fault isolation of AsrSystem::runTestSet across
+ * worker counts.
  */
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
+#include <memory>
 #include <set>
 
 #include "dnn/topology.hh"
+#include "fault/fault.hh"
+#include "mini_setup.hh"
 #include "nbest/max_heap_set.hh"
 #include "nbest/selectors.hh"
 #include "pruning/magnitude_pruner.hh"
 #include "sim/cache_model.hh"
+#include "system/defaults.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/snapshot.hh"
 #include "util/bits.hh"
 #include "util/edit_distance.hh"
 #include "util/rng.hh"
@@ -343,6 +351,128 @@ TEST_P(SelectorEquivalenceProperty, NoPressureMeansNoLoss)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SelectorEquivalenceProperty,
                          ::testing::Values(7, 77, 777));
+
+// ---------------------------------------------------------------------
+// Fault isolation: injecting faults into an utterance subset S leaves
+// every utterance outside S byte-identical — transcripts, scores and
+// the deterministic fault telemetry — at every worker count.
+// ---------------------------------------------------------------------
+
+/** One trained context per corpus seed, shared across parameters. */
+ExperimentContext &
+faultContext(std::uint64_t corpus_seed)
+{
+    static std::map<std::uint64_t, std::unique_ptr<ExperimentContext>>
+        contexts;
+    auto &slot = contexts[corpus_seed];
+    if (!slot)
+        slot = std::make_unique<ExperimentContext>(
+            miniSetup(corpus_seed));
+    return *slot;
+}
+
+std::uint64_t
+faultCounterValue(const char *name)
+{
+    const auto snap = telemetry::MetricRegistry::global().snapshot();
+    const auto *c = snap.findCounter(name);
+    return c ? c->value : 0;
+}
+
+class FaultIsolationProperty
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint64_t, std::size_t>>
+{};
+
+TEST_P(FaultIsolationProperty, NonFaultedUtterancesAreByteIdentical)
+{
+    const auto [corpus_seed, threads] = GetParam();
+    auto &ctx = faultContext(corpus_seed);
+    const SystemConfig config =
+        ctx.setup.configFor(SearchMode::Baseline, PruneLevel::None);
+    const auto utts =
+        ctx.corpus.sampleUtterances(6, corpus_seed * 17 + 5);
+    const std::set<std::size_t> faulted_set = {1, 4};
+
+    // Fault-free per-utterance baseline (transcript + scores).
+    FaultInjector::global().disarm();
+    std::map<std::size_t, UtteranceRun> clean;
+    std::vector<Utterance> healthy;
+    for (std::size_t i = 0; i < utts.size(); ++i) {
+        if (faulted_set.count(i))
+            continue;
+        clean[i] = ctx.system.runUtterance(utts[i], config);
+        healthy.push_back(utts[i]);
+    }
+    const TestSetResult clean_subset =
+        ctx.system.runTestSet(healthy, config);
+
+    // Decoder probes are keyed purely by utterance id, so the rules
+    // below can never reach an utterance outside S.
+    FaultPlan plan;
+    {
+        FaultRule rule;
+        rule.probe = "decoder.decode";
+        rule.kind = FaultKind::Timeout;
+        rule.keys = {utts[1].id};
+        plan.rules.push_back(rule);
+        rule.kind = FaultKind::AllocFail;
+        rule.keys = {utts[4].id};
+        plan.rules.push_back(rule);
+    }
+    ScopedFaultPlan scoped(std::move(plan));
+
+    const std::uint64_t injected_before =
+        faultCounterValue("fault.injected");
+    const std::uint64_t degraded_before =
+        faultCounterValue("fault.degraded");
+    const TestSetResult result =
+        ctx.system.runTestSet(utts, config, threads);
+
+    // Exactly S degraded, with causes; deterministic telemetry.
+    EXPECT_EQ(result.degraded, faulted_set.size());
+    ASSERT_EQ(result.outcomes.size(), utts.size());
+    for (std::size_t i = 0; i < utts.size(); ++i)
+        EXPECT_EQ(result.outcomes[i].empty(), !faulted_set.count(i))
+            << i;
+    EXPECT_EQ(faultCounterValue("fault.injected"),
+              injected_before + faulted_set.size());
+    EXPECT_EQ(faultCounterValue("fault.degraded"),
+              degraded_before + faulted_set.size());
+
+    // Aggregates over the healthy utterances are bit-identical to the
+    // fault-free subset run (input-order merge).
+    EXPECT_EQ(result.wer.substitutions, clean_subset.wer.substitutions);
+    EXPECT_EQ(result.wer.insertions, clean_subset.wer.insertions);
+    EXPECT_EQ(result.wer.deletions, clean_subset.wer.deletions);
+    EXPECT_EQ(result.wer.referenceLength,
+              clean_subset.wer.referenceLength);
+    EXPECT_EQ(result.frames, clean_subset.frames);
+    EXPECT_EQ(result.survivors, clean_subset.survivors);
+    EXPECT_EQ(result.generated, clean_subset.generated);
+    EXPECT_DOUBLE_EQ(result.meanConfidence,
+                     clean_subset.meanConfidence);
+    EXPECT_DOUBLE_EQ(result.dnn.joules, clean_subset.dnn.joules);
+    EXPECT_DOUBLE_EQ(result.viterbi.joules,
+                     clean_subset.viterbi.joules);
+
+    // With the plan still armed, every utterance outside S decodes to
+    // the byte-identical transcript and scores of the fault-free run.
+    for (const auto &[i, baseline] : clean) {
+        const UtteranceRun run =
+            ctx.system.runUtterance(utts[i], config);
+        EXPECT_FALSE(run.degraded) << i;
+        EXPECT_EQ(run.decode.words, baseline.decode.words) << i;
+        EXPECT_DOUBLE_EQ(run.meanConfidence, baseline.meanConfidence)
+            << i;
+        EXPECT_EQ(run.frames, baseline.frames) << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndThreads, FaultIsolationProperty,
+    ::testing::Combine(::testing::Values(777, 1234),
+                       ::testing::Values(1, 2, 4)));
 
 } // namespace
 } // namespace darkside

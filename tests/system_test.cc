@@ -10,44 +10,12 @@
 #include <filesystem>
 #include <string>
 
-#include "system/defaults.hh"
+#include "mini_setup.hh"
 #include "telemetry/metrics.hh"
 #include "telemetry/snapshot.hh"
 
 namespace darkside {
 namespace {
-
-/** A miniature setup that trains in well under a second. */
-ExperimentSetup
-miniSetup()
-{
-    ExperimentSetup setup;
-    setup.corpus.phonemes = 10;
-    setup.corpus.statesPerPhoneme = 3;
-    setup.corpus.words = 50;
-    setup.corpus.minPhonemesPerWord = 2;
-    setup.corpus.maxPhonemesPerWord = 4;
-    setup.corpus.grammarBranching = 6;
-    setup.corpus.contextFrames = 1;
-    setup.corpus.synthesizer.featureDim = 8;
-    setup.corpus.synthesizer.noiseStddev = 0.4;
-    setup.corpus.seed = 777;
-
-    setup.zoo.topology = KaldiTopology::scaled(
-        /*classes=*/30, /*input_dim=*/24, /*fc_width=*/32,
-        /*pool_group=*/2);
-    setup.zoo.topology.hiddenBlocks = 2;
-    setup.zoo.trainUtterances = 40;
-    setup.zoo.training.epochs = 3;
-    setup.zoo.retraining.epochs = 1;
-    setup.zoo.cacheDir = "";
-
-    setup.platform.viterbiBaseline.hashEntries = 1024;
-    setup.platform.viterbiBaseline.backupEntries = 512;
-    setup.platform.viterbiNBest.hashEntries = 128;
-    setup.testUtterances = 4;
-    return setup;
-}
 
 /** Shared across tests in this binary: training once is enough. */
 ExperimentContext &

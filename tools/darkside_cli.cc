@@ -16,11 +16,15 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <optional>
 #include <string>
 
 #include "decoder/lattice.hh"
 #include "decoder/search_telemetry.hh"
+#include "fault/fault.hh"
 #include "system/defaults.hh"
 #include "telemetry/metrics.hh"
 #include "telemetry/snapshot.hh"
@@ -41,6 +45,32 @@ addSetupFlags(ArgParser &args)
                    0.0);
     args.addOption("metrics",
                    "write a darkside-metrics-v1 JSON snapshot here", "");
+    args.addOption("fault-plan",
+                   "arm a darkside-fault-plan-v1 JSON plan "
+                   "(or set DARKSIDE_FAULT_PLAN)",
+                   "");
+}
+
+/**
+ * Honour --fault-plan / DARKSIDE_FAULT_PLAN. A malformed plan is an
+ * operator configuration error and dies; injected faults themselves
+ * degrade gracefully downstream.
+ */
+void
+armFaultPlan(const ArgParser &args)
+{
+    std::string path = args.get("fault-plan");
+    if (path.empty()) {
+        if (const char *env = std::getenv("DARKSIDE_FAULT_PLAN"))
+            path = env;
+    }
+    if (path.empty())
+        return;
+    auto plan = FaultPlan::loadFile(path);
+    if (!plan)
+        fatal("%s", plan.message().c_str());
+    FaultInjector::global().arm(plan.take());
+    inform("fault injection armed from '%s'", path.c_str());
 }
 
 /** Honour --metrics: dump the global registry as schema JSON. */
@@ -62,6 +92,7 @@ writeMetrics(const ArgParser &args)
 ExperimentSetup
 setupFrom(const ArgParser &args)
 {
+    armFaultPlan(args);
     ExperimentSetup setup = scaledSetup();
     setup.testUtterances =
         static_cast<std::size_t>(args.getInt("utts"));
@@ -240,6 +271,8 @@ cmdDecode(int argc, const char *const *argv)
     args.addOption("selector",
                    "unbounded | nbest:<N>:<ways> | accurate:<N>",
                    "unbounded");
+    args.addOption("transcripts",
+                   "write one per-utterance transcript line here", "");
     args.addSwitch("lattice", "print each utterance's top paths");
     if (!args.parse(argc, argv))
         return 1;
@@ -275,24 +308,60 @@ cmdDecode(int argc, const char *const *argv)
     const LatticeDecoder decoder(ctx.fst, DecoderConfig{beam});
     SearchTelemetry search_telemetry;
     EditStats wer;
-    std::uint64_t survivors = 0, frames = 0;
-    for (const auto &utt : ctx.testSet) {
-        const auto scores = AcousticScores::fromEngine(
-            engine, ctx.corpus.spliceUtterance(utt),
-            setup.platform.acousticScale);
-        auto selector = make_selector();
-        Lattice lattice;
-        const DecodeResult result =
-            decoder.decode(scores, *selector, lattice,
-                           &search_telemetry);
-        wer.merge(alignSequences(utt.words, result.words));
-        survivors += result.totalSurvivors();
-        frames += result.frames.size();
-        if (args.getSwitch("lattice")) {
-            std::printf("ref:");
-            for (WordId w : utt.words)
-                std::printf(" %u", w);
-            std::printf("\n%s", lattice.render(4).c_str());
+    std::uint64_t survivors = 0, frames = 0, degraded = 0;
+    std::string transcripts;
+    for (std::size_t i = 0; i < ctx.testSet.size(); ++i) {
+        const auto &utt = ctx.testSet[i];
+        // Per-utterance isolation: a fault anywhere in this body
+        // degrades just this utterance; the batch carries on and the
+        // command still exits 0.
+        try {
+            auto spliced = ctx.corpus.spliceUtterance(utt);
+            std::optional<AcousticScores> scores;
+            if (auto kind = FaultInjector::global().trigger(
+                    "inference.scores", utt.id)) {
+                if (*kind != FaultKind::NanScores)
+                    throw FaultError("inference.scores", *kind, utt.id);
+                scores = AcousticScores::poisoned(
+                    spliced.size(), ctx.corpus.classCount());
+            } else {
+                scores = AcousticScores::fromEngine(
+                    engine, spliced, setup.platform.acousticScale);
+            }
+            if (!scores->finite()) {
+                throw FaultError("inference.scores",
+                                 FaultKind::NanScores, utt.id);
+            }
+            // The software lattice decoder runs no watchdog; injected
+            // decode faults degrade the utterance directly.
+            if (auto kind = FaultInjector::global().trigger(
+                    "decoder.decode", utt.id))
+                throw FaultError("decoder.decode", *kind, utt.id);
+
+            auto selector = make_selector();
+            Lattice lattice;
+            const DecodeResult result =
+                decoder.decode(*scores, *selector, lattice,
+                               &search_telemetry);
+            wer.merge(alignSequences(utt.words, result.words));
+            survivors += result.totalSurvivors();
+            frames += result.frames.size();
+            transcripts += "utt " + std::to_string(i) + " ok";
+            for (WordId w : result.words)
+                transcripts += " " + std::to_string(w);
+            transcripts += "\n";
+            if (args.getSwitch("lattice")) {
+                std::printf("ref:");
+                for (WordId w : utt.words)
+                    std::printf(" %u", w);
+                std::printf("\n%s", lattice.render(4).c_str());
+            }
+        } catch (const FaultError &e) {
+            ++degraded;
+            FaultInjector::global().noteDegraded();
+            transcripts += "utt " + std::to_string(i) + " degraded " +
+                e.what() + "\n";
+            warn("utt %zu degraded: %s", i, e.what());
         }
     }
     std::printf("WER %.2f%% (%llu errors / %llu words), "
@@ -300,8 +369,24 @@ cmdDecode(int argc, const char *const *argv)
                 100.0 * wer.wordErrorRate(),
                 static_cast<unsigned long long>(wer.errors()),
                 static_cast<unsigned long long>(wer.referenceLength),
-                static_cast<double>(survivors) /
-                    static_cast<double>(frames));
+                frames == 0 ? 0.0
+                            : static_cast<double>(survivors) /
+                        static_cast<double>(frames));
+    if (degraded > 0) {
+        std::printf("degraded %llu/%zu utterances (see fault.* "
+                    "metrics)\n",
+                    static_cast<unsigned long long>(degraded),
+                    ctx.testSet.size());
+    }
+    if (!args.get("transcripts").empty()) {
+        std::ofstream os(args.get("transcripts"));
+        os << transcripts;
+        if (!os) {
+            std::fprintf(stderr, "cannot write transcripts to '%s'\n",
+                         args.get("transcripts").c_str());
+            return 1;
+        }
+    }
     return writeMetrics(args);
 }
 
@@ -337,6 +422,11 @@ cmdSimulate(int argc, const char *const *argv)
     std::printf("search ms per speech second: p50 %.2f  p99 %.2f\n",
                 1e3 * r.searchLatencyPerSpeechSecond.percentile(50),
                 1e3 * r.searchLatencyPerSpeechSecond.percentile(99));
+    if (r.degraded > 0) {
+        std::printf("degraded      %llu/%zu utterances\n",
+                    static_cast<unsigned long long>(r.degraded),
+                    ctx.testSet.size());
+    }
     return writeMetrics(args);
 }
 

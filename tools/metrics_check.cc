@@ -13,16 +13,27 @@
  *   - counters: non-negative integer "value", string unit, bool flag
  *   - histograms: lo < hi, min <= max when count > 0, and
  *     count == underflow + overflow + sum(buckets)
+ *   - fault.* namespace (when present): the four outcome counters
+ *     exist with the right units, every fault.injected.<probe> names
+ *     a registered probe with the registry's determinism flag, and
+ *     fault.injected equals the sum over deterministic probes
  *
- * usage: metrics_check <file.json> [more.json ...]
+ * With --expect-faults, a file whose fault.injected.* total is zero
+ * (or absent) fails — CI uses this to prove a fault plan actually
+ * fired.
+ *
+ * usage: metrics_check [--expect-faults] <file.json> [more.json ...]
  */
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "fault/fault.hh"
 #include "util/json.hh"
 
 using darkside::JsonValue;
@@ -184,7 +195,99 @@ checkHistograms(const JsonValue &root)
 }
 
 void
-checkFile(const char *path)
+checkFaultNamespace(const JsonValue &root, bool expect_faults)
+{
+    const JsonValue *counters = root.member("counters");
+    if (!counters || !counters->isArray())
+        return; // section() already reported this
+
+    std::map<std::string, const JsonValue *> fault;
+    for (const JsonValue &c : counters->asArray()) {
+        const JsonValue *name = c.member("name");
+        if (name && name->isString() &&
+            name->asString().rfind("fault.", 0) == 0)
+            fault[name->asString()] = &c;
+    }
+    if (fault.empty()) {
+        if (expect_faults)
+            fail("--expect-faults: no fault.* counters present");
+        return;
+    }
+
+    const struct
+    {
+        const char *name;
+        const char *unit;
+    } required[] = {
+        {"fault.injected", "faults"},
+        {"fault.retried", "attempts"},
+        {"fault.recovered", "operations"},
+        {"fault.degraded", "utterances"},
+    };
+    for (const auto &r : required) {
+        auto it = fault.find(r.name);
+        if (it == fault.end()) {
+            fail(std::string("fault.* present but '") + r.name +
+                 "' is missing");
+            continue;
+        }
+        const JsonValue &c = *it->second;
+        const JsonValue *unit = c.member("unit");
+        if (unit && unit->isString() && unit->asString() != r.unit) {
+            fail(std::string(r.name) + ": unit '" + unit->asString() +
+                 "' != '" + r.unit + "'");
+        }
+        const JsonValue *det = c.member("deterministic");
+        if (det && det->isBool() && !det->asBool())
+            fail(std::string(r.name) + ": must be deterministic");
+    }
+
+    const std::string prefix = "fault.injected.";
+    double deterministic_sum = 0.0;
+    double total = 0.0;
+    bool sum_valid = true;
+    for (const auto &[name, c] : fault) {
+        if (name.rfind(prefix, 0) != 0)
+            continue;
+        const std::string probe_name = name.substr(prefix.size());
+        const darkside::ProbePoint *probe =
+            darkside::findProbe(probe_name);
+        if (!probe) {
+            fail(name + ": '" + probe_name +
+                 "' is not a registered probe point");
+            sum_valid = false;
+            continue;
+        }
+        const JsonValue *det = c->member("deterministic");
+        if (det && det->isBool() &&
+            det->asBool() != probe->deterministic) {
+            fail(name + ": determinism flag disagrees with the probe "
+                        "registry");
+        }
+        const JsonValue *value = c->member("value");
+        if (!value || !value->isNonNegativeInteger()) {
+            sum_valid = false;
+            continue;
+        }
+        total += value->asNumber();
+        if (probe->deterministic)
+            deterministic_sum += value->asNumber();
+    }
+    auto injected = fault.find("fault.injected");
+    if (sum_valid && injected != fault.end()) {
+        const JsonValue *value = injected->second->member("value");
+        if (value && value->isNonNegativeInteger() &&
+            value->asNumber() != deterministic_sum) {
+            fail("fault.injected != sum of fault.injected.<probe> "
+                 "over deterministic probes");
+        }
+    }
+    if (expect_faults && total == 0.0)
+        fail("--expect-faults: no faults were injected");
+}
+
+void
+checkFile(const char *path, bool expect_faults)
 {
     current_file = path;
     std::ifstream is(path);
@@ -220,6 +323,7 @@ checkFile(const char *path)
     checkCounters(root);
     checkGauges(root);
     checkHistograms(root);
+    checkFaultNamespace(root, expect_faults);
 }
 
 } // namespace
@@ -227,17 +331,24 @@ checkFile(const char *path)
 int
 main(int argc, char **argv)
 {
-    if (argc < 2) {
-        std::fprintf(stderr,
-                     "usage: metrics_check <file.json> [...]\n");
+    bool expect_faults = false;
+    int first_file = 1;
+    if (first_file < argc &&
+        std::strcmp(argv[first_file], "--expect-faults") == 0) {
+        expect_faults = true;
+        ++first_file;
+    }
+    if (first_file >= argc) {
+        std::fprintf(stderr, "usage: metrics_check [--expect-faults] "
+                             "<file.json> [...]\n");
         return 2;
     }
-    for (int i = 1; i < argc; ++i)
-        checkFile(argv[i]);
+    for (int i = first_file; i < argc; ++i)
+        checkFile(argv[i], expect_faults);
     if (failures > 0) {
         std::fprintf(stderr, "%d problem(s) found\n", failures);
         return 1;
     }
-    std::printf("%d file(s) OK\n", argc - 1);
+    std::printf("%d file(s) OK\n", argc - first_file);
     return 0;
 }
