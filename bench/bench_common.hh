@@ -17,9 +17,11 @@ namespace darkside {
 namespace bench {
 
 /**
- * Default experiment context for benches. Honours two environment
- * variables: DARKSIDE_CACHE_DIR (model cache location) and
- * DARKSIDE_BENCH_UTTS (test-set size, default 12).
+ * Default experiment context for benches. Honours three environment
+ * variables: DARKSIDE_CACHE_DIR (model cache location),
+ * DARKSIDE_BENCH_UTTS (test-set size, default 12) and
+ * DARKSIDE_RUN_DIR (persistent acoustic-score cache through the
+ * artifact store, shared across bench binaries; see docs/STORE.md).
  */
 ExperimentContext &context();
 

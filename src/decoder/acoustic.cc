@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 namespace darkside {
@@ -9,6 +10,24 @@ namespace darkside {
 namespace {
 
 constexpr float kProbabilityFloor = 1e-10f;
+
+template <typename T>
+void
+appendPod(std::string &out, const T &v)
+{
+    out.append(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+template <typename T>
+bool
+consumePod(const std::string &in, std::size_t &offset, T &v)
+{
+    if (in.size() - offset < sizeof(T))
+        return false;
+    std::memcpy(&v, in.data() + offset, sizeof(T));
+    offset += sizeof(T);
+    return true;
+}
 
 } // namespace
 
@@ -64,6 +83,49 @@ AcousticScores::poisoned(std::size_t frames, std::size_t classes)
                          std::numeric_limits<float>::quiet_NaN());
     scores.meanConfidence_ =
         std::numeric_limits<double>::quiet_NaN();
+    return scores;
+}
+
+std::string
+AcousticScores::serialize() const
+{
+    std::string out;
+    out.reserve(24 + costs_.size() * sizeof(float));
+    appendPod<std::uint64_t>(out, classes_);
+    appendPod<std::uint64_t>(out, costs_.size());
+    appendPod<double>(out, meanConfidence_);
+    out.append(reinterpret_cast<const char *>(costs_.data()),
+               costs_.size() * sizeof(float));
+    return out;
+}
+
+Result<AcousticScores>
+AcousticScores::deserialize(const std::string &bytes,
+                            const std::string &context)
+{
+    const auto malformed = [&context]() {
+        return Status::error("'" + context +
+                             "': malformed acoustic-score payload");
+    };
+    std::size_t offset = 0;
+    std::uint64_t classes = 0;
+    std::uint64_t cost_count = 0;
+    double mean_confidence = 0.0;
+    if (!consumePod(bytes, offset, classes) ||
+        !consumePod(bytes, offset, cost_count) ||
+        !consumePod(bytes, offset, mean_confidence)) {
+        return malformed();
+    }
+    if (classes == 0 || cost_count == 0 || cost_count % classes != 0 ||
+        bytes.size() - offset != cost_count * sizeof(float)) {
+        return malformed();
+    }
+    AcousticScores scores;
+    scores.classes_ = static_cast<std::size_t>(classes);
+    scores.meanConfidence_ = mean_confidence;
+    scores.costs_.resize(static_cast<std::size_t>(cost_count));
+    std::memcpy(scores.costs_.data(), bytes.data() + offset,
+                scores.costs_.size() * sizeof(float));
     return scores;
 }
 

@@ -8,11 +8,13 @@
 #ifndef DARKSIDE_DECODER_ACOUSTIC_HH
 #define DARKSIDE_DECODER_ACOUSTIC_HH
 
+#include <string>
 #include <vector>
 
 #include "corpus/phoneme.hh"
 #include "dnn/inference.hh"
 #include "dnn/mlp.hh"
+#include "util/status.hh"
 #include "util/thread_pool.hh"
 
 namespace darkside {
@@ -83,7 +85,22 @@ class AcousticScores
     /** Mean confidence (max posterior) over the utterance's frames. */
     double meanConfidence() const { return meanConfidence_; }
 
+    /**
+     * Serialise to bytes for the persistent score cache: costs,
+     * class count and mean confidence round-trip bit-exactly, so a
+     * decode over restored scores is byte-identical to one over
+     * freshly computed scores (docs/STORE.md).
+     */
+    std::string serialize() const;
+
+    /** Restore serialize() output; Status error on malformed bytes.
+     *  @param context names the source in error messages. */
+    static Result<AcousticScores> deserialize(
+        const std::string &bytes, const std::string &context);
+
   private:
+    friend class Result<AcousticScores>;
+
     AcousticScores() = default;
 
     std::vector<float> costs_;

@@ -212,12 +212,10 @@ Mlp::summary() const
     return os.str();
 }
 
-void
-Mlp::save(const std::string &path) const
+std::string
+Mlp::serialize() const
 {
-    std::ofstream os(path, std::ios::binary);
-    if (!os)
-        fatal("cannot open '%s' for writing", path.c_str());
+    std::ostringstream os(std::ios::binary);
     writePod(os, kMagic);
     writePod<std::uint32_t>(os, static_cast<std::uint32_t>(layers_.size()));
     for (const auto &l : layers_) {
@@ -251,8 +249,34 @@ Mlp::save(const std::string &path) const
             break;
         }
     }
+    return os.str();
+}
+
+Status
+Mlp::trySave(const std::string &path) const
+{
+    std::ofstream os(path, std::ios::binary);
     if (!os)
-        fatal("error while writing '%s'", path.c_str());
+        return Status::error("cannot open '" + path + "' for writing");
+    const std::string bytes = serialize();
+    os.write(bytes.data(),
+             static_cast<std::streamsize>(bytes.size()));
+    if (!os.good())
+        return Status::error("error while writing '" + path + "'");
+    // A buffered stream can defer the actual write(2) to close; a
+    // full disk surfaces only here.
+    os.close();
+    if (!os.good())
+        return Status::error("error while closing '" + path + "'");
+    return Status::ok();
+}
+
+void
+Mlp::save(const std::string &path) const
+{
+    const Status saved = trySave(path);
+    if (!saved)
+        fatal("%s", saved.message().c_str());
 }
 
 namespace {
@@ -306,13 +330,11 @@ loadBytes(std::istream &is, void *dst, std::size_t bytes,
         loadFail("'%s': truncated model file", path.c_str());
 }
 
-/** The loader proper; reports malformed files by throwing. */
+/** The loader proper; reports malformed input by throwing. @param path
+ *  names the source (a file path, an artifact name) in messages. */
 Mlp
-loadImpl(const std::string &path)
+loadImpl(std::istream &is, const std::string &path)
 {
-    std::ifstream is(path, std::ios::binary);
-    if (!is)
-        loadFail("cannot open '%s' for reading", path.c_str());
     if (loadPod<std::uint32_t>(is, path) != kMagic)
         loadFail("'%s' is not a darkside MLP file", path.c_str());
 
@@ -431,8 +453,22 @@ Mlp::tryLoad(const std::string &path)
                              faultKindName(*kind) +
                              " (fault dnn.model_load)");
     }
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return Status::error("cannot open '" + path + "' for reading");
     try {
-        return loadImpl(path);
+        return loadImpl(is, path);
+    } catch (const MlpLoadError &e) {
+        return Status::error(e.what());
+    }
+}
+
+Result<Mlp>
+Mlp::deserialize(const std::string &bytes, const std::string &context)
+{
+    std::istringstream is(bytes, std::ios::binary);
+    try {
+        return loadImpl(is, context);
     } catch (const MlpLoadError &e) {
         return Status::error(e.what());
     }

@@ -100,8 +100,29 @@ class Mlp
     /** One-line per layer summary like Table I. */
     std::string summary() const;
 
-    /** Serialise to / restore from a binary file. */
+    /** Serialise to a binary file, or die (fatal wrapper of trySave,
+     *  mirroring the load/tryLoad contract). */
     void save(const std::string &path) const;
+
+    /**
+     * Serialise to a binary file, reporting open/write/close failures
+     * (full disk, read-only directories) as a Status error instead of
+     * dying. Note: this is a plain stream write; crash-safe callers
+     * (the model zoo cache) commit serialize() output through the
+     * artifact store instead.
+     */
+    Status trySave(const std::string &path) const;
+
+    /** Serialise to bytes (the "DSM1" container). */
+    std::string serialize() const;
+
+    /**
+     * Restore from serialize() output, reporting truncated or corrupt
+     * bytes as a Status error. @param context names the source in
+     * error messages (a path, an artifact name).
+     */
+    static Result<Mlp> deserialize(const std::string &bytes,
+                                   const std::string &context);
 
     /**
      * Restore from a binary file, or die. Kept for call sites where a

@@ -69,6 +69,8 @@ faultKindName(FaultKind kind)
         return "timeout";
       case FaultKind::CorruptCache:
         return "corrupt_cache";
+      case FaultKind::IoError:
+        return "io_error";
     }
     return "?";
 }
@@ -78,7 +80,8 @@ faultKindFromName(const std::string &name, FaultKind *kind)
 {
     for (FaultKind k :
          {FaultKind::ShortRead, FaultKind::NanScores, FaultKind::AllocFail,
-          FaultKind::Timeout, FaultKind::CorruptCache}) {
+          FaultKind::Timeout, FaultKind::CorruptCache,
+          FaultKind::IoError}) {
         if (name == faultKindName(k)) {
             *kind = k;
             return true;
@@ -99,6 +102,9 @@ probeRegistry()
     //   system.score_cache utterance id (fires on cache hits)
     //   decoder.decode   utterance id
     //   pool.chunk       chunk begin index (worker-count dependent)
+    //   store.torn_write   hash of the artifact's store-relative name
+    //   store.fsync_fail   hash of the artifact's store-relative name
+    //   store.rename_fail  hash of the artifact's store-relative name
     static const std::vector<ProbePoint> registry = {
         {"dnn.model_load",
          {FaultKind::ShortRead},
@@ -131,6 +137,21 @@ probeRegistry()
          false,
          "parallelFor finishes remaining chunks, then rethrows to the "
          "caller; the pool survives"},
+        {"store.torn_write",
+         {FaultKind::IoError},
+         true,
+         "payload silently truncated before commit; the next read "
+         "fails CRC verification and quarantines the artifact"},
+        {"store.fsync_fail",
+         {FaultKind::IoError},
+         true,
+         "write returns a Status error; the temp file is removed and "
+         "the final path is untouched"},
+        {"store.rename_fail",
+         {FaultKind::IoError},
+         true,
+         "commit returns a Status error; the temp file is removed and "
+         "the final path is untouched"},
     };
     return registry;
 }

@@ -48,6 +48,8 @@ enum class FaultKind : std::uint8_t {
     Timeout,
     /** A cached entry is corrupt and must not be trusted. */
     CorruptCache,
+    /** A write-side I/O operation (fsync, rename, full write) failed. */
+    IoError,
 };
 
 /** Plan-file spelling of a kind ("short_read", ...). */

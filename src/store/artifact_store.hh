@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Durable artifact store (docs/STORE.md): crash-safe persistence for
+ * everything the pipeline keeps on disk — cached models, persistent
+ * acoustic scores, checkpointed run units.
+ *
+ * Every artifact is committed with temp-file + fsync + atomic rename,
+ * framed in a versioned container ("DSA1": magic, format version,
+ * payload kind, payload length, CRC-32 of the payload). Reads verify
+ * the whole frame before returning a byte of payload; an artifact that
+ * fails verification is *quarantined* — moved into the store's
+ * `quarantine/` subdirectory where no read path ever looks — never
+ * silently deleted and never re-read.
+ *
+ * Crash points are exercised deterministically through three fault
+ * probes (store.torn_write, store.fsync_fail, store.rename_fail) and
+ * outcomes are counted in the store.* telemetry namespace.
+ */
+
+#ifndef DARKSIDE_STORE_ARTIFACT_STORE_HH
+#define DARKSIDE_STORE_ARTIFACT_STORE_HH
+
+#include <string>
+
+#include "util/status.hh"
+
+namespace darkside {
+
+/**
+ * A directory of framed, checksummed artifacts.
+ *
+ * Artifact names are store-relative paths ("model_ab12_70.bin",
+ * "scores/np_17.bin"); parent subdirectories are created on demand.
+ * All methods are const and thread-safe: concurrent writers of the
+ * same name race benignly (each rename is atomic; the last commit
+ * wins), and a reader holding an open file survives a concurrent
+ * replace.
+ */
+class ArtifactStore
+{
+  public:
+    explicit ArtifactStore(std::string root);
+
+    const std::string &root() const { return root_; }
+
+    /** Absolute-ish path of an artifact (root + "/" + name). */
+    std::string pathOf(const std::string &name) const;
+
+    /** True when a committed artifact of this name exists. */
+    bool exists(const std::string &name) const;
+
+    /**
+     * Durably write an artifact: frame the payload, stream it to a
+     * unique temp file, fsync, atomically rename over the final path,
+     * then fsync the directory. On any failure (including the
+     * store.fsync_fail / store.rename_fail probes) the temp file is
+     * removed, the final path is untouched and a Status error is
+     * returned.
+     *
+     * @param name store-relative artifact name
+     * @param kind payload-kind tag verified on read ("mlp-model", ...)
+     * @param payload raw payload bytes
+     */
+    Status write(const std::string &name, const std::string &kind,
+                 const std::string &payload) const;
+
+    /**
+     * Read + verify an artifact. The frame (magic, version, kind,
+     * length, CRC-32) is fully verified before the payload is
+     * returned; corrupt artifacts are moved to quarantine/ and
+     * reported as a Status error. A kind mismatch or an artifact
+     * written by a newer format version is an error *without*
+     * quarantine (the bytes are intact — the caller is just wrong, or
+     * from the past).
+     */
+    Result<std::string> read(const std::string &name,
+                             const std::string &kind) const;
+
+    /** Subdirectory quarantined artifacts are moved into. */
+    static constexpr const char *kQuarantineDir = "quarantine";
+
+    /** Container format version written by this build. */
+    static constexpr std::uint32_t kFormatVersion = 1;
+
+  private:
+    /** Move a failed-verification artifact into quarantine/. */
+    void quarantine(const std::string &name,
+                    const std::string &reason) const;
+
+    std::string root_;
+};
+
+} // namespace darkside
+
+#endif // DARKSIDE_STORE_ARTIFACT_STORE_HH

@@ -1,11 +1,14 @@
 #include "system/asr_system.hh"
 
+#include <cstring>
 #include <optional>
 
 #include "decoder/search_telemetry.hh"
 #include "decoder/watchdog.hh"
 #include "fault/fault.hh"
 #include "telemetry/metrics.hh"
+#include "telemetry/snapshot.hh"
+#include "util/bits.hh"
 
 namespace darkside {
 
@@ -26,6 +29,200 @@ pruneSuffix(PruneLevel level)
         return "90";
     }
     return "?";
+}
+
+/** Payload-kind tag of persistent acoustic-score artifacts. */
+constexpr const char *kScoresKind = "acoustic-scores";
+
+/**
+ * Reduced, serializable record of one utterance's run: exactly the
+ * fields the input-order merge consumes. This is what a checkpoint
+ * unit persists, so a replayed unit feeds the merge the same bytes a
+ * live run would have.
+ */
+struct UtteranceOutcome
+{
+    bool degraded = false;
+    std::string faultCause;
+    std::uint64_t frames = 0;
+    std::uint64_t survivors = 0;
+    std::uint64_t generated = 0;
+    double meanConfidence = 0.0;
+    StageCost dnn;
+    StageCost viterbi;
+    std::vector<WordId> words;
+};
+
+UtteranceOutcome
+outcomeOf(UtteranceRun &&run)
+{
+    UtteranceOutcome o;
+    o.degraded = run.degraded;
+    o.faultCause = std::move(run.faultCause);
+    o.frames = run.frames;
+    o.survivors = run.decode.totalSurvivors();
+    o.generated = run.decode.totalGenerated();
+    o.meanConfidence = run.meanConfidence;
+    o.dnn = run.dnn;
+    o.viterbi = run.viterbi;
+    o.words = std::move(run.decode.words);
+    return o;
+}
+
+// --- checkpoint unit payload (outcomes + telemetry delta) ---------------
+
+template <typename T>
+void
+appendPod(std::string &out, const T &v)
+{
+    out.append(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+void
+appendString(std::string &out, const std::string &s)
+{
+    appendPod<std::uint64_t>(out, s.size());
+    out.append(s);
+}
+
+template <typename T>
+bool
+consumePod(const std::string &in, std::size_t &offset, T &v)
+{
+    if (in.size() - offset < sizeof(T))
+        return false;
+    std::memcpy(&v, in.data() + offset, sizeof(T));
+    offset += sizeof(T);
+    return true;
+}
+
+bool
+consumeString(const std::string &in, std::size_t &offset, std::string &s)
+{
+    std::uint64_t len = 0;
+    if (!consumePod(in, offset, len) || in.size() - offset < len)
+        return false;
+    s.assign(in, offset, static_cast<std::size_t>(len));
+    offset += static_cast<std::size_t>(len);
+    return true;
+}
+
+/**
+ * Key binding a checkpoint unit to its exact inputs: the configuration
+ * and the ids of the utterances in the batch. A journal reused with
+ * different inputs (regenerated corpus, reordered test set) misses on
+ * this key and the unit is recomputed instead of silently replayed.
+ */
+std::uint64_t
+inputsKeyOf(const SystemConfig &config,
+            const std::vector<Utterance> &utts, std::size_t begin,
+            std::size_t end)
+{
+    std::uint64_t h = 0xc0ffee5eedull;
+    for (const char c : config.label())
+        h = mix64(h ^ static_cast<std::uint8_t>(c));
+    std::uint32_t beam_bits = 0;
+    std::memcpy(&beam_bits, &config.beam, sizeof(beam_bits));
+    h = mix64(h ^ beam_bits);
+    h = mix64(h ^ config.nbestEntries);
+    h = mix64(h ^ config.nbestWays);
+    for (std::size_t i = begin; i < end; ++i)
+        h = mix64(h ^ utts[i].id);
+    return h;
+}
+
+std::string
+encodeUnit(std::uint64_t inputsKey,
+           const std::vector<UtteranceOutcome> &outcomes,
+           std::size_t begin, std::size_t end,
+           const telemetry::Snapshot &delta)
+{
+    std::string out;
+    appendPod<std::uint64_t>(out, inputsKey);
+    appendPod<std::uint64_t>(out, end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+        const UtteranceOutcome &o = outcomes[i];
+        appendPod<std::uint8_t>(out, o.degraded ? 1 : 0);
+        appendString(out, o.faultCause);
+        appendPod<std::uint64_t>(out, o.frames);
+        appendPod<std::uint64_t>(out, o.survivors);
+        appendPod<std::uint64_t>(out, o.generated);
+        appendPod<double>(out, o.meanConfidence);
+        appendPod<double>(out, o.dnn.seconds);
+        appendPod<double>(out, o.dnn.joules);
+        appendPod<double>(out, o.viterbi.seconds);
+        appendPod<double>(out, o.viterbi.joules);
+        appendPod<std::uint64_t>(out, o.words.size());
+        for (const WordId w : o.words)
+            appendPod<std::uint32_t>(out, w);
+    }
+    appendString(out, delta.toJson());
+    return out;
+}
+
+/**
+ * Decode a unit payload into its slice of the outcome vector and
+ * replay its telemetry delta. False (journal unit unusable, caller
+ * recomputes) on any structural mismatch — wrong inputs key, wrong
+ * batch size, truncated record, unparseable delta.
+ */
+bool
+decodeUnit(const std::string &payload, std::uint64_t expectedKey,
+           std::vector<UtteranceOutcome> &outcomes, std::size_t begin,
+           std::size_t end)
+{
+    std::size_t offset = 0;
+    std::uint64_t key = 0;
+    std::uint64_t count = 0;
+    if (!consumePod(payload, offset, key) ||
+        !consumePod(payload, offset, count)) {
+        return false;
+    }
+    if (key != expectedKey || count != end - begin)
+        return false;
+
+    std::vector<UtteranceOutcome> decoded(count);
+    for (auto &o : decoded) {
+        std::uint8_t degraded = 0;
+        std::uint64_t word_count = 0;
+        if (!consumePod(payload, offset, degraded) || degraded > 1 ||
+            !consumeString(payload, offset, o.faultCause) ||
+            !consumePod(payload, offset, o.frames) ||
+            !consumePod(payload, offset, o.survivors) ||
+            !consumePod(payload, offset, o.generated) ||
+            !consumePod(payload, offset, o.meanConfidence) ||
+            !consumePod(payload, offset, o.dnn.seconds) ||
+            !consumePod(payload, offset, o.dnn.joules) ||
+            !consumePod(payload, offset, o.viterbi.seconds) ||
+            !consumePod(payload, offset, o.viterbi.joules) ||
+            !consumePod(payload, offset, word_count) ||
+            payload.size() - offset <
+                word_count * sizeof(std::uint32_t)) {
+            return false;
+        }
+        o.degraded = degraded != 0;
+        o.words.resize(static_cast<std::size_t>(word_count));
+        for (auto &w : o.words) {
+            std::uint32_t raw = 0;
+            consumePod(payload, offset, raw);
+            w = raw;
+        }
+    }
+    std::string delta_json;
+    if (!consumeString(payload, offset, delta_json) ||
+        offset != payload.size()) {
+        return false;
+    }
+    auto delta = telemetry::Snapshot::parseJson(delta_json);
+    if (!delta.isOk())
+        return false;
+
+    // All-or-nothing: state is touched only after the whole unit
+    // parsed, so a bad unit cannot leave half a batch replayed.
+    for (std::size_t i = begin; i < end; ++i)
+        outcomes[i] = std::move(decoded[i - begin]);
+    telemetry::MetricRegistry::global().apply(delta.value());
+    return true;
 }
 
 } // namespace
@@ -127,6 +324,12 @@ AsrSystem::dnnSim(PruneLevel level)
     return *slot;
 }
 
+void
+AsrSystem::attachStore(std::shared_ptr<const ArtifactStore> store)
+{
+    scoreStore_ = std::move(store);
+}
+
 const InferenceEngine &
 AsrSystem::engineFor(PruneLevel level)
 {
@@ -175,6 +378,37 @@ AsrSystem::scoresFor(const Utterance &utt, PruneLevel level,
     }
     cache_misses.add(1);
 
+    // Between the in-memory LRU and a fresh compute sits the optional
+    // persistent score cache: a verified artifact restores bit-exactly,
+    // so a hit decodes identically to a recompute. A missing,
+    // quarantined or malformed artifact simply falls through.
+    char score_name[64];
+    std::snprintf(score_name, sizeof(score_name),
+                  "scores/%s_%016llx.bin", pruneSuffix(level),
+                  static_cast<unsigned long long>(utt.id));
+    if (cacheable && scoreStore_) {
+        if (auto payload = scoreStore_->read(score_name, kScoresKind)) {
+            auto restored = AcousticScores::deserialize(
+                payload.value(), scoreStore_->pathOf(score_name));
+            if (restored.isOk()) {
+                auto scores = std::make_shared<const AcousticScores>(
+                    restored.take());
+                std::lock_guard<std::mutex> lock(scoreMutex_);
+                auto it = scoreIndex_.find(key);
+                if (it != scoreIndex_.end())
+                    return it->second->second;
+                scoreLru_.emplace_front(key, std::move(scores));
+                scoreIndex_[key] = scoreLru_.begin();
+                while (scoreLru_.size() > kScoreCacheCapacity) {
+                    scoreIndex_.erase(scoreLru_.back().first);
+                    scoreLru_.pop_back();
+                }
+                return scoreLru_.front().second;
+            }
+            warn("score cache: %s", restored.message().c_str());
+        }
+    }
+
     // Compute outside the lock: scoring dominates, and concurrent
     // requests for *different* utterances must not serialise. Two
     // threads racing on the same utterance compute identical scores;
@@ -198,6 +432,18 @@ AsrSystem::scoresFor(const Utterance &utt, PruneLevel level,
         FaultInjector::global().noteRecovered();
     if (!cacheable)
         return scores;
+
+    // Persist the clean compute (the poisoned path returned above, so
+    // corrupt scores never reach the store). Failure to persist only
+    // costs a future recompute.
+    if (scoreStore_) {
+        const Status written = scoreStore_->write(
+            score_name, kScoresKind, scores->serialize());
+        if (!written) {
+            warn("score cache: cannot persist '%s' (%s)", score_name,
+                 written.message().c_str());
+        }
+    }
 
     std::lock_guard<std::mutex> lock(scoreMutex_);
     auto it = scoreIndex_.find(key);
@@ -285,7 +531,8 @@ AsrSystem::runUtterance(const Utterance &utt, const SystemConfig &config)
 
 TestSetResult
 AsrSystem::runTestSet(const std::vector<Utterance> &utts,
-                      const SystemConfig &config, std::size_t threads)
+                      const SystemConfig &config, std::size_t threads,
+                      RunCheckpoint *checkpoint)
 {
     TestSetResult result;
     result.config = config;
@@ -296,23 +543,79 @@ AsrSystem::runTestSet(const std::vector<Utterance> &utts,
         engineFor(config.prune);
     }
 
-    // Decode utterances in parallel; each worker writes its own slot.
-    // FaultError is the per-utterance isolation boundary: a faulted
-    // utterance is recorded as degraded in its own slot and the batch
-    // carries on. Anything else (internal bugs, pool.chunk faults)
-    // still propagates through the pool's first-exception channel.
-    std::vector<UtteranceRun> runs(utts.size());
-    {
+    // Decode a range of utterances in parallel; each worker writes its
+    // own slot. FaultError is the per-utterance isolation boundary: a
+    // faulted utterance is recorded as degraded in its own slot and the
+    // batch carries on. Anything else (internal bugs, pool.chunk
+    // faults) still propagates through the pool's first-exception
+    // channel.
+    std::vector<UtteranceOutcome> outcomes(utts.size());
+    const auto computeRange = [&](std::size_t begin, std::size_t end) {
         ThreadPool pool(threads);
-        parallelFor(&pool, utts.size(), [&](std::size_t i) {
+        parallelFor(&pool, end - begin, [&](std::size_t j) {
+            const std::size_t i = begin + j;
             try {
-                runs[i] = runUtterance(utts[i], config);
+                outcomes[i] = outcomeOf(runUtterance(utts[i], config));
             } catch (const FaultError &e) {
-                runs[i] = UtteranceRun{};
-                runs[i].degraded = true;
-                runs[i].faultCause = e.what();
+                outcomes[i] = UtteranceOutcome{};
+                outcomes[i].degraded = true;
+                outcomes[i].faultCause = e.what();
             }
         });
+    };
+
+    if (!checkpoint) {
+        if (!utts.empty())
+            computeRange(0, utts.size());
+    } else {
+        // Checkpointed: one journal unit per utterance batch. Each unit
+        // persists its slice of outcomes plus the *deterministic*
+        // telemetry growth of computing it (store./fault. counters are
+        // this machinery's own noise and are excluded); replaying a
+        // unit feeds the merge and the registry exactly what the live
+        // batch did, so a resumed run aggregates bit-identically at
+        // any thread count.
+        auto &reg = telemetry::MetricRegistry::global();
+        for (std::size_t begin = 0; begin < utts.size();
+             begin += kCheckpointBatch) {
+            const std::size_t end =
+                std::min(begin + kCheckpointBatch, utts.size());
+            const std::string unit_id = config.label() + "_n" +
+                std::to_string(utts.size()) + "_b" +
+                std::to_string(begin / kCheckpointBatch);
+            const std::uint64_t key =
+                inputsKeyOf(config, utts, begin, end);
+
+            if (checkpoint->hasUnit(unit_id)) {
+                auto payload = checkpoint->loadUnit(unit_id);
+                if (payload.isOk() &&
+                    decodeUnit(payload.value(), key, outcomes, begin,
+                               end)) {
+                    continue;
+                }
+                warn("checkpoint: unit '%s' unusable%s%s; recomputing",
+                     unit_id.c_str(), payload.isOk() ? "" : ": ",
+                     payload.isOk() ? "" : payload.message().c_str());
+            }
+
+            // Snapshots are taken at quiescence: computeRange joins
+            // its pool before returning.
+            const telemetry::Snapshot before = reg.snapshot();
+            computeRange(begin, end);
+            const telemetry::Snapshot delta =
+                reg.snapshot()
+                    .deltaSince(before)
+                    .deterministic()
+                    .withoutPrefixes({"store.", "fault."});
+            const Status saved = checkpoint->saveUnit(
+                unit_id, encodeUnit(key, outcomes, begin, end, delta));
+            if (!saved) {
+                // The batch itself succeeded; a journal that cannot
+                // accept the unit only costs recomputation on resume.
+                warn("checkpoint: cannot save unit '%s' (%s)",
+                     unit_id.c_str(), saved.message().c_str());
+            }
+        }
     }
 
     // Merge strictly in input order: floating-point accumulation order
@@ -323,7 +626,7 @@ AsrSystem::runTestSet(const std::vector<Utterance> &utts,
     std::vector<std::vector<WordId>> refs;
 
     for (std::size_t i = 0; i < utts.size(); ++i) {
-        UtteranceRun &run = runs[i];
+        UtteranceOutcome &run = outcomes[i];
         result.outcomes.push_back(run.faultCause);
         if (run.degraded) {
             // Degraded utterances are excluded from every aggregate;
@@ -336,12 +639,13 @@ AsrSystem::runTestSet(const std::vector<Utterance> &utts,
         result.dnn.add(run.dnn);
         result.viterbi.add(run.viterbi);
         result.frames += run.frames;
-        result.survivors += run.decode.totalSurvivors();
-        result.generated += run.decode.totalGenerated();
+        result.survivors += run.survivors;
+        result.generated += run.generated;
         result.searchLatencyPerSpeechSecond.add(
-            run.viterbi.seconds / run.speechSeconds());
+            run.viterbi.seconds /
+            (static_cast<double>(run.frames) * 0.01));
 
-        hyps.push_back(std::move(run.decode.words));
+        hyps.push_back(std::move(run.words));
         refs.push_back(utts[i].words);
         confidence_weighted += run.meanConfidence *
             static_cast<double>(run.frames);

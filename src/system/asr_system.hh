@@ -23,6 +23,7 @@
 #include "decoder/viterbi_decoder.hh"
 #include "dnn/inference.hh"
 #include "nbest/selectors.hh"
+#include "store/checkpoint.hh"
 #include "system/model_zoo.hh"
 #include "util/stats.hh"
 #include "util/thread_pool.hh"
@@ -167,10 +168,28 @@ class AsrSystem
      *        and merged in input order, so every aggregate (WER,
      *        confidence, energy, latency percentiles) is bit-identical
      *        to the single-threaded run
+     * @param checkpoint optional run journal: the test set is processed
+     *        in batches of kCheckpointBatch utterances, each committed
+     *        as one unit (outcomes + deterministic telemetry delta).
+     *        Units already in the journal are replayed instead of
+     *        recomputed, so a killed run resumed on the same journal
+     *        reproduces bit-identical aggregates at any thread count
+     *        (docs/STORE.md)
      */
     TestSetResult runTestSet(const std::vector<Utterance> &utts,
                              const SystemConfig &config,
-                             std::size_t threads = 1);
+                             std::size_t threads = 1,
+                             RunCheckpoint *checkpoint = nullptr);
+
+    /**
+     * Attach a persistent acoustic-score cache: cacheable scores are
+     * committed to `store` (kind "acoustic-scores") after a clean
+     * compute and consulted between the in-memory LRU and a fresh
+     * compute. Scores round-trip bit-exactly, so hits decode
+     * identically to fresh computes. Poisoned or faulted scores are
+     * never persisted.
+     */
+    void attachStore(std::shared_ptr<const ArtifactStore> store);
 
     /** Compiled inference engine for a pruning level (cached). */
     const InferenceEngine &engineFor(PruneLevel level);
@@ -193,6 +212,9 @@ class AsrSystem
     /** Entries kept in the acoustic-score LRU cache. */
     static constexpr std::size_t kScoreCacheCapacity = 256;
 
+    /** Utterances per checkpoint unit (see runTestSet). */
+    static constexpr std::size_t kCheckpointBatch = 8;
+
   private:
     /** (prune level, utterance id). */
     using ScoreKey = std::pair<int, std::uint64_t>;
@@ -211,6 +233,8 @@ class AsrSystem
     const Wfst &fst_;
     const ModelZoo &zoo_;
     PlatformConfig platform_;
+    /** Persistent score cache; null until attachStore(). */
+    std::shared_ptr<const ArtifactStore> scoreStore_;
     DnnAcceleratorSim dnnAccelSim_;
     std::mutex simMutex_;
     std::vector<std::optional<DnnSimResult>> dnnSimCache_;

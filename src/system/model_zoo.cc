@@ -1,7 +1,5 @@
 #include "system/model_zoo.hh"
 
-#include <filesystem>
-
 #include "fault/fault.hh"
 #include "fault/retry.hh"
 #include "util/bits.hh"
@@ -84,12 +82,17 @@ configKeyOf(const Corpus &corpus, const ModelZooConfig &config)
     return h;
 }
 
+/** Payload-kind tag of cached model artifacts. */
+constexpr const char *kModelKind = "mlp-model";
+
 } // namespace
 
 ModelZoo::ModelZoo(const Corpus &corpus, const ModelZooConfig &config)
     : config_(config), configKey_(configKeyOf(corpus, config)),
       reports_(4), qualities_(4, 0.0)
 {
+    if (!config_.cacheDir.empty())
+        store_.emplace(config_.cacheDir);
     ds_assert(config.topology.inputDim == corpus.spliceDim());
     ds_assert(config.topology.classes == corpus.classCount());
 
@@ -175,37 +178,43 @@ ModelZoo::quality(PruneLevel level) const
 }
 
 std::string
-ModelZoo::cachePath(PruneLevel level) const
+ModelZoo::artifactName(PruneLevel level) const
 {
     char buf[64];
-    std::snprintf(buf, sizeof(buf), "/model_%016llx_%s.bin",
+    std::snprintf(buf, sizeof(buf), "model_%016llx_%s.bin",
                   static_cast<unsigned long long>(configKey_),
                   pruneLevelName(level));
-    return config_.cacheDir + buf;
+    return buf;
 }
 
 bool
 ModelZoo::tryLoad(PruneLevel level)
 {
-    if (config_.cacheDir.empty())
+    if (!store_)
         return false;
-    const std::string path = cachePath(level);
-    if (!std::filesystem::exists(path))
+    const std::string name = artifactName(level);
+    if (!store_->exists(name))
         return false;
 
     // Cache reads are retried (transient I/O faults heal under the
     // zoo.model_load probe's fail_count schedule); a cache that stays
-    // unreadable falls back to training rather than killing the run.
+    // unreadable — or whose artifact fails frame verification and is
+    // quarantined — falls back to training rather than killing the run.
     const auto key = static_cast<std::uint64_t>(level);
     auto loaded =
         retryWithBackoff(RetryPolicy{}, [&]() -> Result<Mlp> {
             if (auto kind = FaultInjector::global().trigger(
                     "zoo.model_load", key)) {
-                return Status::error("'" + path + "': injected " +
+                return Status::error("'" + store_->pathOf(name) +
+                                     "': injected " +
                                      faultKindName(*kind) +
                                      " (fault zoo.model_load)");
             }
-            return Mlp::tryLoad(path);
+            auto payload = store_->read(name, kModelKind);
+            if (!payload.isOk())
+                return payload.status();
+            return Mlp::deserialize(payload.value(),
+                                    store_->pathOf(name));
         });
     if (!loaded) {
         warn("model zoo: cache model %s unusable (%s); falling back "
@@ -220,10 +229,20 @@ ModelZoo::tryLoad(PruneLevel level)
 void
 ModelZoo::store(PruneLevel level) const
 {
-    if (config_.cacheDir.empty())
+    if (!store_)
         return;
-    std::filesystem::create_directories(config_.cacheDir);
-    models_[static_cast<std::size_t>(level)].save(cachePath(level));
+    const auto &model = models_[static_cast<std::size_t>(level)];
+    const Status written =
+        store_->write(artifactName(level), kModelKind,
+                      model.serialize());
+    if (!written) {
+        // A full disk or unwritable cache directory must not kill a
+        // run that just spent minutes training: the model is still in
+        // memory, so continue uncached and retrain next time.
+        warn("model zoo: cannot cache model %s (%s); falling back to "
+             "uncached operation",
+             pruneLevelName(level), written.message().c_str());
+    }
 }
 
 } // namespace darkside

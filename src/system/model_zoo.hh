@@ -18,6 +18,7 @@
 #include "dnn/topology.hh"
 #include "dnn/trainer.hh"
 #include "pruning/magnitude_pruner.hh"
+#include "store/artifact_store.hh"
 
 namespace darkside {
 
@@ -51,7 +52,12 @@ struct ModelZooConfig
     std::size_t trainUtterances = 250;
     std::uint64_t trainSeed = 1001;
     std::uint64_t initSeed = 2002;
-    /** Directory for cached model binaries ("" = no caching). */
+    /**
+     * Root of the artifact store cached model binaries are committed
+     * to ("" = no caching). Models are framed/checksummed artifacts of
+     * kind "mlp-model"; a corrupt cache entry is quarantined and the
+     * model retrained (docs/STORE.md).
+     */
     std::string cacheDir;
 };
 
@@ -80,11 +86,13 @@ class ModelZoo
     const FrameDataset &trainingData() const { return trainData_; }
 
   private:
-    std::string cachePath(PruneLevel level) const;
+    std::string artifactName(PruneLevel level) const;
     bool tryLoad(PruneLevel level);
     void store(PruneLevel level) const;
 
     ModelZooConfig config_;
+    /** Artifact store rooted at cacheDir; empty when caching is off. */
+    std::optional<ArtifactStore> store_;
     std::uint64_t configKey_;
     FrameDataset trainData_;
     std::vector<Mlp> models_;

@@ -268,6 +268,42 @@ MetricRegistry::addGauge(const std::string &name, const std::string &unit,
     g.value += delta;
 }
 
+void
+MetricRegistry::apply(const Snapshot &delta)
+{
+    for (const auto &c : delta.counters) {
+        // Registration is the point even when the delta is zero: a
+        // replayed unit must leave the same metric names behind as
+        // the live run it stands in for.
+        counter(c.name, c.unit, c.deterministic).add(c.value);
+    }
+    for (const auto &h : delta.histograms) {
+        const Histogram handle =
+            histogram(h.name, h.unit,
+                      HistogramSpec{h.lo, h.hi, h.buckets.size()},
+                      h.deterministic);
+        Shard &shard = localShard();
+        HistShard &hs = histShard(shard, handle.id_);
+        for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+            if (h.buckets[b] != 0) {
+                hs.counts[b].fetch_add(h.buckets[b],
+                                       std::memory_order_relaxed);
+            }
+        }
+        if (h.underflow != 0) {
+            hs.underflow.fetch_add(h.underflow,
+                                   std::memory_order_relaxed);
+        }
+        if (h.overflow != 0)
+            hs.overflow.fetch_add(h.overflow,
+                                  std::memory_order_relaxed);
+        if (h.count > 0) {
+            atomicMin(hs.min, h.min);
+            atomicMax(hs.max, h.max);
+        }
+    }
+}
+
 // --- snapshot / reset ---------------------------------------------------
 
 Snapshot

@@ -193,6 +193,18 @@ class MetricRegistry
      */
     Snapshot snapshot() const;
 
+    /**
+     * Replay a Snapshot::deltaSince delta into this registry:
+     * counters and histograms are registered (if new) and their
+     * values/bucket counts added on the calling thread's shard;
+     * histogram min/max are folded (skipped for empty deltas, whose
+     * extrema are sentinels). Gauges in the delta are ignored — their
+     * producers republish them idempotently. This is how a resumed
+     * run reproduces the telemetry of the work it skipped
+     * (docs/STORE.md).
+     */
+    void apply(const Snapshot &delta);
+
     /** Zero every value; registrations (names, specs) survive. */
     void reset();
 

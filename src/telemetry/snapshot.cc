@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "util/csv.hh"
+#include "util/json.hh"
 #include "util/logging.hh"
 
 namespace darkside {
@@ -115,6 +116,65 @@ Snapshot::deterministic() const
     return out;
 }
 
+Snapshot
+Snapshot::deltaSince(const Snapshot &before) const
+{
+    Snapshot out;
+    for (const auto &c : counters) {
+        CounterSample d = c;
+        if (const CounterSample *prev = before.findCounter(c.name)) {
+            ds_assert(prev->value <= c.value);
+            d.value = c.value - prev->value;
+        }
+        out.counters.push_back(std::move(d));
+    }
+    for (const auto &h : histograms) {
+        HistogramSample d = h;
+        if (const HistogramSample *prev =
+                before.findHistogram(h.name)) {
+            ds_assert(prev->buckets.size() == h.buckets.size());
+            d.underflow = h.underflow - prev->underflow;
+            d.overflow = h.overflow - prev->overflow;
+            for (std::size_t b = 0; b < h.buckets.size(); ++b)
+                d.buckets[b] = h.buckets[b] - prev->buckets[b];
+            d.count = h.count - prev->count;
+        }
+        if (d.count == 0) {
+            d.min = 0.0;
+            d.max = 0.0;
+        }
+        out.histograms.push_back(std::move(d));
+    }
+    return out;
+}
+
+Snapshot
+Snapshot::withoutPrefixes(
+    const std::vector<std::string> &prefixes) const
+{
+    const auto drop = [&](const std::string &name) {
+        for (const std::string &p : prefixes) {
+            if (name.rfind(p, 0) == 0)
+                return true;
+        }
+        return false;
+    };
+    Snapshot out;
+    for (const auto &c : counters) {
+        if (!drop(c.name))
+            out.counters.push_back(c);
+    }
+    for (const auto &g : gauges) {
+        if (!drop(g.name))
+            out.gauges.push_back(g);
+    }
+    for (const auto &h : histograms) {
+        if (!drop(h.name))
+            out.histograms.push_back(h);
+    }
+    return out;
+}
+
 void
 Snapshot::sortByName()
 {
@@ -174,6 +234,189 @@ Snapshot::toJson() const
     }
     os << (histograms.empty() ? "]" : "\n  ]") << "\n}\n";
     return os.str();
+}
+
+namespace {
+
+Status
+parseError(const std::string &what)
+{
+    return Status::error("metrics snapshot: " + what);
+}
+
+Result<double>
+numberMember(const JsonValue &obj, const char *key)
+{
+    const JsonValue *v = obj.member(key);
+    if (!v || !v->isNumber())
+        return parseError(std::string("missing numeric member '") +
+                          key + "'");
+    return v->asNumber();
+}
+
+Result<std::uint64_t>
+uintMember(const JsonValue &obj, const char *key)
+{
+    const JsonValue *v = obj.member(key);
+    if (!v || !v->isNonNegativeInteger()) {
+        return parseError(std::string("member '") + key +
+                          "' is not a non-negative integer");
+    }
+    return static_cast<std::uint64_t>(v->asNumber());
+}
+
+Result<std::string>
+stringMember(const JsonValue &obj, const char *key)
+{
+    const JsonValue *v = obj.member(key);
+    if (!v || !v->isString())
+        return parseError(std::string("missing string member '") +
+                          key + "'");
+    return v->asString();
+}
+
+Result<bool>
+boolMember(const JsonValue &obj, const char *key)
+{
+    const JsonValue *v = obj.member(key);
+    if (!v || !v->isBool())
+        return parseError(std::string("missing bool member '") + key +
+                          "'");
+    return v->asBool();
+}
+
+} // namespace
+
+Result<Snapshot>
+Snapshot::parseJson(const std::string &text)
+{
+    std::string error;
+    const JsonValue root = JsonValue::parse(text, &error);
+    if (!error.empty())
+        return parseError(error);
+    if (!root.isObject())
+        return parseError("top level is not an object");
+    const JsonValue *schema = root.member("schema");
+    if (!schema || !schema->isString() ||
+        schema->asString() != kSchemaName)
+        return parseError("schema is not \"darkside-metrics-v1\"");
+
+    const auto sectionOf =
+        [&](const char *key) -> Result<const std::vector<JsonValue> *> {
+        const JsonValue *v = root.member(key);
+        if (!v || !v->isArray())
+            return parseError(std::string("missing array section '") +
+                              key + "'");
+        return &v->asArray();
+    };
+
+    Snapshot snap;
+    auto counters = sectionOf("counters");
+    if (!counters.isOk())
+        return counters.status();
+    for (const JsonValue &c : *counters.value()) {
+        if (!c.isObject())
+            return parseError("counter entry is not an object");
+        CounterSample s;
+        auto name = stringMember(c, "name");
+        auto unit = stringMember(c, "unit");
+        auto det = boolMember(c, "deterministic");
+        auto value = uintMember(c, "value");
+        if (!name.isOk())
+            return name.status();
+        if (!unit.isOk())
+            return unit.status();
+        if (!det.isOk())
+            return det.status();
+        if (!value.isOk())
+            return value.status();
+        s.name = name.take();
+        s.unit = unit.take();
+        s.deterministic = det.value();
+        s.value = value.value();
+        snap.counters.push_back(std::move(s));
+    }
+
+    auto gauges = sectionOf("gauges");
+    if (!gauges.isOk())
+        return gauges.status();
+    for (const JsonValue &g : *gauges.value()) {
+        if (!g.isObject())
+            return parseError("gauge entry is not an object");
+        GaugeSample s;
+        auto name = stringMember(g, "name");
+        auto unit = stringMember(g, "unit");
+        auto value = numberMember(g, "value");
+        if (!name.isOk())
+            return name.status();
+        if (!unit.isOk())
+            return unit.status();
+        if (!value.isOk())
+            return value.status();
+        s.name = name.take();
+        s.unit = unit.take();
+        s.value = value.value();
+        snap.gauges.push_back(std::move(s));
+    }
+
+    auto hists = sectionOf("histograms");
+    if (!hists.isOk())
+        return hists.status();
+    for (const JsonValue &h : *hists.value()) {
+        if (!h.isObject())
+            return parseError("histogram entry is not an object");
+        HistogramSample s;
+        auto name = stringMember(h, "name");
+        auto unit = stringMember(h, "unit");
+        auto det = boolMember(h, "deterministic");
+        auto lo = numberMember(h, "lo");
+        auto hi = numberMember(h, "hi");
+        auto count = uintMember(h, "count");
+        auto under = uintMember(h, "underflow");
+        auto over = uintMember(h, "overflow");
+        auto lo_sample = numberMember(h, "min");
+        auto hi_sample = numberMember(h, "max");
+        for (const Status *st :
+             {&name.status(), &unit.status(), &det.status(),
+              &lo.status(), &hi.status(), &count.status(),
+              &under.status(), &over.status(), &lo_sample.status(),
+              &hi_sample.status()}) {
+            if (!st->isOk())
+                return *st;
+        }
+        s.name = name.take();
+        s.unit = unit.take();
+        s.deterministic = det.value();
+        s.lo = lo.value();
+        s.hi = hi.value();
+        s.count = count.value();
+        s.underflow = under.value();
+        s.overflow = over.value();
+        s.min = lo_sample.value();
+        s.max = hi_sample.value();
+        const JsonValue *buckets = h.member("buckets");
+        if (!buckets || !buckets->isArray() ||
+            buckets->asArray().empty())
+            return parseError(s.name +
+                              ": missing non-empty 'buckets' array");
+        std::uint64_t total = s.underflow + s.overflow;
+        for (const JsonValue &b : buckets->asArray()) {
+            if (!b.isNonNegativeInteger()) {
+                return parseError(
+                    s.name + ": bucket is not a non-negative integer");
+            }
+            s.buckets.push_back(
+                static_cast<std::uint64_t>(b.asNumber()));
+            total += s.buckets.back();
+        }
+        if (total != s.count) {
+            return parseError(
+                s.name + ": count != underflow + overflow + "
+                         "sum(buckets)");
+        }
+        snap.histograms.push_back(std::move(s));
+    }
+    return snap;
 }
 
 bool

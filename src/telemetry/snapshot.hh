@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "util/status.hh"
+
 namespace darkside {
 
 class CsvWriter;
@@ -77,6 +79,27 @@ struct Snapshot
     /** Copy holding only deterministic (thread-count-invariant)
      *  metrics; this is what reproducibility tests compare. */
     Snapshot deterministic() const;
+
+    /**
+     * Counter and histogram growth of this snapshot relative to an
+     * earlier snapshot of the same registry. Every metric present in
+     * *this* survives (zero-growth entries keep their registration,
+     * which replay must reproduce); counter values and histogram
+     * bucket/underflow/overflow counts are exact integer differences,
+     * and histogram min/max carry this snapshot's fold (min/max is an
+     * idempotent commutative reduction, so re-folding a prefix's
+     * extremes on replay is exact). Gauges are dropped: they are
+     * republished idempotently by their producers, never replayed.
+     * This is the unit payload of run checkpointing (docs/STORE.md).
+     */
+    Snapshot deltaSince(const Snapshot &before) const;
+
+    /** Copy without metrics whose name starts with any given prefix. */
+    Snapshot withoutPrefixes(
+        const std::vector<std::string> &prefixes) const;
+
+    /** Parse a darkside-metrics-v1 document back into a Snapshot. */
+    static Result<Snapshot> parseJson(const std::string &text);
 
     /** Sort all three sections by metric name (exporters require it). */
     void sortByName();

@@ -1,0 +1,54 @@
+#include "util/crc32.hh"
+
+#include <array>
+
+namespace darkside {
+
+namespace {
+
+/** The reflected IEEE polynomial (0xEDB88320), one table entry per
+ *  byte value, built once at first use. */
+const std::array<std::uint32_t, 256> &
+crcTable()
+{
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int bit = 0; bit < 8; ++bit)
+                c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+} // namespace
+
+void
+Crc32::update(const void *data, std::size_t len)
+{
+    const auto &table = crcTable();
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint32_t c = state_;
+    for (std::size_t i = 0; i < len; ++i)
+        c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+    state_ = c;
+}
+
+std::uint32_t
+crc32(const void *data, std::size_t len)
+{
+    Crc32 crc;
+    crc.update(data, len);
+    return crc.value();
+}
+
+std::uint32_t
+crc32(const std::string &bytes)
+{
+    return crc32(bytes.data(), bytes.size());
+}
+
+} // namespace darkside

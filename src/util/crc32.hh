@@ -1,0 +1,47 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, the zlib/PNG polynomial) for artifact framing.
+ * Table-driven and incremental: the store streams payloads through
+ * Crc32 while writing, then stamps the digest into the container
+ * header so every read can verify the payload before trusting it.
+ */
+
+#ifndef DARKSIDE_UTIL_CRC32_HH
+#define DARKSIDE_UTIL_CRC32_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace darkside {
+
+/** Incremental CRC-32 accumulator. */
+class Crc32
+{
+  public:
+    /** Fold `len` bytes into the running digest. */
+    void update(const void *data, std::size_t len);
+
+    void
+    update(const std::string &bytes)
+    {
+        update(bytes.data(), bytes.size());
+    }
+
+    /** Digest of everything folded in so far. */
+    std::uint32_t value() const { return state_ ^ 0xffffffffu; }
+
+  private:
+    /** Pre-/post-inverted per the IEEE convention. */
+    std::uint32_t state_ = 0xffffffffu;
+};
+
+/** One-shot CRC-32 of a buffer. */
+std::uint32_t crc32(const void *data, std::size_t len);
+
+/** One-shot CRC-32 of a byte string. */
+std::uint32_t crc32(const std::string &bytes);
+
+} // namespace darkside
+
+#endif // DARKSIDE_UTIL_CRC32_HH

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "fault/fault.hh"
+#include "fault/retry.hh"
 #include "mini_setup.hh"
 #include "telemetry/metrics.hh"
 #include "telemetry/snapshot.hh"
@@ -128,7 +129,7 @@ TEST(FaultKinds, NamesRoundTrip)
     for (FaultKind kind :
          {FaultKind::ShortRead, FaultKind::NanScores,
           FaultKind::AllocFail, FaultKind::Timeout,
-          FaultKind::CorruptCache}) {
+          FaultKind::CorruptCache, FaultKind::IoError}) {
         FaultKind parsed;
         ASSERT_TRUE(faultKindFromName(faultKindName(kind), &parsed));
         EXPECT_EQ(parsed, kind);
@@ -166,7 +167,7 @@ TEST(ProbeRegistry, EveryProbeKindPairParsesAsPlan)
         for (FaultKind kind :
              {FaultKind::ShortRead, FaultKind::NanScores,
               FaultKind::AllocFail, FaultKind::Timeout,
-              FaultKind::CorruptCache}) {
+              FaultKind::CorruptCache, FaultKind::IoError}) {
             const std::string text =
                 std::string("{\"schema\": \"darkside-fault-plan-v1\", "
                             "\"rules\": [{\"probe\": \"") +
@@ -443,6 +444,112 @@ TEST(ScopedFaultPlanRaii, DisarmsOnScopeExit)
     }
     EXPECT_FALSE(FaultInjector::global().armed());
     EXPECT_FALSE(FaultInjector::global().trigger("corpus.splice", 1));
+}
+
+// ---------------------------------------------------------------------
+// retryWithBackoff against fail_count schedules.
+// ---------------------------------------------------------------------
+
+/** Plan with one fail_count rule on zoo.model_load / short_read. */
+FaultPlan
+failCountPlan(std::uint64_t fail_count)
+{
+    FaultRule rule;
+    rule.probe = "zoo.model_load";
+    rule.kind = FaultKind::ShortRead;
+    rule.failCount = fail_count;
+    FaultPlan plan;
+    plan.rules.push_back(rule);
+    return plan;
+}
+
+TEST(RetryBackoff, AttemptCountsMatchFailCountSchedule)
+{
+    // fail_count=N fires the probe on its first N hits, so the retry
+    // loop makes min(N + 1, maxAttempts) attempts and succeeds iff
+    // the schedule runs dry inside the budget.
+    const RetryPolicy policy; // 3 attempts
+    struct Case
+    {
+        std::uint64_t failCount;
+        std::size_t expectedAttempts;
+        bool expectedOk;
+    };
+    for (const Case c : {Case{1, 2, true}, Case{2, 3, true},
+                         Case{3, 3, false}, Case{100, 3, false}}) {
+        ScopedFaultPlan scoped(failCountPlan(c.failCount));
+        const std::uint64_t retried_before =
+            counterValue("fault.retried");
+        const std::uint64_t recovered_before =
+            counterValue("fault.recovered");
+        std::size_t attempts = 0;
+        const Status last = retryWithBackoff(policy, [&] {
+            ++attempts;
+            if (FaultInjector::global().trigger("zoo.model_load", 9))
+                return Status::error("injected");
+            return Status::ok();
+        });
+        EXPECT_EQ(attempts, c.expectedAttempts) << c.failCount;
+        EXPECT_EQ(last.isOk(), c.expectedOk) << c.failCount;
+        // One fault.retried per extra attempt; fault.recovered only
+        // when a retried operation eventually succeeded.
+        EXPECT_EQ(counterValue("fault.retried"),
+                  retried_before + c.expectedAttempts - 1)
+            << c.failCount;
+        EXPECT_EQ(counterValue("fault.recovered"),
+                  recovered_before +
+                      ((c.expectedOk && c.expectedAttempts > 1) ? 1 : 0))
+            << c.failCount;
+    }
+
+    // No faults at all: one attempt, nothing counted.
+    const std::uint64_t retried_before = counterValue("fault.retried");
+    std::size_t attempts = 0;
+    const Status clean = retryWithBackoff(policy, [&] {
+        ++attempts;
+        if (FaultInjector::global().trigger("zoo.model_load", 9))
+            return Status::error("injected");
+        return Status::ok();
+    });
+    EXPECT_TRUE(clean.isOk());
+    EXPECT_EQ(attempts, 1u);
+    EXPECT_EQ(counterValue("fault.retried"), retried_before);
+}
+
+TEST(RetryBackoff, SleepsAtLeastTheExponentialSchedule)
+{
+    // Two retries with initialBackoff b sleep b + 2b before the third
+    // attempt; wall-clock must be at least that (no upper bound — the
+    // scheduler may oversleep arbitrarily).
+    RetryPolicy policy;
+    policy.initialBackoff = std::chrono::microseconds(2000);
+    ScopedFaultPlan scoped(failCountPlan(2));
+    const auto start = std::chrono::steady_clock::now();
+    const Status last = retryWithBackoff(policy, [&] {
+        if (FaultInjector::global().trigger("zoo.model_load", 9))
+            return Status::error("injected");
+        return Status::ok();
+    });
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_TRUE(last.isOk());
+    EXPECT_GE(elapsed, std::chrono::microseconds(3 * 2000));
+}
+
+TEST(RetryBackoff, ZeroAttemptBudgetRunsOnceWithoutRetry)
+{
+    // maxAttempts == 0 is defensive: the first attempt still runs,
+    // its result is returned, and nothing is counted as a retry.
+    RetryPolicy policy;
+    policy.maxAttempts = 0;
+    const std::uint64_t retried_before = counterValue("fault.retried");
+    std::size_t attempts = 0;
+    const Status last = retryWithBackoff(policy, [&] {
+        ++attempts;
+        return Status::error("always");
+    });
+    EXPECT_EQ(attempts, 1u);
+    EXPECT_FALSE(last.isOk());
+    EXPECT_EQ(counterValue("fault.retried"), retried_before);
 }
 
 // ---------------------------------------------------------------------

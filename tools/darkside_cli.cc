@@ -19,12 +19,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "decoder/lattice.hh"
 #include "decoder/search_telemetry.hh"
 #include "fault/fault.hh"
+#include "store/checkpoint.hh"
 #include "system/defaults.hh"
 #include "telemetry/metrics.hh"
 #include "telemetry/snapshot.hh"
@@ -436,34 +439,66 @@ cmdSweep(int argc, const char *const *argv)
     ArgParser args("darkside sweep",
                    "the full configuration matrix (Figs. 11/12)");
     addSetupFlags(args);
+    args.addOption("run-dir",
+                   "run directory: checkpoint journal + persistent "
+                   "score cache ('' = no checkpointing)",
+                   "");
+    args.addSwitch("resume",
+                   "resume a killed run: replay completed units from "
+                   "--run-dir's journal");
+    args.addOption("threads", "decode worker threads", 1.0);
     if (!args.parse(argc, argv))
         return 1;
 
     const ExperimentSetup setup = setupFrom(args);
     ExperimentContext ctx(setup);
+    const auto threads =
+        static_cast<std::size_t>(args.getInt("threads"));
+    if (threads == 0)
+        fatal("--threads must be at least 1");
 
-    TestSetResult base = ctx.system.runTestSet(
-        ctx.testSet,
-        setup.configFor(SearchMode::Baseline, PruneLevel::None));
-    const double norm_t = base.totalSeconds();
-    const double norm_e = base.totalJoules();
+    const std::string &run_dir = args.get("run-dir");
+    if (args.getSwitch("resume") && run_dir.empty())
+        fatal("--resume requires --run-dir");
+    std::optional<RunCheckpoint> checkpoint;
+    if (!run_dir.empty()) {
+        checkpoint.emplace(run_dir);
+        // The run directory doubles as the persistent score cache, so
+        // a resumed run does not re-score utterances from batches that
+        // never committed.
+        ctx.system.attachStore(
+            std::make_shared<const ArtifactStore>(run_dir));
+        inform("sweep: %s checkpointed run in '%s'",
+               args.getSwitch("resume") ? "resuming" : "starting",
+               run_dir.c_str());
+    }
+
+    // Run the whole matrix, then normalize against its first row
+    // (Baseline-NP): one run per configuration keeps checkpoint unit
+    // ids collision-free.
+    std::vector<TestSetResult> results;
+    for (SearchMode mode : {SearchMode::Baseline, SearchMode::NarrowBeam,
+                            SearchMode::NBestHash}) {
+        for (PruneLevel level : kAllPruneLevels) {
+            results.push_back(ctx.system.runTestSet(
+                ctx.testSet, setup.configFor(mode, level), threads,
+                checkpoint ? &*checkpoint : nullptr));
+        }
+    }
+    const double norm_t = results.front().totalSeconds();
+    const double norm_e = results.front().totalJoules();
 
     TextTable table;
     table.header({"config", "time %", "energy %", "speedup",
                   "energy sav", "WER %"});
-    for (SearchMode mode : {SearchMode::Baseline, SearchMode::NarrowBeam,
-                            SearchMode::NBestHash}) {
-        for (PruneLevel level : kAllPruneLevels) {
-            const auto r = ctx.system.runTestSet(
-                ctx.testSet, setup.configFor(mode, level));
-            table.row(
-                {r.config.label(),
-                 TextTable::num(100.0 * r.totalSeconds() / norm_t, 1),
-                 TextTable::num(100.0 * r.totalJoules() / norm_e, 1),
-                 TextTable::num(norm_t / r.totalSeconds(), 2) + "x",
-                 TextTable::num(norm_e / r.totalJoules(), 2) + "x",
-                 TextTable::num(100.0 * r.wer.wordErrorRate(), 2)});
-        }
+    for (const TestSetResult &r : results) {
+        table.row(
+            {r.config.label(),
+             TextTable::num(100.0 * r.totalSeconds() / norm_t, 1),
+             TextTable::num(100.0 * r.totalJoules() / norm_e, 1),
+             TextTable::num(norm_t / r.totalSeconds(), 2) + "x",
+             TextTable::num(norm_e / r.totalJoules(), 2) + "x",
+             TextTable::num(100.0 * r.wer.wordErrorRate(), 2)});
     }
     std::printf("%s", table.render().c_str());
     return writeMetrics(args);

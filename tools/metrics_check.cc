@@ -17,12 +17,22 @@
  *     exist with the right units, every fault.injected.<probe> names
  *     a registered probe with the registry's determinism flag, and
  *     fault.injected equals the sum over deterministic probes
+ *   - store.* namespace (when present): the five artifact-store
+ *     outcome counters exist with the right units and are
+ *     deterministic (docs/STORE.md)
  *
  * With --expect-faults, a file whose fault.injected.* total is zero
  * (or absent) fails — CI uses this to prove a fault plan actually
  * fired.
  *
+ * With --diff, two snapshots are compared instead of validated: every
+ * deterministic counter and histogram, and every gauge, must match
+ * exactly after dropping metrics whose name starts with an --ignore
+ * prefix. CI uses this to prove a killed-and-resumed sweep reproduced
+ * an uninterrupted run's aggregates bit-identically.
+ *
  * usage: metrics_check [--expect-faults] <file.json> [more.json ...]
+ *        metrics_check --diff <a.json> <b.json> [--ignore p1,p2,...]
  */
 
 #include <cstdio>
@@ -34,6 +44,7 @@
 #include <vector>
 
 #include "fault/fault.hh"
+#include "telemetry/snapshot.hh"
 #include "util/json.hh"
 
 using darkside::JsonValue;
@@ -286,6 +297,58 @@ checkFaultNamespace(const JsonValue &root, bool expect_faults)
         fail("--expect-faults: no faults were injected");
 }
 
+/**
+ * store.* namespace: when any store counter is present the whole
+ * outcome family must be, with the documented units, and all of them
+ * deterministic (the store counts artifacts, not races).
+ */
+void
+checkStoreNamespace(const JsonValue &root)
+{
+    const JsonValue *counters = root.member("counters");
+    if (!counters || !counters->isArray())
+        return; // section() already reported this
+
+    std::map<std::string, const JsonValue *> store;
+    for (const JsonValue &c : counters->asArray()) {
+        const JsonValue *name = c.member("name");
+        if (name && name->isString() &&
+            name->asString().rfind("store.", 0) == 0)
+            store[name->asString()] = &c;
+    }
+    if (store.empty())
+        return;
+
+    const struct
+    {
+        const char *name;
+        const char *unit;
+    } required[] = {
+        {"store.writes", "artifacts"},
+        {"store.write_failures", "artifacts"},
+        {"store.verified_reads", "artifacts"},
+        {"store.quarantined", "artifacts"},
+        {"store.resumed_units", "units"},
+    };
+    for (const auto &r : required) {
+        auto it = store.find(r.name);
+        if (it == store.end()) {
+            fail(std::string("store.* present but '") + r.name +
+                 "' is missing");
+            continue;
+        }
+        const JsonValue &c = *it->second;
+        const JsonValue *unit = c.member("unit");
+        if (unit && unit->isString() && unit->asString() != r.unit) {
+            fail(std::string(r.name) + ": unit '" + unit->asString() +
+                 "' != '" + r.unit + "'");
+        }
+        const JsonValue *det = c.member("deterministic");
+        if (det && det->isBool() && !det->asBool())
+            fail(std::string(r.name) + ": must be deterministic");
+    }
+}
+
 void
 checkFile(const char *path, bool expect_faults)
 {
@@ -324,6 +387,118 @@ checkFile(const char *path, bool expect_faults)
     checkGauges(root);
     checkHistograms(root);
     checkFaultNamespace(root, expect_faults);
+    checkStoreNamespace(root);
+}
+
+// --- --diff mode --------------------------------------------------------
+
+bool
+loadSnapshot(const char *path,
+             const std::vector<std::string> &ignore,
+             darkside::telemetry::Snapshot &out)
+{
+    current_file = path;
+    std::ifstream is(path);
+    if (!is) {
+        fail("cannot open");
+        return false;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    auto parsed = darkside::telemetry::Snapshot::parseJson(buf.str());
+    if (!parsed.isOk()) {
+        fail(parsed.message());
+        return false;
+    }
+    // Deterministic metrics and gauges are the reproducibility
+    // contract; non-deterministic ones (wall time, cache races) are
+    // expected to differ between any two runs.
+    out = parsed.take().deterministic().withoutPrefixes(ignore);
+    return true;
+}
+
+int
+diffSnapshots(const char *path_a, const char *path_b,
+              const std::vector<std::string> &ignore)
+{
+    namespace dt = darkside::telemetry;
+    dt::Snapshot a, b;
+    if (!loadSnapshot(path_a, ignore, a) ||
+        !loadSnapshot(path_b, ignore, b))
+        return 1;
+    current_file = path_b;
+
+    const auto note = [&](const std::string &what) {
+        fail(std::string("differs from ") + path_a + ": " + what);
+    };
+
+    std::map<std::string, const dt::CounterSample *> ca;
+    for (const auto &c : a.counters)
+        ca[c.name] = &c;
+    for (const auto &c : b.counters) {
+        auto it = ca.find(c.name);
+        if (it == ca.end()) {
+            note("counter '" + c.name + "' only in second file");
+            continue;
+        }
+        if (it->second->value != c.value) {
+            note("counter '" + c.name + "': " +
+                 std::to_string(it->second->value) + " != " +
+                 std::to_string(c.value));
+        }
+        ca.erase(it);
+    }
+    for (const auto &[name, c] : ca)
+        note("counter '" + name + "' only in first file");
+
+    std::map<std::string, const dt::GaugeSample *> ga;
+    for (const auto &g : a.gauges)
+        ga[g.name] = &g;
+    for (const auto &g : b.gauges) {
+        auto it = ga.find(g.name);
+        if (it == ga.end()) {
+            note("gauge '" + g.name + "' only in second file");
+            continue;
+        }
+        if (it->second->value != g.value) {
+            note("gauge '" + g.name + "': " +
+                 std::to_string(it->second->value) + " != " +
+                 std::to_string(g.value));
+        }
+        ga.erase(it);
+    }
+    for (const auto &[name, g] : ga)
+        note("gauge '" + name + "' only in first file");
+
+    std::map<std::string, const dt::HistogramSample *> ha;
+    for (const auto &h : a.histograms)
+        ha[h.name] = &h;
+    for (const auto &h : b.histograms) {
+        auto it = ha.find(h.name);
+        if (it == ha.end()) {
+            note("histogram '" + h.name + "' only in second file");
+            continue;
+        }
+        const dt::HistogramSample &o = *it->second;
+        if (o.count != h.count || o.underflow != h.underflow ||
+            o.overflow != h.overflow || o.buckets != h.buckets ||
+            o.min != h.min || o.max != h.max) {
+            note("histogram '" + h.name + "' differs");
+        }
+        ha.erase(it);
+    }
+    for (const auto &[name, h] : ha)
+        note("histogram '" + name + "' only in first file");
+
+    if (failures > 0) {
+        std::fprintf(stderr, "%d difference(s) found\n", failures);
+        return 1;
+    }
+    std::printf("snapshots match (%zu counters, %zu gauges, "
+                "%zu histograms compared)\n",
+                b.counters.size(), b.gauges.size(),
+                b.histograms.size());
+    return 0;
 }
 
 } // namespace
@@ -331,6 +506,34 @@ checkFile(const char *path, bool expect_faults)
 int
 main(int argc, char **argv)
 {
+    if (argc > 1 && std::strcmp(argv[1], "--diff") == 0) {
+        std::vector<std::string> ignore;
+        if (argc != 4 &&
+            !(argc == 6 && std::strcmp(argv[4], "--ignore") == 0)) {
+            std::fprintf(stderr,
+                         "usage: metrics_check --diff <a.json> "
+                         "<b.json> [--ignore p1,p2,...]\n");
+            return 2;
+        }
+        if (argc == 6) {
+            std::string prefixes = argv[5];
+            std::size_t start = 0;
+            while (start <= prefixes.size()) {
+                const std::size_t comma = prefixes.find(',', start);
+                const std::string p = prefixes.substr(
+                    start, comma == std::string::npos
+                               ? std::string::npos
+                               : comma - start);
+                if (!p.empty())
+                    ignore.push_back(p);
+                if (comma == std::string::npos)
+                    break;
+                start = comma + 1;
+            }
+        }
+        return diffSnapshots(argv[2], argv[3], ignore);
+    }
+
     bool expect_faults = false;
     int first_file = 1;
     if (first_file < argc &&
@@ -339,8 +542,11 @@ main(int argc, char **argv)
         ++first_file;
     }
     if (first_file >= argc) {
-        std::fprintf(stderr, "usage: metrics_check [--expect-faults] "
-                             "<file.json> [...]\n");
+        std::fprintf(stderr,
+                     "usage: metrics_check [--expect-faults] "
+                     "<file.json> [...]\n"
+                     "       metrics_check --diff <a.json> <b.json> "
+                     "[--ignore p1,p2,...]\n");
         return 2;
     }
     for (int i = first_file; i < argc; ++i)
