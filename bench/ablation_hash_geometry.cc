@@ -41,16 +41,18 @@ class OracleTee : public HypothesisSelector
         oracle_.insert(hyp);
     }
 
-    std::vector<Hypothesis>
-    finishFrame() override
+    float
+    finishFrame(std::vector<Hypothesis> &out) override
     {
-        auto survivors = hash_.finishFrame();
+        const float best = hash_.finishFrame(out);
         similaritySum_ +=
-            selectionSimilarity(oracle_.finishFrame(), survivors);
+            selectionSimilarity(oracle_.finishFrame(), out);
         ++frames_;
         stats_ = hash_.frameStats();
-        return survivors;
+        return best;
     }
+
+    using HypothesisSelector::finishFrame;
 
     const char *name() const override { return "oracle-tee"; }
 

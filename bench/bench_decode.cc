@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Viterbi decode throughput bench: frames/sec of the search kernel
+ * alone (acoustic scores precomputed) for every pruning level and all
+ * four hypothesis selectors, plus the trace-arena footprint the
+ * mark-compact GC achieves (peak live backpointer nodes/bytes) and the
+ * mean survivor load per frame.
+ *
+ * Scores come from AsrSystem::scoresFor, so with DARKSIDE_RUN_DIR set
+ * the acoustic scoring cost is paid once and persisted across bench
+ * invocations through the artifact store (docs/STORE.md); the timed
+ * region is the decode only.
+ *
+ * DARKSIDE_TRACE_GC_MIN overrides the arena's GC threshold (default
+ * 16384 nodes); the CI sanitizer job sets it to 1 to force a
+ * collection at every frame boundary.
+ *
+ * Prints a human-readable table and emits a JSON blob (stdout, and to a
+ * file when a path is given as argv[1] or $DARKSIDE_BENCH_JSON) so the
+ * repo's performance trajectory is machine-trackable across PRs.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "nbest/selectors.hh"
+
+namespace darkside {
+namespace bench {
+namespace {
+
+/** Best (minimum) wall-clock seconds of one call: one warm-up, then
+ *  repeats until ~0.25 s has elapsed. The minimum is the stable
+ *  statistic for a deterministic workload on a noisy machine. */
+double
+timeBest(const std::function<void()> &fn)
+{
+    using Clock = std::chrono::steady_clock;
+    fn(); // warm-up (first-touch allocation, cache warm)
+    double total = 0.0;
+    double best = std::numeric_limits<double>::infinity();
+    while (total < 0.25) {
+        const auto t0 = Clock::now();
+        fn();
+        const auto t1 = Clock::now();
+        const double secs =
+            std::chrono::duration<double>(t1 - t0).count();
+        total += secs;
+        best = std::min(best, secs);
+    }
+    return best;
+}
+
+struct SelectorReport
+{
+    std::string name;
+    double fps = 0.0;
+    std::uint64_t peakTraceNodes = 0;
+    std::uint64_t traceAllocated = 0;
+    std::uint64_t traceCollected = 0;
+    std::uint64_t gcRuns = 0;
+    double survivorsPerFrame = 0.0;
+};
+
+struct LevelReport
+{
+    std::string label;
+    std::vector<SelectorReport> selectors;
+};
+
+/** Decode the whole test set once; fill the report's trace/survivor
+ *  statistics from the results. */
+std::size_t
+decodeSet(const ViterbiDecoder &decoder, HypothesisSelector &selector,
+          const std::vector<std::shared_ptr<const AcousticScores>>
+              &scores,
+          SelectorReport *report)
+{
+    std::size_t frames = 0;
+    std::uint64_t survivors = 0;
+    for (const auto &s : scores) {
+        const DecodeResult result = decoder.decode(*s, selector);
+        frames += result.frames.size();
+        if (report) {
+            survivors += result.totalSurvivors();
+            report->peakTraceNodes = std::max(
+                report->peakTraceNodes, result.traceStats.peakLive);
+            report->traceAllocated += result.traceStats.allocated;
+            report->traceCollected += result.traceStats.collected;
+            report->gcRuns += result.traceStats.gcRuns;
+        }
+    }
+    if (report && frames > 0) {
+        report->survivorsPerFrame = static_cast<double>(survivors) /
+            static_cast<double>(frames);
+    }
+    return frames;
+}
+
+} // namespace
+
+int
+run(int argc, char **argv)
+{
+    printBanner("bench_decode",
+                "Viterbi decode throughput: frames/sec, trace-arena "
+                "footprint and survivors per selector");
+
+    auto &ctx = context();
+
+    std::size_t gc_min_nodes = DecoderConfig{}.traceGcMinNodes;
+    if (const char *env = std::getenv("DARKSIDE_TRACE_GC_MIN"))
+        gc_min_nodes = static_cast<std::size_t>(std::atoll(env));
+
+    std::printf("test set: %zu utterances | trace GC threshold: %zu "
+                "nodes\n\n",
+                ctx.testSet.size(), gc_min_nodes);
+
+    std::vector<LevelReport> reports;
+    for (PruneLevel level : kAllPruneLevels) {
+        // Score once per level, outside the timed region.
+        std::vector<std::shared_ptr<const AcousticScores>> scores;
+        for (const auto &utt : ctx.testSet)
+            scores.push_back(ctx.system.scoresFor(utt, level));
+
+        const float beam =
+            ctx.setup.beamFor(SearchMode::Baseline, level);
+        const ViterbiDecoder decoder(ctx.fst,
+                                     DecoderConfig{beam, gc_min_nodes});
+
+        // The same four selection policies every sweep runs; identical
+        // geometry to the platform defaults (system/defaults.hh).
+        const auto &vc = ctx.system.platform().viterbiBaseline;
+        UnboundedSelector unbounded(vc.hashEntries, vc.backupEntries);
+        AccurateNBest accurate(ctx.setup.nbestEntries);
+        DirectMappedHash direct(ctx.setup.nbestEntries);
+        SetAssociativeHash setassoc(ctx.setup.nbestEntries,
+                                    ctx.setup.nbestWays);
+        struct
+        {
+            const char *name;
+            HypothesisSelector *selector;
+        } entries[] = {{"unbounded", &unbounded},
+                       {"accurate_nbest", &accurate},
+                       {"direct_mapped", &direct},
+                       {"set_associative", &setassoc}};
+
+        LevelReport lr;
+        lr.label = pruneLevelName(level);
+        std::printf("%s (beam %.2f)\n", lr.label.c_str(), beam);
+        for (const auto &entry : entries) {
+            SelectorReport sr;
+            sr.name = entry.name;
+            const std::size_t frames =
+                decodeSet(decoder, *entry.selector, scores, &sr);
+            const double secs = timeBest([&] {
+                decodeSet(decoder, *entry.selector, scores, nullptr);
+            });
+            sr.fps = static_cast<double>(frames) / secs;
+            std::printf("  %-16s %9.0f f/s | peak trace %7llu nodes "
+                        "(%8llu B) | %6.1f survivors/frame | "
+                        "%llu GC runs\n",
+                        sr.name.c_str(), sr.fps,
+                        static_cast<unsigned long long>(
+                            sr.peakTraceNodes),
+                        static_cast<unsigned long long>(
+                            sr.peakTraceNodes * sizeof(TraceNode)),
+                        sr.survivorsPerFrame,
+                        static_cast<unsigned long long>(sr.gcRuns));
+            lr.selectors.push_back(sr);
+        }
+        reports.push_back(lr);
+    }
+
+    // --- JSON ---------------------------------------------------------
+    std::ostringstream json;
+    json << "{\n  \"utterances\": " << ctx.testSet.size()
+         << ",\n  \"gc_min_nodes\": " << gc_min_nodes
+         << ",\n  \"levels\": [";
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        const auto &lr = reports[i];
+        json << (i ? "," : "") << "\n    {\"label\": \"" << lr.label
+             << "\", \"selectors\": [";
+        for (std::size_t j = 0; j < lr.selectors.size(); ++j) {
+            const auto &sr = lr.selectors[j];
+            json << (j ? "," : "") << "\n      {\"name\": \"" << sr.name
+                 << "\", \"fps\": " << sr.fps
+                 << ", \"peak_trace_nodes\": " << sr.peakTraceNodes
+                 << ", \"peak_trace_bytes\": "
+                 << sr.peakTraceNodes * sizeof(TraceNode)
+                 << ", \"survivors_per_frame\": " << sr.survivorsPerFrame
+                 << ", \"trace_allocated\": " << sr.traceAllocated
+                 << ", \"trace_collected\": " << sr.traceCollected
+                 << ", \"gc_runs\": " << sr.gcRuns << "}";
+        }
+        json << "\n    ]}";
+    }
+    json << "\n  ]\n}\n";
+
+    std::printf("\n--- JSON ---\n%s", json.str().c_str());
+
+    std::string path;
+    if (argc > 1)
+        path = argv[1];
+    else if (const char *env = std::getenv("DARKSIDE_BENCH_JSON"))
+        path = env;
+    if (!path.empty()) {
+        std::ofstream os(path);
+        os << json.str();
+        if (!os) {
+            std::fprintf(stderr, "cannot write JSON to %s\n",
+                         path.c_str());
+            return 1;
+        }
+        std::printf("JSON written to %s\n", path.c_str());
+    }
+    return 0;
+}
+
+} // namespace bench
+} // namespace darkside
+
+int
+main(int argc, char **argv)
+{
+    darkside::bench::metricsInit(&argc, argv);
+    const int rc = darkside::bench::run(argc, argv);
+    const int metrics_rc = darkside::bench::metricsFinish();
+    return rc ? rc : metrics_rc;
+}

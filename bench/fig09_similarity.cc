@@ -46,16 +46,18 @@ class SimilarityTee : public HypothesisSelector
         oracle_.insert(hyp);
     }
 
-    std::vector<Hypothesis>
-    finishFrame() override
+    float
+    finishFrame(std::vector<Hypothesis> &out) override
     {
-        auto survivors = hash_.finishFrame();
+        const float best = hash_.finishFrame(out);
         const auto reference = oracle_.finishFrame();
-        similaritySum_ += selectionSimilarity(reference, survivors);
+        similaritySum_ += selectionSimilarity(reference, out);
         ++frames_;
         stats_ = hash_.frameStats();
-        return survivors;
+        return best;
     }
+
+    using HypothesisSelector::finishFrame;
 
     const char *name() const override { return "similarity-tee"; }
 

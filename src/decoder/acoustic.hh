@@ -82,6 +82,17 @@ class AcousticScores
         return costs_[frame * classes_ + pdf];
     }
 
+    /**
+     * The contiguous cost row of one frame (classCount() entries).
+     * Decode hot path: hoisting the row turns the per-arc score lookup
+     * into a single indexed load.
+     */
+    const float *row(std::size_t frame) const
+    {
+        ds_assert(frame < frameCount());
+        return costs_.data() + frame * classes_;
+    }
+
     /** Mean confidence (max posterior) over the utterance's frames. */
     double meanConfidence() const { return meanConfidence_; }
 

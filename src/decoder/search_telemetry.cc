@@ -19,11 +19,19 @@ SearchTelemetry::SearchTelemetry(telemetry::MetricRegistry &registry)
           registry.counter("selector.overflow_accesses", "accesses")),
       evictions_(registry.counter("selector.evictions", "hypotheses")),
       rejections_(registry.counter("selector.rejections", "hypotheses")),
+      traceAllocated_(
+          registry.counter("decode.trace.allocated", "nodes")),
+      traceCollected_(
+          registry.counter("decode.trace.collected", "nodes")),
+      traceGcRuns_(
+          registry.counter("decode.trace.gc_runs", "collections")),
       hypsPerFrame_(registry.histogram("search.hypotheses_per_frame",
                                        "hypotheses", {0.0, 2048.0, 64})),
       generatedPerFrame_(
           registry.histogram("search.generated_per_frame", "hypotheses",
-                             {0.0, 8192.0, 64}))
+                             {0.0, 8192.0, 64})),
+      tracePeakLive_(registry.histogram("decode.trace.peak_live",
+                                        "nodes", {0.0, 32768.0, 64}))
 {}
 
 void
@@ -48,6 +56,15 @@ SearchTelemetry::onFrameEnd(const FrameActivity &activity)
     rejections_.add(activity.selector.rejections);
     hypsPerFrame_.observe(static_cast<double>(activity.survivors));
     generatedPerFrame_.observe(static_cast<double>(activity.generated));
+}
+
+void
+SearchTelemetry::onUtteranceEnd(const TraceStats &trace)
+{
+    traceAllocated_.add(trace.allocated);
+    traceCollected_.add(trace.collected);
+    traceGcRuns_.add(trace.gcRuns);
+    tracePeakLive_.observe(static_cast<double>(trace.peakLive));
 }
 
 } // namespace darkside

@@ -35,6 +35,7 @@ class SearchTelemetry : public SearchObserver
 
     void onUtteranceStart(std::size_t frames) override;
     void onFrameEnd(const FrameActivity &activity) override;
+    void onUtteranceEnd(const TraceStats &trace) override;
 
   private:
     telemetry::Counter utterances_;
@@ -49,8 +50,12 @@ class SearchTelemetry : public SearchObserver
     telemetry::Counter overflowAccesses_;
     telemetry::Counter evictions_;
     telemetry::Counter rejections_;
+    telemetry::Counter traceAllocated_;
+    telemetry::Counter traceCollected_;
+    telemetry::Counter traceGcRuns_;
     telemetry::Histogram hypsPerFrame_;
     telemetry::Histogram generatedPerFrame_;
+    telemetry::Histogram tracePeakLive_;
 };
 
 /**
@@ -108,6 +113,15 @@ class TeeSearchObserver : public SearchObserver
             a_->onFrameEnd(activity);
         if (b_)
             b_->onFrameEnd(activity);
+    }
+
+    void
+    onUtteranceEnd(const TraceStats &trace) override
+    {
+        if (a_)
+            a_->onUtteranceEnd(trace);
+        if (b_)
+            b_->onUtteranceEnd(trace);
     }
 
   private:

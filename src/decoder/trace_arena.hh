@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Backpointer arena for the Viterbi search with periodic mark-compact
+ * garbage collection. The seed decoder kept one TraceNode per word
+ * emission ever generated — live or dead — so trace memory grew with
+ * *generated* hypotheses (the quantity pruning explodes, Fig. 4). The
+ * arena bounds it by *live* hypotheses instead: when the node pool
+ * exceeds an adaptive threshold, the chains reachable from the active
+ * tokens are marked and compacted in place.
+ *
+ * Invariants the collector relies on:
+ *  - node 0 is the sentence-start sentinel and is always live;
+ *  - `prev < self` for every node (a node's predecessor is appended
+ *    strictly earlier), so one forward pass over the pool both
+ *    compacts and remaps without recursion, and compaction is stable
+ *    (surviving nodes keep their relative order).
+ *
+ * Collection only moves nodes; it never changes which (word, prev)
+ * chains exist, so the decoded words, costs and per-frame counters
+ * are bit-identical to the append-only seed behaviour.
+ */
+
+#ifndef DARKSIDE_DECODER_TRACE_ARENA_HH
+#define DARKSIDE_DECODER_TRACE_ARENA_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "nbest/hypothesis.hh"
+#include "wfst/wfst.hh"
+
+namespace darkside {
+
+/** One node of the backtrace arena: a word emission on a partial path. */
+struct TraceNode
+{
+    /** Emitted word label (olabel, i.e. word id + 1). */
+    OutLabel word;
+    /** Index of the previous emission on the path (0 = start). */
+    std::uint32_t prev;
+};
+
+/** Lifetime accounting of one utterance's trace arena
+ *  (docs/METRICS.md "decode.trace.*"). */
+struct TraceStats
+{
+    /** Trace nodes ever appended (excluding the start sentinel). */
+    std::uint64_t allocated = 0;
+    /** Dead nodes reclaimed by mark-compact collections. */
+    std::uint64_t collected = 0;
+    /** Largest node-pool size observed (live bound on trace memory). */
+    std::uint64_t peakLive = 0;
+    /** Mark-compact collections run. */
+    std::uint64_t gcRuns = 0;
+};
+
+/**
+ * Append-mostly trace-node pool with mark-compact collection rooted at
+ * the active tokens. Collection rewrites the roots' trace handles in
+ * place; all other outstanding handles become invalid, which is why
+ * the decoder only collects at frame boundaries, after the survivor
+ * set is the sole owner of live handles.
+ */
+class TraceArena
+{
+  public:
+    /** @param gc_min_nodes pool size below which collection is never
+     *  attempted (amortises the mark cost; 1 forces a collection at
+     *  every opportunity, which the GC stress test uses). */
+    explicit TraceArena(std::size_t gc_min_nodes)
+        : threshold_(gc_min_nodes < 1 ? 1 : gc_min_nodes),
+          minNodes_(threshold_)
+    {
+        nodes_.push_back({kEpsilon, 0});
+    }
+
+    /** Append a word emission; @return its trace handle. */
+    std::uint32_t
+    append(OutLabel word, std::uint32_t prev)
+    {
+        const auto node = static_cast<std::uint32_t>(nodes_.size());
+        nodes_.push_back({word, prev});
+        ++stats_.allocated;
+        return node;
+    }
+
+    /**
+     * Collect if the pool outgrew the adaptive threshold. Remaps the
+     * trace handle of every hypothesis in `roots` in place; any other
+     * handle into the arena is invalidated.
+     */
+    void
+    maybeCollect(std::vector<Hypothesis> &roots)
+    {
+        if (nodes_.size() < threshold_)
+            return;
+        notePeak();
+
+        // Mark: walk each root's prev-chain until an already-live
+        // node. Chains share suffixes, so the total mark work is
+        // bounded by the live-node count, not roots x depth.
+        live_.assign(nodes_.size(), 0);
+        live_[0] = 1;
+        for (const auto &root : roots) {
+            for (std::uint32_t n = root.trace; !live_[n];
+                 n = nodes_[n].prev)
+                live_[n] = 1;
+        }
+
+        // Compact: prev < self means every predecessor is remapped
+        // before it is referenced, so one forward pass suffices.
+        remap_.resize(nodes_.size());
+        std::uint32_t out = 0;
+        for (std::uint32_t i = 0;
+             i < static_cast<std::uint32_t>(nodes_.size()); ++i) {
+            if (!live_[i])
+                continue;
+            remap_[i] = out;
+            nodes_[out] = {nodes_[i].word, remap_[nodes_[i].prev]};
+            ++out;
+        }
+        for (auto &root : roots)
+            root.trace = remap_[root.trace];
+
+        stats_.collected += nodes_.size() - out;
+        ++stats_.gcRuns;
+        nodes_.resize(out);
+        // Grow the threshold with the live set so steady-state decodes
+        // collect when the pool has roughly doubled, keeping the GC
+        // cost amortised O(1) per appended node. A floor of 1 opts out
+        // of the amortisation and collects at every opportunity (the
+        // GC stress configuration).
+        if (minNodes_ > 1) {
+            threshold_ = minNodes_ > 2 * static_cast<std::size_t>(out)
+                ? minNodes_
+                : 2 * static_cast<std::size_t>(out);
+        }
+    }
+
+    /** Final peak accounting; call once, when the decode ends. */
+    void finish() { notePeak(); }
+
+    const TraceStats &stats() const { return stats_; }
+
+    /** Hand the node pool to the DecodeResult (arena is spent). */
+    std::vector<TraceNode> release() { return std::move(nodes_); }
+
+  private:
+    void
+    notePeak()
+    {
+        if (nodes_.size() > stats_.peakLive)
+            stats_.peakLive = nodes_.size();
+    }
+
+    std::vector<TraceNode> nodes_;
+    std::vector<std::uint8_t> live_;
+    std::vector<std::uint32_t> remap_;
+    std::size_t threshold_;
+    std::size_t minNodes_;
+    TraceStats stats_;
+};
+
+} // namespace darkside
+
+#endif // DARKSIDE_DECODER_TRACE_ARENA_HH

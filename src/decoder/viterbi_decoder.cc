@@ -3,42 +3,17 @@
 #include <algorithm>
 #include <limits>
 
+#include "nbest/selectors.hh"
+
 namespace darkside {
-
-std::uint64_t
-DecodeResult::totalGenerated() const
-{
-    std::uint64_t total = 0;
-    for (const auto &f : frames)
-        total += f.generated;
-    return total;
-}
-
-std::uint64_t
-DecodeResult::totalSurvivors() const
-{
-    std::uint64_t total = 0;
-    for (const auto &f : frames)
-        total += f.survivors;
-    return total;
-}
 
 double
 DecodeResult::meanSurvivorsPerFrame() const
 {
     if (frames.empty())
         return 0.0;
-    return static_cast<double>(totalSurvivors()) /
+    return static_cast<double>(survivorTotal) /
         static_cast<double>(frames.size());
-}
-
-std::uint64_t
-DecodeResult::maxSurvivorsPerFrame() const
-{
-    std::uint64_t peak = 0;
-    for (const auto &f : frames)
-        peak = std::max(peak, f.survivors);
-    return peak;
 }
 
 ViterbiDecoder::ViterbiDecoder(const Wfst &fst,
@@ -62,78 +37,108 @@ DecodeResult::backtrace(std::uint32_t trace_index) const
     return result;
 }
 
+/**
+ * The search kernel. Templated on observer presence (kObserved) and the
+ * concrete selector type: with kObserved == false and Sel a final
+ * class, the inner per-arc loop compiles with no observer branches and
+ * no virtual calls — pure memory-layout/dispatch optimization, every
+ * arithmetic operation and its order identical to the seed loop, so
+ * all four instantiations produce bit-identical results.
+ */
+template <bool kObserved, typename Sel>
 DecodeResult
-ViterbiDecoder::decode(const AcousticScores &scores,
-                       HypothesisSelector &selector,
-                       SearchObserver *observer) const
+ViterbiDecoder::decodeImpl(const AcousticScores &scores, Sel &selector,
+                           SearchObserver *observer) const
 {
     DecodeResult result;
     const std::size_t frames = scores.frameCount();
     if (frames == 0)
         return result;
-    if (observer)
+    if constexpr (kObserved)
         observer->onUtteranceStart(frames);
 
-    // Trace node 0 is the sentence-start sentinel.
-    std::vector<TraceNode> &trace = result.trace;
-    trace.push_back({kEpsilon, 0});
+    TraceArena arena(config_.traceGcMinNodes);
 
+    // Double-buffered token storage: `active` is read, the selector
+    // writes survivors into `next`, and the buffers swap — no per-frame
+    // vector allocation.
     std::vector<Hypothesis> active;
+    std::vector<Hypothesis> next;
     active.push_back({fst_.start(), 0.0f, 0});
 
     result.frames.resize(frames);
 
+    // Minimum cost among `active`, maintained across frames: the lone
+    // start token costs 0, afterwards finishFrame reports the survivor
+    // minimum — the same min the seed recomputed by scanning.
+    float active_best = 0.0f;
+
     for (std::size_t t = 0; t < frames; ++t) {
         FrameActivity &activity = result.frames[t];
-        if (observer)
+        if constexpr (kObserved)
             observer->onFrameStart(t);
 
         // Beam pruning: expand only tokens within `beam` of the best.
-        float best = std::numeric_limits<float>::infinity();
-        for (const auto &h : active)
-            best = std::min(best, h.cost);
-        const float lattice_beam = best + config_.beam;
+        const float lattice_beam = active_best + config_.beam;
+        // Hoisted acoustic row: scores.cost(t, ilabel) per arc becomes
+        // one indexed load.
+        const float *row = scores.row(t);
 
         selector.beginFrame();
         for (const auto &token : active) {
             if (token.cost > lattice_beam)
                 continue;
             ++activity.expanded;
-            if (observer)
+            if constexpr (kObserved)
                 observer->onStateExpand(token.state);
+            const std::size_t begin = fst_.arcBegin(token.state);
             const std::size_t end = fst_.arcEnd(token.state);
-            for (std::size_t a = fst_.arcBegin(token.state); a < end;
-                 ++a) {
-                const Arc &arc = fst_.arc(a);
-                if (observer)
-                    observer->onArcTraverse(a, arc);
+            const Arc *arc = fst_.arcData(begin);
+            for (std::size_t a = begin; a < end; ++a, ++arc) {
+                if constexpr (kObserved)
+                    observer->onArcTraverse(a, *arc);
                 Hypothesis hyp;
-                hyp.state = arc.dest;
-                hyp.cost = token.cost + arc.weight +
-                    scores.cost(t, arc.ilabel);
-                if (arc.olabel != kEpsilon) {
-                    hyp.trace = static_cast<std::uint32_t>(trace.size());
-                    trace.push_back({arc.olabel, token.trace});
-                } else {
-                    hyp.trace = token.trace;
-                }
+                hyp.state = arc->dest;
+                hyp.cost = token.cost + arc->weight + row[arc->ilabel];
+                hyp.trace = arc->olabel != kEpsilon
+                    ? arena.append(arc->olabel, token.trace)
+                    : token.trace;
                 selector.insert(hyp);
-                ++activity.generated;
             }
+            activity.generated += end - begin;
         }
 
-        active = selector.finishFrame();
+        active_best = selector.finishFrame(next);
         activity.selector = selector.frameStats();
-        activity.survivors = active.size();
-        if (observer)
+        activity.survivors = next.size();
+        result.generatedTotal += activity.generated;
+        result.survivorTotal += activity.survivors;
+        result.survivorPeak =
+            std::max(result.survivorPeak, activity.survivors);
+        if constexpr (kObserved)
             observer->onFrameEnd(activity);
+
+        active.swap(next);
         if (active.empty()) {
             // Search died (beam too small / selector too aggressive):
-            // report an empty transcript.
+            // report an empty transcript with an explicit dead-search
+            // outcome (+inf cost, no final state reached).
+            arena.finish();
+            result.trace = arena.release();
+            result.traceStats = arena.stats();
+            if constexpr (kObserved)
+                observer->onUtteranceEnd(result.traceStats);
             return result;
         }
+        // Frame boundary: the survivors are the only live trace roots,
+        // so dead backpointer chains are collectable. Remaps the
+        // survivors' trace handles in place.
+        arena.maybeCollect(active);
     }
 
+    arena.finish();
+    result.trace = arena.release();
+    result.traceStats = arena.stats();
     result.finalTokens = active;
 
     // Pick the best token, preferring complete (final-state) paths.
@@ -159,7 +164,27 @@ ViterbiDecoder::decode(const AcousticScores &scores,
     result.totalCost = best_final ? best_final_cost : best_any_cost;
 
     result.words = result.backtrace(winner->trace);
+    if constexpr (kObserved)
+        observer->onUtteranceEnd(result.traceStats);
     return result;
+}
+
+DecodeResult
+ViterbiDecoder::decode(const AcousticScores &scores,
+                       HypothesisSelector &selector,
+                       SearchObserver *observer) const
+{
+    // Thin dispatcher: one RTTI check per *utterance* buys a fully
+    // devirtualized inner loop for the dominant (unbounded) selector;
+    // every other selector runs the same kernel through the virtual
+    // interface.
+    if (auto *unbounded = dynamic_cast<UnboundedSelector *>(&selector)) {
+        return observer
+            ? decodeImpl<true>(scores, *unbounded, observer)
+            : decodeImpl<false>(scores, *unbounded, nullptr);
+    }
+    return observer ? decodeImpl<true>(scores, selector, observer)
+                    : decodeImpl<false>(scores, selector, nullptr);
 }
 
 EditStats

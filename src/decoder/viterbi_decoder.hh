@@ -6,15 +6,24 @@
  * baseline unbounded search, narrowed beams, accurate N-best, and the
  * proposed hash-based loose N-best. Per-frame activity counters feed the
  * workload figures (Fig. 4) and the accelerator cycle model.
+ *
+ * The decode loop itself is a devirtualized template (see DESIGN.md
+ * "Decode hot path"): `decode()` dispatches once per utterance on
+ * (observer attached?, selector is the UnboundedSelector?), so the
+ * common sweep/bench configuration runs with zero virtual calls and
+ * zero observer branches per arc, while results stay bit-identical
+ * across all dispatch variants.
  */
 
 #ifndef DARKSIDE_DECODER_VITERBI_DECODER_HH
 #define DARKSIDE_DECODER_VITERBI_DECODER_HH
 
+#include <limits>
 #include <vector>
 
 #include "corpus/lexicon.hh"
 #include "decoder/acoustic.hh"
+#include "decoder/trace_arena.hh"
 #include "nbest/hypothesis.hh"
 #include "util/edit_distance.hh"
 #include "wfst/wfst.hh"
@@ -27,6 +36,11 @@ struct DecoderConfig
     /** Beam width in log space (paper default: 15; narrowed to 10/9/8
      *  for the Beam-70/80/90 configurations). */
     float beam = 15.0f;
+
+    /** Trace-arena pool size below which mark-compact collection is
+     *  not attempted (see TraceArena; 1 forces a collection at every
+     *  frame boundary — the sanitizer stress configuration). */
+    std::size_t traceGcMinNodes = 16384;
 };
 
 /** Search activity for one frame of speech. */
@@ -42,39 +56,42 @@ struct FrameActivity
     SelectorFrameStats selector;
 };
 
-/** One node of the backtrace arena: a word emission on a partial path. */
-struct TraceNode
-{
-    /** Emitted word label (olabel, i.e. word id + 1). */
-    OutLabel word;
-    /** Index of the previous emission on the path (0 = start). */
-    std::uint32_t prev;
-};
-
 /** Outcome of decoding one utterance. */
 struct DecodeResult
 {
-    /** Best-path word sequence. */
+    /** Best-path word sequence (empty when the search died). */
     std::vector<WordId> words;
-    /** Cost of the best complete path (including the final cost). */
-    double totalCost = 0.0;
+    /** Cost of the best complete path (including the final cost);
+     *  +inf when the search died before the last frame. */
+    double totalCost = std::numeric_limits<double>::infinity();
     /** False when no token reached a final state (backtrace is then from
-     *  the best non-final token). */
+     *  the best non-final token), and always false for a dead search. */
     bool reachedFinal = false;
     /** Per-frame activity. */
     std::vector<FrameActivity> frames;
-    /** Backtrace arena (node 0 is the start sentinel). */
+    /** Backtrace arena (node 0 is the start sentinel; compacted, so
+     *  only nodes live at the end of the search remain). */
     std::vector<TraceNode> trace;
     /** Survivors of the final frame (their .trace indexes `trace`). */
     std::vector<Hypothesis> finalTokens;
+    /** Trace-arena lifetime accounting (decode.trace.* telemetry). */
+    TraceStats traceStats;
 
-    std::uint64_t totalGenerated() const;
-    std::uint64_t totalSurvivors() const;
+    /** Frame-activity totals, accumulated once during the decode (they
+     *  are re-read per utterance by telemetry and bench aggregation,
+     *  which used to rescan `frames` on every call). */
+    std::uint64_t totalGenerated() const { return generatedTotal; }
+    std::uint64_t totalSurvivors() const { return survivorTotal; }
+    std::uint64_t maxSurvivorsPerFrame() const { return survivorPeak; }
     double meanSurvivorsPerFrame() const;
-    std::uint64_t maxSurvivorsPerFrame() const;
 
     /** Word sequence of the path ending at `trace_index`. */
     std::vector<WordId> backtrace(std::uint32_t trace_index) const;
+
+    /** Decoder-maintained running totals behind the accessors above. */
+    std::uint64_t generatedTotal = 0;
+    std::uint64_t survivorTotal = 0;
+    std::uint64_t survivorPeak = 0;
 };
 
 /**
@@ -102,7 +119,13 @@ class SearchObserver
 
     /** Frame closed with the given activity counters. */
     virtual void onFrameEnd(const FrameActivity &activity) {}
+
+    /** The utterance's search ended (normally or dead); `trace` is the
+     *  backpointer arena's lifetime accounting. */
+    virtual void onUtteranceEnd(const TraceStats &trace) {}
 };
+
+class UnboundedSelector;
 
 /**
  * Token-passing Viterbi beam search over an all-emitting WFST.
@@ -123,6 +146,10 @@ class ViterbiDecoder
                         SearchObserver *observer = nullptr) const;
 
   private:
+    template <bool kObserved, typename Sel>
+    DecodeResult decodeImpl(const AcousticScores &scores, Sel &selector,
+                            SearchObserver *observer) const;
+
     const Wfst &fst_;
     DecoderConfig config_;
 };

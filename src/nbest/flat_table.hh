@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Flat node-pool hash map for the decode hot path. Replaces the
+ * UnboundedSelector's std::unordered_map<StateId, Slot> with three
+ * contiguous arrays (chain links, payloads, bucket heads), removing
+ * the per-insert node allocation and the pointer-chasing of the
+ * std::unordered_map clear()/iterate cycle the profile was dominated
+ * by.
+ *
+ * Survivor enumeration order is load-bearing: it decides float-tie
+ * winners in the decoder and, via the next frame's generation order,
+ * the UNFOLD region statistics. The seed's order is libstdc++'s
+ * iteration order, so this table replicates it exactly:
+ *
+ *  - one global singly-linked node list; a bucket's entries are a
+ *    contiguous run of it, and the bucket array stores the node
+ *    *before* the run (libstdc++'s _M_before_begin trick, here as the
+ *    kBeforeBegin sentinel);
+ *  - a new key is linked at the head of its bucket's run; an insert
+ *    into an empty bucket pushes the node at the global list head and
+ *    repoints the displaced head's bucket;
+ *  - bucket growth delegates to std::__detail::_Prime_rehash_policy —
+ *    the exact object std::unordered_map uses — and rehash walks the
+ *    global list in iteration order, reinserting with the same rule.
+ *
+ * With identity hashing of StateId (what std::hash<uint32_t> is on
+ * libstdc++), enumeration is byte-for-byte the order the seed
+ * produced. On non-libstdc++ standard libraries a portable fallback
+ * policy with the same prime sequence keeps the table correct and
+ * deterministic, though not bit-identical to a std::unordered_map
+ * seed build there (which would differ from libstdc++ anyway).
+ */
+
+#ifndef DARKSIDE_NBEST_FLAT_TABLE_HH
+#define DARKSIDE_NBEST_FLAT_TABLE_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#ifdef __GLIBCXX__
+// For std::__detail::_Prime_rehash_policy (exported, stable ABI): the
+// exact growth schedule std::unordered_map uses.
+#include <unordered_map>
+#else
+#include <cstddef>
+#include <utility>
+#endif
+
+#include "nbest/hypothesis.hh"
+
+namespace darkside {
+
+#ifndef __GLIBCXX__
+/**
+ * Fallback growth policy mirroring _Prime_rehash_policy's interface:
+ * grow to the next prime above 2x when the load factor would exceed 1.
+ */
+struct FlatRehashPolicy
+{
+    std::size_t _M_next_resize = 0;
+
+    static std::size_t
+    _M_next_bkt(std::size_t n)
+    {
+        static const std::size_t primes[] = {
+            13,        29,        59,        127,       257,
+            541,       1109,      2357,      5087,      10273,
+            20753,     42043,     85229,     172933,    351061,
+            712697,    1447153,   2938679,   5967347,   12117689,
+            24607243,  49969847,  101473717, 206062531};
+        for (std::size_t p : primes) {
+            if (p >= n)
+                return p;
+        }
+        return primes[sizeof(primes) / sizeof(primes[0]) - 1];
+    }
+
+    std::pair<bool, std::size_t>
+    _M_need_rehash(std::size_t buckets, std::size_t elements,
+                   std::size_t inserting)
+    {
+        if (elements + inserting <= _M_next_resize)
+            return {false, 0};
+        const std::size_t next = _M_next_bkt(
+            std::max<std::size_t>(elements + inserting, 2 * buckets));
+        _M_next_resize = next;
+        return {next != buckets, next};
+    }
+};
+#endif
+
+/**
+ * StateId -> (cost, trace) map with min-cost recombination, touch
+ * counting for the UNFOLD stats replay, and libstdc++-identical
+ * enumeration order. One instance is reused across frames; clear()
+ * keeps the bucket array (like std::unordered_map::clear()), so
+ * steady-state frames allocate nothing.
+ */
+class FlatHypothesisMap
+{
+  public:
+    struct Key
+    {
+        /** Next node on the global list (kNull terminates). */
+        std::uint32_t next;
+        /** Cached bucket of `state` (revalidated on rehash). */
+        std::uint32_t bkt;
+        StateId state;
+    };
+
+    struct Val
+    {
+        float cost;
+        std::uint32_t trace;
+        /** Recombinations that hit this node this frame. */
+        std::uint32_t touches;
+    };
+
+    static constexpr std::uint32_t kNull = 0xFFFFFFFFu;
+    /** "Before-begin" marker: the run starts at the global head. */
+    static constexpr std::uint32_t kBeforeBegin = 0xFFFFFFFEu;
+
+    FlatHypothesisMap() : buckets_(1, kNull) {}
+
+    /** Reset for a new frame; bucket array and growth state persist. */
+    void
+    clear()
+    {
+        keys_.clear();
+        vals_.clear();
+        std::fill(buckets_.begin(), buckets_.end(), kNull);
+        head_ = kNull;
+    }
+
+    /** Offer one hypothesis, recombining same-state by minimum cost. */
+    inline void
+    insert(const Hypothesis &hyp)
+    {
+        const std::uint32_t bkt = bucketOf(hyp.state);
+        const std::uint32_t before = buckets_[bkt];
+        if (before != kNull) {
+            // Walk this bucket's run of the global list.
+            for (std::uint32_t n = nextOf(before); n != kNull;) {
+                const Key &k = keys_[n];
+                if (k.state == hyp.state) {
+                    Val &v = vals_[n];
+                    ++v.touches;
+                    if (hyp.cost < v.cost) {
+                        v.cost = hyp.cost;
+                        v.trace = hyp.trace;
+                    }
+                    return;
+                }
+                const std::uint32_t nx = k.next;
+                if (nx == kNull || keys_[nx].bkt != bkt)
+                    break;
+                n = nx;
+            }
+        }
+        insertNew(hyp, bkt);
+    }
+
+    std::size_t size() const { return keys_.size(); }
+
+    /** Node access in insertion order (the stats-replay order). */
+    StateId stateAt(std::size_t i) const { return keys_[i].state; }
+    std::uint32_t touchesAt(std::size_t i) const
+    {
+        return vals_[i].touches;
+    }
+
+    /**
+     * Append the entries to `out` in enumeration (iteration) order;
+     * @return the minimum cost (+inf when empty).
+     */
+    float
+    collect(std::vector<Hypothesis> &out) const
+    {
+        float best = std::numeric_limits<float>::infinity();
+        for (std::uint32_t p = head_; p != kNull; p = keys_[p].next) {
+            const float c = vals_[p].cost;
+            best = std::min(best, c);
+            out.push_back({keys_[p].state, c, vals_[p].trace});
+        }
+        return best;
+    }
+
+  private:
+    static std::uint64_t
+    computeMagic(std::uint64_t divisor)
+    {
+        return ~std::uint64_t{0} / divisor + 1;
+    }
+
+    /**
+     * state % bucketCount_ via Lemire's fastmod (one multiply-high
+     * instead of a hardware divide per insert).
+     */
+    inline std::uint32_t
+    bucketOf(StateId state) const
+    {
+        if (bucketCount_ == 1)
+            return 0;
+        const std::uint64_t low = magic_ * state;
+        return static_cast<std::uint32_t>(
+            (static_cast<unsigned __int128>(low) * bucketCount_) >> 64);
+    }
+
+    inline std::uint32_t
+    nextOf(std::uint32_t before) const
+    {
+        return before == kBeforeBegin ? head_ : keys_[before].next;
+    }
+
+    inline void
+    setNextOf(std::uint32_t before, std::uint32_t value)
+    {
+        if (before == kBeforeBegin)
+            head_ = value;
+        else
+            keys_[before].next = value;
+    }
+
+    void
+    insertNew(const Hypothesis &hyp, std::uint32_t bkt)
+    {
+        // Same growth schedule as std::unordered_map: consult the
+        // policy only when the element count crosses its cached
+        // next-resize mark.
+        if (__builtin_expect(keys_.size() + 1 > policy_._M_next_resize,
+                             0)) {
+            const auto need =
+                policy_._M_need_rehash(bucketCount_, keys_.size(), 1);
+            if (need.first) {
+                rehash(need.second);
+                bkt = bucketOf(hyp.state);
+            }
+        }
+        const auto node = static_cast<std::uint32_t>(keys_.size());
+        keys_.push_back({kNull, bkt, hyp.state});
+        linkAtBucketHead(bkt, node);
+        vals_.push_back({hyp.cost, hyp.trace, 0});
+    }
+
+    /** libstdc++ _M_insert_bucket_begin: new node heads its bucket's
+     *  run; an empty bucket's run starts at the global list head. */
+    void
+    linkAtBucketHead(std::uint32_t bkt, std::uint32_t node)
+    {
+        if (buckets_[bkt] != kNull) {
+            keys_[node].next = nextOf(buckets_[bkt]);
+            setNextOf(buckets_[bkt], node);
+        } else {
+            keys_[node].next = head_;
+            head_ = node;
+            if (keys_[node].next != kNull)
+                buckets_[keys_[keys_[node].next].bkt] = node;
+            buckets_[bkt] = kBeforeBegin;
+        }
+    }
+
+    /** libstdc++ _M_rehash_aux: walk the global list in iteration
+     *  order, relinking each node under the new bucket count. */
+    void
+    rehash(std::size_t new_count)
+    {
+        buckets_.assign(new_count, kNull);
+        bucketCount_ = new_count;
+        magic_ = computeMagic(new_count);
+        std::uint32_t p = head_;
+        head_ = kNull;
+        std::uint32_t bbegin_bkt = 0;
+        while (p != kNull) {
+            const std::uint32_t next = keys_[p].next;
+            const std::uint32_t bkt = bucketOf(keys_[p].state);
+            keys_[p].bkt = bkt;
+            if (buckets_[bkt] == kNull) {
+                keys_[p].next = head_;
+                head_ = p;
+                buckets_[bkt] = kBeforeBegin;
+                if (keys_[p].next != kNull)
+                    buckets_[bbegin_bkt] = p;
+                bbegin_bkt = bkt;
+            } else {
+                keys_[p].next = nextOf(buckets_[bkt]);
+                setNextOf(buckets_[bkt], p);
+            }
+            p = next;
+        }
+    }
+
+    std::vector<Key> keys_;
+    std::vector<Val> vals_;
+    /** Per bucket: the node *before* its run (kNull = empty bucket). */
+    std::vector<std::uint32_t> buckets_;
+    std::uint64_t bucketCount_ = 1;
+    std::uint64_t magic_ = 0;
+    std::uint32_t head_ = kNull;
+#ifdef __GLIBCXX__
+    std::__detail::_Prime_rehash_policy policy_;
+#else
+    FlatRehashPolicy policy_;
+#endif
+};
+
+} // namespace darkside
+
+#endif // DARKSIDE_NBEST_FLAT_TABLE_HH

@@ -38,18 +38,23 @@ HistogramPruning::insert(const Hypothesis &hyp)
     }
 }
 
-std::vector<Hypothesis>
-HistogramPruning::finishFrame()
+float
+HistogramPruning::finishFrame(std::vector<Hypothesis> &out)
 {
-    std::vector<Hypothesis> survivors;
-    survivors.reserve(std::min(table_.size(), maxActive_));
+    out.clear();
+    out.reserve(std::min(table_.size(), maxActive_));
+    // The frame-best hypothesis always survives (its cost offset is 0,
+    // under any threshold), so bestCost_ is also the survivor minimum.
+    const float best = table_.empty()
+        ? std::numeric_limits<float>::infinity()
+        : bestCost_;
 
     if (table_.size() <= maxActive_) {
         for (const auto &[state, hyp] : table_)
-            survivors.push_back(hyp);
+            out.push_back(hyp);
         lastThreshold_ = std::numeric_limits<float>::infinity();
-        stats_.survivors = survivors.size();
-        return survivors;
+        stats_.survivors = out.size();
+        return best;
     }
 
     // Pass 1: histogram of costs relative to the frame best.
@@ -83,13 +88,13 @@ HistogramPruning::finishFrame()
     // a different currency (a second pass instead of evictions).
     for (const auto &[state, hyp] : table_) {
         if (hyp.cost <= threshold)
-            survivors.push_back(hyp);
+            out.push_back(hyp);
         else
             ++stats_.rejections;
     }
-    stats_.evictions = table_.size() - survivors.size();
-    stats_.survivors = survivors.size();
-    return survivors;
+    stats_.evictions = table_.size() - out.size();
+    stats_.survivors = out.size();
+    return best;
 }
 
 } // namespace darkside

@@ -41,7 +41,8 @@ class HistogramPruning : public HypothesisSelector
 
     void beginFrame() override;
     void insert(const Hypothesis &hyp) override;
-    std::vector<Hypothesis> finishFrame() override;
+    float finishFrame(std::vector<Hypothesis> &out) override;
+    using HypothesisSelector::finishFrame;
     const char *name() const override { return "histogram-pruning"; }
 
     std::size_t maxActive() const { return maxActive_; }

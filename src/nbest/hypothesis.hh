@@ -77,10 +77,28 @@ class HypothesisSelector
     virtual void insert(const Hypothesis &hyp) = 0;
 
     /**
-     * Close the frame.
-     * @return surviving hypotheses (unspecified order)
+     * Close the frame, writing the survivors (unspecified order) into
+     * the caller-provided buffer — the decoder reuses one buffer
+     * across frames, so a selector must not assume `out` is fresh
+     * beyond it being clear()ed here.
+     *
+     * @return the minimum survivor cost (+inf when none survive), so
+     *         the decoder's next beam bound needs no second scan
      */
-    virtual std::vector<Hypothesis> finishFrame() = 0;
+    virtual float finishFrame(std::vector<Hypothesis> &out) = 0;
+
+    /**
+     * Allocating convenience wrapper (tests, oracle tees). Derived
+     * classes re-expose it with `using HypothesisSelector::finishFrame`
+     * next to their buffered override.
+     */
+    std::vector<Hypothesis>
+    finishFrame()
+    {
+        std::vector<Hypothesis> out;
+        finishFrame(out);
+        return out;
+    }
 
     /** Counters of the frame closed by the last finishFrame(). */
     const SelectorFrameStats &frameStats() const { return stats_; }

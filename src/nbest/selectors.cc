@@ -1,6 +1,7 @@
 #include "nbest/selectors.hh"
 
 #include <algorithm>
+#include <limits>
 #include <unordered_set>
 
 #include "util/bits.hh"
@@ -9,10 +10,10 @@ namespace darkside {
 
 UnboundedSelector::UnboundedSelector(std::size_t direct_entries,
                                      std::size_t backup_entries)
-    : directEntries_(direct_entries), backupEntries_(backup_entries),
+    : backupEntries_(backup_entries),
       indexBits_(floorLog2(direct_entries)),
-      directOwner_(direct_entries, 0), directValid_(direct_entries, 0),
-      backupUsed_(0)
+      directEpoch_(direct_entries, 0), epoch_(1), backupUsed_(0),
+      replayed_(false)
 {
     ds_assert(isPowerOfTwo(direct_entries));
 }
@@ -21,57 +22,70 @@ void
 UnboundedSelector::beginFrame()
 {
     stats_ = SelectorFrameStats{};
-    table_.clear();
-    std::fill(directValid_.begin(), directValid_.end(), 0);
+    map_.clear();
+    if (++epoch_ == 0) {
+        // Stamp wrap-around: refill once every 65535 frames so a stale
+        // stamp can never alias the new epoch.
+        std::fill(directEpoch_.begin(), directEpoch_.end(), 0);
+        epoch_ = 1;
+    }
     backupUsed_ = 0;
+    replayed_ = false;
 }
 
+/**
+ * UNFOLD hardware-model accounting, deferred out of the insert path.
+ * Nodes are visited in first-insertion order — the order the online
+ * classification saw distinct states — and each node's recombination
+ * count (touches) tells how often its region was re-accessed, so the
+ * replay produces byte-identical stats to classifying at insert time:
+ * a node placed in backup/overflow costs one placement access plus one
+ * access per recombination; direct-region traffic is free on-chip.
+ */
 void
-UnboundedSelector::insert(const Hypothesis &hyp)
+UnboundedSelector::replayStats()
 {
-    ++stats_.insertions;
-    auto it = table_.find(hyp.state);
-    if (it != table_.end()) {
-        ++stats_.recombinations;
-        // Charge the region where this hypothesis already lives.
-        if (it->second.region == Region::Backup)
-            ++stats_.backupAccesses;
-        else if (it->second.region == Region::Overflow)
-            ++stats_.overflowAccesses;
-        if (hyp.cost < it->second.hyp.cost)
-            it->second.hyp = hyp;
-        return;
-    }
-
-    const std::uint32_t idx = xorFoldHash(hyp.state, indexBits_);
-    Region region;
-    if (!directValid_[idx]) {
-        directValid_[idx] = 1;
-        directOwner_[idx] = hyp.state;
-        region = Region::Direct;
-    } else {
-        ++stats_.collisions;
-        if (backupUsed_ < backupEntries_) {
-            ++backupUsed_;
-            ++stats_.backupAccesses;
-            region = Region::Backup;
+    const std::size_t n = map_.size();
+    std::uint64_t touch_sum = 0;
+    std::uint64_t collisions = 0;
+    std::uint64_t backup = 0;
+    std::uint64_t overflow = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t idx = xorFoldHash(map_.stateAt(i),
+                                              indexBits_);
+        const std::uint64_t touches = map_.touchesAt(i);
+        touch_sum += touches;
+        if (directEpoch_[idx] != epoch_) {
+            directEpoch_[idx] = epoch_;
         } else {
-            ++stats_.overflowAccesses;
-            region = Region::Overflow;
+            ++collisions;
+            if (backupUsed_ < backupEntries_) {
+                ++backupUsed_;
+                backup += touches + 1;
+            } else {
+                overflow += touches + 1;
+            }
         }
     }
-    table_.emplace(hyp.state, Slot{hyp, region});
+    stats_.insertions = touch_sum + n;
+    stats_.recombinations = touch_sum;
+    stats_.collisions = collisions;
+    stats_.backupAccesses = backup;
+    stats_.overflowAccesses = overflow;
 }
 
-std::vector<Hypothesis>
-UnboundedSelector::finishFrame()
+float
+UnboundedSelector::finishFrame(std::vector<Hypothesis> &out)
 {
-    std::vector<Hypothesis> survivors;
-    survivors.reserve(table_.size());
-    for (const auto &[state, slot] : table_)
-        survivors.push_back(slot.hyp);
-    stats_.survivors = survivors.size();
-    return survivors;
+    if (!replayed_) {
+        replayStats();
+        replayed_ = true;
+    }
+    out.clear();
+    out.reserve(map_.size());
+    const float best = map_.collect(out);
+    stats_.survivors = out.size();
+    return best;
 }
 
 AccurateNBest::AccurateNBest(std::size_t n)
@@ -99,26 +113,29 @@ AccurateNBest::insert(const Hypothesis &hyp)
     }
 }
 
-std::vector<Hypothesis>
-AccurateNBest::finishFrame()
+float
+AccurateNBest::finishFrame(std::vector<Hypothesis> &out)
 {
-    std::vector<Hypothesis> all;
-    all.reserve(table_.size());
+    out.clear();
+    out.reserve(table_.size());
     for (const auto &[state, hyp] : table_)
-        all.push_back(hyp);
+        out.push_back(hyp);
 
-    if (all.size() > n_) {
-        std::partial_sort(all.begin(),
-                          all.begin() + static_cast<std::ptrdiff_t>(n_),
-                          all.end(),
+    if (out.size() > n_) {
+        std::partial_sort(out.begin(),
+                          out.begin() + static_cast<std::ptrdiff_t>(n_),
+                          out.end(),
                           [](const Hypothesis &a, const Hypothesis &b) {
                               return a.cost < b.cost;
                           });
-        stats_.evictions = all.size() - n_;
-        all.resize(n_);
+        stats_.evictions = out.size() - n_;
+        out.resize(n_);
     }
-    stats_.survivors = all.size();
-    return all;
+    stats_.survivors = out.size();
+    float best = std::numeric_limits<float>::infinity();
+    for (const auto &h : out)
+        best = std::min(best, h.cost);
+    return best;
 }
 
 DirectMappedHash::DirectMappedHash(std::size_t entries)
@@ -161,16 +178,19 @@ DirectMappedHash::insert(const Hypothesis &hyp)
     }
 }
 
-std::vector<Hypothesis>
-DirectMappedHash::finishFrame()
+float
+DirectMappedHash::finishFrame(std::vector<Hypothesis> &out)
 {
-    std::vector<Hypothesis> survivors;
+    out.clear();
+    float best = std::numeric_limits<float>::infinity();
     for (std::size_t i = 0; i < slots_.size(); ++i) {
-        if (valid_[i])
-            survivors.push_back(slots_[i]);
+        if (valid_[i]) {
+            best = std::min(best, slots_[i].cost);
+            out.push_back(slots_[i]);
+        }
     }
-    stats_.survivors = survivors.size();
-    return survivors;
+    stats_.survivors = out.size();
+    return best;
 }
 
 SetAssociativeHash::SetAssociativeHash(std::size_t entries,
@@ -222,14 +242,17 @@ SetAssociativeHash::insert(const Hypothesis &hyp)
     }
 }
 
-std::vector<Hypothesis>
-SetAssociativeHash::finishFrame()
+float
+SetAssociativeHash::finishFrame(std::vector<Hypothesis> &out)
 {
-    std::vector<Hypothesis> survivors;
+    out.clear();
     for (const auto &set : sets_)
-        set.collect(survivors);
-    stats_.survivors = survivors.size();
-    return survivors;
+        set.collect(out);
+    stats_.survivors = out.size();
+    float best = std::numeric_limits<float>::infinity();
+    for (const auto &h : out)
+        best = std::min(best, h.cost);
+    return best;
 }
 
 double

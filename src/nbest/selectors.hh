@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "nbest/flat_table.hh"
 #include "nbest/hypothesis.hh"
 #include "nbest/max_heap_set.hh"
 
@@ -29,8 +30,21 @@ namespace darkside {
 
 /**
  * Baseline: keep everything, account hash-region traffic.
+ *
+ * The storage is a FlatHypothesisMap (same recombination semantics and
+ * enumeration order as the seed's std::unordered_map, flat layout);
+ * the UNFOLD region classification — which direct-mapped entry a state
+ * would land in, and whether it spills to the backup buffer or DRAM —
+ * is replayed over the nodes in insertion order when the frame closes,
+ * instead of being interleaved with every insert. The replay visits
+ * distinct states in first-insertion order with per-node touch counts,
+ * which is exactly the information the online classification consumed,
+ * so the stats are byte-identical to the seed's.
+ *
+ * `final` so the decoder's devirtualized fast path can bind these
+ * methods statically.
  */
-class UnboundedSelector : public HypothesisSelector
+class UnboundedSelector final : public HypothesisSelector
 {
   public:
     /**
@@ -41,27 +55,33 @@ class UnboundedSelector : public HypothesisSelector
                                std::size_t backup_entries = 16384);
 
     void beginFrame() override;
-    void insert(const Hypothesis &hyp) override;
-    std::vector<Hypothesis> finishFrame() override;
+
+    void
+    insert(const Hypothesis &hyp) override
+    {
+        map_.insert(hyp);
+    }
+
+    float finishFrame(std::vector<Hypothesis> &out) override;
+    using HypothesisSelector::finishFrame;
     const char *name() const override { return "unbounded"; }
 
   private:
-    enum class Region : std::uint8_t { Direct, Backup, Overflow };
+    void replayStats();
 
-    struct Slot
-    {
-        Hypothesis hyp;
-        Region region;
-    };
-
-    std::size_t directEntries_;
     std::size_t backupEntries_;
     unsigned indexBits_;
-    /** State occupying each direct-mapped entry this frame (or none). */
-    std::vector<StateId> directOwner_;
-    std::vector<std::uint8_t> directValid_;
-    std::unordered_map<StateId, Slot> table_;
+    /** Epoch-stamped direct-mapped occupancy: an entry is taken this
+     *  frame iff its stamp equals epoch_. Replaces a per-frame memset
+     *  of the whole (32K-entry) array with one counter bump. */
+    std::vector<std::uint16_t> directEpoch_;
+    std::uint16_t epoch_;
+    FlatHypothesisMap map_;
     std::size_t backupUsed_;
+    /** Guards the stats replay so repeated finishFrame() calls on the
+     *  same frame don't reclassify (the seed's stats were insert-time
+     *  and thus naturally idempotent at frame close). */
+    bool replayed_;
 };
 
 /**
@@ -74,7 +94,8 @@ class AccurateNBest : public HypothesisSelector
 
     void beginFrame() override;
     void insert(const Hypothesis &hyp) override;
-    std::vector<Hypothesis> finishFrame() override;
+    float finishFrame(std::vector<Hypothesis> &out) override;
+    using HypothesisSelector::finishFrame;
     const char *name() const override { return "n-best-accurate"; }
 
     std::size_t n() const { return n_; }
@@ -95,7 +116,8 @@ class DirectMappedHash : public HypothesisSelector
 
     void beginFrame() override;
     void insert(const Hypothesis &hyp) override;
-    std::vector<Hypothesis> finishFrame() override;
+    float finishFrame(std::vector<Hypothesis> &out) override;
+    using HypothesisSelector::finishFrame;
     const char *name() const override { return "direct-mapped-hash"; }
 
   private:
@@ -118,7 +140,8 @@ class SetAssociativeHash : public HypothesisSelector
 
     void beginFrame() override;
     void insert(const Hypothesis &hyp) override;
-    std::vector<Hypothesis> finishFrame() override;
+    float finishFrame(std::vector<Hypothesis> &out) override;
+    using HypothesisSelector::finishFrame;
     const char *name() const override { return name_.c_str(); }
 
     std::size_t entries() const { return sets_.size() * ways_; }

@@ -215,19 +215,20 @@ class AsrSystem
     /** Utterances per checkpoint unit (see runTestSet). */
     static constexpr std::size_t kCheckpointBatch = 8;
 
-  private:
-    /** (prune level, utterance id). */
-    using ScoreKey = std::pair<int, std::uint64_t>;
-
     /**
      * Score an utterance with a model, memoised per (level, utterance
      * id) in a bounded LRU cache. Utterances without an id (id == 0)
      * are scored fresh each time. Thread-safe; the returned scores are
-     * shared ownership so eviction cannot invalidate a reader.
+     * shared ownership so eviction cannot invalidate a reader. Public
+     * so benchmarks can score once and time the decode alone.
      */
     std::shared_ptr<const AcousticScores>
     scoresFor(const Utterance &utt, PruneLevel level,
               ThreadPool *pool = nullptr);
+
+  private:
+    /** (prune level, utterance id). */
+    using ScoreKey = std::pair<int, std::uint64_t>;
 
     const Corpus &corpus_;
     const Wfst &fst_;

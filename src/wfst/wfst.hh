@@ -95,6 +95,18 @@ class Wfst
 
     const Arc &arc(std::size_t i) const { return arcs_.at(i); }
 
+    /**
+     * Raw pointer into the CSR arc array, for walking one state's
+     * [arcBegin, arcEnd) run without a bounds check per arc. `i` may
+     * equal arcCount() (the one-past-the-end position of an arc-less
+     * last state).
+     */
+    const Arc *arcData(std::size_t i) const
+    {
+        ds_assert(i <= arcs_.size());
+        return arcs_.data() + i;
+    }
+
     /** Terminal cost of `state` (kInfinityCost when not final). */
     float finalCost(StateId state) const
     {

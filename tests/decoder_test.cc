@@ -215,14 +215,21 @@ struct CountingObserver : public SearchObserver
         ++frameEnds;
         generated += activity.generated;
     }
+    void onUtteranceEnd(const TraceStats &trace) override
+    {
+        ++utteranceEnds;
+        traceAllocated += trace.allocated;
+    }
 
     std::size_t utterances = 0;
     std::size_t totalFrames = 0;
     std::size_t frameStarts = 0;
     std::size_t frameEnds = 0;
+    std::size_t utteranceEnds = 0;
     std::uint64_t stateExpands = 0;
     std::uint64_t arcTraverses = 0;
     std::uint64_t generated = 0;
+    std::uint64_t traceAllocated = 0;
 };
 
 TEST_F(DecoderFixture, ObserverSeesEveryEvent)
@@ -245,6 +252,127 @@ TEST_F(DecoderFixture, ObserverSeesEveryEvent)
     for (const auto &f : result.frames)
         expanded += f.expanded;
     EXPECT_EQ(observer.stateExpands, expanded);
+    EXPECT_EQ(observer.utteranceEnds, 1u);
+    EXPECT_EQ(observer.traceAllocated, result.traceStats.allocated);
+}
+
+/**
+ * A two-branch trap graph for dead-search tests: the cheap branch runs
+ * into an arc-less dead end, the expensive branch self-loops to a
+ * final state. A wide beam keeps both branches alive; a shrunk beam
+ * prunes the expensive branch, after which the search has nowhere to
+ * go and dies.
+ */
+Wfst
+makeTrapFst()
+{
+    Wfst::Builder builder;
+    const StateId start = builder.addState();
+    const StateId dead_end = builder.addState();
+    const StateId alive = builder.addState();
+    builder.setStart(start);
+    builder.addArc(start, Arc{0, 1, 0.0f, dead_end});
+    builder.addArc(start, Arc{0, 2, 5.0f, alive});
+    builder.addArc(alive, Arc{1, kEpsilon, 0.0f, alive});
+    builder.setFinal(alive, 0.0f);
+    return std::move(builder).build();
+}
+
+AcousticScores
+uniformScores(std::size_t frames, std::size_t classes)
+{
+    const std::vector<Vector> posteriors(
+        frames,
+        Vector(classes, 1.0f / static_cast<float>(classes)));
+    return AcousticScores::fromPosteriors(posteriors, 1.0f);
+}
+
+TEST(DeadSearch, ShrunkBeamReportsExplicitFailure)
+{
+    const Wfst fst = makeTrapFst();
+    const auto scores = uniformScores(4, 2);
+
+    // Control: a wide beam keeps the expensive live branch and the
+    // decode completes through the final state.
+    UnboundedSelector wide_selector;
+    const DecodeResult completed =
+        ViterbiDecoder(fst, DecoderConfig{10.0f})
+            .decode(scores, wide_selector);
+    EXPECT_TRUE(completed.reachedFinal);
+    EXPECT_TRUE(std::isfinite(completed.totalCost));
+    EXPECT_EQ(completed.words, (std::vector<WordId>{1}));
+
+    // Shrunk beam: only the dead-end token survives frame 0, frame 1
+    // generates nothing, and the search dies with the explicit
+    // outcome — +inf cost, no final state, empty transcript.
+    UnboundedSelector narrow_selector;
+    const DecodeResult dead = ViterbiDecoder(fst, DecoderConfig{2.0f})
+                                  .decode(scores, narrow_selector);
+    EXPECT_TRUE(std::isinf(dead.totalCost));
+    EXPECT_FALSE(dead.reachedFinal);
+    EXPECT_TRUE(dead.words.empty());
+    EXPECT_TRUE(dead.finalTokens.empty());
+    EXPECT_EQ(dead.frames.size(), scores.frameCount());
+    EXPECT_EQ(dead.frames[1].generated, 0u);
+    // The dead search still reports its trace accounting, and fires
+    // the utterance-end hook exactly once.
+    CountingObserver observer;
+    UnboundedSelector observed_selector;
+    const DecodeResult dead2 = ViterbiDecoder(fst, DecoderConfig{2.0f})
+                                   .decode(scores, observed_selector,
+                                           &observer);
+    EXPECT_TRUE(std::isinf(dead2.totalCost));
+    EXPECT_EQ(observer.utteranceEnds, 1u);
+}
+
+TEST_F(DecoderFixture, ForcedGcKeepsResultsIdentical)
+{
+    // traceGcMinNodes == 1 forces a mark-compact collection at every
+    // frame boundary; the decode must be bit-identical to the default
+    // (lazy) schedule in everything except the arena accounting.
+    for (std::uint64_t seed : {21u, 22u, 23u}) {
+        std::vector<WordId> words;
+        const auto scores = makeScores(words, seed);
+        UnboundedSelector lazy_sel, eager_sel;
+        const DecodeResult lazy =
+            ViterbiDecoder(*fst, DecoderConfig{10.0f})
+                .decode(scores, lazy_sel);
+        const DecodeResult eager =
+            ViterbiDecoder(*fst, DecoderConfig{10.0f, 1})
+                .decode(scores, eager_sel);
+
+        EXPECT_EQ(eager.words, lazy.words);
+        EXPECT_DOUBLE_EQ(eager.totalCost, lazy.totalCost);
+        EXPECT_EQ(eager.reachedFinal, lazy.reachedFinal);
+        ASSERT_EQ(eager.frames.size(), lazy.frames.size());
+        for (std::size_t t = 0; t < lazy.frames.size(); ++t) {
+            EXPECT_EQ(eager.frames[t].generated,
+                      lazy.frames[t].generated);
+            EXPECT_EQ(eager.frames[t].survivors,
+                      lazy.frames[t].survivors);
+            EXPECT_EQ(eager.frames[t].expanded,
+                      lazy.frames[t].expanded);
+        }
+        // Both runs append the same node stream; only collection
+        // differs. Collecting every frame can only lower the peak and
+        // the retained arena, never change any backtrace.
+        EXPECT_EQ(eager.traceStats.allocated, lazy.traceStats.allocated);
+        EXPECT_GT(eager.traceStats.gcRuns, lazy.traceStats.gcRuns);
+        EXPECT_GE(eager.traceStats.collected,
+                  lazy.traceStats.collected);
+        EXPECT_LE(eager.traceStats.collected,
+                  eager.traceStats.allocated);
+        EXPECT_LE(eager.traceStats.peakLive, lazy.traceStats.peakLive);
+        EXPECT_LT(eager.traceStats.peakLive,
+                  eager.traceStats.allocated);
+        EXPECT_LE(eager.trace.size(), lazy.trace.size());
+        // Every final token's backtrace survives compaction intact.
+        ASSERT_EQ(eager.finalTokens.size(), lazy.finalTokens.size());
+        for (std::size_t i = 0; i < lazy.finalTokens.size(); ++i) {
+            EXPECT_EQ(eager.backtrace(eager.finalTokens[i].trace),
+                      lazy.backtrace(lazy.finalTokens[i].trace));
+        }
+    }
 }
 
 TEST_F(DecoderFixture, SingleUniformFrame)

@@ -15,6 +15,8 @@
 #include <memory>
 #include <set>
 
+#include "decoder/search_telemetry.hh"
+#include "decoder/viterbi_decoder.hh"
 #include "dnn/topology.hh"
 #include "fault/fault.hh"
 #include "mini_setup.hh"
@@ -473,6 +475,367 @@ INSTANTIATE_TEST_SUITE_P(
     SeedsAndThreads, FaultIsolationProperty,
     ::testing::Combine(::testing::Values(777, 1234),
                        ::testing::Values(1, 2, 4)));
+
+// ---------------------------------------------------------------------
+// Decode seed equivalence: the overhauled hot path (trace arena,
+// devirtualized kernel, double-buffered tokens, fused beam scan) must
+// reproduce the seed decode loop bit for bit — words, costs, per-frame
+// activity and selector counters — for every selector, with and
+// without an observer, and inside a faulted multi-threaded sweep.
+// ---------------------------------------------------------------------
+
+/**
+ * Verbatim port of the seed (pre-overhaul) UnboundedSelector: one
+ * std::unordered_map per frame with *online* region classification at
+ * insert time. The production selector defers classification to a
+ * replay in finishFrame; the two must agree counter for counter.
+ */
+class SeedUnboundedSelector : public HypothesisSelector
+{
+  public:
+    SeedUnboundedSelector(std::size_t direct_entries,
+                          std::size_t backup_entries)
+        : backupEntries_(backup_entries),
+          indexBits_(floorLog2(direct_entries)),
+          directOwner_(direct_entries, 0),
+          directValid_(direct_entries, 0), backupUsed_(0)
+    {}
+
+    void
+    beginFrame() override
+    {
+        stats_ = SelectorFrameStats{};
+        table_.clear();
+        std::fill(directValid_.begin(), directValid_.end(), 0);
+        backupUsed_ = 0;
+    }
+
+    void
+    insert(const Hypothesis &hyp) override
+    {
+        ++stats_.insertions;
+        auto it = table_.find(hyp.state);
+        if (it != table_.end()) {
+            ++stats_.recombinations;
+            if (it->second.region == Region::Backup)
+                ++stats_.backupAccesses;
+            else if (it->second.region == Region::Overflow)
+                ++stats_.overflowAccesses;
+            if (hyp.cost < it->second.hyp.cost)
+                it->second.hyp = hyp;
+            return;
+        }
+
+        const std::uint32_t idx = xorFoldHash(hyp.state, indexBits_);
+        Region region;
+        if (!directValid_[idx]) {
+            directValid_[idx] = 1;
+            directOwner_[idx] = hyp.state;
+            region = Region::Direct;
+        } else {
+            ++stats_.collisions;
+            if (backupUsed_ < backupEntries_) {
+                ++backupUsed_;
+                ++stats_.backupAccesses;
+                region = Region::Backup;
+            } else {
+                ++stats_.overflowAccesses;
+                region = Region::Overflow;
+            }
+        }
+        table_.emplace(hyp.state, Slot{hyp, region});
+    }
+
+    float
+    finishFrame(std::vector<Hypothesis> &out) override
+    {
+        out.clear();
+        out.reserve(table_.size());
+        float best = std::numeric_limits<float>::infinity();
+        for (const auto &[state, slot] : table_) {
+            out.push_back(slot.hyp);
+            best = std::min(best, slot.hyp.cost);
+        }
+        stats_.survivors = out.size();
+        return best;
+    }
+
+    using HypothesisSelector::finishFrame;
+
+    const char *name() const override { return "seed-unbounded"; }
+
+  private:
+    enum class Region : std::uint8_t { Direct, Backup, Overflow };
+
+    struct Slot
+    {
+        Hypothesis hyp;
+        Region region;
+    };
+
+    std::size_t backupEntries_;
+    unsigned indexBits_;
+    std::vector<StateId> directOwner_;
+    std::vector<std::uint8_t> directValid_;
+    std::unordered_map<StateId, Slot> table_;
+    std::size_t backupUsed_;
+};
+
+/**
+ * Verbatim port of the seed decode loop: append-only trace vector,
+ * per-frame best-cost rescans, a fresh survivor vector per frame and
+ * virtual selector calls throughout.
+ */
+DecodeResult
+referenceDecode(const Wfst &fst, const DecoderConfig &config,
+                const AcousticScores &scores,
+                HypothesisSelector &selector)
+{
+    DecodeResult result;
+    const std::size_t frames = scores.frameCount();
+    if (frames == 0)
+        return result;
+
+    std::vector<TraceNode> &trace = result.trace;
+    trace.push_back({kEpsilon, 0});
+
+    std::vector<Hypothesis> active;
+    active.push_back({fst.start(), 0.0f, 0});
+
+    result.frames.resize(frames);
+
+    const auto fill_totals = [&result] {
+        for (const auto &f : result.frames) {
+            result.generatedTotal += f.generated;
+            result.survivorTotal += f.survivors;
+            result.survivorPeak =
+                std::max(result.survivorPeak, f.survivors);
+        }
+    };
+
+    for (std::size_t t = 0; t < frames; ++t) {
+        FrameActivity &activity = result.frames[t];
+        float best = std::numeric_limits<float>::infinity();
+        for (const auto &h : active)
+            best = std::min(best, h.cost);
+        const float lattice_beam = best + config.beam;
+
+        selector.beginFrame();
+        for (const auto &token : active) {
+            if (token.cost > lattice_beam)
+                continue;
+            ++activity.expanded;
+            const std::size_t end = fst.arcEnd(token.state);
+            for (std::size_t a = fst.arcBegin(token.state); a < end;
+                 ++a) {
+                const Arc &arc = fst.arc(a);
+                Hypothesis hyp;
+                hyp.state = arc.dest;
+                hyp.cost = token.cost + arc.weight +
+                    scores.cost(t, arc.ilabel);
+                if (arc.olabel != kEpsilon) {
+                    hyp.trace =
+                        static_cast<std::uint32_t>(trace.size());
+                    trace.push_back({arc.olabel, token.trace});
+                } else {
+                    hyp.trace = token.trace;
+                }
+                selector.insert(hyp);
+                ++activity.generated;
+            }
+        }
+
+        active = selector.finishFrame();
+        activity.selector = selector.frameStats();
+        activity.survivors = active.size();
+        if (active.empty()) {
+            fill_totals();
+            return result;
+        }
+    }
+
+    result.finalTokens = active;
+
+    const Hypothesis *best_final = nullptr;
+    float best_final_cost = std::numeric_limits<float>::infinity();
+    const Hypothesis *best_any = nullptr;
+    float best_any_cost = std::numeric_limits<float>::infinity();
+    for (const auto &h : active) {
+        if (h.cost < best_any_cost) {
+            best_any_cost = h.cost;
+            best_any = &h;
+        }
+        const float final_cost = fst.finalCost(h.state);
+        if (final_cost != kInfinityCost &&
+            h.cost + final_cost < best_final_cost) {
+            best_final_cost = h.cost + final_cost;
+            best_final = &h;
+        }
+    }
+
+    const Hypothesis *winner = best_final ? best_final : best_any;
+    result.reachedFinal = best_final != nullptr;
+    result.totalCost = best_final ? best_final_cost : best_any_cost;
+    result.words = result.backtrace(winner->trace);
+    fill_totals();
+    return result;
+}
+
+void
+expectSameDecode(const DecodeResult &got, const DecodeResult &want,
+                 const std::string &label)
+{
+    EXPECT_EQ(got.words, want.words) << label;
+    EXPECT_DOUBLE_EQ(got.totalCost, want.totalCost) << label;
+    EXPECT_EQ(got.reachedFinal, want.reachedFinal) << label;
+    ASSERT_EQ(got.frames.size(), want.frames.size()) << label;
+    for (std::size_t t = 0; t < want.frames.size(); ++t) {
+        const FrameActivity &g = got.frames[t];
+        const FrameActivity &w = want.frames[t];
+        ASSERT_EQ(g.generated, w.generated) << label << " frame " << t;
+        ASSERT_EQ(g.expanded, w.expanded) << label << " frame " << t;
+        ASSERT_EQ(g.survivors, w.survivors) << label << " frame " << t;
+        ASSERT_EQ(g.selector.insertions, w.selector.insertions)
+            << label << " frame " << t;
+        ASSERT_EQ(g.selector.recombinations, w.selector.recombinations)
+            << label << " frame " << t;
+        ASSERT_EQ(g.selector.collisions, w.selector.collisions)
+            << label << " frame " << t;
+        ASSERT_EQ(g.selector.backupAccesses, w.selector.backupAccesses)
+            << label << " frame " << t;
+        ASSERT_EQ(g.selector.overflowAccesses,
+                  w.selector.overflowAccesses)
+            << label << " frame " << t;
+        ASSERT_EQ(g.selector.evictions, w.selector.evictions)
+            << label << " frame " << t;
+        ASSERT_EQ(g.selector.rejections, w.selector.rejections)
+            << label << " frame " << t;
+    }
+    EXPECT_EQ(got.totalGenerated(), want.totalGenerated()) << label;
+    EXPECT_EQ(got.totalSurvivors(), want.totalSurvivors()) << label;
+    EXPECT_EQ(got.maxSurvivorsPerFrame(), want.maxSurvivorsPerFrame())
+        << label;
+    // The arena appends exactly the node stream the seed appended
+    // (sentinel excluded); collection can only shrink what is retained.
+    EXPECT_EQ(got.traceStats.allocated, want.trace.size() - 1) << label;
+    EXPECT_LE(got.trace.size(), want.trace.size()) << label;
+}
+
+TEST(DecodeSeedEquivalence, AllSelectorsBitIdentical)
+{
+    auto &ctx = faultContext(777);
+    FaultInjector::global().disarm();
+    const SystemConfig config =
+        ctx.setup.configFor(SearchMode::Baseline, PruneLevel::P90);
+    const DecoderConfig dc{config.beam};
+    const ViterbiDecoder decoder(ctx.fst, dc);
+    const auto &vc = ctx.system.platform().viterbiBaseline;
+
+    for (const auto &utt : ctx.testSet) {
+        const auto scores = ctx.system.scoresFor(utt, config.prune);
+
+        // Unbounded: devirtualized kernel + deferred stats replay vs
+        // the seed's virtual loop + online classification.
+        UnboundedSelector unbounded(vc.hashEntries, vc.backupEntries);
+        SeedUnboundedSelector seed_unbounded(vc.hashEntries,
+                                             vc.backupEntries);
+        const DecodeResult want =
+            referenceDecode(ctx.fst, dc, *scores, seed_unbounded);
+        expectSameDecode(decoder.decode(*scores, unbounded), want,
+                         "unbounded");
+
+        // Observer attached (empty tee): the kObserved instantiation
+        // must not perturb anything.
+        UnboundedSelector unbounded2(vc.hashEntries, vc.backupEntries);
+        TeeSearchObserver tee(nullptr, nullptr);
+        expectSameDecode(decoder.decode(*scores, unbounded2, &tee),
+                         want, "unbounded+observer");
+
+        // The three bounded selectors run the generic kernel; the
+        // reference runs the same selector through the seed loop, so
+        // any divergence is the kernel's fault.
+        AccurateNBest accurate(128), accurate_ref(128);
+        expectSameDecode(
+            decoder.decode(*scores, accurate),
+            referenceDecode(ctx.fst, dc, *scores, accurate_ref),
+            "accurate");
+
+        DirectMappedHash direct(256), direct_ref(256);
+        expectSameDecode(
+            decoder.decode(*scores, direct),
+            referenceDecode(ctx.fst, dc, *scores, direct_ref),
+            "direct");
+
+        SetAssociativeHash setassoc(256, 8), setassoc_ref(256, 8);
+        const DecodeResult want_sa =
+            referenceDecode(ctx.fst, dc, *scores, setassoc_ref);
+        expectSameDecode(decoder.decode(*scores, setassoc), want_sa,
+                         "setassoc");
+        SetAssociativeHash setassoc2(256, 8);
+        TeeSearchObserver tee2(nullptr, nullptr);
+        expectSameDecode(decoder.decode(*scores, setassoc2, &tee2),
+                         want_sa, "setassoc+observer");
+    }
+}
+
+class DecodeEquivalenceThreadsProperty
+    : public ::testing::TestWithParam<std::size_t>
+{};
+
+TEST_P(DecodeEquivalenceThreadsProperty,
+       FaultedSweepMatchesReferenceAggregates)
+{
+    const std::size_t threads = GetParam();
+    auto &ctx = faultContext(777);
+    const SystemConfig config =
+        ctx.setup.configFor(SearchMode::Baseline, PruneLevel::P90);
+    const auto utts = ctx.corpus.sampleUtterances(6, 2024);
+    const std::size_t faulted = 2;
+
+    // Expected healthy aggregates from the seed decode loop.
+    FaultInjector::global().disarm();
+    const auto &vc = ctx.system.platform().viterbiBaseline;
+    std::uint64_t frames = 0, survivors = 0, generated = 0;
+    std::vector<std::vector<WordId>> hyps, refs;
+    for (std::size_t i = 0; i < utts.size(); ++i) {
+        if (i == faulted)
+            continue;
+        const auto scores = ctx.system.scoresFor(utts[i], config.prune);
+        SeedUnboundedSelector seed(vc.hashEntries, vc.backupEntries);
+        const DecodeResult want = referenceDecode(
+            ctx.fst, DecoderConfig{config.beam}, *scores, seed);
+        frames += want.frames.size();
+        survivors += want.totalSurvivors();
+        generated += want.totalGenerated();
+        hyps.push_back(want.words);
+        refs.push_back(utts[i].words);
+    }
+    const EditStats wer = scoreTranscripts(hyps, refs);
+
+    // A timed-out decode on one utterance must not disturb the other
+    // utterances' (production) decodes at any worker count.
+    FaultPlan plan;
+    FaultRule rule;
+    rule.probe = "decoder.decode";
+    rule.kind = FaultKind::Timeout;
+    rule.keys = {utts[faulted].id};
+    plan.rules.push_back(rule);
+    ScopedFaultPlan scoped(std::move(plan));
+
+    const TestSetResult result =
+        ctx.system.runTestSet(utts, config, threads);
+    EXPECT_EQ(result.degraded, 1u);
+    EXPECT_EQ(result.frames, frames);
+    EXPECT_EQ(result.survivors, survivors);
+    EXPECT_EQ(result.generated, generated);
+    EXPECT_EQ(result.wer.substitutions, wer.substitutions);
+    EXPECT_EQ(result.wer.insertions, wer.insertions);
+    EXPECT_EQ(result.wer.deletions, wer.deletions);
+    EXPECT_EQ(result.wer.referenceLength, wer.referenceLength);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, DecodeEquivalenceThreadsProperty,
+                         ::testing::Values(1, 2, 4));
 
 } // namespace
 } // namespace darkside

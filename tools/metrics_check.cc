@@ -20,6 +20,9 @@
  *   - store.* namespace (when present): the five artifact-store
  *     outcome counters exist with the right units and are
  *     deterministic (docs/STORE.md)
+ *   - decode.trace.* namespace (when present): the trace-arena
+ *     counters exist with the right units, are deterministic, and
+ *     collected <= allocated (docs/METRICS.md)
  *
  * With --expect-faults, a file whose fault.injected.* total is zero
  * (or absent) fails — CI uses this to prove a fault plan actually
@@ -349,6 +352,95 @@ checkStoreNamespace(const JsonValue &root)
     }
 }
 
+/**
+ * decode.trace.* namespace: when any trace counter is present the
+ * whole family must be, with the documented units, all deterministic
+ * (trace accounting is per-utterance-serial integer counts), and
+ * collected nodes can never exceed allocated nodes. The peak_live
+ * histogram, when present, must carry the "nodes" unit and be
+ * deterministic too.
+ */
+void
+checkDecodeTraceNamespace(const JsonValue &root)
+{
+    const JsonValue *counters = root.member("counters");
+    if (!counters || !counters->isArray())
+        return; // section() already reported this
+
+    std::map<std::string, const JsonValue *> trace;
+    for (const JsonValue &c : counters->asArray()) {
+        const JsonValue *name = c.member("name");
+        if (name && name->isString() &&
+            name->asString().rfind("decode.trace.", 0) == 0)
+            trace[name->asString()] = &c;
+    }
+    if (trace.empty())
+        return;
+
+    const struct
+    {
+        const char *name;
+        const char *unit;
+    } required[] = {
+        {"decode.trace.allocated", "nodes"},
+        {"decode.trace.collected", "nodes"},
+        {"decode.trace.gc_runs", "collections"},
+    };
+    for (const auto &r : required) {
+        auto it = trace.find(r.name);
+        if (it == trace.end()) {
+            fail(std::string("decode.trace.* present but '") + r.name +
+                 "' is missing");
+            continue;
+        }
+        const JsonValue &c = *it->second;
+        const JsonValue *unit = c.member("unit");
+        if (unit && unit->isString() && unit->asString() != r.unit) {
+            fail(std::string(r.name) + ": unit '" + unit->asString() +
+                 "' != '" + r.unit + "'");
+        }
+        const JsonValue *det = c.member("deterministic");
+        if (det && det->isBool() && !det->asBool())
+            fail(std::string(r.name) + ": must be deterministic");
+    }
+
+    const auto counterValue =
+        [&](const char *name, double &out) -> bool {
+        auto it = trace.find(name);
+        if (it == trace.end())
+            return false;
+        const JsonValue *value = it->second->member("value");
+        if (!value || !value->isNonNegativeInteger())
+            return false;
+        out = value->asNumber();
+        return true;
+    };
+    double allocated = 0.0, collected = 0.0;
+    if (counterValue("decode.trace.allocated", allocated) &&
+        counterValue("decode.trace.collected", collected) &&
+        collected > allocated) {
+        fail("decode.trace.collected exceeds decode.trace.allocated");
+    }
+
+    const JsonValue *histograms = root.member("histograms");
+    if (!histograms || !histograms->isArray())
+        return;
+    for (const JsonValue &h : histograms->asArray()) {
+        const JsonValue *name = h.member("name");
+        if (!name || !name->isString() ||
+            name->asString() != "decode.trace.peak_live")
+            continue;
+        const JsonValue *unit = h.member("unit");
+        if (unit && unit->isString() && unit->asString() != "nodes") {
+            fail("decode.trace.peak_live: unit '" + unit->asString() +
+                 "' != 'nodes'");
+        }
+        const JsonValue *det = h.member("deterministic");
+        if (det && det->isBool() && !det->asBool())
+            fail("decode.trace.peak_live: must be deterministic");
+    }
+}
+
 void
 checkFile(const char *path, bool expect_faults)
 {
@@ -388,6 +480,7 @@ checkFile(const char *path, bool expect_faults)
     checkHistograms(root);
     checkFaultNamespace(root, expect_faults);
     checkStoreNamespace(root);
+    checkDecodeTraceNamespace(root);
 }
 
 // --- --diff mode --------------------------------------------------------
