@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.hh"
+#include "dnn/inference.hh"
 #include "nbest/selectors.hh"
 #include "pruning/quantizer.hh"
 #include "util/text_table.hh"
@@ -74,6 +75,49 @@ main(int argc, char **argv)
             if (bits == 8) {
                 std::printf("%s\n",
                             report.render().c_str());
+                // The executable int8 path: the same codes the 8-bit
+                // fake quant wrote back (WeightQuantizer attaches
+                // them), scored through the integer kernel with
+                // dynamic activation quantization. The WER delta vs
+                // the fake-quant float path measures what activation
+                // quantization adds on top of weight quantization.
+                InferenceOptions opts;
+                opts.precision = ScoringPrecision::Int8;
+                const InferenceEngine engine(quantized, opts);
+                EditStats fake_wer, int8_wer;
+                for (const auto &utt : ctx.testSet) {
+                    const auto inputs =
+                        ctx.corpus.spliceUtterance(utt);
+                    const auto fake_scores = AcousticScores::fromMlp(
+                        quantized, inputs,
+                        ctx.setup.platform.acousticScale);
+                    const auto int8_scores =
+                        AcousticScores::fromEngine(
+                            engine, inputs,
+                            ctx.setup.platform.acousticScale);
+                    UnboundedSelector s1(
+                        ctx.setup.platform.viterbiBaseline.hashEntries,
+                        ctx.setup.platform.viterbiBaseline
+                            .backupEntries);
+                    UnboundedSelector s2(
+                        ctx.setup.platform.viterbiBaseline.hashEntries,
+                        ctx.setup.platform.viterbiBaseline
+                            .backupEntries);
+                    fake_wer.merge(alignSequences(
+                        utt.words, decoder.decode(fake_scores, s1)
+                                       .words));
+                    int8_wer.merge(alignSequences(
+                        utt.words, decoder.decode(int8_scores, s2)
+                                       .words));
+                }
+                std::printf("int8 kernel path (%zu int8 FC layers): "
+                            "WER %.2f%% vs fake-quant float %.2f%% "
+                            "(delta %+.2f)\n\n",
+                            engine.int8FcCount(),
+                            100.0 * int8_wer.wordErrorRate(),
+                            100.0 * fake_wer.wordErrorRate(),
+                            100.0 * (int8_wer.wordErrorRate() -
+                                     fake_wer.wordErrorRate()));
             }
         }
         std::printf("%s\n", table.render().c_str());

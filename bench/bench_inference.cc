@@ -1,13 +1,18 @@
 /**
  * @file
  * Inference-engine throughput bench: frames/sec of acoustic scoring for
- * the per-frame dense gemv path vs. the batched InferenceEngine vs. the
- * thread-parallel engine, at every pruning level, plus a per-layer
- * dense-vs-CSR micro comparison and end-to-end runTestSet scaling.
+ * the per-frame dense gemv path vs. the batched InferenceEngine — with
+ * the scalar kernels pinned, with the dispatched (SIMD when available)
+ * kernels, with 4 threads, and on the int8 quantized path — at every
+ * pruning level, plus a per-layer dense-vs-CSR micro comparison and
+ * end-to-end runTestSet scaling.
  *
  * Prints a human-readable table and emits a JSON blob (stdout, and to a
  * file when a path is given as argv[1] or $DARKSIDE_BENCH_JSON) so the
- * repo's performance trajectory is machine-trackable across PRs.
+ * repo's performance trajectory is machine-trackable across PRs. The
+ * blob records which kernel backend the dispatcher chose
+ * ("kernel_backend"); the CI perf smoke runs the bench twice and fails
+ * on a dispatch mismatch between runs.
  */
 
 #include <chrono>
@@ -23,6 +28,7 @@
 #include "bench/bench_common.hh"
 #include "dnn/inference.hh"
 #include "pruning/sparse_layer.hh"
+#include "tensor/kernels.hh"
 #include "util/rng.hh"
 #include "util/thread_pool.hh"
 
@@ -53,10 +59,15 @@ struct LevelReport
     std::string label;
     double density = 1.0;
     double gemvFps = 0.0;
+    /** Batched engine with the scalar kernels pinned (the baseline). */
+    double scalarBatchFps = 0.0;
+    /** Batched engine on the dispatched (widest available) backend. */
     double batchFps = 0.0;
     double batch4Fps = 0.0;
+    /** Batched engine on the int8 quantized path, dispatched backend. */
+    double int8Fps = 0.0;
     /** Dense-batch time / CSR time over the masked FC layers (0 when
-     *  the model has none). */
+     *  the model has none), both on the dispatched backend. */
     double csrLayerSpeedup = 0.0;
 };
 
@@ -71,13 +82,20 @@ csrLayerSpeedup(const Mlp &mlp, std::size_t batch)
         if (!fc->hasMask())
             continue;
         const SparseLayer sparse(*fc);
+        const kernels::CsrView view = sparse.csrView();
         Matrix x(batch, fc->inputSize());
         x.randomize(rng, 1.0f);
         Matrix y;
+        kernels::KernelScratch scratch;
         dense_total += timeCall([&] {
-            gemmBatch(x, fc->weights(), fc->biases(), y);
+            const Status s = kernels::denseForward(
+                x, fc->weights(), fc->biases(), y, scratch);
+            ds_assert(s.isOk());
         });
-        sparse_total += timeCall([&] { sparse.forwardBatch(x, y); });
+        sparse_total += timeCall([&] {
+            const Status s = kernels::sparseForward(x, view, y, scratch);
+            ds_assert(s.isOk());
+        });
     }
     return sparse_total > 0.0 ? dense_total / sparse_total : 0.0;
 }
@@ -89,9 +107,12 @@ run(int argc, char **argv)
 {
     printBanner("bench_inference",
                 "acoustic scoring throughput: dense gemv vs batched "
-                "engine vs threads");
+                "engine (scalar / SIMD / int8) vs threads");
 
     auto &ctx = context();
+    const kernels::KernelBackend backend =
+        kernels::activeKernelBackend();
+    const char *backend_name = kernels::kernelBackendName(backend);
 
     // All spliced frames of the shared test set, as one scoring load.
     std::vector<Vector> inputs;
@@ -104,14 +125,22 @@ run(int argc, char **argv)
     const auto frames = static_cast<double>(inputs.size());
     const unsigned cores = std::thread::hardware_concurrency();
     std::printf("scoring load: %zu utterances, %zu frames "
-                "(%u hardware threads)\n\n",
-                ctx.testSet.size(), inputs.size(), cores);
+                "(%u hardware threads, kernel backend: %s)\n\n",
+                ctx.testSet.size(), inputs.size(), cores, backend_name);
 
     std::vector<LevelReport> reports;
     ThreadPool pool4(4);
     for (PruneLevel level : kAllPruneLevels) {
         const Mlp &mlp = ctx.zoo.model(level);
         const InferenceEngine engine(mlp);
+
+        InferenceOptions scalar_opts;
+        scalar_opts.backend = kernels::KernelBackend::Scalar;
+        const InferenceEngine scalarEngine(mlp, scalar_opts);
+
+        InferenceOptions int8_opts;
+        int8_opts.precision = ScoringPrecision::Int8;
+        const InferenceEngine int8Engine(mlp, int8_opts);
 
         LevelReport r;
         r.label = pruneLevelName(level);
@@ -132,20 +161,28 @@ run(int argc, char **argv)
         });
 
         std::vector<Vector> posteriors;
+        r.scalarBatchFps = frames / timeCall([&] {
+            scalarEngine.forwardAll(inputs, posteriors);
+        });
         r.batchFps = frames / timeCall([&] {
             engine.forwardAll(inputs, posteriors);
         });
         r.batch4Fps = frames / timeCall([&] {
             engine.forwardAll(inputs, posteriors, &pool4);
         });
+        r.int8Fps = frames / timeCall([&] {
+            int8Engine.forwardAll(inputs, posteriors);
+        });
         r.csrLayerSpeedup = csrLayerSpeedup(mlp, engine.batchFrames());
 
-        std::printf("%-12s density %.2f | gemv %9.0f f/s | "
-                    "batch %9.0f f/s (%4.2fx) | 4 threads %9.0f f/s "
-                    "(%4.2fx) | CSR-layer speedup %4.2fx\n",
-                    r.label.c_str(), r.density, r.gemvFps, r.batchFps,
-                    r.batchFps / r.gemvFps, r.batch4Fps,
-                    r.batch4Fps / r.gemvFps, r.csrLayerSpeedup);
+        std::printf("%-12s density %.2f | gemv %8.0f f/s | "
+                    "scalar %8.0f f/s | %s %8.0f f/s (%4.2fx) | "
+                    "4 threads %8.0f f/s | int8 %8.0f f/s (%4.2fx) | "
+                    "CSR-layer %4.2fx\n",
+                    r.label.c_str(), r.density, r.gemvFps,
+                    r.scalarBatchFps, backend_name, r.batchFps,
+                    r.batchFps / r.scalarBatchFps, r.batch4Fps, r.int8Fps,
+                    r.int8Fps / r.scalarBatchFps, r.csrLayerSpeedup);
         reports.push_back(r);
     }
 
@@ -188,14 +225,17 @@ run(int argc, char **argv)
     std::ostringstream json;
     json << "{\n  \"frames\": " << inputs.size()
          << ",\n  \"hardware_threads\": " << cores
+         << ",\n  \"kernel_backend\": \"" << backend_name << "\""
          << ",\n  \"levels\": [";
     for (std::size_t i = 0; i < reports.size(); ++i) {
         const auto &r = reports[i];
         json << (i ? "," : "") << "\n    {\"label\": \"" << r.label
              << "\", \"density\": " << r.density
              << ", \"gemv_fps\": " << r.gemvFps
+             << ", \"scalar_batch_fps\": " << r.scalarBatchFps
              << ", \"batch_fps\": " << r.batchFps
              << ", \"batch4_fps\": " << r.batch4Fps
+             << ", \"int8_fps\": " << r.int8Fps
              << ", \"csr_layer_speedup\": " << r.csrLayerSpeedup << "}";
     }
     json << "\n  ],\n  \"testset_scaling\": [";

@@ -20,6 +20,7 @@ struct InferMetrics
     telemetry::Counter windows;
     telemetry::Counter denseFcWindows;
     telemetry::Counter sparseFcWindows;
+    telemetry::Counter int8FcWindows;
     telemetry::Histogram windowFrames;
     telemetry::Histogram windowWallUs;
 
@@ -35,6 +36,8 @@ struct InferMetrics
                 "dnn.infer.dense_fc_windows", "layer-windows");
             im.sparseFcWindows = reg.counter(
                 "dnn.infer.sparse_fc_windows", "layer-windows");
+            im.int8FcWindows = reg.counter(
+                "dnn.infer.int8_fc_windows", "layer-windows");
             im.windowFrames = reg.histogram(
                 "dnn.infer.window_frames", "frames", {0.0, 128.0, 32});
             im.windowWallUs = reg.histogram(
@@ -74,8 +77,23 @@ InferenceEngine::InferenceEngine(const Mlp &mlp, InferenceOptions options)
                     op.sparse = std::move(compiled);
                 }
             }
+            // Under Int8, dense FC layers run the quantized kernel
+            // (sufficiently sparse masked layers keep the float CSR
+            // path — they already skip most of the work, and the int8
+            // kernel is dense). Codes attached by WeightQuantizer are
+            // shared; otherwise quantize here at compile time.
+            if (op.kind == OpKind::DenseFc &&
+                options_.precision == ScoringPrecision::Int8) {
+                op.kind = OpKind::Int8Fc;
+                op.int8 = fc.hasInt8Weights()
+                    ? fc.int8Weights()
+                    : std::make_shared<const kernels::Int8Matrix>(
+                          kernels::Int8Matrix::quantize(fc.weights()));
+            }
             if (op.kind == OpKind::SparseFc)
                 ++sparseFc_;
+            else if (op.kind == OpKind::Int8Fc)
+                ++int8Fc_;
             else
                 ++denseFc_;
             break;
@@ -126,15 +144,32 @@ InferenceEngine::runBatch(const std::vector<Vector> &inputs,
         std::copy(in.begin(), in.end(), ws.a.rowPtr(f));
     }
 
+    // Operand shapes were validated when the plan was compiled, so a
+    // kernel Status failure here is an internal invariant violation.
+    const auto check = [](const Status &s) {
+        if (!s)
+            panic("inference kernel failed: %s", s.message().c_str());
+    };
+
     for (const auto &op : ops_) {
         switch (op.kind) {
           case OpKind::DenseFc:
-            gemmBatch(ws.a, op.fc->weights(), op.fc->biases(), ws.b);
+            check(kernels::denseForward(ws.a, op.fc->weights(),
+                                        op.fc->biases(), ws.b, ws.scratch,
+                                        options_.backend));
             metrics.denseFcWindows.add(1);
             break;
           case OpKind::SparseFc:
-            op.sparse->forwardBatch(ws.a, ws.b);
+            check(kernels::sparseForward(ws.a, op.sparse->csrView(),
+                                         ws.b, ws.scratch,
+                                         options_.backend));
             metrics.sparseFcWindows.add(1);
+            break;
+          case OpKind::Int8Fc:
+            check(kernels::int8Forward(ws.a, *op.int8, op.fc->biases(),
+                                       ws.b, ws.scratch,
+                                       options_.backend));
+            metrics.int8FcWindows.add(1);
             break;
           case OpKind::PNorm:
             ws.b.resize(frames, op.outWidth);

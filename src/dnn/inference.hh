@@ -5,17 +5,22 @@
  * An InferenceEngine is compiled once from a (possibly pruned) Mlp and
  * then evaluated over windows of spliced frames:
  *
- *  - Unmasked FC layers execute as cache-blocked batched GEMM
- *    (gemmBatch): weight rows are streamed once per group of frames
- *    instead of once per frame, turning the memory-bound per-frame gemv
- *    into a compute-bound batch kernel.
- *  - Masked FC layers compile to the CSR SparseLayer path, so a
- *    90%-pruned model does ~10% of the multiply-accumulate work — the
- *    "cheap DNN" side of the paper's trade-off that the per-frame dense
- *    path never realised.
+ *  - Unmasked FC layers execute as cache-blocked batched GEMM through
+ *    the runtime-dispatched kernels (tensor/kernels.hh): weight rows
+ *    are streamed once per group of frames instead of once per frame,
+ *    and on AVX2 hardware 8 frames are scored per SIMD lane group —
+ *    bit-identically to the scalar gemmBatch oracle.
+ *  - Masked FC layers compile to the CSR SparseLayer path (vectorized
+ *    SpMV), so a 90%-pruned model does ~10% of the multiply-accumulate
+ *    work — the "cheap DNN" side of the paper's trade-off that the
+ *    per-frame dense path never realised.
+ *  - With ScoringPrecision::Int8, dense FC layers instead run the int8
+ *    quantized kernel (per-layer symmetric weights x dynamic per-frame
+ *    activations, float dequantized accumulator) — the executable
+ *    counterpart of the `ablation_quantization` fake-quant axis.
  *  - P-norm / renormalise / softmax stages reuse the exact row kernels
- *    of the per-frame layers, keeping batched results bit-identical to
- *    Mlp::forward.
+ *    of the per-frame layers, keeping batched float results
+ *    bit-identical to Mlp::forward.
  *
  * Evaluation is reentrant: all scratch lives in a caller-provided
  * InferenceWorkspace, so one engine can serve many threads. The engine
@@ -30,9 +35,24 @@
 
 #include "dnn/mlp.hh"
 #include "pruning/sparse_layer.hh"
+#include "tensor/kernels.hh"
 #include "util/thread_pool.hh"
 
 namespace darkside {
+
+/** Numeric path the FC layers score with. */
+enum class ScoringPrecision : std::uint8_t {
+    /** Full-precision floats; bit-identical to Mlp::forward. */
+    Float32,
+    /**
+     * Int8 weights x dynamically quantized int8 activations with a
+     * float dequantized accumulator. Deterministic (identical for any
+     * thread count and kernel backend) but *not* bit-identical to the
+     * float path; the error bound is documented in tensor/kernels.hh.
+     * Sufficiently sparse masked layers still run the float CSR path.
+     */
+    Int8,
+};
 
 /** Compilation knobs. */
 struct InferenceOptions
@@ -45,6 +65,14 @@ struct InferenceOptions
      * batch kernel, where regular access patterns win.
      */
     double sparseDensityMax = 0.5;
+    /** FC numeric path (the `ablation_quantization` executable axis). */
+    ScoringPrecision precision = ScoringPrecision::Float32;
+    /**
+     * Kernel backend for the FC kernels. Defaults to the process-wide
+     * dispatch (DARKSIDE_KERNEL override, else the widest available);
+     * benches pin it to compare backends within one process.
+     */
+    kernels::KernelBackend backend = kernels::activeKernelBackend();
 };
 
 /** Per-call scratch: ping-pong activation matrices (frames x width). */
@@ -52,6 +80,8 @@ struct InferenceWorkspace
 {
     Matrix a;
     Matrix b;
+    /** Packing scratch for the dispatched kernels (per thread). */
+    kernels::KernelScratch scratch;
 };
 
 /**
@@ -74,8 +104,16 @@ class InferenceEngine
     std::size_t denseFcCount() const { return denseFc_; }
     /** FC layers running on the CSR sparse path. */
     std::size_t sparseFcCount() const { return sparseFc_; }
+    /** FC layers running the int8 quantized kernel. */
+    std::size_t int8FcCount() const { return int8Fc_; }
     /** Surviving weights across the CSR layers. */
     std::size_t sparseNonzeros() const;
+
+    /** The kernel backend this engine was compiled to dispatch to. */
+    kernels::KernelBackend kernelBackend() const
+    {
+        return options_.backend;
+    }
 
     /**
      * Score frames [begin, end) of `inputs`, writing posteriors[f] for
@@ -104,6 +142,7 @@ class InferenceEngine
     enum class OpKind : std::uint8_t {
         DenseFc,
         SparseFc,
+        Int8Fc,
         PNorm,
         Renorm,
         Softmax,
@@ -112,10 +151,13 @@ class InferenceEngine
     struct Op
     {
         OpKind kind;
-        /** Borrowed dense layer (DenseFc). */
+        /** Borrowed dense layer (DenseFc, Int8Fc — biases). */
         const FullyConnected *fc = nullptr;
         /** Owned CSR compilation (SparseFc). */
         std::unique_ptr<SparseLayer> sparse;
+        /** Int8 codes (Int8Fc): shared with the layer, or quantized at
+         *  compile time when none were attached. */
+        std::shared_ptr<const kernels::Int8Matrix> int8;
         std::size_t inWidth = 0;
         std::size_t outWidth = 0;
         /** Pooling group size (PNorm). */
@@ -132,6 +174,7 @@ class InferenceEngine
     std::size_t outputSize_ = 0;
     std::size_t denseFc_ = 0;
     std::size_t sparseFc_ = 0;
+    std::size_t int8Fc_ = 0;
 };
 
 } // namespace darkside

@@ -43,6 +43,8 @@ FullyConnected::backward(const Vector &in, const Vector &out,
     if (!trainable_ || lr == 0.0f)
         return;
 
+    int8_.reset(); // the update below invalidates any attached codes
+
     // W -= lr * d_out in^T, honouring the prune mask; b -= lr * d_out.
     const std::size_t cols = weights_.cols();
     for (std::size_t r = 0; r < weights_.rows(); ++r) {
@@ -78,6 +80,7 @@ FullyConnected::setMask(std::vector<std::uint8_t> mask)
 {
     ds_assert(mask.size() == weights_.size());
     ds_assert(trainable_);
+    int8_.reset(); // zeroing weights invalidates any attached codes
     mask_ = std::move(mask);
     float *w = weights_.data();
     for (std::size_t i = 0; i < mask_.size(); ++i) {
@@ -90,6 +93,25 @@ void
 FullyConnected::clearMask()
 {
     mask_.clear();
+}
+
+void
+FullyConnected::setInt8Weights(kernels::Int8Matrix q)
+{
+    setInt8Weights(std::make_shared<const kernels::Int8Matrix>(
+        std::move(q)));
+}
+
+void
+FullyConnected::setInt8Weights(
+    std::shared_ptr<const kernels::Int8Matrix> q)
+{
+    if (q) {
+        ds_assert(q->rows == outputSize());
+        ds_assert(q->cols == inputSize());
+        ds_assert(q->codes.size() == weights_.size());
+    }
+    int8_ = std::move(q);
 }
 
 std::size_t

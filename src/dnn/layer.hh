@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "tensor/kernels.hh"
 #include "tensor/matrix.hh"
 
 namespace darkside {
@@ -124,6 +125,24 @@ class FullyConnected : public Layer
     /** Weights surviving the mask (all weights when unmasked). */
     std::size_t nonzeroWeightCount() const;
 
+    /**
+     * Attach per-layer symmetric int8 codes for the quantized scoring
+     * path (normally done by WeightQuantizer at 8 bits). The codes must
+     * describe the *current* float weights; any later mutation of the
+     * weights (setMask(), a backward() update) discards them.
+     */
+    void setInt8Weights(kernels::Int8Matrix q);
+    void setInt8Weights(std::shared_ptr<const kernels::Int8Matrix> q);
+
+    bool hasInt8Weights() const { return int8_ != nullptr; }
+
+    /** Shared int8 codes, or nullptr when none are attached. */
+    const std::shared_ptr<const kernels::Int8Matrix> &
+    int8Weights() const
+    {
+        return int8_;
+    }
+
     std::size_t parameterCount() const override
     {
         return weights_.size() + biases_.size();
@@ -133,6 +152,7 @@ class FullyConnected : public Layer
     Matrix weights_;
     Vector biases_;
     std::vector<std::uint8_t> mask_;
+    std::shared_ptr<const kernels::Int8Matrix> int8_;
     bool trainable_;
 };
 

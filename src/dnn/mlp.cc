@@ -28,6 +28,10 @@ cloneLayer(const Layer &layer)
             auto mask = fc.mask();
             copy->setMask(std::move(mask));
         }
+        // Share attached int8 codes (immutable); must come after
+        // setMask(), which discards them.
+        if (fc.hasInt8Weights())
+            copy->setInt8Weights(fc.int8Weights());
         return copy;
       }
       case LayerKind::PNormPooling: {
@@ -204,6 +208,8 @@ Mlp::summary() const
             os << ", " << fc.weights().size() << " weights";
             if (fc.hasMask())
                 os << " (" << fc.nonzeroWeightCount() << " nonzero)";
+            if (fc.hasInt8Weights())
+                os << ", int8";
             if (!fc.trainable())
                 os << ", fixed";
         }

@@ -57,6 +57,22 @@ WeightQuantizer::quantize(Mlp &mlp) const
         const float scale = peak / max_code;
         stats.scale = scale;
 
+        // At 8 bits, also attach the integer codes so the engine's
+        // int8 scoring path can run on real int8 weights. The codes
+        // are built from the original weights in the same pass, with
+        // the same scale and rounding as the fake-quant write-back, so
+        // fake-quant float scoring and int8 scoring share one
+        // representation (and kernels::Int8Matrix::quantize reproduces
+        // them exactly).
+        kernels::Int8Matrix q;
+        const bool attach_int8 = bits_ == 8;
+        if (attach_int8) {
+            q.rows = fc->outputSize();
+            q.cols = fc->inputSize();
+            q.scale = scale;
+            q.codes.resize(count);
+        }
+
         double signal = 0.0;
         double noise = 0.0;
         for (std::size_t i = 0; i < count; ++i) {
@@ -67,8 +83,12 @@ WeightQuantizer::quantize(Mlp &mlp) const
                 static_cast<double>(original) - quantized;
             signal += static_cast<double>(original) * original;
             noise += err * err;
+            if (attach_int8)
+                q.codes[i] = static_cast<std::int8_t>(code);
             w[i] = quantized;
         }
+        if (attach_int8)
+            fc->setInt8Weights(std::move(q));
         stats.mse = noise / static_cast<double>(count);
         stats.sqnrDb = noise > 0.0
             ? 10.0 * std::log10(signal / noise)

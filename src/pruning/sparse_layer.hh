@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "dnn/layer.hh"
+#include "tensor/kernels.hh"
 
 namespace darkside {
 
@@ -67,6 +68,24 @@ class SparseLayer
     void forwardBatch(const Matrix &x, Matrix &y) const;
 
     const Vector &biases() const { return biases_; }
+
+    /**
+     * Borrowed view of the CSR arrays for the vectorized SpMV kernels
+     * (tensor/kernels.hh). Valid while this SparseLayer is alive and
+     * unmodified; forwardBatch() stays the scalar reference the kernel
+     * is bit-exact against.
+     */
+    kernels::CsrView csrView() const
+    {
+        kernels::CsrView v;
+        v.rowPtr = rowPtr_.data();
+        v.indices = indices_.data();
+        v.weights = weights_.data();
+        v.bias = biases_.data();
+        v.rows = outputSize();
+        v.cols = inputSize_;
+        return v;
+    }
 
   private:
     std::size_t inputSize_;

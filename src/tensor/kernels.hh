@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Runtime-dispatched scoring kernels: the vectorized fast paths behind
+ * the batched InferenceEngine (dense GEMM, CSR SpMV for magnitude-
+ * masked layers, and an int8 quantized GEMM).
+ *
+ * Dispatch contract:
+ *
+ *  - The backend is resolved once per process: the DARKSIDE_KERNEL
+ *    environment variable ("scalar" | "avx2") overrides, otherwise the
+ *    CPU is probed and the widest compiled-in backend wins. Non-x86
+ *    builds carry only the scalar backend.
+ *  - The float kernels are **bit-identical across backends**. The AVX2
+ *    kernels vectorize across *frames* (8 SIMD lanes = 8 frames) over a
+ *    transposed activation panel, so every (frame, output) accumulator
+ *    still visits columns in exactly the scalar gemv order, with
+ *    separate multiply and add roundings (no FMA contraction). The
+ *    scalar `gemmBatch` / CSR walk therefore stays the oracle the SIMD
+ *    paths are tested against, and `tensor_test` asserts exact
+ *    equality, not a tolerance.
+ *  - The int8 kernel accumulates in exact int32 arithmetic (order-
+ *    free), so its scalar and AVX2 arms are also bit-identical to each
+ *    other; against the float path it is bounded-error (per-layer
+ *    symmetric weight scale x per-frame symmetric activation scale,
+ *    float dequantized accumulator).
+ *
+ * Every entry point validates operand dimensions and reports
+ * mismatches as a Status error (the PR 3 error-propagation contract)
+ * instead of walking out of bounds.
+ */
+
+#ifndef DARKSIDE_TENSOR_KERNELS_HH
+#define DARKSIDE_TENSOR_KERNELS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hh"
+#include "util/status.hh"
+
+namespace darkside {
+namespace kernels {
+
+/** Kernel implementation families the dispatcher can select. */
+enum class KernelBackend : std::uint8_t {
+    /** Portable reference loops; the bit-exactness oracle. */
+    Scalar,
+    /** 8-wide AVX2 microkernels (x86-64 with AVX2 only). */
+    Avx2,
+};
+
+/** @return "scalar" / "avx2" (stable names, used in bench JSON). */
+const char *kernelBackendName(KernelBackend backend);
+
+/** @return true when this build carries the AVX2 kernels and the CPU
+ *  can run them. */
+bool avx2Available();
+
+/**
+ * The process-wide backend: DARKSIDE_KERNEL=scalar|avx2 overrides
+ * (requesting an unavailable backend is a fatal configuration error);
+ * otherwise AVX2 when available, scalar everywhere else. Resolved once
+ * and cached.
+ */
+KernelBackend activeKernelBackend();
+
+/**
+ * Borrowed CSR view of a pruned fully-connected layer — the handoff
+ * from `pruning/SparseLayer` (which owns the arrays) to the SpMV
+ * kernels. Entries of each row are stored in increasing column order;
+ * the bias pointer covers `rows` outputs.
+ */
+struct CsrView
+{
+    /** rows + 1 entries; row r spans [rowPtr[r], rowPtr[r + 1]). */
+    const std::size_t *rowPtr = nullptr;
+    const std::uint32_t *indices = nullptr;
+    const float *weights = nullptr;
+    const float *bias = nullptr;
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+};
+
+/**
+ * Row-major int8 weight matrix with one symmetric per-layer scale:
+ * weight = code * scale, codes in [-127, 127] (the -128 code is unused
+ * so negation cannot overflow). Matches the 8-bit arm of
+ * `pruning/WeightQuantizer`, which attaches its codes to the layer so
+ * the quantized inference path and the fake-quant ablation axis share
+ * one representation.
+ */
+struct Int8Matrix
+{
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    /** weight = code * scale; 0 for an all-zero matrix. */
+    float scale = 0.0f;
+    std::vector<std::int8_t> codes;
+
+    /** Symmetric per-layer quantization: scale = max|w| / 127. */
+    static Int8Matrix quantize(const Matrix &w);
+};
+
+/**
+ * Reusable packing scratch (one per evaluation thread; lives in the
+ * InferenceWorkspace). The float kernels pack the frame batch into a
+ * transposed (cols x frames) panel so 8 consecutive frames of one
+ * column are contiguous; the int8 kernel packs per-frame quantized
+ * rows and their scales.
+ */
+struct KernelScratch
+{
+    /** Transposed activation panel, cols x frames. */
+    std::vector<float> xt;
+    /** Row-major int8 activation codes, frames x cols. */
+    std::vector<std::int8_t> xq;
+    /** Per-frame symmetric activation scale (x = code * scale). */
+    std::vector<float> frameScale;
+};
+
+/**
+ * Y = X W^T + b (frames x out), dispatched. Bit-identical to the
+ * scalar `gemmBatch` for every backend.
+ *
+ * @return an error Status on operand dimension mismatch.
+ */
+[[nodiscard]] Status denseForward(
+    const Matrix &x, const Matrix &w, const Vector &b, Matrix &y,
+    KernelScratch &scratch, KernelBackend backend = activeKernelBackend());
+
+/**
+ * Y = X W_sparse^T + bias for a CSR-compiled masked layer, dispatched.
+ * Bit-identical to the dense kernels on the masked dense weights
+ * (pruned terms contribute exactly +0.0f in column order).
+ */
+[[nodiscard]] Status sparseForward(
+    const Matrix &x, const CsrView &w, Matrix &y, KernelScratch &scratch,
+    KernelBackend backend = activeKernelBackend());
+
+/**
+ * Quantized Y = X W^T + b: activations are quantized per frame
+ * (symmetric, dynamic), products accumulate in exact int32, and the
+ * accumulator is dequantized into float as
+ * `float(acc) * (w.scale * frameScale) + bias`. Scalar and AVX2 arms
+ * are bit-identical; error against the float path is bounded by the
+ * two quantization steps (see tensor_test's computed bound).
+ */
+[[nodiscard]] Status int8Forward(
+    const Matrix &x, const Int8Matrix &w, const Vector &b, Matrix &y,
+    KernelScratch &scratch, KernelBackend backend = activeKernelBackend());
+
+} // namespace kernels
+} // namespace darkside
+
+#endif // DARKSIDE_TENSOR_KERNELS_HH

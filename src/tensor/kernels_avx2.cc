@@ -1,0 +1,217 @@
+/**
+ * @file
+ * AVX2 microkernels. This TU is compiled with -mavx2 (and only this
+ * TU), guarded by DARKSIDE_HAVE_AVX2 from CMake. -mfma is deliberately
+ * NOT enabled: the bit-exactness contract requires the same separate
+ * multiply and add roundings as the scalar oracle, so a fused
+ * multiply-add — whether written or contracted by the compiler — would
+ * change results. Without the FMA ISA the compiler cannot contract.
+ *
+ * Float kernels vectorize across frames: lane j of a ymm register is
+ * frame f0 + j, and the column (or CSR entry) loop advances exactly as
+ * in the scalar kernels, so each lane replays the scalar accumulation
+ * order bit for bit. The int8 kernel vectorizes along columns with
+ * exact int32 accumulation (order-free), sharing the scalar arm's
+ * float dequant expression.
+ */
+
+#ifdef DARKSIDE_HAVE_AVX2
+
+#include <immintrin.h>
+
+#include "tensor/kernels_detail.hh"
+
+namespace darkside {
+namespace kernels {
+namespace detail {
+
+namespace {
+
+/** Store lane j of `acc` (+ bias) into y.rowPtr(f0 + j)[r]. */
+inline void
+scatterColumn(__m256 acc, float bias, Matrix &y, std::size_t f0,
+              std::size_t r)
+{
+    const __m256 v = _mm256_add_ps(acc, _mm256_set1_ps(bias));
+    alignas(32) float lanes[8];
+    _mm256_store_ps(lanes, v);
+    for (std::size_t j = 0; j < 8; ++j)
+        y.rowPtr(f0 + j)[r] = lanes[j];
+}
+
+/** Sum the 8 int32 lanes of `v` exactly. */
+inline std::int32_t
+hsumInt32(__m256i v)
+{
+    const __m128i lo = _mm256_castsi256_si128(v);
+    const __m128i hi = _mm256_extracti128_si256(v, 1);
+    __m128i s = _mm_add_epi32(lo, hi);
+    s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+    s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+    return _mm_cvtsi128_si32(s);
+}
+
+/** Sign-extend 16 int8 codes to int16 lanes. */
+inline __m256i
+load16As16(const std::int8_t *p)
+{
+    return _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(p)));
+}
+
+} // namespace
+
+void
+denseForwardAvx2(const float *xt, std::size_t frames,
+                 std::size_t groups8, const Matrix &w, const float *bias,
+                 Matrix &y)
+{
+    const std::size_t in = w.cols();
+    const std::size_t out = w.rows();
+    // Register tile: 4 weight rows x 8 frames. Row tiles are the outer
+    // loop so the 4 active weight rows stay L1-resident while the
+    // panel streams; one panel load feeds 4 accumulators.
+    std::size_t r0 = 0;
+    for (; r0 + 4 <= out; r0 += 4) {
+        const float *w0 = w.rowPtr(r0);
+        const float *w1 = w.rowPtr(r0 + 1);
+        const float *w2 = w.rowPtr(r0 + 2);
+        const float *w3 = w.rowPtr(r0 + 3);
+        for (std::size_t g = 0; g < groups8; ++g) {
+            const std::size_t f0 = g * 8;
+            __m256 a0 = _mm256_setzero_ps();
+            __m256 a1 = _mm256_setzero_ps();
+            __m256 a2 = _mm256_setzero_ps();
+            __m256 a3 = _mm256_setzero_ps();
+            const float *panel = xt + f0;
+            for (std::size_t c = 0; c < in; ++c) {
+                const __m256 xv = _mm256_loadu_ps(panel + c * frames);
+                a0 = _mm256_add_ps(
+                    a0, _mm256_mul_ps(_mm256_set1_ps(w0[c]), xv));
+                a1 = _mm256_add_ps(
+                    a1, _mm256_mul_ps(_mm256_set1_ps(w1[c]), xv));
+                a2 = _mm256_add_ps(
+                    a2, _mm256_mul_ps(_mm256_set1_ps(w2[c]), xv));
+                a3 = _mm256_add_ps(
+                    a3, _mm256_mul_ps(_mm256_set1_ps(w3[c]), xv));
+            }
+            scatterColumn(a0, bias[r0], y, f0, r0);
+            scatterColumn(a1, bias[r0 + 1], y, f0, r0 + 1);
+            scatterColumn(a2, bias[r0 + 2], y, f0, r0 + 2);
+            scatterColumn(a3, bias[r0 + 3], y, f0, r0 + 3);
+        }
+    }
+    for (; r0 < out; ++r0) { // remainder rows, one at a time
+        const float *wr = w.rowPtr(r0);
+        for (std::size_t g = 0; g < groups8; ++g) {
+            const std::size_t f0 = g * 8;
+            __m256 acc = _mm256_setzero_ps();
+            const float *panel = xt + f0;
+            for (std::size_t c = 0; c < in; ++c) {
+                acc = _mm256_add_ps(
+                    acc, _mm256_mul_ps(_mm256_set1_ps(wr[c]),
+                                       _mm256_loadu_ps(panel +
+                                                       c * frames)));
+            }
+            scatterColumn(acc, bias[r0], y, f0, r0);
+        }
+    }
+}
+
+void
+sparseForwardAvx2(const float *xt, std::size_t frames,
+                  std::size_t groups8, const CsrView &w, Matrix &y)
+{
+    // One CSR stream walk per (row, 8-frame group); entries accumulate
+    // in stored (column) order, matching the scalar walk per lane.
+    for (std::size_t g = 0; g < groups8; ++g) {
+        const std::size_t f0 = g * 8;
+        const float *panel = xt + f0;
+        for (std::size_t r = 0; r < w.rows; ++r) {
+            __m256 acc = _mm256_setzero_ps();
+            const std::size_t end = w.rowPtr[r + 1];
+            for (std::size_t i = w.rowPtr[r]; i < end; ++i) {
+                const __m256 xv = _mm256_loadu_ps(
+                    panel + static_cast<std::size_t>(w.indices[i]) *
+                        frames);
+                acc = _mm256_add_ps(
+                    acc, _mm256_mul_ps(_mm256_set1_ps(w.weights[i]),
+                                       xv));
+            }
+            scatterColumn(acc, w.bias[r], y, f0, r);
+        }
+    }
+}
+
+void
+int8ForwardAvx2(const std::int8_t *xq, const float *frame_scale,
+                std::size_t frames, const Int8Matrix &w,
+                const float *bias, Matrix &y)
+{
+    const std::size_t cols = w.cols;
+    const std::size_t out = w.rows;
+    const std::size_t c16 = cols & ~static_cast<std::size_t>(15);
+    for (std::size_t f = 0; f < frames; ++f) {
+        const std::int8_t *xf = xq + f * cols;
+        const float m = w.scale * frame_scale[f];
+        float *yf = y.rowPtr(f);
+        std::size_t r0 = 0;
+        // 4 weight rows share each 16-code activation load; products
+        // madd pairwise into int32 lanes (exact: |pair sum| <= 2*127^2).
+        for (; r0 + 4 <= out; r0 += 4) {
+            const std::int8_t *w0 = w.codes.data() + r0 * cols;
+            const std::int8_t *w1 = w0 + cols;
+            const std::int8_t *w2 = w1 + cols;
+            const std::int8_t *w3 = w2 + cols;
+            __m256i a0 = _mm256_setzero_si256();
+            __m256i a1 = _mm256_setzero_si256();
+            __m256i a2 = _mm256_setzero_si256();
+            __m256i a3 = _mm256_setzero_si256();
+            for (std::size_t c = 0; c < c16; c += 16) {
+                const __m256i xv = load16As16(xf + c);
+                a0 = _mm256_add_epi32(
+                    a0, _mm256_madd_epi16(xv, load16As16(w0 + c)));
+                a1 = _mm256_add_epi32(
+                    a1, _mm256_madd_epi16(xv, load16As16(w1 + c)));
+                a2 = _mm256_add_epi32(
+                    a2, _mm256_madd_epi16(xv, load16As16(w2 + c)));
+                a3 = _mm256_add_epi32(
+                    a3, _mm256_madd_epi16(xv, load16As16(w3 + c)));
+            }
+            std::int32_t s0 = hsumInt32(a0);
+            std::int32_t s1 = hsumInt32(a1);
+            std::int32_t s2 = hsumInt32(a2);
+            std::int32_t s3 = hsumInt32(a3);
+            for (std::size_t c = c16; c < cols; ++c) {
+                const std::int32_t xv = xf[c];
+                s0 += xv * w0[c];
+                s1 += xv * w1[c];
+                s2 += xv * w2[c];
+                s3 += xv * w3[c];
+            }
+            yf[r0] = static_cast<float>(s0) * m + bias[r0];
+            yf[r0 + 1] = static_cast<float>(s1) * m + bias[r0 + 1];
+            yf[r0 + 2] = static_cast<float>(s2) * m + bias[r0 + 2];
+            yf[r0 + 3] = static_cast<float>(s3) * m + bias[r0 + 3];
+        }
+        for (; r0 < out; ++r0) {
+            const std::int8_t *wr = w.codes.data() + r0 * cols;
+            __m256i acc = _mm256_setzero_si256();
+            for (std::size_t c = 0; c < c16; c += 16) {
+                acc = _mm256_add_epi32(
+                    acc, _mm256_madd_epi16(load16As16(xf + c),
+                                           load16As16(wr + c)));
+            }
+            std::int32_t sum = hsumInt32(acc);
+            for (std::size_t c = c16; c < cols; ++c)
+                sum += static_cast<std::int32_t>(xf[c]) * wr[c];
+            yf[r0] = static_cast<float>(sum) * m + bias[r0];
+        }
+    }
+}
+
+} // namespace detail
+} // namespace kernels
+} // namespace darkside
+
+#endif // DARKSIDE_HAVE_AVX2

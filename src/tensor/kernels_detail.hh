@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Internal interface between the kernel dispatcher (kernels.cc) and
+ * the AVX2 translation unit (kernels_avx2.cc, compiled with -mavx2
+ * only when the toolchain targets x86-64). Not installed; the public
+ * API is tensor/kernels.hh.
+ *
+ * The AVX2 entry points cover only the *full* part of the iteration
+ * space — complete 8-frame groups of the transposed panel for the
+ * float kernels, whole frames for int8 — and the dispatcher finishes
+ * remainders with the shared scalar tails, preserving the per-
+ * (frame, output) accumulation order everywhere.
+ */
+
+#ifndef DARKSIDE_TENSOR_KERNELS_DETAIL_HH
+#define DARKSIDE_TENSOR_KERNELS_DETAIL_HH
+
+#include "tensor/kernels.hh"
+
+namespace darkside {
+namespace kernels {
+namespace detail {
+
+/**
+ * Dense microkernel over full 8-frame groups [0, groups8 * 8) of the
+ * transposed panel `xt` (cols x frames, stride = frames). Writes
+ * y rows [0, groups8 * 8) for every output column.
+ */
+void denseForwardAvx2(const float *xt, std::size_t frames,
+                      std::size_t groups8, const Matrix &w,
+                      const float *bias, Matrix &y);
+
+/** CSR SpMV over full 8-frame groups of the transposed panel. */
+void sparseForwardAvx2(const float *xt, std::size_t frames,
+                       std::size_t groups8, const CsrView &w, Matrix &y);
+
+/**
+ * Int8 GEMM over all frames: xq is the row-major quantized batch
+ * (frames x cols), frame_scale the per-frame activation scales. The
+ * int32 accumulation is exact, so this is bit-identical to the scalar
+ * int8 loop.
+ */
+void int8ForwardAvx2(const std::int8_t *xq, const float *frame_scale,
+                     std::size_t frames, const Int8Matrix &w,
+                     const float *bias, Matrix &y);
+
+} // namespace detail
+} // namespace kernels
+} // namespace darkside
+
+#endif // DARKSIDE_TENSOR_KERNELS_DETAIL_HH

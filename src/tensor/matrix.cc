@@ -66,11 +66,19 @@ gemvTransposed(const Matrix &w, const Vector &x, Vector &y)
     }
 }
 
-void
+Status
 gemmBatch(const Matrix &x, const Matrix &w, const Vector &b, Matrix &y)
 {
-    ds_assert(x.cols() == w.cols());
-    ds_assert(b.size() == w.rows());
+    if (x.cols() != w.cols()) {
+        return Status::error(
+            "gemmBatch: input width " + std::to_string(x.cols()) +
+            " != weight columns " + std::to_string(w.cols()));
+    }
+    if (b.size() != w.rows()) {
+        return Status::error(
+            "gemmBatch: bias size " + std::to_string(b.size()) +
+            " != weight rows " + std::to_string(w.rows()));
+    }
     const std::size_t frames = x.rows();
     const std::size_t in = w.cols();
     const std::size_t out = w.rows();
@@ -119,6 +127,7 @@ gemmBatch(const Matrix &x, const Matrix &w, const Vector &b, Matrix &y)
             }
         }
     }
+    return Status::ok();
 }
 
 void

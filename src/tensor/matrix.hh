@@ -13,6 +13,7 @@
 
 #include "util/logging.hh"
 #include "util/rng.hh"
+#include "util/status.hh"
 
 namespace darkside {
 
@@ -118,9 +119,16 @@ void gemvTransposed(const Matrix &w, const Vector &x, Vector &y);
  * frame batch instead of re-read per frame (the gemv regime). Each
  * output element accumulates in the same column order as gemv(), so
  * results are bit-identical with the per-frame path.
+ *
+ * This is the scalar oracle the SIMD kernels in tensor/kernels.hh are
+ * tested against.
+ *
+ * @return an error Status when the operand shapes are inconsistent
+ *         (x.cols() != w.cols() or b.size() != w.rows()); y is left
+ *         untouched in that case.
  */
-void gemmBatch(const Matrix &x, const Matrix &w, const Vector &b,
-               Matrix &y);
+[[nodiscard]] Status gemmBatch(const Matrix &x, const Matrix &w,
+                               const Vector &b, Matrix &y);
 
 /** Elementwise: y[i] += scale * x[i]. */
 void axpy(float scale, const Vector &x, Vector &y);

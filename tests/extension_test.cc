@@ -8,6 +8,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 #include "dnn/topology.hh"
@@ -131,6 +132,91 @@ TEST(WeightQuantizer, EightBitNearlyLossless)
     quantized.forward(in, b);
     for (std::size_t i = 0; i < a.size(); ++i)
         EXPECT_NEAR(a[i], b[i], 0.02f);
+}
+
+TEST(WeightQuantizer, EightBitAttachesInt8CodesMatchingKernelQuantizer)
+{
+    Rng rng(7);
+    Mlp mlp = quantTestNetwork(rng);
+    // Keep a pre-quantization copy: the attached codes are built from
+    // the original weights, and Int8Matrix::quantize applied to them
+    // must reproduce codes and scale exactly.
+    const Mlp original = mlp.clone();
+    WeightQuantizer(8).quantize(mlp);
+
+    const auto fcs = mlp.fullyConnectedLayers();
+    const auto origs = original.fullyConnectedLayers();
+    ASSERT_EQ(fcs.size(), origs.size());
+    for (std::size_t i = 0; i < fcs.size(); ++i) {
+        ASSERT_TRUE(fcs[i]->hasInt8Weights()) << fcs[i]->name();
+        const auto &attached = *fcs[i]->int8Weights();
+        const kernels::Int8Matrix direct =
+            kernels::Int8Matrix::quantize(origs[i]->weights());
+        EXPECT_EQ(attached.scale, direct.scale) << fcs[i]->name();
+        ASSERT_EQ(attached.codes.size(), direct.codes.size());
+        EXPECT_EQ(std::memcmp(attached.codes.data(),
+                              direct.codes.data(),
+                              direct.codes.size()),
+                  0)
+            << fcs[i]->name();
+        // The fake-quant weights round-trip: re-quantizing them yields
+        // the same codes (they already sit on the grid).
+        const kernels::Int8Matrix round =
+            kernels::Int8Matrix::quantize(fcs[i]->weights());
+        EXPECT_EQ(std::memcmp(attached.codes.data(),
+                              round.codes.data(),
+                              round.codes.size()),
+                  0)
+            << fcs[i]->name();
+    }
+}
+
+TEST(WeightQuantizer, NonEightBitWidthsDoNotAttachCodes)
+{
+    Rng rng(8);
+    Mlp mlp = quantTestNetwork(rng);
+    WeightQuantizer(4).quantize(mlp);
+    for (const auto *fc : mlp.fullyConnectedLayers())
+        EXPECT_FALSE(fc->hasInt8Weights()) << fc->name();
+}
+
+TEST(WeightQuantizer, CloneCarriesInt8CodesAndMutationDropsThem)
+{
+    Rng rng(9);
+    Mlp mlp = quantTestNetwork(rng);
+    WeightQuantizer(8).quantize(mlp);
+
+    Mlp copy = mlp.clone();
+    auto fcs = copy.fullyConnectedLayers();
+    for (const auto *fc : fcs)
+        EXPECT_TRUE(fc->hasInt8Weights()) << fc->name();
+
+    // setMask() zeroes weights, so the codes no longer describe them.
+    FullyConnected *trainable = nullptr;
+    for (auto *fc : fcs) {
+        if (fc->trainable()) {
+            trainable = fc;
+            break;
+        }
+    }
+    ASSERT_NE(trainable, nullptr);
+    trainable->setMask(
+        std::vector<std::uint8_t>(trainable->weights().size(), 1));
+    EXPECT_FALSE(trainable->hasInt8Weights());
+
+    // A backward() parameter update likewise invalidates them.
+    Mlp copy2 = mlp.clone();
+    Vector in(copy2.inputSize(), 0.5f), out;
+    copy2.forward(in, out);
+    copy2.trainStep(in, 0, 0.1f);
+    bool any_trainable = false;
+    for (const auto *fc : copy2.fullyConnectedLayers()) {
+        if (fc->trainable()) {
+            any_trainable = true;
+            EXPECT_FALSE(fc->hasInt8Weights()) << fc->name();
+        }
+    }
+    EXPECT_TRUE(any_trainable);
 }
 
 TEST(WeightQuantizer, FewerBitsMoreError)

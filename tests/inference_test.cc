@@ -196,6 +196,123 @@ TEST(InferenceEngine, DensityThresholdKeepsDenseKernelEquivalent)
             ASSERT_EQ(batched[f][c], reference[f][c]);
 }
 
+TEST(InferenceEngine, BackendsProduceBitIdenticalFloatPosteriors)
+{
+    // The dispatched engine (AVX2 when the machine has it) against a
+    // scalar-pinned engine: the float kernels are bit-identical by
+    // contract, so posteriors must match exactly at every level.
+    const auto &inputs = testFrames();
+    for (PruneLevel level : {PruneLevel::None, PruneLevel::P90}) {
+        const Mlp &mlp = context().zoo.model(level);
+        InferenceOptions scalar_opts;
+        scalar_opts.backend = kernels::KernelBackend::Scalar;
+        const InferenceEngine scalarEngine(mlp, scalar_opts);
+        const InferenceEngine dispatched(mlp);
+
+        std::vector<Vector> a, b;
+        scalarEngine.forwardAll(inputs, a);
+        dispatched.forwardAll(inputs, b);
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t f = 0; f < a.size(); ++f) {
+            ASSERT_EQ(a[f].size(), b[f].size());
+            for (std::size_t c = 0; c < a[f].size(); ++c)
+                ASSERT_EQ(a[f][c], b[f][c])
+                    << pruneLevelName(level) << " frame " << f
+                    << " class " << c;
+        }
+    }
+}
+
+TEST(InferenceEngine, Int8PrecisionCompilesFcToInt8Ops)
+{
+    const Mlp &dense = context().zoo.model(PruneLevel::None);
+    InferenceOptions opts;
+    opts.precision = ScoringPrecision::Int8;
+    const InferenceEngine engine(dense, opts);
+    EXPECT_GT(engine.int8FcCount(), 0u);
+    EXPECT_EQ(engine.denseFcCount(), 0u);
+
+    // Sparse-enough masked layers stay on the float CSR path.
+    const Mlp &pruned = context().zoo.model(PruneLevel::P90);
+    const InferenceEngine prunedEngine(pruned, opts);
+    EXPECT_GT(prunedEngine.sparseFcCount(), 0u);
+    EXPECT_GT(prunedEngine.int8FcCount(), 0u);
+    EXPECT_EQ(prunedEngine.denseFcCount(), 0u);
+}
+
+TEST(InferenceEngine, Int8PosteriorsCloseToFloat)
+{
+    const auto &inputs = testFrames();
+    const Mlp &mlp = context().zoo.model(PruneLevel::None);
+    InferenceOptions opts;
+    opts.precision = ScoringPrecision::Int8;
+    const InferenceEngine engine(mlp, opts);
+
+    const auto reference = referencePosteriors(mlp, inputs);
+    std::vector<Vector> int8;
+    engine.forwardAll(inputs, int8);
+    ASSERT_EQ(int8.size(), reference.size());
+    double total_l1 = 0.0;
+    for (std::size_t f = 0; f < reference.size(); ++f) {
+        ASSERT_EQ(int8[f].size(), reference[f].size());
+        double l1 = 0.0;
+        for (std::size_t c = 0; c < reference[f].size(); ++c)
+            l1 += std::fabs(int8[f][c] - reference[f][c]);
+        total_l1 += l1;
+        // Per-frame posterior mass moved by quantization stays small.
+        EXPECT_LT(l1, 0.35) << "frame " << f;
+    }
+    EXPECT_LT(total_l1 / static_cast<double>(reference.size()), 0.1);
+}
+
+TEST(InferenceEngine, Int8DeterministicAcrossThreadCounts)
+{
+    const auto &inputs = testFrames();
+    const Mlp &mlp = context().zoo.model(PruneLevel::P90);
+    InferenceOptions opts;
+    opts.precision = ScoringPrecision::Int8;
+    const InferenceEngine engine(mlp, opts);
+
+    std::vector<Vector> serial;
+    engine.forwardAll(inputs, serial);
+    for (std::size_t threads : {1u, 2u, 4u}) {
+        ThreadPool pool(threads);
+        std::vector<Vector> threaded;
+        engine.forwardAll(inputs, threaded, &pool);
+        ASSERT_EQ(threaded.size(), serial.size());
+        for (std::size_t f = 0; f < serial.size(); ++f) {
+            ASSERT_EQ(threaded[f].size(), serial[f].size());
+            for (std::size_t c = 0; c < serial[f].size(); ++c)
+                ASSERT_EQ(threaded[f][c], serial[f][c])
+                    << threads << " threads, frame " << f << " class "
+                    << c;
+        }
+    }
+}
+
+TEST(InferenceEngine, Int8BackendsBitIdentical)
+{
+    if (!kernels::avx2Available())
+        GTEST_SKIP() << "AVX2 not available on this machine";
+    const auto &inputs = testFrames();
+    const Mlp &mlp = context().zoo.model(PruneLevel::None);
+    InferenceOptions scalar_opts, avx2_opts;
+    scalar_opts.precision = avx2_opts.precision = ScoringPrecision::Int8;
+    scalar_opts.backend = kernels::KernelBackend::Scalar;
+    avx2_opts.backend = kernels::KernelBackend::Avx2;
+    const InferenceEngine scalarEngine(mlp, scalar_opts);
+    const InferenceEngine avx2Engine(mlp, avx2_opts);
+
+    std::vector<Vector> a, b;
+    scalarEngine.forwardAll(inputs, a);
+    avx2Engine.forwardAll(inputs, b);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t f = 0; f < a.size(); ++f)
+        for (std::size_t c = 0; c < a[f].size(); ++c)
+            ASSERT_EQ(a[f][c], b[f][c])
+                << "frame " << f << " class " << c;
+}
+
 TEST(InferenceEngine, DecodeOutputIdenticalToDensePath)
 {
     auto &ctx = context();

@@ -23,6 +23,9 @@
  *   - decode.trace.* namespace (when present): the trace-arena
  *     counters exist with the right units, are deterministic, and
  *     collected <= allocated (docs/METRICS.md)
+ *   - dnn.kernel.* namespace (when present): the four kernel-layer
+ *     counters exist with the right units, are deterministic, and no
+ *     unknown dnn.kernel.* name appears (docs/METRICS.md)
  *
  * With --expect-faults, a file whose fault.injected.* total is zero
  * (or absent) fails — CI uses this to prove a fault plan actually
@@ -441,6 +444,66 @@ checkDecodeTraceNamespace(const JsonValue &root)
     }
 }
 
+/**
+ * dnn.kernel.* namespace: when any kernel counter is present the whole
+ * family must be, with the documented units, all deterministic (the
+ * dispatcher counts calls and shape-derived work items, never races),
+ * and the namespace is closed — an unknown dnn.kernel.* name is a
+ * telemetry regression, not an extension point.
+ */
+void
+checkDnnKernelNamespace(const JsonValue &root)
+{
+    const JsonValue *counters = root.member("counters");
+    if (!counters || !counters->isArray())
+        return; // section() already reported this
+
+    std::map<std::string, const JsonValue *> kernel;
+    for (const JsonValue &c : counters->asArray()) {
+        const JsonValue *name = c.member("name");
+        if (name && name->isString() &&
+            name->asString().rfind("dnn.kernel.", 0) == 0)
+            kernel[name->asString()] = &c;
+    }
+    if (kernel.empty())
+        return;
+
+    const struct
+    {
+        const char *name;
+        const char *unit;
+    } required[] = {
+        {"dnn.kernel.dispatch.scalar", "calls"},
+        {"dnn.kernel.dispatch.avx2", "calls"},
+        {"dnn.kernel.dense_blocks", "blocks"},
+        {"dnn.kernel.spmv_rows", "rows"},
+    };
+    for (const auto &r : required) {
+        auto it = kernel.find(r.name);
+        if (it == kernel.end()) {
+            fail(std::string("dnn.kernel.* present but '") + r.name +
+                 "' is missing");
+            continue;
+        }
+        const JsonValue &c = *it->second;
+        const JsonValue *unit = c.member("unit");
+        if (unit && unit->isString() && unit->asString() != r.unit) {
+            fail(std::string(r.name) + ": unit '" + unit->asString() +
+                 "' != '" + r.unit + "'");
+        }
+        const JsonValue *det = c.member("deterministic");
+        if (det && det->isBool() && !det->asBool())
+            fail(std::string(r.name) + ": must be deterministic");
+    }
+    for (const auto &[name, c] : kernel) {
+        bool known = false;
+        for (const auto &r : required)
+            known |= name == r.name;
+        if (!known)
+            fail(name + ": unknown dnn.kernel.* counter");
+    }
+}
+
 void
 checkFile(const char *path, bool expect_faults)
 {
@@ -481,6 +544,7 @@ checkFile(const char *path, bool expect_faults)
     checkFaultNamespace(root, expect_faults);
     checkStoreNamespace(root);
     checkDecodeTraceNamespace(root);
+    checkDnnKernelNamespace(root);
 }
 
 // --- --diff mode --------------------------------------------------------
