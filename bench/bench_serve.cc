@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Streaming-serving bench: replay a seeded open-loop synthetic
+ * workload (Poisson arrivals, heavy-tailed utterance lengths) against
+ * the StreamingServer and report chunk/session latency percentiles,
+ * sustained sessions/sec and the admission controller's shed count —
+ * the operational face of the paper's finding (pruned models inflate
+ * Viterbi work, which here surfaces as chunk tail latency and shed
+ * sessions instead of batch decode time).
+ *
+ * Environment knobs (defaults in parentheses):
+ *   DARKSIDE_SERVE_SESSIONS (48)  sessions offered
+ *   DARKSIDE_SERVE_RATE     (150) open-loop arrivals/sec
+ *   DARKSIDE_SERVE_THREADS  (2)   session workers
+ *
+ * Emits BENCH_serve.json (argv[1] or $DARKSIDE_BENCH_JSON), and
+ * publishes serve.* telemetry (--metrics / $DARKSIDE_METRICS).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "bench/bench_common.hh"
+#include "serve/serve_bench.hh"
+
+namespace darkside {
+namespace bench {
+namespace {
+
+std::size_t
+envSize(const char *name, std::size_t fallback)
+{
+    if (const char *env = std::getenv(name))
+        return static_cast<std::size_t>(std::atoll(env));
+    return fallback;
+}
+
+double
+envNumber(const char *name, double fallback)
+{
+    if (const char *env = std::getenv(name))
+        return std::atof(env);
+    return fallback;
+}
+
+} // namespace
+
+int
+run(int argc, char **argv)
+{
+    printBanner("bench_serve",
+                "streaming session server: chunk latency percentiles, "
+                "sessions/sec and load shedding under synthetic "
+                "traffic");
+
+    auto &ctx = context();
+
+    ServeWorkloadOptions options;
+    // NBest-90 is the configuration the serving story is about: the
+    // paper's bounded-search selector on the most-pruned (largest
+    // search workload) model.
+    options.serve.system =
+        ctx.setup.configFor(SearchMode::NBestHash, PruneLevel::P90);
+    options.serve.chunkFrames = 16;
+    options.serve.threads = envSize("DARKSIDE_SERVE_THREADS", 2);
+    options.serve.admission.maxSessions =
+        2 * options.serve.threads;
+    options.serve.admission.maxQueueDepth =
+        4 * options.serve.threads;
+    options.traffic.sessions = envSize("DARKSIDE_SERVE_SESSIONS", 48);
+    options.traffic.arrivalsPerSecond =
+        envNumber("DARKSIDE_SERVE_RATE", 150.0);
+    options.traffic.maxLengthMultiple = 4;
+
+    // Warm the serving level's engine outside the measured workload.
+    ctx.system.engineFor(options.serve.system.prune);
+
+    const ServeReport report =
+        runServeWorkload(ctx.system, ctx.testSet, options);
+    printServeReport(std::cout, report, options);
+    publishServeGauges(report);
+
+    const std::string json = serveReportJson(report, options);
+    std::printf("\n--- JSON ---\n%s", json.c_str());
+
+    std::string path;
+    if (argc > 1)
+        path = argv[1];
+    else if (const char *env = std::getenv("DARKSIDE_BENCH_JSON"))
+        path = env;
+    if (!path.empty()) {
+        std::ofstream os(path);
+        os << json;
+        if (!os) {
+            std::fprintf(stderr, "cannot write JSON to %s\n",
+                         path.c_str());
+            return 1;
+        }
+        std::printf("JSON written to %s\n", path.c_str());
+    }
+    return 0;
+}
+
+} // namespace bench
+} // namespace darkside
+
+int
+main(int argc, char **argv)
+{
+    darkside::bench::metricsInit(&argc, argv);
+    const int rc = darkside::bench::run(argc, argv);
+    const int metrics_rc = darkside::bench::metricsFinish();
+    return rc ? rc : metrics_rc;
+}

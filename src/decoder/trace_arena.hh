@@ -140,6 +140,11 @@ class TraceArena
     /** Final peak accounting; call once, when the decode ends. */
     void finish() { notePeak(); }
 
+    /** Read-only view of the node pool, for partial backtraces of an
+     *  in-flight streaming decode. Handles into the pool are only
+     *  stable until the next maybeCollect(). */
+    const std::vector<TraceNode> &nodes() const { return nodes_; }
+
     const TraceStats &stats() const { return stats_; }
 
     /** Hand the node pool to the DecodeResult (arena is spent). */

@@ -126,6 +126,7 @@ class SearchObserver
 };
 
 class UnboundedSelector;
+class ViterbiStream;
 
 /**
  * Token-passing Viterbi beam search over an all-emitting WFST.
@@ -145,13 +146,114 @@ class ViterbiDecoder
                         HypothesisSelector &selector,
                         SearchObserver *observer = nullptr) const;
 
+    /**
+     * Begin an incremental (streaming) decode of one utterance: feed
+     * frames in chunks with ViterbiStream::advanceFrames and close with
+     * ViterbiStream::finishUtterance. The final DecodeResult is
+     * bit-identical (words, totalCost, per-frame counters, trace
+     * accounting) to decode() over the same frames with the same
+     * selector, for any chunking.
+     *
+     * The selector, observer, decoder and WFST must outlive the stream.
+     * A streaming observer receives onUtteranceStart(0) — the frame
+     * count is unknown up front.
+     */
+    ViterbiStream startUtterance(HypothesisSelector &selector,
+                                 SearchObserver *observer = nullptr) const;
+
   private:
+    friend class ViterbiStream;
+
     template <bool kObserved, typename Sel>
     DecodeResult decodeImpl(const AcousticScores &scores, Sel &selector,
                             SearchObserver *observer) const;
 
     const Wfst &fst_;
     DecoderConfig config_;
+};
+
+/** Best in-flight hypothesis of a streaming decode, emitted between
+ *  chunks (the serving layer's partial transcript). */
+struct PartialHypothesis
+{
+    /** Backtrace of the cheapest active token (empty while no words
+     *  have been emitted, or once the search died). */
+    std::vector<WordId> words;
+    /** Cost of that token; +inf on a dead stream. */
+    float cost = std::numeric_limits<float>::infinity();
+    /** Frames consumed so far. */
+    std::size_t frames = 0;
+};
+
+/**
+ * Per-utterance incremental decode state (see
+ * ViterbiDecoder::startUtterance). Runs the exact batch per-frame
+ * kernel over whatever chunk boundaries the caller picks, so chunking
+ * never changes the result; only the final best-token selection and
+ * backtrace wait for finishUtterance().
+ *
+ * Movable, not copyable. One selector serves one stream at a time (its
+ * per-frame state is reset at each frame boundary, exactly as in batch
+ * decode). A throwing observer (e.g. DecodeWatchdog) aborts the stream:
+ * the exception propagates out of advanceFrames and the stream is dead
+ * afterwards — the serving layer's degradation path.
+ */
+class ViterbiStream
+{
+  public:
+    ViterbiStream(ViterbiStream &&) = default;
+    ViterbiStream &operator=(ViterbiStream &&) = default;
+    ViterbiStream(const ViterbiStream &) = delete;
+    ViterbiStream &operator=(const ViterbiStream &) = delete;
+
+    /**
+     * Feed rows [begin, end) of `scores` as the next frames of the
+     * utterance. Chunks may slice one utterance-wide score matrix
+     * (absolute row indices) or arrive as per-chunk matrices
+     * (begin = 0). No-op once the search has died.
+     */
+    void advanceFrames(const AcousticScores &scores, std::size_t begin,
+                       std::size_t end);
+
+    /** Frames consumed so far. */
+    std::size_t frames() const { return result_.frames.size(); }
+
+    /** True when the beam/selector killed every token, or an observer
+     *  aborted the stream (terminal: further frames are ignored). */
+    bool dead() const { return dead_; }
+
+    /** Best partial hypothesis after the frames consumed so far.
+     *  Mid-utterance, final states are not preferred — this is the
+     *  cheapest active token, which may differ from the eventual
+     *  complete-path winner. */
+    PartialHypothesis partial() const;
+
+    /**
+     * Close the utterance: runs the batch epilogue (best-final vs
+     * best-any token, backtrace) and returns the DecodeResult. The
+     * stream is spent afterwards. Zero frames fed returns the same
+     * empty result batch decode gives an empty score matrix; a dead
+     * stream returns the dead-search result (empty words, +inf cost).
+     */
+    DecodeResult finishUtterance();
+
+  private:
+    friend class ViterbiDecoder;
+
+    ViterbiStream(const ViterbiDecoder &decoder,
+                  HypothesisSelector &selector, SearchObserver *observer);
+
+    const Wfst *fst_;
+    DecoderConfig config_;
+    HypothesisSelector *selector_;
+    SearchObserver *observer_;
+    TraceArena arena_;
+    std::vector<Hypothesis> active_;
+    std::vector<Hypothesis> next_;
+    float activeBest_ = 0.0f;
+    DecodeResult result_;
+    bool dead_ = false;
+    bool finished_ = false;
 };
 
 /**

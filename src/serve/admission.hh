@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Admission control for the streaming session server: a fixed budget of
+ * concurrently active sessions plus a queue-depth backpressure check
+ * against the shared ThreadPool. Work offered above the budget is shed
+ * — counted and refused, never queued without bound and never crashed —
+ * which is what keeps tail latency of the admitted sessions intact
+ * under overload (docs/SERVING.md).
+ */
+
+#ifndef DARKSIDE_SERVE_ADMISSION_HH
+#define DARKSIDE_SERVE_ADMISSION_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+#include "util/thread_pool.hh"
+
+namespace darkside {
+
+/** Admission budget of a StreamingServer. */
+struct AdmissionConfig
+{
+    /** Sessions admitted concurrently (admitted and not yet finished,
+     *  whether decoding or still queued behind a worker). */
+    std::size_t maxSessions = 8;
+
+    /** Pool tasks allowed to wait in the shared queue; an offer that
+     *  arrives while pending() exceeds this is shed even when a
+     *  session slot is free (backpressure on a slow pool). */
+    std::size_t maxQueueDepth = 32;
+};
+
+/**
+ * Counting gate in front of the session pool. tryAdmit() grants a slot
+ * or sheds; every grant must be paired with one release() when the
+ * session finishes (however it finishes).
+ */
+class AdmissionController
+{
+  public:
+    /** @param pool backpressure source for the queue-depth check; null
+     *        disables that check (session budget only). */
+    AdmissionController(const AdmissionConfig &config,
+                        const ThreadPool *pool)
+        : config_(config), pool_(pool)
+    {}
+
+    /** @return true and consume a session slot, or count a shed. */
+    bool
+    tryAdmit()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (active_ >= config_.maxSessions ||
+            (pool_ && pool_->pending() > config_.maxQueueDepth)) {
+            ++shed_;
+            return false;
+        }
+        ++active_;
+        return true;
+    }
+
+    /** Return a slot granted by tryAdmit(). */
+    void
+    release()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --active_;
+    }
+
+    /** Sessions currently holding a slot. */
+    std::size_t
+    active() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return active_;
+    }
+
+    /** Offers refused so far. */
+    std::uint64_t
+    shedCount() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return shed_;
+    }
+
+    const AdmissionConfig &config() const { return config_; }
+
+  private:
+    AdmissionConfig config_;
+    const ThreadPool *pool_;
+    mutable std::mutex mutex_;
+    std::size_t active_ = 0;
+    std::uint64_t shed_ = 0;
+};
+
+} // namespace darkside
+
+#endif // DARKSIDE_SERVE_ADMISSION_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shared driver for `darkside serve` and bench/bench_serve: generate a
+ * seeded synthetic workload, replay its open-loop arrival schedule
+ * against a StreamingServer in real time, and render the latency/shed
+ * report as a table, as BENCH_serve.json, and as serve.* gauges.
+ */
+
+#ifndef DARKSIDE_SERVE_SERVE_BENCH_HH
+#define DARKSIDE_SERVE_SERVE_BENCH_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "serve/server.hh"
+#include "serve/traffic.hh"
+
+namespace darkside {
+
+/** One serve workload run: server + traffic shape. */
+struct ServeWorkloadOptions
+{
+    ServeConfig serve;
+    TrafficConfig traffic;
+
+    /**
+     * Honor the schedule's arrival times with wall-clock pacing (the
+     * open-loop replay). False offers every session back to back —
+     * the deterministic-count test configuration and the maximum-
+     * pressure overload configuration.
+     */
+    bool paceArrivals = true;
+};
+
+/**
+ * Run one synthetic workload to completion.
+ *
+ * @param system shared platform (models must already be trained)
+ * @param base base utterance pool for the traffic generator
+ * @return the drained server's report
+ */
+ServeReport runServeWorkload(AsrSystem &system,
+                             const std::vector<Utterance> &base,
+                             const ServeWorkloadOptions &options);
+
+/** Human-readable latency/shed report. */
+void printServeReport(std::ostream &os, const ServeReport &report,
+                      const ServeWorkloadOptions &options);
+
+/** BENCH_serve.json payload. */
+std::string serveReportJson(const ServeReport &report,
+                            const ServeWorkloadOptions &options);
+
+/**
+ * Publish the report's summary statistics as serve.* gauges
+ * (serve.chunk_p50_us/p95/p99, serve.sessions_per_sec). Call once,
+ * after the drain, from a single-threaded context — the gauge
+ * discipline of docs/METRICS.md.
+ */
+void publishServeGauges(const ServeReport &report);
+
+} // namespace darkside
+
+#endif // DARKSIDE_SERVE_SERVE_BENCH_HH

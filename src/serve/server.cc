@@ -1,0 +1,255 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "fault/fault.hh"
+#include "telemetry/metrics.hh"
+
+namespace darkside {
+
+namespace {
+
+/**
+ * The serve.* telemetry namespace (docs/METRICS.md). Registered
+ * together on first use so a serve snapshot always carries the whole
+ * closed family, which is what tools/metrics_check validates. Only the
+ * offered count is deterministic — it restates the workload; every
+ * other serve metric depends on wall-clock scheduling (which sessions
+ * get shed, when deadlines fire), so they are flagged nondeterministic
+ * and excluded from deterministic snapshot diffs.
+ */
+struct ServeMetrics
+{
+    telemetry::Counter offered;
+    telemetry::Counter admitted;
+    telemetry::Counter shed;
+    telemetry::Counter completed;
+    telemetry::Counter degraded;
+    telemetry::Counter chunks;
+    telemetry::Counter frames;
+    telemetry::Histogram chunkLatencyUs;
+    telemetry::Histogram sessionLatencyUs;
+
+    static const ServeMetrics &
+    get()
+    {
+        static const ServeMetrics m = [] {
+            auto &reg = telemetry::MetricRegistry::global();
+            ServeMetrics s{
+                reg.counter("serve.sessions.offered", "sessions"),
+                reg.counter("serve.sessions.admitted", "sessions",
+                            false),
+                reg.counter("serve.sessions.shed", "sessions", false),
+                reg.counter("serve.sessions.completed", "sessions",
+                            false),
+                reg.counter("serve.sessions.degraded", "sessions",
+                            false),
+                reg.counter("serve.chunks", "chunks", false),
+                reg.counter("serve.frames", "frames", false),
+                reg.histogram("serve.chunk_latency_us", "us",
+                              {0.0, 20000.0, 50}, false),
+                reg.histogram("serve.session_latency_us", "us",
+                              {0.0, 2000000.0, 50}, false),
+            };
+            return s;
+        }();
+        return m;
+    }
+};
+
+double
+elapsedUs(std::chrono::steady_clock::time_point since)
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - since)
+        .count();
+}
+
+} // namespace
+
+StreamingServer::StreamingServer(AsrSystem &system,
+                                 const ServeConfig &config)
+    : system_(system), config_(config), pool_(config.threads),
+      admission_(config.admission, &pool_)
+{
+    ServeMetrics::get(); // register the namespace up front
+}
+
+StreamingServer::~StreamingServer()
+{
+    drain();
+}
+
+void
+StreamingServer::setPartialCallback(PartialCallback callback)
+{
+    partialCallback_ = std::move(callback);
+}
+
+bool
+StreamingServer::offer(const Utterance &utt)
+{
+    const auto &metrics = ServeMetrics::get();
+    const auto now = std::chrono::steady_clock::now();
+    std::size_t index;
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        if (!started_) {
+            started_ = true;
+            firstOffer_ = now;
+        }
+        index = report_.offered++;
+    }
+    metrics.offered.add(1);
+
+    if (!admission_.tryAdmit()) {
+        metrics.shed.add(1);
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++report_.shed;
+        return false;
+    }
+    metrics.admitted.add(1);
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++report_.admitted;
+    }
+    {
+        std::lock_guard<std::mutex> lock(doneMutex_);
+        ++inflight_;
+    }
+    pool_.submit([this, utt, index, now] {
+        runSession(utt, index, now);
+        {
+            std::lock_guard<std::mutex> lock(doneMutex_);
+            --inflight_;
+        }
+        doneCv_.notify_all();
+    });
+    return true;
+}
+
+void
+StreamingServer::runSession(
+    const Utterance &utt, std::size_t index,
+    std::chrono::steady_clock::time_point admitted)
+{
+    const auto &metrics = ServeMetrics::get();
+    SessionOutcome outcome;
+    outcome.index = index;
+    outcome.utteranceId = utt.id;
+
+    try {
+        // DNN stage once per session, through the shared thread-safe
+        // score cache; the chunk loop then times the streaming decode
+        // alone. Shared ownership keeps LRU eviction by a concurrent
+        // session from invalidating these scores.
+        const auto scores_ptr = system_.scoresFor(utt,
+                                                  config_.system.prune);
+        const AcousticScores &scores = *scores_ptr;
+        if (!scores.finite()) {
+            throw FaultError("inference.scores", FaultKind::NanScores,
+                             utt.id);
+        }
+
+        Session session(system_.fst(), config_.system.beam,
+                        system_.makeSelector(config_.system), utt.id,
+                        config_.sessionDeadlineSeconds);
+
+        const std::size_t frames = scores.frameCount();
+        const std::size_t chunk =
+            config_.chunkFrames ? config_.chunkFrames : frames;
+        for (std::size_t begin = 0;
+             begin < frames && !session.dead(); begin += chunk) {
+            const std::size_t end = std::min(frames, begin + chunk);
+            const auto t0 = std::chrono::steady_clock::now();
+            const PartialHypothesis partial =
+                session.advanceChunk(scores, begin, end);
+            const double us = elapsedUs(t0);
+
+            metrics.chunks.add(1);
+            metrics.frames.add(end - begin);
+            metrics.chunkLatencyUs.observe(us);
+            {
+                std::lock_guard<std::mutex> lock(statsMutex_);
+                ++report_.chunks;
+                report_.frames += end - begin;
+                report_.chunkLatencyUs.add(us);
+            }
+            if (partialCallback_)
+                partialCallback_(utt.id, partial);
+        }
+
+        SessionResult result = session.finish();
+        outcome.degraded = result.degraded;
+        outcome.faultCause = result.faultCause;
+        outcome.chunks = result.chunks;
+        outcome.frames = frames;
+        if (!result.degraded) {
+            outcome.words = std::move(result.decode.words);
+            outcome.totalCost = result.decode.totalCost;
+        }
+    } catch (const FaultError &e) {
+        // Per-session isolation boundary: scoring faults and injected
+        // non-timeout decoder faults land here; the session degrades,
+        // its neighbours never notice.
+        outcome.degraded = true;
+        outcome.faultCause = e.what();
+    }
+
+    const double session_us = elapsedUs(admitted);
+    metrics.sessionLatencyUs.observe(session_us);
+    if (outcome.degraded) {
+        metrics.degraded.add(1);
+        FaultInjector::global().noteDegraded();
+    } else {
+        metrics.completed.add(1);
+    }
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        report_.sessionLatencyUs.add(session_us);
+        if (outcome.degraded)
+            ++report_.degraded;
+        else
+            ++report_.completed;
+        outcomes_.push_back(std::move(outcome));
+    }
+    admission_.release();
+}
+
+void
+StreamingServer::drain()
+{
+    {
+        std::unique_lock<std::mutex> lock(doneMutex_);
+        doneCv_.wait(lock, [this] { return inflight_ == 0; });
+    }
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    if (started_) {
+        report_.wallSeconds = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() -
+                                  firstOffer_)
+                                  .count();
+    }
+}
+
+ServeReport
+StreamingServer::report() const
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    return report_;
+}
+
+std::vector<StreamingServer::SessionOutcome>
+StreamingServer::outcomes() const
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    std::vector<SessionOutcome> sorted = outcomes_;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const SessionOutcome &a, const SessionOutcome &b) {
+                  return a.index < b.index;
+              });
+    return sorted;
+}
+
+} // namespace darkside

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * The long-lived streaming session server behind `darkside serve`:
+ * turns the batch pipeline into per-session incremental decode. Every
+ * offered utterance passes the AdmissionController (shed above budget),
+ * then runs as one pool task: score through the shared AsrSystem cache,
+ * feed the frames chunk by chunk through a Session (partial hypothesis
+ * after every chunk), and record chunk/session latency into both the
+ * local report and the `serve.*` telemetry namespace. Faults — session
+ * deadlines, injected decoder faults, poisoned scores — degrade their
+ * session only; healthy sessions decode bit-identically to batch.
+ */
+
+#ifndef DARKSIDE_SERVE_SERVER_HH
+#define DARKSIDE_SERVE_SERVER_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/admission.hh"
+#include "serve/session.hh"
+#include "system/asr_system.hh"
+#include "util/stats.hh"
+#include "util/thread_pool.hh"
+
+namespace darkside {
+
+/** Configuration of one StreamingServer. */
+struct ServeConfig
+{
+    /** Model + selector configuration every session runs
+     *  (ExperimentSetup::configFor picks the paper's presets). */
+    SystemConfig system;
+
+    /** Frames fed per chunk (0 = the whole utterance in one chunk). */
+    std::size_t chunkFrames = 16;
+
+    /** Wall budget per session (whole session, checked at every frame
+     *  boundary by DecodeWatchdog); 0 disables the deadline. */
+    double sessionDeadlineSeconds = 0.0;
+
+    /** Session/queue budget. */
+    AdmissionConfig admission;
+
+    /** Worker threads of the session pool (0 = run sessions inline on
+     *  the offering thread — the deterministic test configuration). */
+    std::size_t threads = 4;
+};
+
+/** Aggregate serving statistics, valid after drain(). */
+struct ServeReport
+{
+    std::uint64_t offered = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t degraded = 0;
+    std::uint64_t chunks = 0;
+    std::uint64_t frames = 0;
+
+    /** Wall-clock per advanceChunk call (decode only; scoring happens
+     *  once at session start). */
+    PercentileTracker chunkLatencyUs;
+    /** Wall-clock from admission to session completion (includes
+     *  scoring and queueing). */
+    PercentileTracker sessionLatencyUs;
+
+    /** First offer to end of drain. */
+    double wallSeconds = 0.0;
+
+    double
+    sessionsPerSecond() const
+    {
+        return wallSeconds > 0.0
+            ? static_cast<double>(completed) / wallSeconds
+            : 0.0;
+    }
+
+    double
+    framesPerSecond() const
+    {
+        return wallSeconds > 0.0
+            ? static_cast<double>(frames) / wallSeconds
+            : 0.0;
+    }
+};
+
+/**
+ * In-process streaming ASR server. Thread-safe: offers may come from
+ * any thread; sessions run on the internal pool.
+ */
+class StreamingServer
+{
+  public:
+    /** Terminal outcome of one admitted session. */
+    struct SessionOutcome
+    {
+        /** Offer order (0-based), the deterministic sort key. */
+        std::size_t index = 0;
+        std::uint64_t utteranceId = 0;
+        bool degraded = false;
+        std::string faultCause;
+        /** Final transcript (healthy sessions: bit-identical to batch
+         *  decode of the same utterance and configuration). */
+        std::vector<WordId> words;
+        double totalCost = 0.0;
+        std::size_t frames = 0;
+        std::size_t chunks = 0;
+    };
+
+    /** Partial-hypothesis consumer, called after every chunk from the
+     *  session's worker thread. */
+    using PartialCallback =
+        std::function<void(std::uint64_t utteranceId,
+                           const PartialHypothesis &partial)>;
+
+    /**
+     * @param system shared read-only scoring/model state (the score
+     *        cache is the only mutable part, and it is thread-safe)
+     */
+    StreamingServer(AsrSystem &system, const ServeConfig &config);
+
+    /** Drains in-flight sessions. */
+    ~StreamingServer();
+
+    StreamingServer(const StreamingServer &) = delete;
+    StreamingServer &operator=(const StreamingServer &) = delete;
+
+    /** Install a partial-hypothesis consumer (before offering). */
+    void setPartialCallback(PartialCallback callback);
+
+    /**
+     * Offer an utterance as a new session.
+     * @return false when admission shed it (nothing runs).
+     */
+    bool offer(const Utterance &utt);
+
+    /** Block until every admitted session finished. */
+    void drain();
+
+    /** Aggregate statistics (call after drain()). */
+    ServeReport report() const;
+
+    /** Per-session outcomes sorted by offer order (after drain()). */
+    std::vector<SessionOutcome> outcomes() const;
+
+    const ServeConfig &config() const { return config_; }
+    const AdmissionController &admission() const { return admission_; }
+
+  private:
+    void runSession(const Utterance &utt, std::size_t index,
+                    std::chrono::steady_clock::time_point admitted);
+
+    AsrSystem &system_;
+    ServeConfig config_;
+    ThreadPool pool_;
+    AdmissionController admission_;
+    PartialCallback partialCallback_;
+
+    mutable std::mutex statsMutex_;
+    ServeReport report_;
+    std::vector<SessionOutcome> outcomes_;
+    bool started_ = false;
+    std::chrono::steady_clock::time_point firstOffer_;
+
+    std::mutex doneMutex_;
+    std::condition_variable doneCv_;
+    std::size_t inflight_ = 0;
+};
+
+} // namespace darkside
+
+#endif // DARKSIDE_SERVE_SERVER_HH

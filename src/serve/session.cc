@@ -1,0 +1,69 @@
+#include "serve/session.hh"
+
+#include <utility>
+
+#include "fault/fault.hh"
+
+namespace darkside {
+
+namespace {
+
+/** Session deadline budget, after consulting the fault injector: an
+ *  injected decoder.decode Timeout arms the watchdog already expired
+ *  (the same real frame-boundary abort path runUtterance uses). */
+double
+armedBudget(double deadline_seconds, std::uint64_t id)
+{
+    if (auto kind = FaultInjector::global().trigger("decoder.decode",
+                                                    id)) {
+        if (*kind != FaultKind::Timeout)
+            throw FaultError("decoder.decode", *kind, id);
+        return -1.0;
+    }
+    return deadline_seconds;
+}
+
+} // namespace
+
+Session::Session(const Wfst &fst, float beam,
+                 std::unique_ptr<HypothesisSelector> selector,
+                 std::uint64_t id, double deadlineSeconds)
+    : id_(id), selector_(std::move(selector)),
+      decoder_(fst, DecoderConfig{beam}),
+      watchdog_(armedBudget(deadlineSeconds, id), id)
+{
+    stream_.emplace(decoder_.startUtterance(
+        *selector_, watchdog_.enabled() ? &watchdog_ : nullptr));
+}
+
+PartialHypothesis
+Session::advanceChunk(const AcousticScores &scores, std::size_t begin,
+                      std::size_t end)
+{
+    ++chunks_;
+    if (!degraded_ && !stream_->dead()) {
+        try {
+            stream_->advanceFrames(scores, begin, end);
+        } catch (const FaultError &e) {
+            degraded_ = true;
+            faultCause_ = e.what();
+        }
+    }
+    if (degraded_)
+        return PartialHypothesis{};
+    return stream_->partial();
+}
+
+SessionResult
+Session::finish()
+{
+    SessionResult result;
+    result.degraded = degraded_;
+    result.faultCause = faultCause_;
+    result.chunks = chunks_;
+    if (!degraded_)
+        result.decode = stream_->finishUtterance();
+    return result;
+}
+
+} // namespace darkside

@@ -1,0 +1,68 @@
+#include "serve/traffic.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace darkside {
+
+SyntheticTrafficGenerator::SyntheticTrafficGenerator(
+    std::vector<Utterance> base, const TrafficConfig &config)
+    : base_(std::move(base)), config_(config)
+{
+    ds_assert(!base_.empty());
+    ds_assert(config_.arrivalsPerSecond > 0.0);
+    ds_assert(config_.tailShape > 0.0);
+    ds_assert(config_.maxLengthMultiple >= 1);
+}
+
+std::vector<TrafficEvent>
+SyntheticTrafficGenerator::generate() const
+{
+    Rng rng(config_.seed);
+    std::vector<TrafficEvent> events;
+    events.reserve(config_.sessions);
+
+    double clock = 0.0;
+    for (std::size_t i = 0; i < config_.sessions; ++i) {
+        // Poisson process: exponential inter-arrival gaps. 1 - U keeps
+        // the argument of log strictly positive (U is in [0, 1)).
+        clock += -std::log(1.0 - rng.uniform()) /
+            config_.arrivalsPerSecond;
+
+        // Heavy-tailed length multiplier: Pareto with x_m = 1, so the
+        // median session is one base utterance and the tail stretches
+        // to maxLengthMultiple of them.
+        const double pareto =
+            std::pow(1.0 - rng.uniform(), -1.0 / config_.tailShape);
+        const std::size_t multiple = std::min<std::size_t>(
+            config_.maxLengthMultiple,
+            std::max<std::size_t>(1,
+                                  static_cast<std::size_t>(pareto)));
+
+        TrafficEvent event;
+        event.arrivalSeconds = clock;
+        // Fresh nonzero id per event: distinct sessions must not alias
+        // in the acoustic-score cache, even across seeds.
+        event.utterance.id = mix64(config_.seed ^ (i + 1)) | 1;
+        for (std::size_t m = 0; m < multiple; ++m) {
+            const Utterance &pick = base_[rng.below(base_.size())];
+            auto &utt = event.utterance;
+            utt.words.insert(utt.words.end(), pick.words.begin(),
+                             pick.words.end());
+            utt.frames.insert(utt.frames.end(), pick.frames.begin(),
+                              pick.frames.end());
+            utt.alignment.insert(utt.alignment.end(),
+                                 pick.alignment.begin(),
+                                 pick.alignment.end());
+        }
+        events.push_back(std::move(event));
+    }
+    return events;
+}
+
+} // namespace darkside

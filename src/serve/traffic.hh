@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Synthetic serving traffic: open-loop Poisson arrivals over a base
+ * pool of corpus utterances, with heavy-tailed utterance lengths built
+ * by splicing several base utterances into one. Open-loop means the
+ * schedule is fixed up front — arrivals do not slow down when the
+ * server is saturated, which is what makes overload (and load
+ * shedding) observable at all. Fully deterministic for a seed.
+ */
+
+#ifndef DARKSIDE_SERVE_TRAFFIC_HH
+#define DARKSIDE_SERVE_TRAFFIC_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "corpus/synthesizer.hh"
+
+namespace darkside {
+
+/** Shape of one synthetic workload. */
+struct TrafficConfig
+{
+    /** Sessions (utterances) offered. */
+    std::size_t sessions = 64;
+
+    /** Open-loop Poisson arrival rate (sessions per second of the
+     *  generated timeline). */
+    double arrivalsPerSecond = 200.0;
+
+    /**
+     * Pareto shape of the utterance-length multiplier: each offered
+     * utterance concatenates floor(U^(-1/shape)) base utterances
+     * (U uniform), capped at maxLengthMultiple. Smaller shapes give
+     * heavier tails; 1.2 makes a few sessions ~5-8x longer than the
+     * median — the tail that dominates p99 chunk latency.
+     */
+    double tailShape = 1.2;
+
+    /** Cap on the length multiplier (bounds the longest session). */
+    std::size_t maxLengthMultiple = 8;
+
+    /** RNG seed; the whole schedule is a pure function of (seed, base
+     *  utterances, config). */
+    std::uint64_t seed = 20260808;
+};
+
+/** One scheduled arrival. */
+struct TrafficEvent
+{
+    /** Arrival offset from the start of the workload. */
+    double arrivalSeconds = 0.0;
+    /** The utterance to decode (fresh id, distinct per event). */
+    Utterance utterance;
+};
+
+/**
+ * Deterministic workload generator over a base utterance pool.
+ */
+class SyntheticTrafficGenerator
+{
+  public:
+    /** @param base non-empty pool the heavy-tailed utterances sample
+     *        from (typically the experiment test set) */
+    SyntheticTrafficGenerator(std::vector<Utterance> base,
+                              const TrafficConfig &config);
+
+    /** Generate the full arrival schedule, sorted by arrival time. */
+    std::vector<TrafficEvent> generate() const;
+
+    const TrafficConfig &config() const { return config_; }
+
+  private:
+    std::vector<Utterance> base_;
+    TrafficConfig config_;
+};
+
+} // namespace darkside
+
+#endif // DARKSIDE_SERVE_TRAFFIC_HH

@@ -106,6 +106,13 @@ ThreadPool::onWorkerThread() const
     return current_pool == this;
 }
 
+std::size_t
+ThreadPool::pending() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
 void
 ThreadPool::workerLoop()
 {

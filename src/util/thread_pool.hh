@@ -68,6 +68,14 @@ class ThreadPool
     /** @return true when the current thread is one of this pool's workers. */
     bool onWorkerThread() const;
 
+    /**
+     * Tasks queued but not yet picked up by a worker — the backpressure
+     * signal admission control and telemetry gauges read. One mutex
+     * acquisition; inline pools (no workers) always report 0, since
+     * submit() runs their tasks before returning.
+     */
+    std::size_t pending() const;
+
   private:
     /** Queue entry; the timestamp feeds the pool.queue_wait_us
      *  telemetry histogram. */

@@ -837,5 +837,140 @@ TEST_P(DecodeEquivalenceThreadsProperty,
 INSTANTIATE_TEST_SUITE_P(Threads, DecodeEquivalenceThreadsProperty,
                          ::testing::Values(1, 2, 4));
 
+// ---------------------------------------------------------------------
+// Streaming decode: any chunking of advanceFrames must reproduce the
+// batch decode() bit-identically — words, total cost, per-frame
+// counters, trace accounting — for every selector family. Chunk
+// boundaries are pure call-boundary artifacts; the per-frame kernel is
+// shared, so divergence here means the streaming seam grew arithmetic
+// of its own.
+// ---------------------------------------------------------------------
+
+/** Full bit-identity between a streaming and a batch decode of the
+ *  same frames with equivalent selectors. */
+void
+expectSameStreamDecode(const DecodeResult &got, const DecodeResult &want,
+                       const std::string &label)
+{
+    EXPECT_EQ(got.words, want.words) << label;
+    EXPECT_DOUBLE_EQ(got.totalCost, want.totalCost) << label;
+    EXPECT_EQ(got.reachedFinal, want.reachedFinal) << label;
+    ASSERT_EQ(got.frames.size(), want.frames.size()) << label;
+    for (std::size_t t = 0; t < want.frames.size(); ++t) {
+        const FrameActivity &g = got.frames[t];
+        const FrameActivity &w = want.frames[t];
+        ASSERT_EQ(g.generated, w.generated) << label << " frame " << t;
+        ASSERT_EQ(g.expanded, w.expanded) << label << " frame " << t;
+        ASSERT_EQ(g.survivors, w.survivors) << label << " frame " << t;
+        ASSERT_EQ(g.selector.insertions, w.selector.insertions)
+            << label << " frame " << t;
+        ASSERT_EQ(g.selector.recombinations, w.selector.recombinations)
+            << label << " frame " << t;
+        ASSERT_EQ(g.selector.evictions, w.selector.evictions)
+            << label << " frame " << t;
+        ASSERT_EQ(g.selector.rejections, w.selector.rejections)
+            << label << " frame " << t;
+    }
+    EXPECT_EQ(got.totalGenerated(), want.totalGenerated()) << label;
+    EXPECT_EQ(got.totalSurvivors(), want.totalSurvivors()) << label;
+    EXPECT_EQ(got.maxSurvivorsPerFrame(), want.maxSurvivorsPerFrame())
+        << label;
+    EXPECT_EQ(got.traceStats.allocated, want.traceStats.allocated)
+        << label;
+    EXPECT_EQ(got.traceStats.collected, want.traceStats.collected)
+        << label;
+    EXPECT_EQ(got.traceStats.gcRuns, want.traceStats.gcRuns) << label;
+    EXPECT_EQ(got.traceStats.peakLive, want.traceStats.peakLive)
+        << label;
+    ASSERT_EQ(got.trace.size(), want.trace.size()) << label;
+    for (std::size_t i = 0; i < want.trace.size(); ++i) {
+        EXPECT_EQ(got.trace[i].word, want.trace[i].word)
+            << label << " node " << i;
+        EXPECT_EQ(got.trace[i].prev, want.trace[i].prev)
+            << label << " node " << i;
+    }
+    ASSERT_EQ(got.finalTokens.size(), want.finalTokens.size()) << label;
+    for (std::size_t i = 0; i < want.finalTokens.size(); ++i) {
+        EXPECT_EQ(got.finalTokens[i].state, want.finalTokens[i].state)
+            << label << " token " << i;
+        EXPECT_EQ(got.finalTokens[i].cost, want.finalTokens[i].cost)
+            << label << " token " << i;
+    }
+}
+
+/** Chunk size per advanceFrames call; 0 = the whole utterance. */
+class StreamingChunkProperty
+    : public ::testing::TestWithParam<std::size_t>
+{};
+
+TEST_P(StreamingChunkProperty, ChunkedDecodeMatchesBatch)
+{
+    const std::size_t chunk_param = GetParam();
+    auto &ctx = faultContext(777);
+    FaultInjector::global().disarm();
+    const SystemConfig config =
+        ctx.setup.configFor(SearchMode::Baseline, PruneLevel::P90);
+    const DecoderConfig dc{config.beam};
+    const ViterbiDecoder decoder(ctx.fst, dc);
+    const auto &vc = ctx.system.platform().viterbiBaseline;
+
+    const auto streamed = [&](const AcousticScores &scores,
+                              HypothesisSelector &selector) {
+        ViterbiStream stream = decoder.startUtterance(selector);
+        const std::size_t frames = scores.frameCount();
+        const std::size_t chunk =
+            chunk_param ? chunk_param : std::max<std::size_t>(frames, 1);
+        for (std::size_t begin = 0; begin < frames; begin += chunk) {
+            const std::size_t end = std::min(frames, begin + chunk);
+            stream.advanceFrames(scores, begin, end);
+            const PartialHypothesis partial = stream.partial();
+            EXPECT_EQ(partial.frames, stream.frames());
+            if (!stream.dead())
+                EXPECT_LT(partial.cost,
+                          std::numeric_limits<float>::infinity());
+        }
+        return stream;
+    };
+
+    for (const auto &utt : ctx.testSet) {
+        const auto scores = ctx.system.scoresFor(utt, config.prune);
+
+        UnboundedSelector ub(vc.hashEntries, vc.backupEntries);
+        UnboundedSelector ub_stream(vc.hashEntries, vc.backupEntries);
+        const DecodeResult want_ub = decoder.decode(*scores, ub);
+        ViterbiStream s_ub = streamed(*scores, ub_stream);
+        // After the last frame, the cheapest active token is the
+        // batch winner whenever no token reached a final state.
+        const PartialHypothesis last = s_ub.partial();
+        if (!s_ub.dead() && !want_ub.reachedFinal) {
+            EXPECT_EQ(last.words, want_ub.words);
+            EXPECT_DOUBLE_EQ(last.cost, want_ub.totalCost);
+        }
+        expectSameStreamDecode(s_ub.finishUtterance(), want_ub,
+                               "unbounded");
+
+        AccurateNBest acc(128), acc_stream(128);
+        const DecodeResult want_acc = decoder.decode(*scores, acc);
+        expectSameStreamDecode(
+            streamed(*scores, acc_stream).finishUtterance(), want_acc,
+            "accurate");
+
+        DirectMappedHash dm(256), dm_stream(256);
+        const DecodeResult want_dm = decoder.decode(*scores, dm);
+        expectSameStreamDecode(
+            streamed(*scores, dm_stream).finishUtterance(), want_dm,
+            "direct");
+
+        SetAssociativeHash sa(256, 8), sa_stream(256, 8);
+        const DecodeResult want_sa = decoder.decode(*scores, sa);
+        expectSameStreamDecode(
+            streamed(*scores, sa_stream).finishUtterance(), want_sa,
+            "setassoc");
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, StreamingChunkProperty,
+                         ::testing::Values(1, 7, 0));
+
 } // namespace
 } // namespace darkside

@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Tests of the streaming serve layer (src/serve): admission budgets
+ * and queue backpressure, deterministic synthetic traffic, inline
+ * server equivalence with batch decode, per-session fault isolation
+ * (injected decoder faults and expired deadlines degrade one session
+ * only), and deterministic load shedding under a blocked worker.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <map>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "fault/fault.hh"
+#include "mini_setup.hh"
+#include "serve/admission.hh"
+#include "serve/server.hh"
+#include "serve/session.hh"
+#include "serve/traffic.hh"
+#include "system/defaults.hh"
+#include "util/thread_pool.hh"
+
+namespace darkside {
+namespace {
+
+/** One trained mini context shared by every test in this binary. */
+ExperimentContext &
+serveContext()
+{
+    static ExperimentContext ctx(miniSetup());
+    return ctx;
+}
+
+// ---------------------------------------------------------------------
+// AdmissionController
+// ---------------------------------------------------------------------
+
+TEST(AdmissionController, SessionBudgetShedsAboveLimit)
+{
+    AdmissionConfig config;
+    config.maxSessions = 2;
+    AdmissionController gate(config, nullptr);
+
+    EXPECT_TRUE(gate.tryAdmit());
+    EXPECT_TRUE(gate.tryAdmit());
+    EXPECT_FALSE(gate.tryAdmit());
+    EXPECT_EQ(gate.active(), 2u);
+    EXPECT_EQ(gate.shedCount(), 1u);
+
+    gate.release();
+    EXPECT_TRUE(gate.tryAdmit());
+    EXPECT_EQ(gate.shedCount(), 1u);
+    gate.release();
+    gate.release();
+    EXPECT_EQ(gate.active(), 0u);
+}
+
+TEST(AdmissionController, QueueDepthBackpressureShedsWithFreeSlots)
+{
+    // A pool of 1 runs inline (no queue); 2 is the smallest pool with
+    // real workers to back up.
+    ThreadPool pool(2);
+    std::promise<void> release_worker;
+    std::shared_future<void> blocker(release_worker.get_future());
+    pool.submit([blocker] { blocker.wait(); });
+    pool.submit([blocker] { blocker.wait(); });
+    // Fill the queue behind the parked workers well past the budget.
+    for (int i = 0; i < 5; ++i)
+        pool.submit([] {});
+
+    AdmissionConfig config;
+    config.maxSessions = 8;
+    config.maxQueueDepth = 2;
+    AdmissionController gate(config, &pool);
+
+    // Plenty of session slots, but the pool is backed up.
+    EXPECT_FALSE(gate.tryAdmit());
+    EXPECT_EQ(gate.shedCount(), 1u);
+    EXPECT_EQ(gate.active(), 0u);
+
+    release_worker.set_value();
+    while (pool.pending() != 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_TRUE(gate.tryAdmit());
+    gate.release();
+}
+
+// ---------------------------------------------------------------------
+// SyntheticTrafficGenerator
+// ---------------------------------------------------------------------
+
+TEST(SyntheticTraffic, ScheduleIsDeterministicSortedAndFresh)
+{
+    auto &ctx = serveContext();
+    TrafficConfig config;
+    config.sessions = 32;
+    config.arrivalsPerSecond = 100.0;
+    config.maxLengthMultiple = 4;
+
+    SyntheticTrafficGenerator gen(ctx.testSet, config);
+    const auto a = gen.generate();
+    const auto b = gen.generate();
+    ASSERT_EQ(a.size(), config.sessions);
+    ASSERT_EQ(b.size(), config.sessions);
+
+    std::set<std::uint64_t> ids;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        // Pure function of (seed, base, config).
+        EXPECT_DOUBLE_EQ(a[i].arrivalSeconds, b[i].arrivalSeconds);
+        EXPECT_EQ(a[i].utterance.id, b[i].utterance.id);
+        EXPECT_EQ(a[i].utterance.words, b[i].utterance.words);
+
+        EXPECT_GE(a[i].arrivalSeconds, 0.0);
+        if (i > 0)
+            EXPECT_GE(a[i].arrivalSeconds, a[i - 1].arrivalSeconds);
+        EXPECT_FALSE(a[i].utterance.words.empty());
+        ids.insert(a[i].utterance.id);
+    }
+    // Fresh ids, distinct per event (they key fault injection).
+    EXPECT_EQ(ids.size(), a.size());
+
+    // A different seed reshapes the schedule.
+    TrafficConfig other = config;
+    other.seed = 1;
+    const auto c = SyntheticTrafficGenerator(ctx.testSet, other)
+                       .generate();
+    bool differs = false;
+    for (std::size_t i = 0; i < c.size(); ++i)
+        differs |= c[i].arrivalSeconds != a[i].arrivalSeconds ||
+                   c[i].utterance.words != a[i].utterance.words;
+    EXPECT_TRUE(differs);
+}
+
+// ---------------------------------------------------------------------
+// StreamingServer vs the batch pipeline
+// ---------------------------------------------------------------------
+
+TEST(StreamingServe, InlineServerMatchesBatchDecode)
+{
+    auto &ctx = serveContext();
+    FaultInjector::global().disarm();
+    const SystemConfig config =
+        ctx.setup.configFor(SearchMode::NBestHash, PruneLevel::P90);
+
+    ServeConfig serve;
+    serve.system = config;
+    serve.chunkFrames = 5;
+    serve.threads = 0; // inline: deterministic ordering
+    serve.admission.maxSessions = ctx.testSet.size();
+
+    StreamingServer server(ctx.system, serve);
+    std::map<std::uint64_t, std::size_t> partials;
+    server.setPartialCallback(
+        [&](std::uint64_t id, const PartialHypothesis &) {
+            ++partials[id];
+        });
+    for (const auto &utt : ctx.testSet)
+        EXPECT_TRUE(server.offer(utt));
+    server.drain();
+
+    const auto outcomes = server.outcomes();
+    ASSERT_EQ(outcomes.size(), ctx.testSet.size());
+    const ViterbiDecoder decoder(ctx.fst, DecoderConfig{config.beam});
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const Utterance &utt = ctx.testSet[i];
+        EXPECT_EQ(outcomes[i].index, i);
+        EXPECT_EQ(outcomes[i].utteranceId, utt.id);
+        EXPECT_FALSE(outcomes[i].degraded) << outcomes[i].faultCause;
+
+        const auto scores = ctx.system.scoresFor(utt, config.prune);
+        auto selector = ctx.system.makeSelector(config);
+        const DecodeResult want = decoder.decode(*scores, *selector);
+        EXPECT_EQ(outcomes[i].words, want.words) << "utterance " << i;
+        EXPECT_DOUBLE_EQ(outcomes[i].totalCost, want.totalCost)
+            << "utterance " << i;
+        EXPECT_EQ(outcomes[i].frames, scores->frameCount());
+        if (want.frames.size() == scores->frameCount()) {
+            const std::size_t chunks =
+                (scores->frameCount() + serve.chunkFrames - 1) /
+                serve.chunkFrames;
+            EXPECT_EQ(outcomes[i].chunks, chunks);
+            EXPECT_EQ(partials[utt.id], chunks);
+        }
+    }
+
+    const ServeReport report = server.report();
+    EXPECT_EQ(report.offered, ctx.testSet.size());
+    EXPECT_EQ(report.admitted, ctx.testSet.size());
+    EXPECT_EQ(report.shed, 0u);
+    EXPECT_EQ(report.completed, ctx.testSet.size());
+    EXPECT_EQ(report.degraded, 0u);
+    EXPECT_EQ(report.chunkLatencyUs.count(), report.chunks);
+    EXPECT_GT(report.frames, 0u);
+}
+
+TEST(StreamingServe, InjectedFaultsDegradeOnlyTheirSession)
+{
+    auto &ctx = serveContext();
+    const SystemConfig config =
+        ctx.setup.configFor(SearchMode::Baseline, PruneLevel::P90);
+    ASSERT_GE(ctx.testSet.size(), 4u);
+
+    // Fault-free batch baseline.
+    FaultInjector::global().disarm();
+    const ViterbiDecoder decoder(ctx.fst, DecoderConfig{config.beam});
+    std::vector<std::vector<WordId>> want;
+    for (const auto &utt : ctx.testSet) {
+        const auto scores = ctx.system.scoresFor(utt, config.prune);
+        auto selector = ctx.system.makeSelector(config);
+        want.push_back(decoder.decode(*scores, *selector).words);
+    }
+
+    // One timeout (fires at the first frame boundary through the
+    // watchdog) and one alloc failure (throws from the session
+    // constructor); both keyed by utterance id.
+    const std::size_t timed_out = 1, alloc_failed = 2;
+    FaultPlan plan;
+    {
+        FaultRule rule;
+        rule.probe = "decoder.decode";
+        rule.kind = FaultKind::Timeout;
+        rule.keys = {ctx.testSet[timed_out].id};
+        plan.rules.push_back(rule);
+        rule.kind = FaultKind::AllocFail;
+        rule.keys = {ctx.testSet[alloc_failed].id};
+        plan.rules.push_back(rule);
+    }
+    ScopedFaultPlan scoped(std::move(plan));
+
+    ServeConfig serve;
+    serve.system = config;
+    serve.chunkFrames = 8;
+    serve.threads = 2;
+    serve.admission.maxSessions = ctx.testSet.size();
+
+    StreamingServer server(ctx.system, serve);
+    for (const auto &utt : ctx.testSet)
+        EXPECT_TRUE(server.offer(utt));
+    server.drain();
+
+    const auto outcomes = server.outcomes();
+    ASSERT_EQ(outcomes.size(), ctx.testSet.size());
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const bool faulted = i == timed_out || i == alloc_failed;
+        EXPECT_EQ(outcomes[i].index, i);
+        EXPECT_EQ(outcomes[i].degraded, faulted) << "utterance " << i;
+        if (faulted) {
+            EXPECT_FALSE(outcomes[i].faultCause.empty());
+            EXPECT_TRUE(outcomes[i].words.empty());
+        } else {
+            // Healthy neighbours decode bit-identically to batch.
+            EXPECT_EQ(outcomes[i].words, want[i]) << "utterance " << i;
+        }
+    }
+
+    const ServeReport report = server.report();
+    EXPECT_EQ(report.degraded, 2u);
+    EXPECT_EQ(report.completed, ctx.testSet.size() - 2);
+    EXPECT_EQ(report.admitted, report.completed + report.degraded);
+}
+
+TEST(StreamingServe, ExpiredDeadlineDegradesSession)
+{
+    auto &ctx = serveContext();
+    FaultInjector::global().disarm();
+    const SystemConfig config =
+        ctx.setup.configFor(SearchMode::Baseline, PruneLevel::P90);
+    const Utterance &utt = ctx.testSet.front();
+    const auto scores = ctx.system.scoresFor(utt, config.prune);
+
+    // A vanishing wall budget has expired by the first frame boundary.
+    Session session(ctx.fst, config.beam,
+                    ctx.system.makeSelector(config), utt.id, 1e-9);
+    const PartialHypothesis partial =
+        session.advanceChunk(*scores, 0, scores->frameCount());
+    EXPECT_TRUE(session.degraded());
+    EXPECT_TRUE(partial.words.empty());
+
+    const SessionResult result = session.finish();
+    EXPECT_TRUE(result.degraded);
+    EXPECT_FALSE(result.faultCause.empty());
+    EXPECT_TRUE(result.decode.words.empty());
+
+    // A disabled deadline (0) never fires.
+    Session healthy(ctx.fst, config.beam,
+                    ctx.system.makeSelector(config), utt.id, 0.0);
+    healthy.advanceChunk(*scores, 0, scores->frameCount());
+    EXPECT_FALSE(healthy.degraded());
+    EXPECT_FALSE(healthy.finish().degraded);
+}
+
+TEST(StreamingServe, OverloadShedsDeterministically)
+{
+    auto &ctx = serveContext();
+    FaultInjector::global().disarm();
+
+    ServeConfig serve;
+    serve.system =
+        ctx.setup.configFor(SearchMode::Baseline, PruneLevel::P90);
+    serve.chunkFrames = 4;
+    // Real workers: an inline pool (threads <= 1) would park the
+    // offering thread inside the first session's callback.
+    serve.threads = 2;
+    serve.admission.maxSessions = 1;
+    serve.admission.maxQueueDepth = 64;
+
+    StreamingServer server(ctx.system, serve);
+
+    // Park the first session inside its first partial callback so its
+    // admission slot stays held while the remaining offers arrive.
+    std::promise<void> release;
+    std::shared_future<void> gate(release.get_future());
+    std::atomic<bool> parked{false};
+    server.setPartialCallback(
+        [&](std::uint64_t, const PartialHypothesis &) {
+            if (!parked.exchange(true))
+                gate.wait();
+        });
+
+    EXPECT_TRUE(server.offer(ctx.testSet[0]));
+    for (std::size_t i = 1; i < 4; ++i)
+        EXPECT_FALSE(server.offer(ctx.testSet[i % ctx.testSet.size()]));
+
+    release.set_value();
+    server.drain();
+
+    const ServeReport report = server.report();
+    EXPECT_EQ(report.offered, 4u);
+    EXPECT_EQ(report.admitted, 1u);
+    EXPECT_EQ(report.shed, 3u);
+    EXPECT_EQ(report.completed, 1u);
+    EXPECT_EQ(report.degraded, 0u);
+    EXPECT_EQ(server.admission().shedCount(), 3u);
+    EXPECT_EQ(server.admission().active(), 0u);
+
+    const auto outcomes = server.outcomes();
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_EQ(outcomes[0].utteranceId, ctx.testSet[0].id);
+    EXPECT_FALSE(outcomes[0].degraded);
+}
+
+} // namespace
+} // namespace darkside

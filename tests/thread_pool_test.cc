@@ -10,6 +10,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <future>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -123,6 +125,31 @@ TEST(ThreadPool, NestedParallelForDegradesToSerial)
     });
     for (auto &c : cells)
         EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, PendingCountsQueuedTasks)
+{
+    // Inline pools never queue: submit() runs the task on the caller.
+    ThreadPool inline_pool(0);
+    EXPECT_EQ(inline_pool.pending(), 0u);
+    inline_pool.submit([] {});
+    EXPECT_EQ(inline_pool.pending(), 0u);
+
+    // With the single worker parked, further submissions pile up in
+    // the queue; pending() is what admission backpressure reads.
+    ThreadPool pool(2);
+    EXPECT_EQ(pool.pending(), 0u);
+    std::promise<void> release;
+    std::shared_future<void> gate(release.get_future());
+    pool.submit([gate] { gate.wait(); });
+    pool.submit([gate] { gate.wait(); });
+    for (int i = 0; i < 3; ++i)
+        pool.submit([] {});
+    // Both workers may hold a blocker each; the three no-ops wait.
+    EXPECT_GE(pool.pending(), 3u);
+    EXPECT_LE(pool.pending(), 5u);
+    release.set_value();
+    // Destruction drains the queue back to empty.
 }
 
 TEST(ThreadPool, GrainBoundsChunkSize)

@@ -10,6 +10,7 @@
  *   decode    decode the test set with a chosen hypothesis selector
  *   simulate  run one full system configuration on the simulated HW
  *   sweep     run the complete {Baseline,Beam,NBest} x pruning matrix
+ *   serve     streaming session server over synthetic traffic
  *
  * All subcommands share the scaled experiment setup; flags tweak the
  * pieces relevant to each. Run `darkside <subcommand> --help`.
@@ -19,6 +20,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <memory>
 #include <optional>
 #include <string>
@@ -27,6 +29,7 @@
 #include "decoder/lattice.hh"
 #include "decoder/search_telemetry.hh"
 #include "fault/fault.hh"
+#include "serve/serve_bench.hh"
 #include "store/checkpoint.hh"
 #include "system/defaults.hh"
 #include "telemetry/metrics.hh"
@@ -504,6 +507,100 @@ cmdSweep(int argc, const char *const *argv)
     return writeMetrics(args);
 }
 
+int
+cmdServe(int argc, const char *const *argv)
+{
+    ArgParser args("darkside serve",
+                   "streaming session server over synthetic traffic "
+                   "(docs/SERVING.md)");
+    addSetupFlags(args);
+    args.addOption("prune", "pruning level (none|70|80|90)", "90");
+    args.addOption("mode", "baseline | beam | nbest", "nbest");
+    args.addOption("sessions", "sessions to offer", 32.0);
+    args.addOption("rate", "open-loop Poisson arrivals per second",
+                   200.0);
+    args.addOption("tail", "Pareto shape of utterance lengths", 1.2);
+    args.addOption("max-length",
+                   "utterance length cap (base-utterance multiples)",
+                   4.0);
+    // String default: large numeric defaults round-trip through the
+    // parser's %g formatting ("2.02608e+07"), which atoll truncates.
+    args.addOption("seed", "traffic seed", "20260808");
+    args.addOption("chunk", "frames per chunk (0 = whole utterance)",
+                   16.0);
+    args.addOption("deadline",
+                   "per-session wall budget in seconds (0 = off)", 0.0);
+    args.addOption("threads", "session worker threads", 2.0);
+    args.addOption("max-sessions",
+                   "admission budget: concurrent sessions", 4.0);
+    args.addOption("queue-depth",
+                   "admission budget: queued pool tasks", 16.0);
+    args.addSwitch("no-pace",
+                   "offer back to back instead of honoring the "
+                   "arrival schedule (maximum admission pressure)");
+    args.addSwitch("bench", "emit the BENCH_serve.json report");
+    args.addOption("json",
+                   "report JSON path (default BENCH_serve.json with "
+                   "--bench)",
+                   "");
+    if (!args.parse(argc, argv))
+        return 1;
+
+    const ExperimentSetup setup = setupFrom(args);
+    ExperimentContext ctx(setup);
+
+    ServeWorkloadOptions options;
+    options.serve.system = setup.configFor(modeFrom(args.get("mode")),
+                                           levelFrom(args.get("prune")));
+    if (args.getNumber("beam") > 0.0)
+        options.serve.system.beam =
+            static_cast<float>(args.getNumber("beam"));
+    options.serve.chunkFrames =
+        static_cast<std::size_t>(args.getInt("chunk"));
+    options.serve.sessionDeadlineSeconds = args.getNumber("deadline");
+    options.serve.threads =
+        static_cast<std::size_t>(args.getInt("threads"));
+    options.serve.admission.maxSessions =
+        static_cast<std::size_t>(args.getInt("max-sessions"));
+    options.serve.admission.maxQueueDepth =
+        static_cast<std::size_t>(args.getInt("queue-depth"));
+    options.traffic.sessions =
+        static_cast<std::size_t>(args.getInt("sessions"));
+    options.traffic.arrivalsPerSecond = args.getNumber("rate");
+    options.traffic.tailShape = args.getNumber("tail");
+    options.traffic.maxLengthMultiple =
+        static_cast<std::size_t>(args.getInt("max-length"));
+    options.traffic.seed =
+        static_cast<std::uint64_t>(args.getInt("seed"));
+    options.paceArrivals = !args.getSwitch("no-pace");
+    if (options.serve.admission.maxSessions == 0)
+        fatal("--max-sessions must be at least 1");
+
+    // Warm the serving level's model + inference engine before the
+    // clock starts: a long-lived server trains nothing during traffic.
+    ctx.system.engineFor(options.serve.system.prune);
+
+    const ServeReport report =
+        runServeWorkload(ctx.system, ctx.testSet, options);
+    printServeReport(std::cout, report, options);
+    publishServeGauges(report);
+
+    std::string json_path = args.get("json");
+    if (json_path.empty() && args.getSwitch("bench"))
+        json_path = "BENCH_serve.json";
+    if (!json_path.empty()) {
+        std::ofstream os(json_path);
+        os << serveReportJson(report, options);
+        if (!os) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         json_path.c_str());
+            return 1;
+        }
+        std::printf("\nwrote %s\n", json_path.c_str());
+    }
+    return writeMetrics(args);
+}
+
 void
 printTopUsage()
 {
@@ -520,6 +617,7 @@ printTopUsage()
         "  decode     software decode with a chosen selector\n"
         "  simulate   one configuration on the simulated hardware\n"
         "  sweep      the full configuration matrix\n"
+        "  serve      streaming session server over synthetic traffic\n"
         "\n"
         "run 'darkside <subcommand> --help' for flags");
 }
@@ -551,6 +649,8 @@ main(int argc, char **argv)
         return cmdSimulate(sub_argc, sub_argv);
     if (command == "sweep")
         return cmdSweep(sub_argc, sub_argv);
+    if (command == "serve")
+        return cmdServe(sub_argc, sub_argv);
     printTopUsage();
     return 1;
 }

@@ -26,6 +26,11 @@
  *   - dnn.kernel.* namespace (when present): the four kernel-layer
  *     counters exist with the right units, are deterministic, and no
  *     unknown dnn.kernel.* name appears (docs/METRICS.md)
+ *   - serve.* namespace (when present): the session/chunk counter
+ *     family and latency histograms exist with the right units and
+ *     determinism flags, no unknown serve.* name appears, and the
+ *     admission identities hold: admitted + shed == offered and
+ *     completed + degraded == admitted (docs/SERVING.md)
  *
  * With --expect-faults, a file whose fault.injected.* total is zero
  * (or absent) fails — CI uses this to prove a fault plan actually
@@ -504,6 +509,198 @@ checkDnnKernelNamespace(const JsonValue &root)
     }
 }
 
+/**
+ * serve.* namespace: when any serve metric is present the whole
+ * counter family and both latency histograms must be, with the
+ * documented units. Only serve.sessions.offered is deterministic (it
+ * restates the seeded workload); everything else is timing-dependent
+ * under concurrent sessions and must say so, which keeps serve runs
+ * out of deterministic snapshot diffs. The namespace is closed, and
+ * the admission ledger must balance: every offered session was either
+ * admitted or shed, and every admitted session either completed or
+ * degraded. The chunk-latency histogram must have recorded exactly
+ * one sample per chunk.
+ */
+void
+checkServeNamespace(const JsonValue &root)
+{
+    const JsonValue *counters = root.member("counters");
+    if (!counters || !counters->isArray())
+        return; // section() already reported this
+
+    std::map<std::string, const JsonValue *> serve;
+    for (const JsonValue &c : counters->asArray()) {
+        const JsonValue *name = c.member("name");
+        if (name && name->isString() &&
+            name->asString().rfind("serve.", 0) == 0)
+            serve[name->asString()] = &c;
+    }
+
+    const struct
+    {
+        const char *name;
+        const char *unit;
+        bool deterministic;
+    } required[] = {
+        {"serve.sessions.offered", "sessions", true},
+        {"serve.sessions.admitted", "sessions", false},
+        {"serve.sessions.shed", "sessions", false},
+        {"serve.sessions.completed", "sessions", false},
+        {"serve.sessions.degraded", "sessions", false},
+        {"serve.chunks", "chunks", false},
+        {"serve.frames", "frames", false},
+    };
+
+    // The namespace also spans gauges and histograms; any serve.*
+    // name in any section activates the whole-family requirement.
+    bool present = !serve.empty();
+    const struct
+    {
+        const char *name;
+        const char *unit;
+    } known_gauges[] = {
+        {"serve.chunk_p50_us", "us"},
+        {"serve.chunk_p95_us", "us"},
+        {"serve.chunk_p99_us", "us"},
+        {"serve.sessions_per_sec", "sessions/s"},
+    };
+    const JsonValue *gauges = root.member("gauges");
+    if (gauges && gauges->isArray()) {
+        for (const JsonValue &g : gauges->asArray()) {
+            const JsonValue *name = g.member("name");
+            if (!name || !name->isString() ||
+                name->asString().rfind("serve.", 0) != 0)
+                continue;
+            present = true;
+            bool known = false;
+            for (const auto &k : known_gauges) {
+                if (name->asString() != k.name)
+                    continue;
+                known = true;
+                const JsonValue *unit = g.member("unit");
+                if (unit && unit->isString() &&
+                    unit->asString() != k.unit) {
+                    fail(name->asString() + ": unit '" +
+                         unit->asString() + "' != '" + k.unit + "'");
+                }
+            }
+            if (!known)
+                fail(name->asString() + ": unknown serve.* gauge");
+        }
+    }
+
+    std::map<std::string, const JsonValue *> serve_hists;
+    const JsonValue *histograms = root.member("histograms");
+    if (histograms && histograms->isArray()) {
+        for (const JsonValue &h : histograms->asArray()) {
+            const JsonValue *name = h.member("name");
+            if (name && name->isString() &&
+                name->asString().rfind("serve.", 0) == 0)
+                serve_hists[name->asString()] = &h;
+        }
+    }
+    present |= !serve_hists.empty();
+    if (!present)
+        return;
+
+    for (const auto &r : required) {
+        auto it = serve.find(r.name);
+        if (it == serve.end()) {
+            fail(std::string("serve.* present but '") + r.name +
+                 "' is missing");
+            continue;
+        }
+        const JsonValue &c = *it->second;
+        const JsonValue *unit = c.member("unit");
+        if (unit && unit->isString() && unit->asString() != r.unit) {
+            fail(std::string(r.name) + ": unit '" + unit->asString() +
+                 "' != '" + r.unit + "'");
+        }
+        const JsonValue *det = c.member("deterministic");
+        if (det && det->isBool() && det->asBool() != r.deterministic) {
+            fail(std::string(r.name) + ": must be " +
+                 (r.deterministic ? "deterministic"
+                                  : "non-deterministic"));
+        }
+    }
+    for (const auto &[name, c] : serve) {
+        bool known = false;
+        for (const auto &r : required)
+            known |= name == r.name;
+        if (!known)
+            fail(name + ": unknown serve.* counter");
+    }
+
+    const struct
+    {
+        const char *name;
+    } required_hists[] = {
+        {"serve.chunk_latency_us"},
+        {"serve.session_latency_us"},
+    };
+    for (const auto &r : required_hists) {
+        auto it = serve_hists.find(r.name);
+        if (it == serve_hists.end()) {
+            fail(std::string("serve.* present but histogram '") +
+                 r.name + "' is missing");
+            continue;
+        }
+        const JsonValue &h = *it->second;
+        const JsonValue *unit = h.member("unit");
+        if (unit && unit->isString() && unit->asString() != "us") {
+            fail(std::string(r.name) + ": unit '" + unit->asString() +
+                 "' != 'us'");
+        }
+        const JsonValue *det = h.member("deterministic");
+        if (det && det->isBool() && det->asBool())
+            fail(std::string(r.name) + ": must be non-deterministic");
+    }
+    for (const auto &[name, h] : serve_hists) {
+        bool known = false;
+        for (const auto &r : required_hists)
+            known |= name == r.name;
+        if (!known)
+            fail(name + ": unknown serve.* histogram");
+    }
+
+    const auto counterValue =
+        [&](const char *name, double &out) -> bool {
+        auto it = serve.find(name);
+        if (it == serve.end())
+            return false;
+        const JsonValue *value = it->second->member("value");
+        if (!value || !value->isNonNegativeInteger())
+            return false;
+        out = value->asNumber();
+        return true;
+    };
+    double offered = 0.0, admitted = 0.0, shed = 0.0;
+    double completed = 0.0, degraded = 0.0, chunks = 0.0;
+    if (counterValue("serve.sessions.offered", offered) &&
+        counterValue("serve.sessions.admitted", admitted) &&
+        counterValue("serve.sessions.shed", shed) &&
+        admitted + shed != offered) {
+        fail("serve.sessions.admitted + serve.sessions.shed != "
+             "serve.sessions.offered");
+    }
+    if (counterValue("serve.sessions.admitted", admitted) &&
+        counterValue("serve.sessions.completed", completed) &&
+        counterValue("serve.sessions.degraded", degraded) &&
+        completed + degraded != admitted) {
+        fail("serve.sessions.completed + serve.sessions.degraded != "
+             "serve.sessions.admitted");
+    }
+    auto chunk_hist = serve_hists.find("serve.chunk_latency_us");
+    if (counterValue("serve.chunks", chunks) &&
+        chunk_hist != serve_hists.end()) {
+        const JsonValue *count = chunk_hist->second->member("count");
+        if (count && count->isNonNegativeInteger() &&
+            count->asNumber() != chunks) {
+            fail("serve.chunk_latency_us count != serve.chunks");
+        }
+    }
+}
+
 void
 checkFile(const char *path, bool expect_faults)
 {
@@ -545,6 +742,7 @@ checkFile(const char *path, bool expect_faults)
     checkStoreNamespace(root);
     checkDecodeTraceNamespace(root);
     checkDnnKernelNamespace(root);
+    checkServeNamespace(root);
 }
 
 // --- --diff mode --------------------------------------------------------
