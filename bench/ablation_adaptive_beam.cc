@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Ablation: the frame-adaptive software selectors — FLToP-style
+ * relative-threshold pruning and the entropy-adaptive beam — head to
+ * head with the paper's Max-Heap N-best hash, across every pruning
+ * level. Reports the full trade triangle per configuration: WER,
+ * survivors/frame (the workload the Viterbi stage must carry) and
+ * decode throughput in frames/sec.
+ *
+ * The interesting regime is the 90%-pruned model, where the score
+ * distribution flattens and the hypothesis count explodes: the
+ * relative threshold bounds the explosion with a fixed margin + cap,
+ * while the adaptive beam *narrows* under the flat (high-entropy)
+ * frames precisely where the explosion happens.
+ *
+ * Prints a table, writes a CSV series, and emits a JSON blob (stdout,
+ * and to a file when a path is given as argv[1] or
+ * $DARKSIDE_BENCH_JSON) for the CI perf artifact.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "nbest/adaptive_selectors.hh"
+#include "nbest/selectors.hh"
+#include "util/csv.hh"
+#include "util/edit_distance.hh"
+#include "util/text_table.hh"
+
+namespace darkside {
+namespace bench {
+namespace {
+
+/** Best (minimum) wall-clock seconds of one call: one warm-up, then
+ *  repeats until ~0.25 s has elapsed. */
+double
+timeBest(const std::function<void()> &fn)
+{
+    using Clock = std::chrono::steady_clock;
+    fn();
+    double total = 0.0;
+    double best = std::numeric_limits<double>::infinity();
+    while (total < 0.25) {
+        const auto t0 = Clock::now();
+        fn();
+        const auto t1 = Clock::now();
+        const double secs =
+            std::chrono::duration<double>(t1 - t0).count();
+        total += secs;
+        best = std::min(best, secs);
+    }
+    return best;
+}
+
+struct SelectorReport
+{
+    std::string name;
+    double wer = 0.0;
+    double survivorsPerFrame = 0.0;
+    double fps = 0.0;
+};
+
+struct LevelReport
+{
+    std::string label;
+    std::vector<SelectorReport> selectors;
+};
+
+/** Decode the whole test set once; returns total frames and fills the
+ *  report's WER/survivor statistics when given. */
+std::size_t
+decodeSet(const ViterbiDecoder &decoder, HypothesisSelector &selector,
+          const std::vector<std::shared_ptr<const AcousticScores>>
+              &scores,
+          const std::vector<Utterance> &utts, SelectorReport *report)
+{
+    std::size_t frames = 0;
+    std::uint64_t survivors = 0;
+    EditStats wer;
+    for (std::size_t u = 0; u < scores.size(); ++u) {
+        const DecodeResult result = decoder.decode(*scores[u], selector);
+        frames += result.frames.size();
+        if (report) {
+            survivors += result.totalSurvivors();
+            wer.merge(alignSequences(utts[u].words, result.words));
+        }
+    }
+    if (report) {
+        report->wer = wer.wordErrorRate();
+        if (frames > 0) {
+            report->survivorsPerFrame = static_cast<double>(survivors) /
+                static_cast<double>(frames);
+        }
+    }
+    return frames;
+}
+
+} // namespace
+
+int
+run(int argc, char **argv)
+{
+    printBanner("ablation_adaptive_beam",
+                "frame-adaptive software selectors vs the Max-Heap "
+                "N-best hash: WER, survivors/frame, frames/sec");
+    auto &ctx = context();
+    const ExperimentSetup &setup = ctx.setup;
+
+    std::printf("test set: %zu utterances | rel margin %.1f cap %zu | "
+                "adaptive margins [%.1f, %.1f] alpha %.2f\n\n",
+                ctx.testSet.size(), setup.relMargin,
+                setup.relMaxSurvivors, setup.adaptiveMinMargin,
+                setup.adaptiveMaxMargin, setup.adaptiveEmaAlpha);
+
+    TextTable table;
+    table.header({"model", "selector", "WER %", "survivors/frame",
+                  "frames/sec"});
+    CsvWriter csv = CsvWriter::forBench("ablation_adaptive_beam");
+    csv.header({"model", "selector", "wer", "survivors_per_frame",
+                "fps"});
+
+    std::vector<LevelReport> reports;
+    for (PruneLevel level : kAllPruneLevels) {
+        // Score once per level, outside the timed region.
+        std::vector<std::shared_ptr<const AcousticScores>> scores;
+        for (const auto &utt : ctx.testSet)
+            scores.push_back(ctx.system.scoresFor(utt, level));
+
+        const float beam = setup.beamFor(SearchMode::Baseline, level);
+        const ViterbiDecoder decoder(ctx.fst, DecoderConfig{beam});
+
+        // The comparison is capacity-for-capacity: the relative
+        // threshold's cap equals the hash's N, so any workload gap is
+        // the *policy's* doing, not the budget's.
+        SetAssociativeHash maxheap(setup.nbestEntries, setup.nbestWays);
+        RelativeThresholdSelector rel(setup.relMargin,
+                                      setup.relMaxSurvivors);
+        AdaptiveBeamSelector adaptive(setup.adaptiveMinMargin,
+                                      setup.adaptiveMaxMargin,
+                                      setup.adaptiveEmaAlpha);
+        struct
+        {
+            const char *name;
+            HypothesisSelector *selector;
+        } entries[] = {{"maxheap_nbest", &maxheap},
+                       {"relative_threshold", &rel},
+                       {"adaptive_beam", &adaptive}};
+
+        LevelReport lr;
+        lr.label = pruneLevelName(level);
+        for (const auto &entry : entries) {
+            SelectorReport sr;
+            sr.name = entry.name;
+            const std::size_t frames = decodeSet(
+                decoder, *entry.selector, scores, ctx.testSet, &sr);
+            const double secs = timeBest([&] {
+                decodeSet(decoder, *entry.selector, scores,
+                          ctx.testSet, nullptr);
+            });
+            sr.fps = static_cast<double>(frames) / secs;
+
+            table.row({lr.label, sr.name,
+                       TextTable::num(100.0 * sr.wer, 2),
+                       TextTable::num(sr.survivorsPerFrame, 1),
+                       TextTable::num(sr.fps, 0)});
+            csv.row({lr.label, sr.name, TextTable::num(sr.wer, 5),
+                     TextTable::num(sr.survivorsPerFrame, 1),
+                     TextTable::num(sr.fps, 0)});
+            lr.selectors.push_back(sr);
+        }
+        reports.push_back(lr);
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("expected shape: both adaptive selectors hold WER at "
+                "the hash's level while carrying fewer survivors per "
+                "frame on the pruned models; the margin does the work "
+                "the hash pays capacity for.\n");
+
+    // --- JSON ---------------------------------------------------------
+    std::ostringstream json;
+    json << "{\n  \"utterances\": " << ctx.testSet.size()
+         << ",\n  \"rel_margin\": " << setup.relMargin
+         << ",\n  \"rel_max_survivors\": " << setup.relMaxSurvivors
+         << ",\n  \"adaptive_min_margin\": " << setup.adaptiveMinMargin
+         << ",\n  \"adaptive_max_margin\": " << setup.adaptiveMaxMargin
+         << ",\n  \"adaptive_ema_alpha\": " << setup.adaptiveEmaAlpha
+         << ",\n  \"levels\": [";
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        const auto &lr = reports[i];
+        json << (i ? "," : "") << "\n    {\"label\": \"" << lr.label
+             << "\", \"selectors\": [";
+        for (std::size_t j = 0; j < lr.selectors.size(); ++j) {
+            const auto &sr = lr.selectors[j];
+            json << (j ? "," : "") << "\n      {\"name\": \"" << sr.name
+                 << "\", \"wer\": " << sr.wer
+                 << ", \"survivors_per_frame\": " << sr.survivorsPerFrame
+                 << ", \"fps\": " << sr.fps << "}";
+        }
+        json << "\n    ]}";
+    }
+    json << "\n  ]\n}\n";
+
+    std::printf("\n--- JSON ---\n%s", json.str().c_str());
+
+    std::string path;
+    if (argc > 1)
+        path = argv[1];
+    else if (const char *env = std::getenv("DARKSIDE_BENCH_JSON"))
+        path = env;
+    if (!path.empty()) {
+        std::ofstream os(path);
+        os << json.str();
+        if (!os) {
+            std::fprintf(stderr, "cannot write JSON to %s\n",
+                         path.c_str());
+            return 1;
+        }
+        std::printf("JSON written to %s\n", path.c_str());
+    }
+    return 0;
+}
+
+} // namespace bench
+} // namespace darkside
+
+int
+main(int argc, char **argv)
+{
+    darkside::bench::metricsInit(&argc, argv);
+    const int rc = darkside::bench::run(argc, argv);
+    const int metrics_rc = darkside::bench::metricsFinish();
+    return rc ? rc : metrics_rc;
+}

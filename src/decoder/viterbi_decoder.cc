@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "nbest/adaptive_selectors.hh"
 #include "nbest/selectors.hh"
 
 namespace darkside {
@@ -168,6 +169,7 @@ ViterbiDecoder::decodeImpl(const AcousticScores &scores, Sel &selector,
         observer->onUtteranceStart(frames);
 
     TraceArena arena(config_.traceGcMinNodes);
+    selector.startUtterance();
 
     // Double-buffered token storage: `active` is read, the selector
     // writes survivors into `next`, and the buffers swap — no per-frame
@@ -212,14 +214,24 @@ ViterbiDecoder::decode(const AcousticScores &scores,
                        HypothesisSelector &selector,
                        SearchObserver *observer) const
 {
-    // Thin dispatcher: one RTTI check per *utterance* buys a fully
-    // devirtualized inner loop for the dominant (unbounded) selector;
-    // every other selector runs the same kernel through the virtual
-    // interface.
+    // Thin dispatcher: one RTTI chain per *utterance* buys a fully
+    // devirtualized inner loop for the dominant (unbounded) selector
+    // and the adaptive software selectors (all `final`); every other
+    // selector runs the same kernel through the virtual interface.
     if (auto *unbounded = dynamic_cast<UnboundedSelector *>(&selector)) {
         return observer
             ? decodeImpl<true>(scores, *unbounded, observer)
             : decodeImpl<false>(scores, *unbounded, nullptr);
+    }
+    if (auto *rel =
+            dynamic_cast<RelativeThresholdSelector *>(&selector)) {
+        return observer ? decodeImpl<true>(scores, *rel, observer)
+                        : decodeImpl<false>(scores, *rel, nullptr);
+    }
+    if (auto *adaptive =
+            dynamic_cast<AdaptiveBeamSelector *>(&selector)) {
+        return observer ? decodeImpl<true>(scores, *adaptive, observer)
+                        : decodeImpl<false>(scores, *adaptive, nullptr);
     }
     return observer ? decodeImpl<true>(scores, selector, observer)
                     : decodeImpl<false>(scores, selector, nullptr);
@@ -240,6 +252,7 @@ ViterbiStream::ViterbiStream(const ViterbiDecoder &decoder,
       arena_(decoder.config_.traceGcMinNodes)
 {
     active_.push_back({fst_->start(), 0.0f, 0});
+    selector_->startUtterance();
     if (observer_)
         observer_->onUtteranceStart(0);
 }
@@ -253,6 +266,30 @@ ViterbiStream::advanceFrames(const AcousticScores &scores,
     if (dead_)
         return;
 
+    // The same dispatch chain as ViterbiDecoder::decode(), per chunk
+    // instead of per utterance: the streaming arm runs the statically
+    // bound stepFrame instantiation for every `final` selector.
+    if (auto *unbounded =
+            dynamic_cast<UnboundedSelector *>(selector_)) {
+        advanceImpl(scores, begin, end, *unbounded);
+    } else if (auto *rel =
+                   dynamic_cast<RelativeThresholdSelector *>(
+                       selector_)) {
+        advanceImpl(scores, begin, end, *rel);
+    } else if (auto *adaptive =
+                   dynamic_cast<AdaptiveBeamSelector *>(selector_)) {
+        advanceImpl(scores, begin, end, *adaptive);
+    } else {
+        advanceImpl(scores, begin, end, *selector_);
+    }
+}
+
+template <typename Sel>
+void
+ViterbiStream::advanceImpl(const AcousticScores &scores,
+                           std::size_t begin, std::size_t end,
+                           Sel &selector)
+{
     for (std::size_t i = begin; i < end; ++i) {
         const std::size_t t = result_.frames.size();
         FrameActivity &activity = result_.frames.emplace_back();
@@ -261,10 +298,10 @@ ViterbiStream::advanceFrames(const AcousticScores &scores,
             alive = observer_
                 ? stepFrame<true>(*fst_, config_, arena_, active_, next_,
                                   activeBest_, scores.row(i), t, activity,
-                                  result_, *selector_, observer_)
+                                  result_, selector, observer_)
                 : stepFrame<false>(*fst_, config_, arena_, active_, next_,
                                    activeBest_, scores.row(i), t, activity,
-                                   result_, *selector_, observer_);
+                                   result_, selector, observer_);
         } catch (...) {
             // A throwing observer (DecodeWatchdog past its deadline)
             // aborts the stream mid-frame; the partial frame's arena

@@ -243,6 +243,13 @@ class ViterbiStream
     ViterbiStream(const ViterbiDecoder &decoder,
                   HypothesisSelector &selector, SearchObserver *observer);
 
+    /** The chunk loop, templated on the concrete selector type so
+     *  advanceFrames' dispatch (same chain as decode()) reaches the
+     *  statically bound stepFrame instantiations. */
+    template <typename Sel>
+    void advanceImpl(const AcousticScores &scores, std::size_t begin,
+                     std::size_t end, Sel &selector);
+
     const Wfst *fst_;
     DecoderConfig config_;
     HypothesisSelector *selector_;

@@ -41,6 +41,11 @@ HistogramPruning::insert(const Hypothesis &hyp)
 float
 HistogramPruning::finishFrame(std::vector<Hypothesis> &out)
 {
+    // Pass-2 counters restart here so a repeated finishFrame() on the
+    // same frame reports identical stats instead of double-counting
+    // the rejections.
+    stats_.rejections = 0;
+    stats_.evictions = 0;
     out.clear();
     out.reserve(std::min(table_.size(), maxActive_));
     // The frame-best hypothesis always survives (its cost offset is 0,

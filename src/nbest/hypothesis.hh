@@ -70,6 +70,17 @@ class HypothesisSelector
   public:
     virtual ~HypothesisSelector() = default;
 
+    /**
+     * Reset cross-frame state for a new utterance. Most selectors are
+     * stateless between frames and keep the default no-op; selectors
+     * that smooth a signal across frames (AdaptiveBeamSelector's
+     * entropy EMA) reset it here so a reused selector decodes every
+     * utterance identically regardless of what it decoded before.
+     * Both decode arms (batch and streaming) call this exactly once
+     * before the first frame.
+     */
+    virtual void startUtterance() {}
+
     /** Reset for a new frame (clears storage, zeroes frame counters). */
     virtual void beginFrame() = 0;
 

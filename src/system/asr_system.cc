@@ -5,6 +5,7 @@
 
 #include "decoder/search_telemetry.hh"
 #include "decoder/watchdog.hh"
+#include "nbest/adaptive_selectors.hh"
 #include "fault/fault.hh"
 #include "telemetry/metrics.hh"
 #include "telemetry/snapshot.hh"
@@ -126,6 +127,16 @@ inputsKeyOf(const SystemConfig &config,
     h = mix64(h ^ beam_bits);
     h = mix64(h ^ config.nbestEntries);
     h = mix64(h ^ config.nbestWays);
+    const auto mixFloat = [&h](float v) {
+        std::uint32_t bits = 0;
+        std::memcpy(&bits, &v, sizeof(bits));
+        h = mix64(h ^ bits);
+    };
+    mixFloat(config.relMargin);
+    h = mix64(h ^ config.relMaxSurvivors);
+    mixFloat(config.adaptiveMinMargin);
+    mixFloat(config.adaptiveMaxMargin);
+    mixFloat(config.adaptiveEmaAlpha);
     for (std::size_t i = begin; i < end; ++i)
         h = mix64(h ^ utts[i].id);
     return h;
@@ -237,6 +248,10 @@ searchModeName(SearchMode mode)
         return "Beam";
       case SearchMode::NBestHash:
         return "NBest";
+      case SearchMode::RelativeThreshold:
+        return "RelThresh";
+      case SearchMode::AdaptiveBeam:
+        return "Adaptive";
     }
     return "?";
 }
@@ -274,6 +289,15 @@ AsrSystem::makeSelector(const SystemConfig &config) const
     if (config.mode == SearchMode::NBestHash) {
         return std::make_unique<SetAssociativeHash>(config.nbestEntries,
                                                     config.nbestWays);
+    }
+    if (config.mode == SearchMode::RelativeThreshold) {
+        return std::make_unique<RelativeThresholdSelector>(
+            config.relMargin, config.relMaxSurvivors);
+    }
+    if (config.mode == SearchMode::AdaptiveBeam) {
+        return std::make_unique<AdaptiveBeamSelector>(
+            config.adaptiveMinMargin, config.adaptiveMaxMargin,
+            config.adaptiveEmaAlpha);
     }
     const auto &vc = platform_.viterbiBaseline;
     return std::make_unique<UnboundedSelector>(vc.hashEntries,

@@ -39,6 +39,12 @@ enum class SearchMode : std::uint8_t {
     NarrowBeam,
     /** The proposal: loose N-best via the set-associative hash. */
     NBestHash,
+    /** Software counterpart 1: FLToP-style frame-level relative
+     *  threshold with a survivors/frame cap (ROADMAP item 2). */
+    RelativeThreshold,
+    /** Software counterpart 2: entropy-adaptive beam (EMA-smoothed,
+     *  bounded margins). */
+    AdaptiveBeam,
 };
 
 const char *searchModeName(SearchMode mode);
@@ -54,6 +60,18 @@ struct SystemConfig
     std::size_t nbestEntries = 1024;
     /** Hash associativity (NBestHash mode). */
     std::size_t nbestWays = 8;
+    /** Log-space margin over the frame-best cost (RelativeThreshold
+     *  mode). */
+    float relMargin = 10.0f;
+    /** Survivors/frame cap (RelativeThreshold mode). */
+    std::size_t relMaxSurvivors = 512;
+    /** Margin bounds of the entropy-adaptive beam (AdaptiveBeam
+     *  mode): maxMargin under confident frames, minMargin under
+     *  maximum-entropy (flat) frames. */
+    float adaptiveMinMargin = 6.0f;
+    float adaptiveMaxMargin = 12.0f;
+    /** EMA weight of the current frame's entropy (AdaptiveBeam). */
+    float adaptiveEmaAlpha = 0.3f;
 
     /** "NBest-90"-style label. */
     std::string label() const;

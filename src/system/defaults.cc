@@ -21,6 +21,11 @@ ExperimentSetup::configFor(SearchMode mode, PruneLevel level) const
     config.beam = beamFor(mode, level);
     config.nbestEntries = nbestEntries;
     config.nbestWays = nbestWays;
+    config.relMargin = relMargin;
+    config.relMaxSurvivors = relMaxSurvivors;
+    config.adaptiveMinMargin = adaptiveMinMargin;
+    config.adaptiveMaxMargin = adaptiveMaxMargin;
+    config.adaptiveEmaAlpha = adaptiveEmaAlpha;
     return config;
 }
 

@@ -43,6 +43,19 @@ struct ExperimentSetup
      *  with our hypothesis counts). */
     std::size_t nbestEntries = 256;
     std::size_t nbestWays = 8;
+    /** Relative-threshold selector: log-space margin over the
+     *  frame-best cost and the hard survivors/frame cap. The cap
+     *  matches nbestEntries so the WER/workload comparison against
+     *  the Max-Heap hash is capacity-for-capacity; the margin is
+     *  calibrated one unit above the WER cliff at 90% pruning. */
+    float relMargin = 10.0f;
+    std::size_t relMaxSurvivors = 256;
+    /** Entropy-adaptive beam: margin bounds straddling the narrow
+     *  beams (flat frames land near minMargin, confident frames near
+     *  the baseline-beam-like maxMargin) and the EMA smoothing. */
+    float adaptiveMinMargin = 6.0f;
+    float adaptiveMaxMargin = 12.0f;
+    float adaptiveEmaAlpha = 0.3f;
 };
 
 /** The laptop-scale default experiment. */

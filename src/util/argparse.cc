@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <iomanip>
 #include <sstream>
 
 #include "util/logging.hh"
@@ -27,8 +28,17 @@ ArgParser::addOption(const std::string &name, const std::string &help,
 {
     ds_assert(!options_.count(name));
     order_.push_back(name);
+    // Shortest rendering that parses back to the exact default. The
+    // stream's default 6-significant-digit formatting turns a large
+    // integer like 20260808 into "2.02608e+07", which getNumber would
+    // read back as 20260800 (and getInt, pre-fix, as 2).
     std::ostringstream os;
-    os << default_value;
+    for (int precision = 6; precision <= 17; ++precision) {
+        os.str("");
+        os << std::setprecision(precision) << default_value;
+        if (std::atof(os.str().c_str()) == default_value)
+            break;
+    }
     options_[name] = Option{help, os.str(), false, true};
 }
 
@@ -107,7 +117,18 @@ ArgParser::getNumber(const std::string &name) const
 std::int64_t
 ArgParser::getInt(const std::string &name) const
 {
-    return std::atoll(get(name).c_str());
+    const std::string &text = get(name);
+    char *end = nullptr;
+    const long long integral = std::strtoll(text.c_str(), &end, 10);
+    // A value only representable with a decimal point or an exponent
+    // ("2.02608e+07", "2.5e3") would otherwise lose everything after
+    // its integral prefix; reparse as a double and truncate, keeping
+    // atoll's truncation semantics for plain decimals ("3.7" -> 3).
+    if (end && (*end == '.' || *end == 'e' || *end == 'E')) {
+        return static_cast<std::int64_t>(
+            std::strtod(text.c_str(), nullptr));
+    }
+    return integral;
 }
 
 bool

@@ -102,6 +102,37 @@ TEST(ArgParser, UsageMentionsEverything)
     EXPECT_NE(usage.find("default: 7"), std::string::npos);
 }
 
+TEST(ArgParser, LargeFloatDefaultRoundTrips)
+{
+    // A default like 20260808 used to render as "2.02608e+07" (6
+    // significant digits) and read back as 20260800.
+    ArgParser args("tool", "test parser");
+    args.addOption("seed", "a large integer default", 20260808.0);
+    EXPECT_TRUE(parseArgs(args, {}));
+    EXPECT_EQ(args.getInt("seed"), 20260808);
+    EXPECT_DOUBLE_EQ(args.getNumber("seed"), 20260808.0);
+}
+
+TEST(ArgParser, FractionalDefaultRoundTrips)
+{
+    ArgParser args("tool", "test parser");
+    args.addOption("alpha", "an EMA weight", 0.3);
+    args.addOption("third", "needs full precision", 1.0 / 3.0);
+    EXPECT_TRUE(parseArgs(args, {}));
+    EXPECT_DOUBLE_EQ(args.getNumber("alpha"), 0.3);
+    EXPECT_DOUBLE_EQ(args.getNumber("third"), 1.0 / 3.0);
+}
+
+TEST(ArgParser, GetIntHandlesScientificNotation)
+{
+    ArgParser args = makeParser();
+    EXPECT_TRUE(parseArgs(args, {"--count", "2.5e3"}));
+    EXPECT_EQ(args.getInt("count"), 2500);
+    ArgParser plain = makeParser();
+    EXPECT_TRUE(parseArgs(plain, {"--count", "3.7"}));
+    EXPECT_EQ(plain.getInt("count"), 3);
+}
+
 TEST(ArgParser, LastValueWins)
 {
     ArgParser args = makeParser();

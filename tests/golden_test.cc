@@ -46,10 +46,28 @@ struct GoldenRow
     double hypsPerFrame = 0.0;
 };
 
+/** A row of the `selectors` array: a frame-adaptive search mode at a
+ *  pruning level. */
+struct SelectorGoldenRow
+{
+    SearchMode mode;
+    PruneLevel level;
+    double wer = 0.0;
+    double meanConfidence = 0.0;
+    double hypsPerFrame = 0.0;
+};
+
+ExperimentContext &
+context()
+{
+    static ExperimentContext ctx(miniSetup());
+    return ctx;
+}
+
 std::vector<GoldenRow>
 derive()
 {
-    static ExperimentContext ctx(miniSetup());
+    auto &ctx = context();
     std::vector<GoldenRow> rows;
     for (PruneLevel level :
          {PruneLevel::None, PruneLevel::P70, PruneLevel::P90}) {
@@ -62,12 +80,31 @@ derive()
     return rows;
 }
 
+std::vector<SelectorGoldenRow>
+deriveSelectors()
+{
+    auto &ctx = context();
+    std::vector<SelectorGoldenRow> rows;
+    for (SearchMode mode : {SearchMode::RelativeThreshold,
+                            SearchMode::AdaptiveBeam}) {
+        for (PruneLevel level : {PruneLevel::None, PruneLevel::P90}) {
+            const TestSetResult r = ctx.system.runTestSet(
+                ctx.testSet, ctx.setup.configFor(mode, level));
+            rows.push_back({mode, level, r.wer.wordErrorRate(),
+                            r.meanConfidence,
+                            r.meanSurvivorsPerFrame()});
+        }
+    }
+    return rows;
+}
+
 void
-writeBaseline(const std::vector<GoldenRow> &rows)
+writeBaseline(const std::vector<GoldenRow> &rows,
+              const std::vector<SelectorGoldenRow> &selector_rows)
 {
     std::ofstream os(kBaselinePath);
     ASSERT_TRUE(os.is_open()) << kBaselinePath;
-    os << "{\n  \"schema\": \"darkside-golden-v1\",\n"
+    os << "{\n  \"schema\": \"darkside-golden-v2\",\n"
        << "  \"setup\": \"miniSetup(777), Baseline search mode\",\n"
        << "  \"levels\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -81,12 +118,46 @@ writeBaseline(const std::vector<GoldenRow> &rows)
                       i + 1 < rows.size() ? "," : "");
         os << buf;
     }
+    os << "  ],\n  \"selectors\": [\n";
+    for (std::size_t i = 0; i < selector_rows.size(); ++i) {
+        const SelectorGoldenRow &row = selector_rows[i];
+        char buf[192];
+        std::snprintf(buf, sizeof(buf),
+                      "    {\"mode\": \"%s\", \"level\": \"%s\", "
+                      "\"wer\": %.6f, \"mean_confidence\": %.6f, "
+                      "\"hyps_per_frame\": %.4f}%s\n",
+                      searchModeName(row.mode),
+                      pruneLevelName(row.level), row.wer,
+                      row.meanConfidence, row.hypsPerFrame,
+                      i + 1 < selector_rows.size() ? "," : "");
+        os << buf;
+    }
     os << "  ]\n}\n";
+}
+
+/** Compare one derived triple against a committed JSON entry. */
+void
+expectRowNear(const JsonValue &entry, const std::string &label,
+              double wer, double confidence, double hyps)
+{
+    ASSERT_TRUE(entry.member("wer") &&
+                entry.member("mean_confidence") &&
+                entry.member("hyps_per_frame"))
+        << label;
+    EXPECT_NEAR(wer, entry.member("wer")->asNumber(), 0.05) << label;
+    EXPECT_NEAR(confidence,
+                entry.member("mean_confidence")->asNumber(), 0.03)
+        << label;
+    const double golden_hyps =
+        entry.member("hyps_per_frame")->asNumber();
+    EXPECT_NEAR(hyps, golden_hyps, 0.15 * golden_hyps) << label;
 }
 
 TEST(GoldenRegression, MatchesCommittedBaseline)
 {
     const std::vector<GoldenRow> rows = derive();
+    const std::vector<SelectorGoldenRow> selector_rows =
+        deriveSelectors();
 
     // The paper's core effect must hold before anything is compared:
     // pruning keeps WER in the same ballpark while inflating the
@@ -94,7 +165,7 @@ TEST(GoldenRegression, MatchesCommittedBaseline)
     EXPECT_GT(rows[2].hypsPerFrame, rows[0].hypsPerFrame);
 
     if (std::getenv("DS_GOLDEN_REGENERATE")) {
-        writeBaseline(rows);
+        writeBaseline(rows, selector_rows);
         std::printf("golden baseline regenerated at %s\n",
                     kBaselinePath);
         return;
@@ -112,7 +183,7 @@ TEST(GoldenRegression, MatchesCommittedBaseline)
     ASSERT_TRUE(root.isObject());
     ASSERT_TRUE(root.member("schema") &&
                 root.member("schema")->asString() ==
-                    "darkside-golden-v1");
+                    "darkside-golden-v2");
     const JsonValue *levels = root.member("levels");
     ASSERT_TRUE(levels && levels->isArray());
     ASSERT_EQ(levels->asArray().size(), rows.size());
@@ -123,20 +194,28 @@ TEST(GoldenRegression, MatchesCommittedBaseline)
         const std::string label = pruneLevelName(rows[i].level);
         ASSERT_TRUE(entry.member("level"));
         EXPECT_EQ(entry.member("level")->asString(), label);
-        ASSERT_TRUE(entry.member("wer") &&
-                    entry.member("mean_confidence") &&
-                    entry.member("hyps_per_frame"))
-            << label;
-        EXPECT_NEAR(rows[i].wer, entry.member("wer")->asNumber(), 0.05)
-            << label;
-        EXPECT_NEAR(rows[i].meanConfidence,
-                    entry.member("mean_confidence")->asNumber(), 0.03)
-            << label;
-        const double golden_hyps =
-            entry.member("hyps_per_frame")->asNumber();
-        EXPECT_NEAR(rows[i].hypsPerFrame, golden_hyps,
-                    0.15 * golden_hyps)
-            << label;
+        expectRowNear(entry, label, rows[i].wer,
+                      rows[i].meanConfidence, rows[i].hypsPerFrame);
+    }
+
+    // The frame-adaptive selectors are pinned the same way: a change
+    // to their margin arithmetic or defaults shows up as drift here.
+    const JsonValue *selectors = root.member("selectors");
+    ASSERT_TRUE(selectors && selectors->isArray());
+    ASSERT_EQ(selectors->asArray().size(), selector_rows.size());
+    for (std::size_t i = 0; i < selector_rows.size(); ++i) {
+        const JsonValue &entry = selectors->asArray()[i];
+        ASSERT_TRUE(entry.isObject());
+        const SelectorGoldenRow &row = selector_rows[i];
+        const std::string label = std::string(searchModeName(row.mode)) +
+            "-" + pruneLevelName(row.level);
+        ASSERT_TRUE(entry.member("mode") && entry.member("level"));
+        EXPECT_EQ(entry.member("mode")->asString(),
+                  searchModeName(row.mode));
+        EXPECT_EQ(entry.member("level")->asString(),
+                  pruneLevelName(row.level));
+        expectRowNear(entry, label, row.wer, row.meanConfidence,
+                      row.hypsPerFrame);
     }
 }
 

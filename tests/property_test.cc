@@ -20,6 +20,7 @@
 #include "dnn/topology.hh"
 #include "fault/fault.hh"
 #include "mini_setup.hh"
+#include "nbest/adaptive_selectors.hh"
 #include "nbest/max_heap_set.hh"
 #include "nbest/selectors.hh"
 #include "pruning/magnitude_pruner.hh"
@@ -383,15 +384,15 @@ faultCounterValue(const char *name)
 
 class FaultIsolationProperty
     : public ::testing::TestWithParam<
-          std::tuple<std::uint64_t, std::size_t>>
+          std::tuple<std::uint64_t, std::size_t, SearchMode>>
 {};
 
 TEST_P(FaultIsolationProperty, NonFaultedUtterancesAreByteIdentical)
 {
-    const auto [corpus_seed, threads] = GetParam();
+    const auto [corpus_seed, threads, mode] = GetParam();
     auto &ctx = faultContext(corpus_seed);
     const SystemConfig config =
-        ctx.setup.configFor(SearchMode::Baseline, PruneLevel::None);
+        ctx.setup.configFor(mode, PruneLevel::None);
     const auto utts =
         ctx.corpus.sampleUtterances(6, corpus_seed * 17 + 5);
     const std::set<std::size_t> faulted_set = {1, 4};
@@ -474,7 +475,19 @@ TEST_P(FaultIsolationProperty, NonFaultedUtterancesAreByteIdentical)
 INSTANTIATE_TEST_SUITE_P(
     SeedsAndThreads, FaultIsolationProperty,
     ::testing::Combine(::testing::Values(777, 1234),
-                       ::testing::Values(1, 2, 4)));
+                       ::testing::Values(1, 2, 4),
+                       ::testing::Values(SearchMode::Baseline)));
+
+// The frame-adaptive software selectors must honour the same isolation
+// contract: their per-utterance state (the entropy EMA in particular)
+// resets at utterance start, so a faulted neighbour cannot perturb
+// healthy decodes at any worker count.
+INSTANTIATE_TEST_SUITE_P(
+    AdaptiveSelectors, FaultIsolationProperty,
+    ::testing::Combine(::testing::Values(777),
+                       ::testing::Values(1, 4),
+                       ::testing::Values(SearchMode::RelativeThreshold,
+                                         SearchMode::AdaptiveBeam)));
 
 // ---------------------------------------------------------------------
 // Decode seed equivalence: the overhauled hot path (trace arena,
@@ -775,6 +788,23 @@ TEST(DecodeSeedEquivalence, AllSelectorsBitIdentical)
         TeeSearchObserver tee2(nullptr, nullptr);
         expectSameDecode(decoder.decode(*scores, setassoc2, &tee2),
                          want_sa, "setassoc+observer");
+
+        // The frame-adaptive selectors run their dedicated
+        // devirtualized instantiations; a fresh instance's constructor
+        // state equals its post-startUtterance() state, so the seed
+        // loop (which never calls the hook) is a valid reference.
+        RelativeThresholdSelector rel(10.0f, 256), rel_ref(10.0f, 256);
+        expectSameDecode(
+            decoder.decode(*scores, rel),
+            referenceDecode(ctx.fst, dc, *scores, rel_ref),
+            "relative-threshold");
+
+        AdaptiveBeamSelector adaptive(6.0f, 12.0f);
+        AdaptiveBeamSelector adaptive_ref(6.0f, 12.0f);
+        expectSameDecode(
+            decoder.decode(*scores, adaptive),
+            referenceDecode(ctx.fst, dc, *scores, adaptive_ref),
+            "adaptive-beam");
     }
 }
 
@@ -966,11 +996,70 @@ TEST_P(StreamingChunkProperty, ChunkedDecodeMatchesBatch)
         expectSameStreamDecode(
             streamed(*scores, sa_stream).finishUtterance(), want_sa,
             "setassoc");
+
+        RelativeThresholdSelector rt(10.0f, 256);
+        RelativeThresholdSelector rt_stream(10.0f, 256);
+        const DecodeResult want_rt = decoder.decode(*scores, rt);
+        expectSameStreamDecode(
+            streamed(*scores, rt_stream).finishUtterance(), want_rt,
+            "relative-threshold");
+
+        // The entropy EMA crosses chunk boundaries; identical results
+        // at every chunking prove the streaming arm carries it intact.
+        AdaptiveBeamSelector ab(6.0f, 12.0f);
+        AdaptiveBeamSelector ab_stream(6.0f, 12.0f);
+        const DecodeResult want_ab = decoder.decode(*scores, ab);
+        expectSameStreamDecode(
+            streamed(*scores, ab_stream).finishUtterance(), want_ab,
+            "adaptive-beam");
     }
 }
 
 INSTANTIATE_TEST_SUITE_P(ChunkSizes, StreamingChunkProperty,
                          ::testing::Values(1, 7, 0));
+
+// ---------------------------------------------------------------------
+// Adaptive-selector thread invariance: runTestSet aggregates under the
+// frame-adaptive software selectors are bit-identical at every worker
+// count (input-order merge + per-utterance selector state).
+// ---------------------------------------------------------------------
+
+class AdaptiveSelectorThreadsProperty
+    : public ::testing::TestWithParam<
+          std::tuple<SearchMode, std::size_t>>
+{};
+
+TEST_P(AdaptiveSelectorThreadsProperty, AggregatesMatchSingleThread)
+{
+    const auto [mode, threads] = GetParam();
+    auto &ctx = faultContext(777);
+    FaultInjector::global().disarm();
+    const SystemConfig config =
+        ctx.setup.configFor(mode, PruneLevel::P90);
+    const auto utts = ctx.corpus.sampleUtterances(6, 4242);
+
+    const TestSetResult want = ctx.system.runTestSet(utts, config, 1);
+    const TestSetResult got =
+        ctx.system.runTestSet(utts, config, threads);
+    EXPECT_EQ(got.wer.substitutions, want.wer.substitutions);
+    EXPECT_EQ(got.wer.insertions, want.wer.insertions);
+    EXPECT_EQ(got.wer.deletions, want.wer.deletions);
+    EXPECT_EQ(got.wer.referenceLength, want.wer.referenceLength);
+    EXPECT_EQ(got.frames, want.frames);
+    EXPECT_EQ(got.survivors, want.survivors);
+    EXPECT_EQ(got.generated, want.generated);
+    EXPECT_DOUBLE_EQ(got.meanConfidence, want.meanConfidence);
+    EXPECT_DOUBLE_EQ(got.dnn.joules, want.dnn.joules);
+    EXPECT_DOUBLE_EQ(got.viterbi.joules, want.viterbi.joules);
+    EXPECT_DOUBLE_EQ(got.dnn.seconds, want.dnn.seconds);
+    EXPECT_DOUBLE_EQ(got.viterbi.seconds, want.viterbi.seconds);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndThreads, AdaptiveSelectorThreadsProperty,
+    ::testing::Combine(::testing::Values(SearchMode::RelativeThreshold,
+                                         SearchMode::AdaptiveBeam),
+                       ::testing::Values(2, 4)));
 
 } // namespace
 } // namespace darkside

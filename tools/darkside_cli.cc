@@ -29,6 +29,7 @@
 #include "decoder/lattice.hh"
 #include "decoder/search_telemetry.hh"
 #include "fault/fault.hh"
+#include "nbest/adaptive_selectors.hh"
 #include "serve/serve_bench.hh"
 #include "store/checkpoint.hh"
 #include "system/defaults.hh"
@@ -130,8 +131,35 @@ modeFrom(const std::string &name)
         return SearchMode::NarrowBeam;
     if (name == "nbest")
         return SearchMode::NBestHash;
-    fatal("unknown search mode '%s' (use baseline|beam|nbest)",
+    if (name == "rel")
+        return SearchMode::RelativeThreshold;
+    if (name == "adaptive")
+        return SearchMode::AdaptiveBeam;
+    fatal("unknown search mode '%s' "
+          "(use baseline|beam|nbest|rel|adaptive)",
           name.c_str());
+}
+
+/** Parse a comma-separated search-mode list ("baseline,rel,..."). */
+std::vector<SearchMode>
+modesFrom(const std::string &list)
+{
+    std::vector<SearchMode> modes;
+    std::size_t start = 0;
+    while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::string name = list.substr(
+            start, comma == std::string::npos ? std::string::npos
+                                              : comma - start);
+        if (!name.empty())
+            modes.push_back(modeFrom(name));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    if (modes.empty())
+        fatal("--modes needs at least one search mode");
+    return modes;
 }
 
 int
@@ -275,7 +303,8 @@ cmdDecode(int argc, const char *const *argv)
     addSetupFlags(args);
     args.addOption("prune", "pruning level (none|70|80|90)", "none");
     args.addOption("selector",
-                   "unbounded | nbest:<N>:<ways> | accurate:<N>",
+                   "unbounded | nbest:<N>:<ways> | accurate:<N> | "
+                   "rel:<margin>:<cap> | adaptive:<min>:<max>",
                    "unbounded");
     args.addOption("transcripts",
                    "write one per-utterance transcript line here", "");
@@ -305,6 +334,18 @@ cmdDecode(int argc, const char *const *argv)
         }
         if (std::sscanf(spec.c_str(), "accurate:%u", &n) == 1 && n > 0)
             return std::make_unique<AccurateNBest>(n);
+        float margin = 0.0f, max_margin = 0.0f;
+        if (std::sscanf(spec.c_str(), "rel:%f:%u", &margin, &n) == 2 &&
+            margin > 0.0f && n > 0) {
+            return std::make_unique<RelativeThresholdSelector>(margin,
+                                                               n);
+        }
+        if (std::sscanf(spec.c_str(), "adaptive:%f:%f", &margin,
+                        &max_margin) == 2 &&
+            margin > 0.0f && max_margin >= margin) {
+            return std::make_unique<AdaptiveBeamSelector>(margin,
+                                                          max_margin);
+        }
         fatal("bad --selector '%s'", spec.c_str());
     };
 
@@ -403,7 +444,8 @@ cmdSimulate(int argc, const char *const *argv)
                    "run one configuration on the simulated hardware");
     addSetupFlags(args);
     args.addOption("prune", "pruning level (none|70|80|90)", "none");
-    args.addOption("mode", "baseline | beam | nbest", "baseline");
+    args.addOption("mode", "baseline | beam | nbest | rel | adaptive",
+                   "baseline");
     if (!args.parse(argc, argv))
         return 1;
 
@@ -450,6 +492,10 @@ cmdSweep(int argc, const char *const *argv)
                    "resume a killed run: replay completed units from "
                    "--run-dir's journal");
     args.addOption("threads", "decode worker threads", 1.0);
+    args.addOption("modes",
+                   "comma-separated search modes to sweep "
+                   "(baseline|beam|nbest|rel|adaptive)",
+                   "baseline,beam,nbest");
     if (!args.parse(argc, argv))
         return 1;
 
@@ -480,8 +526,7 @@ cmdSweep(int argc, const char *const *argv)
     // (Baseline-NP): one run per configuration keeps checkpoint unit
     // ids collision-free.
     std::vector<TestSetResult> results;
-    for (SearchMode mode : {SearchMode::Baseline, SearchMode::NarrowBeam,
-                            SearchMode::NBestHash}) {
+    for (SearchMode mode : modesFrom(args.get("modes"))) {
         for (PruneLevel level : kAllPruneLevels) {
             results.push_back(ctx.system.runTestSet(
                 ctx.testSet, setup.configFor(mode, level), threads,
@@ -515,7 +560,8 @@ cmdServe(int argc, const char *const *argv)
                    "(docs/SERVING.md)");
     addSetupFlags(args);
     args.addOption("prune", "pruning level (none|70|80|90)", "90");
-    args.addOption("mode", "baseline | beam | nbest", "nbest");
+    args.addOption("mode", "baseline | beam | nbest | rel | adaptive",
+                   "nbest");
     args.addOption("sessions", "sessions to offer", 32.0);
     args.addOption("rate", "open-loop Poisson arrivals per second",
                    200.0);
@@ -523,9 +569,7 @@ cmdServe(int argc, const char *const *argv)
     args.addOption("max-length",
                    "utterance length cap (base-utterance multiples)",
                    4.0);
-    // String default: large numeric defaults round-trip through the
-    // parser's %g formatting ("2.02608e+07"), which atoll truncates.
-    args.addOption("seed", "traffic seed", "20260808");
+    args.addOption("seed", "traffic seed", 20260808.0);
     args.addOption("chunk", "frames per chunk (0 = whole utterance)",
                    16.0);
     args.addOption("deadline",

@@ -510,6 +510,113 @@ checkDnnKernelNamespace(const JsonValue &root)
 }
 
 /**
+ * decode.selector.* namespace: the frame-adaptive selectors register
+ * their whole telemetry family at once (counters and histograms), so
+ * when any member is present every member must be, with the documented
+ * units, all deterministic (per-utterance-serial integer counts and
+ * raw-value histogram observations). The namespace is closed — an
+ * unknown decode.selector.* name is a telemetry regression, not an
+ * extension point.
+ */
+void
+checkDecodeSelectorNamespace(const JsonValue &root)
+{
+    const JsonValue *counters = root.member("counters");
+    if (!counters || !counters->isArray())
+        return; // section() already reported this
+
+    std::map<std::string, const JsonValue *> selector;
+    for (const JsonValue &c : counters->asArray()) {
+        const JsonValue *name = c.member("name");
+        if (name && name->isString() &&
+            name->asString().rfind("decode.selector.", 0) == 0)
+            selector[name->asString()] = &c;
+    }
+
+    std::map<std::string, const JsonValue *> selector_hists;
+    const JsonValue *histograms = root.member("histograms");
+    if (histograms && histograms->isArray()) {
+        for (const JsonValue &h : histograms->asArray()) {
+            const JsonValue *name = h.member("name");
+            if (name && name->isString() &&
+                name->asString().rfind("decode.selector.", 0) == 0)
+                selector_hists[name->asString()] = &h;
+        }
+    }
+    if (selector.empty() && selector_hists.empty())
+        return;
+
+    const struct
+    {
+        const char *name;
+        const char *unit;
+    } required[] = {
+        {"decode.selector.frames", "frames"},
+        {"decode.selector.threshold_hits", "hypotheses"},
+        {"decode.selector.cap_hits", "hypotheses"},
+    };
+    for (const auto &r : required) {
+        auto it = selector.find(r.name);
+        if (it == selector.end()) {
+            fail(std::string("decode.selector.* present but '") +
+                 r.name + "' is missing");
+            continue;
+        }
+        const JsonValue &c = *it->second;
+        const JsonValue *unit = c.member("unit");
+        if (unit && unit->isString() && unit->asString() != r.unit) {
+            fail(std::string(r.name) + ": unit '" + unit->asString() +
+                 "' != '" + r.unit + "'");
+        }
+        const JsonValue *det = c.member("deterministic");
+        if (det && det->isBool() && !det->asBool())
+            fail(std::string(r.name) + ": must be deterministic");
+    }
+    for (const auto &[name, c] : selector) {
+        bool known = false;
+        for (const auto &r : required)
+            known |= name == r.name;
+        if (!known)
+            fail(name + ": unknown decode.selector.* counter");
+    }
+
+    const struct
+    {
+        const char *name;
+        const char *unit;
+    } required_hists[] = {
+        {"decode.selector.beam_width", "logcost"},
+        {"decode.selector.survivors", "hypotheses"},
+        {"decode.selector.entropy", "ratio"},
+    };
+    for (const auto &r : required_hists) {
+        auto it = selector_hists.find(r.name);
+        if (it == selector_hists.end()) {
+            fail(std::string("decode.selector.* present but histogram "
+                             "'") +
+                 r.name + "' is missing");
+            continue;
+        }
+        const JsonValue &h = *it->second;
+        const JsonValue *unit = h.member("unit");
+        if (unit && unit->isString() && unit->asString() != r.unit) {
+            fail(std::string(r.name) + ": unit '" + unit->asString() +
+                 "' != '" + r.unit + "'");
+        }
+        const JsonValue *det = h.member("deterministic");
+        if (det && det->isBool() && !det->asBool())
+            fail(std::string(r.name) + ": must be deterministic");
+    }
+    for (const auto &[name, h] : selector_hists) {
+        bool known = false;
+        for (const auto &r : required_hists)
+            known |= name == r.name;
+        if (!known)
+            fail(name + ": unknown decode.selector.* histogram");
+    }
+}
+
+/**
  * serve.* namespace: when any serve metric is present the whole
  * counter family and both latency histograms must be, with the
  * documented units. Only serve.sessions.offered is deterministic (it
@@ -742,6 +849,7 @@ checkFile(const char *path, bool expect_faults)
     checkStoreNamespace(root);
     checkDecodeTraceNamespace(root);
     checkDnnKernelNamespace(root);
+    checkDecodeSelectorNamespace(root);
     checkServeNamespace(root);
 }
 
