@@ -105,6 +105,10 @@ probeRegistry()
     //   store.torn_write   hash of the artifact's store-relative name
     //   store.fsync_fail   hash of the artifact's store-relative name
     //   store.rename_fail  hash of the artifact's store-relative name
+    //   serve.admit_drop   utterance id
+    //   serve.chunk_stall  utterance id
+    //   serve.checkpoint_torn hash of the journal unit's
+    //                         store-relative name
     static const std::vector<ProbePoint> registry = {
         {"dnn.model_load",
          {FaultKind::ShortRead},
@@ -152,6 +156,21 @@ probeRegistry()
          true,
          "commit returns a Status error; the temp file is removed and "
          "the final path is untouched"},
+        {"serve.admit_drop",
+         {FaultKind::AllocFail},
+         true,
+         "offer refused before admission and counted under "
+         "serve.shed.injected; nothing runs"},
+        {"serve.chunk_stall",
+         {FaultKind::Timeout},
+         true,
+         "session degrades at the stalled chunk boundary; healthy "
+         "neighbours unaffected"},
+        {"serve.checkpoint_torn",
+         {FaultKind::IoError},
+         true,
+         "committed journal unit truncated in place; the next load "
+         "quarantines it and the session is recomputed"},
     };
     return registry;
 }

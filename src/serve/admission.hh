@@ -2,15 +2,21 @@
  * @file
  * Admission control for the streaming session server: a fixed budget of
  * concurrently active sessions plus a queue-depth backpressure check
- * against the shared ThreadPool. Work offered above the budget is shed
- * — counted and refused, never queued without bound and never crashed —
- * which is what keeps tail latency of the admitted sessions intact
- * under overload (docs/SERVING.md).
+ * against the shared ThreadPool, extended with a priority policy that
+ * sheds the sessions least likely to meet their deadline — a hard
+ * length cap, and a deadline check that compares the utterance's
+ * estimated decode cost (frames x the observed p95 per-frame chunk
+ * latency) against the session's wall budget. Work shed for any reason
+ * is counted per cause and refused, never queued without bound and
+ * never crashed, which is what keeps tail latency of the admitted
+ * sessions intact under overload (docs/SERVING.md).
  */
 
 #ifndef DARKSIDE_SERVE_ADMISSION_HH
 #define DARKSIDE_SERVE_ADMISSION_HH
 
+#include <algorithm>
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
@@ -30,16 +36,50 @@ struct AdmissionConfig
      *  arrives while pending() exceeds this is shed even when a
      *  session slot is free (backpressure on a slow pool). */
     std::size_t maxQueueDepth = 32;
+
+    /** Longest admissible utterance in frames; longer offers are shed
+     *  before they can monopolise a worker (0 = no length cap). */
+    std::size_t maxSessionFrames = 0;
+};
+
+/** Outcome of one admission decision. */
+enum class AdmitDecision : std::uint8_t {
+    Admit,
+    /** Session budget exhausted or pool queue backed up. */
+    ShedQueue,
+    /** Utterance longer than the maxSessionFrames cap. */
+    ShedLength,
+    /** Estimated decode cost exceeds the session's deadline budget. */
+    ShedDeadline,
+};
+
+/** What the admission policy knows about one offer. An empty profile
+ *  (no frames, no deadline) reduces the policy to the plain
+ *  budget/backpressure gate. */
+struct OfferProfile
+{
+    /** Utterance length in frames. */
+    std::size_t frames = 0;
+    /** Wall budget of the whole session (0 = no deadline). */
+    double deadlineSeconds = 0.0;
 };
 
 /**
- * Counting gate in front of the session pool. tryAdmit() grants a slot
- * or sheds; every grant must be paired with one release() when the
- * session finishes (however it finishes).
+ * Counting gate in front of the session pool. admit() grants a slot or
+ * sheds with a cause; every grant must be paired with one release()
+ * when the session finishes (however it finishes). The deadline check
+ * is fed by recordChunkLatency() from finished chunks and stays
+ * disabled until kEstimatorWarmup samples arrived, so a cold server
+ * never sheds on a guess.
  */
 class AdmissionController
 {
   public:
+    /** Per-frame latency samples kept for the p95 estimate. */
+    static constexpr std::size_t kLatencyWindow = 256;
+    /** Samples required before the deadline check arms. */
+    static constexpr std::size_t kEstimatorWarmup = 16;
+
     /** @param pool backpressure source for the queue-depth check; null
      *        disables that check (session budget only). */
     AdmissionController(const AdmissionConfig &config,
@@ -47,26 +87,72 @@ class AdmissionController
         : config_(config), pool_(pool)
     {}
 
-    /** @return true and consume a session slot, or count a shed. */
-    bool
-    tryAdmit()
+    /** @return Admit and consume a session slot, or the shed cause. */
+    AdmitDecision
+    admit(const OfferProfile &profile)
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (active_ >= config_.maxSessions ||
             (pool_ && pool_->pending() > config_.maxQueueDepth)) {
-            ++shed_;
-            return false;
+            ++shedQueue_;
+            return AdmitDecision::ShedQueue;
+        }
+        if (config_.maxSessionFrames != 0 &&
+            profile.frames > config_.maxSessionFrames) {
+            ++shedLength_;
+            return AdmitDecision::ShedLength;
+        }
+        if (profile.deadlineSeconds > 0.0) {
+            const double p95 = p95FrameUsLocked();
+            if (p95 > 0.0 &&
+                static_cast<double>(profile.frames) * p95 * 1e-6 >
+                    profile.deadlineSeconds) {
+                ++shedDeadline_;
+                return AdmitDecision::ShedDeadline;
+            }
         }
         ++active_;
-        return true;
+        return AdmitDecision::Admit;
     }
 
-    /** Return a slot granted by tryAdmit(). */
+    /** Budget/backpressure-only admission (empty profile). */
+    bool
+    tryAdmit()
+    {
+        return admit(OfferProfile{}) == AdmitDecision::Admit;
+    }
+
+    /** Return a slot granted by admit(). */
     void
     release()
     {
         std::lock_guard<std::mutex> lock(mutex_);
         --active_;
+    }
+
+    /**
+     * Feed the cost estimator one finished chunk: `chunkUs` wall
+     * microseconds spent decoding `frames` frames. Kept as per-frame
+     * samples in a fixed ring, so the estimate tracks the current mix
+     * of sessions instead of the whole run's history.
+     */
+    void
+    recordChunkLatency(double chunkUs, std::size_t frames)
+    {
+        if (frames == 0)
+            return;
+        std::lock_guard<std::mutex> lock(mutex_);
+        frameUs_[samples_ % kLatencyWindow] =
+            chunkUs / static_cast<double>(frames);
+        ++samples_;
+    }
+
+    /** Current p95 per-frame latency estimate (0 until warmed up). */
+    double
+    p95FrameUs() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return p95FrameUsLocked();
     }
 
     /** Sessions currently holding a slot. */
@@ -77,22 +163,59 @@ class AdmissionController
         return active_;
     }
 
-    /** Offers refused so far. */
+    /** Offers refused so far, all causes. */
     std::uint64_t
     shedCount() const
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        return shed_;
+        return shedQueue_ + shedLength_ + shedDeadline_;
+    }
+
+    /** Offers refused for one cause (Admit returns 0). */
+    std::uint64_t
+    shedCount(AdmitDecision cause) const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        switch (cause) {
+          case AdmitDecision::ShedQueue:
+            return shedQueue_;
+          case AdmitDecision::ShedLength:
+            return shedLength_;
+          case AdmitDecision::ShedDeadline:
+            return shedDeadline_;
+          case AdmitDecision::Admit:
+            break;
+        }
+        return 0;
     }
 
     const AdmissionConfig &config() const { return config_; }
 
   private:
+    double
+    p95FrameUsLocked() const
+    {
+        if (samples_ < kEstimatorWarmup)
+            return 0.0;
+        const std::size_t n = std::min<std::uint64_t>(
+            samples_, kLatencyWindow);
+        std::array<double, kLatencyWindow> sorted;
+        std::copy_n(frameUs_.begin(), n, sorted.begin());
+        const std::size_t rank = (n * 95) / 100;
+        std::nth_element(sorted.begin(), sorted.begin() + rank,
+                         sorted.begin() + n);
+        return sorted[rank];
+    }
+
     AdmissionConfig config_;
     const ThreadPool *pool_;
     mutable std::mutex mutex_;
     std::size_t active_ = 0;
-    std::uint64_t shed_ = 0;
+    std::uint64_t shedQueue_ = 0;
+    std::uint64_t shedLength_ = 0;
+    std::uint64_t shedDeadline_ = 0;
+    std::array<double, kLatencyWindow> frameUs_{};
+    std::uint64_t samples_ = 0;
 };
 
 } // namespace darkside

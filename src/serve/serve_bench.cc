@@ -22,12 +22,13 @@ pct(const PercentileTracker &t, double p)
 
 ServeReport
 runServeWorkload(AsrSystem &system, const std::vector<Utterance> &base,
-                 const ServeWorkloadOptions &options)
+                 const ServeWorkloadOptions &options,
+                 std::vector<SessionOutcome> *outcomes)
 {
     SyntheticTrafficGenerator generator(base, options.traffic);
     const std::vector<TrafficEvent> events = generator.generate();
 
-    StreamingServer server(system, options.serve);
+    StreamingServer server(system, options.serve, options.checkpoint);
     const auto start = std::chrono::steady_clock::now();
     for (const auto &event : events) {
         if (options.paceArrivals) {
@@ -43,7 +44,45 @@ runServeWorkload(AsrSystem &system, const std::vector<Utterance> &base,
         server.offer(event.utterance);
     }
     server.drain();
+    if (outcomes)
+        *outcomes = server.outcomes();
     return server.report();
+}
+
+std::string
+serveOutcomesText(const ServeReport &report,
+                  const std::vector<SessionOutcome> &outcomes)
+{
+    std::ostringstream os;
+    os << "darkside-serve-outcomes-v1\n";
+    os << "sessions offered " << report.offered << " admitted "
+       << report.admitted << " shed " << report.shed << " completed "
+       << report.completed << " degraded " << report.degraded
+       << " chunks " << report.chunks << " frames " << report.frames
+       << "\n";
+    char cost[64];
+    std::size_t next = 0; // outcomes are sorted by offer index
+    for (const SessionOutcome &o : outcomes) {
+        for (; next < o.index; ++next)
+            os << "session " << next << " shed\n";
+        next = o.index + 1;
+        if (o.degraded) {
+            os << "session " << o.index << " utt " << o.utteranceId
+               << " degraded frames " << o.frames << " chunks "
+               << o.chunks << " cause " << o.faultCause << "\n";
+            continue;
+        }
+        std::snprintf(cost, sizeof(cost), "%.17g", o.totalCost);
+        os << "session " << o.index << " utt " << o.utteranceId
+           << " ok frames " << o.frames << " chunks " << o.chunks
+           << " cost " << cost << " words";
+        for (const WordId w : o.words)
+            os << ' ' << w;
+        os << "\n";
+    }
+    for (; next < report.offered; ++next)
+        os << "session " << next << " shed\n";
+    return os.str();
 }
 
 void
@@ -70,6 +109,30 @@ printServeReport(std::ostream &os, const ServeReport &report,
                   static_cast<unsigned long long>(report.completed),
                   static_cast<unsigned long long>(report.degraded));
     os << line;
+    if (report.shed) {
+        std::snprintf(
+            line, sizeof(line),
+            "shed      queue %llu | deadline %llu | length %llu | "
+            "breaker %llu | injected %llu | draining %llu\n",
+            static_cast<unsigned long long>(report.shedQueue),
+            static_cast<unsigned long long>(report.shedDeadline),
+            static_cast<unsigned long long>(report.shedLength),
+            static_cast<unsigned long long>(report.shedBreaker),
+            static_cast<unsigned long long>(report.shedInjected),
+            static_cast<unsigned long long>(report.shedDraining));
+        os << line;
+    }
+    if (report.breakerTrips || report.breakerHalfOpens ||
+        report.resumedSessions) {
+        std::snprintf(
+            line, sizeof(line),
+            "resilience breaker trips %llu | half-opens %llu | "
+            "resumed %llu\n",
+            static_cast<unsigned long long>(report.breakerTrips),
+            static_cast<unsigned long long>(report.breakerHalfOpens),
+            static_cast<unsigned long long>(report.resumedSessions));
+        os << line;
+    }
     std::snprintf(line, sizeof(line),
                   "chunk latency (us)   p50 %8.1f | p95 %8.1f | "
                   "p99 %8.1f | max %8.1f  (%llu chunks)\n",
@@ -118,6 +181,15 @@ serveReportJson(const ServeReport &report,
          << ",\n  \"offered\": " << report.offered
          << ",\n  \"admitted\": " << report.admitted
          << ",\n  \"shed\": " << report.shed
+         << ",\n  \"shed_queue\": " << report.shedQueue
+         << ",\n  \"shed_deadline\": " << report.shedDeadline
+         << ",\n  \"shed_length\": " << report.shedLength
+         << ",\n  \"shed_breaker\": " << report.shedBreaker
+         << ",\n  \"shed_injected\": " << report.shedInjected
+         << ",\n  \"shed_draining\": " << report.shedDraining
+         << ",\n  \"breaker_trips\": " << report.breakerTrips
+         << ",\n  \"breaker_half_opens\": " << report.breakerHalfOpens
+         << ",\n  \"resumed_sessions\": " << report.resumedSessions
          << ",\n  \"completed\": " << report.completed
          << ",\n  \"degraded\": " << report.degraded
          << ",\n  \"chunks\": " << report.chunks

@@ -18,6 +18,8 @@
 
 namespace darkside {
 
+class ServeCheckpoint;
+
 /** One serve workload run: server + traffic shape. */
 struct ServeWorkloadOptions
 {
@@ -31,6 +33,10 @@ struct ServeWorkloadOptions
      * pressure overload configuration.
      */
     bool paceArrivals = true;
+
+    /** Session journal for drain/resume (`darkside serve --run-dir`);
+     *  null serves without one. Must outlive the run. */
+    ServeCheckpoint *checkpoint = nullptr;
 };
 
 /**
@@ -38,11 +44,28 @@ struct ServeWorkloadOptions
  *
  * @param system shared platform (models must already be trained)
  * @param base base utterance pool for the traffic generator
+ * @param outcomes when non-null, receives the drained server's
+ *        per-session outcomes in offer order
  * @return the drained server's report
  */
 ServeReport runServeWorkload(AsrSystem &system,
                              const std::vector<Utterance> &base,
-                             const ServeWorkloadOptions &options);
+                             const ServeWorkloadOptions &options,
+                             std::vector<SessionOutcome> *outcomes =
+                                 nullptr);
+
+/**
+ * Deterministic per-session outcome dump (`darkside serve
+ * --outcomes`): one line per offer index — transcript and cost for
+ * completed sessions, the fault cause for degraded ones, `shed` for
+ * refused offers — plus the aggregate session ledger. When shedding is
+ * absent or deterministic (unpaced offers under a budget that admits
+ * everything), two runs of the same workload and configuration produce
+ * byte-identical text whatever the thread count, which is what the
+ * resume acceptance in CI compares.
+ */
+std::string serveOutcomesText(const ServeReport &report,
+                              const std::vector<SessionOutcome> &outcomes);
 
 /** Human-readable latency/shed report. */
 void printServeReport(std::ostream &os, const ServeReport &report,

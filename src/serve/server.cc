@@ -4,7 +4,9 @@
 #include <utility>
 
 #include "fault/fault.hh"
+#include "serve/serve_checkpoint.hh"
 #include "telemetry/metrics.hh"
+#include "telemetry/snapshot.hh"
 
 namespace darkside {
 
@@ -14,10 +16,12 @@ namespace {
  * The serve.* telemetry namespace (docs/METRICS.md). Registered
  * together on first use so a serve snapshot always carries the whole
  * closed family, which is what tools/metrics_check validates. Only the
- * offered count is deterministic — it restates the workload; every
- * other serve metric depends on wall-clock scheduling (which sessions
- * get shed, when deadlines fire), so they are flagged nondeterministic
- * and excluded from deterministic snapshot diffs.
+ * offered count and the drain/journal counters are deterministic — the
+ * offered count restates the workload and the drain counters restate
+ * durable journal state (like store.*); every other serve metric
+ * depends on wall-clock scheduling (which sessions get shed, when
+ * deadlines fire), so they are flagged nondeterministic and excluded
+ * from deterministic snapshot diffs.
  */
 struct ServeMetrics
 {
@@ -28,6 +32,17 @@ struct ServeMetrics
     telemetry::Counter degraded;
     telemetry::Counter chunks;
     telemetry::Counter frames;
+    telemetry::Counter shedQueue;
+    telemetry::Counter shedDeadline;
+    telemetry::Counter shedLength;
+    telemetry::Counter shedBreaker;
+    telemetry::Counter shedInjected;
+    telemetry::Counter breakerTrips;
+    telemetry::Counter breakerHalfOpens;
+    telemetry::Counter drainRequested;
+    telemetry::Counter drainRefused;
+    telemetry::Counter drainCommittedUnits;
+    telemetry::Counter drainResumedSessions;
     telemetry::Histogram chunkLatencyUs;
     telemetry::Histogram sessionLatencyUs;
 
@@ -47,6 +62,18 @@ struct ServeMetrics
                             false),
                 reg.counter("serve.chunks", "chunks", false),
                 reg.counter("serve.frames", "frames", false),
+                reg.counter("serve.shed.queue", "sessions", false),
+                reg.counter("serve.shed.deadline", "sessions", false),
+                reg.counter("serve.shed.length", "sessions", false),
+                reg.counter("serve.shed.breaker", "sessions", false),
+                reg.counter("serve.shed.injected", "sessions", false),
+                reg.counter("serve.breaker.trips", "trips", false),
+                reg.counter("serve.breaker.half_opens", "probes",
+                            false),
+                reg.counter("serve.drain.requested", "drains"),
+                reg.counter("serve.drain.refused", "sessions"),
+                reg.counter("serve.drain.committed_units", "units"),
+                reg.counter("serve.drain.resumed_sessions", "sessions"),
                 reg.histogram("serve.chunk_latency_us", "us",
                               {0.0, 20000.0, 50}, false),
                 reg.histogram("serve.session_latency_us", "us",
@@ -66,12 +93,35 @@ elapsedUs(std::chrono::steady_clock::time_point since)
         .count();
 }
 
+/**
+ * The per-session slice of serve telemetry that a journal unit carries:
+ * exactly the session-ledger counters this one terminal session
+ * contributed. Chunk/frame counts and latency histograms are NOT in
+ * the delta — replay does no decoding, so replaying them would break
+ * the `chunk_latency_us count == serve.chunks` identity; the replayed
+ * report gets them from the stored outcome instead.
+ */
+telemetry::Snapshot
+sessionDelta(bool degraded)
+{
+    telemetry::Snapshot delta;
+    delta.counters.push_back(
+        {"serve.sessions.admitted", "sessions", false, 1});
+    delta.counters.push_back(
+        {degraded ? "serve.sessions.degraded"
+                  : "serve.sessions.completed",
+         "sessions", false, 1});
+    delta.sortByName();
+    return delta;
+}
+
 } // namespace
 
 StreamingServer::StreamingServer(AsrSystem &system,
-                                 const ServeConfig &config)
+                                 const ServeConfig &config,
+                                 ServeCheckpoint *checkpoint)
     : system_(system), config_(config), pool_(config.threads),
-      admission_(config.admission, &pool_)
+      admission_(config.admission, &pool_), checkpoint_(checkpoint)
 {
     ServeMetrics::get(); // register the namespace up front
 }
@@ -85,6 +135,42 @@ void
 StreamingServer::setPartialCallback(PartialCallback callback)
 {
     partialCallback_ = std::move(callback);
+}
+
+bool
+StreamingServer::shedOffer(ShedReason reason)
+{
+    const auto &metrics = ServeMetrics::get();
+    metrics.shed.add(1);
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    ++report_.shed;
+    switch (reason) {
+      case ShedReason::Queue:
+        metrics.shedQueue.add(1);
+        ++report_.shedQueue;
+        break;
+      case ShedReason::Deadline:
+        metrics.shedDeadline.add(1);
+        ++report_.shedDeadline;
+        break;
+      case ShedReason::Length:
+        metrics.shedLength.add(1);
+        ++report_.shedLength;
+        break;
+      case ShedReason::Breaker:
+        metrics.shedBreaker.add(1);
+        ++report_.shedBreaker;
+        break;
+      case ShedReason::Injected:
+        metrics.shedInjected.add(1);
+        ++report_.shedInjected;
+        break;
+      case ShedReason::Draining:
+        metrics.drainRefused.add(1);
+        ++report_.shedDraining;
+        break;
+    }
+    return false;
 }
 
 bool
@@ -103,12 +189,80 @@ StreamingServer::offer(const Utterance &utt)
     }
     metrics.offered.add(1);
 
-    if (!admission_.tryAdmit()) {
-        metrics.shed.add(1);
-        std::lock_guard<std::mutex> lock(statsMutex_);
-        ++report_.shed;
-        return false;
+    if (checkpoint_ && config_.resume) {
+        // Replay path: a verified journal unit substitutes for the
+        // whole session. Its stored telemetry delta was applied by
+        // loadSession, so only the local report is updated here; the
+        // chunk/frame counters and latency histograms stay untouched
+        // (no decoding happened).
+        const std::uint64_t key =
+            ServeCheckpoint::sessionKeyOf(config_, utt, index);
+        if (auto replayed = checkpoint_->loadSession(index, key)) {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++report_.admitted;
+            if (replayed->degraded)
+                ++report_.degraded;
+            else
+                ++report_.completed;
+            report_.chunks += replayed->chunks;
+            report_.frames += replayed->frames;
+            ++report_.resumedSessions;
+            outcomes_.push_back(std::move(*replayed));
+            return true;
+        }
     }
+
+    if (draining())
+        return shedOffer(ShedReason::Draining);
+
+    if (FaultInjector::global().trigger("serve.admit_drop", utt.id))
+        return shedOffer(ShedReason::Injected);
+
+    bool breakerProbe = false;
+    if (config_.breakerThreshold != 0) {
+        bool rejected = false;
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            if (breaker_ == BreakerState::Open &&
+                std::chrono::duration<double>(now - breakerOpenedAt_)
+                        .count() >= config_.breakerCooldownSeconds) {
+                breaker_ = BreakerState::HalfOpen;
+                breakerProbeInFlight_ = false;
+                ++report_.breakerHalfOpens;
+                metrics.breakerHalfOpens.add(1);
+            }
+            if (breaker_ == BreakerState::Open ||
+                (breaker_ == BreakerState::HalfOpen &&
+                 breakerProbeInFlight_)) {
+                rejected = true;
+            } else if (breaker_ == BreakerState::HalfOpen) {
+                breakerProbeInFlight_ = true;
+                breakerProbe = true;
+            }
+        }
+        if (rejected)
+            return shedOffer(ShedReason::Breaker);
+    }
+
+    const AdmitDecision decision = admission_.admit(
+        OfferProfile{utt.frames.size(), config_.sessionDeadlineSeconds});
+    if (decision != AdmitDecision::Admit) {
+        if (breakerProbe) {
+            // The half-open probe slot was claimed but admission shed
+            // the offer; free the slot or the breaker never closes.
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            breakerProbeInFlight_ = false;
+        }
+        switch (decision) {
+          case AdmitDecision::ShedLength:
+            return shedOffer(ShedReason::Length);
+          case AdmitDecision::ShedDeadline:
+            return shedOffer(ShedReason::Deadline);
+          default:
+            return shedOffer(ShedReason::Queue);
+        }
+    }
+
     metrics.admitted.add(1);
     {
         std::lock_guard<std::mutex> lock(statsMutex_);
@@ -118,8 +272,8 @@ StreamingServer::offer(const Utterance &utt)
         std::lock_guard<std::mutex> lock(doneMutex_);
         ++inflight_;
     }
-    pool_.submit([this, utt, index, now] {
-        runSession(utt, index, now);
+    pool_.submit([this, utt, index, now, breakerProbe] {
+        runSession(utt, index, now, breakerProbe);
         {
             std::lock_guard<std::mutex> lock(doneMutex_);
             --inflight_;
@@ -132,7 +286,7 @@ StreamingServer::offer(const Utterance &utt)
 void
 StreamingServer::runSession(
     const Utterance &utt, std::size_t index,
-    std::chrono::steady_clock::time_point admitted)
+    std::chrono::steady_clock::time_point admitted, bool breakerProbe)
 {
     const auto &metrics = ServeMetrics::get();
     SessionOutcome outcome;
@@ -159,6 +313,7 @@ StreamingServer::runSession(
         const std::size_t frames = scores.frameCount();
         const std::size_t chunk =
             config_.chunkFrames ? config_.chunkFrames : frames;
+        std::size_t decoded = 0;
         for (std::size_t begin = 0;
              begin < frames && !session.dead(); begin += chunk) {
             const std::size_t end = std::min(frames, begin + chunk);
@@ -170,6 +325,8 @@ StreamingServer::runSession(
             metrics.chunks.add(1);
             metrics.frames.add(end - begin);
             metrics.chunkLatencyUs.observe(us);
+            admission_.recordChunkLatency(us, end - begin);
+            decoded += end - begin;
             {
                 std::lock_guard<std::mutex> lock(statsMutex_);
                 ++report_.chunks;
@@ -184,7 +341,10 @@ StreamingServer::runSession(
         outcome.degraded = result.degraded;
         outcome.faultCause = result.faultCause;
         outcome.chunks = result.chunks;
-        outcome.frames = frames;
+        // Frames actually fed through the decoder (a degraded session
+        // stops at its fault's chunk boundary) — what replay must add
+        // back to the aggregate frame count.
+        outcome.frames = decoded;
         if (!result.degraded) {
             outcome.words = std::move(result.decode.words);
             outcome.totalCost = result.decode.totalCost;
@@ -195,6 +355,15 @@ StreamingServer::runSession(
         // its neighbours never notice.
         outcome.degraded = true;
         outcome.faultCause = e.what();
+    }
+
+    if (checkpoint_) {
+        // Journal the terminal outcome before it is published: a crash
+        // after this line replays the session; a crash before it
+        // recomputes it. Either way the resumed ledger matches.
+        (void)checkpoint_->saveSession(
+            ServeCheckpoint::sessionKeyOf(config_, utt, index), outcome,
+            sessionDelta(outcome.degraded));
     }
 
     const double session_us = elapsedUs(admitted);
@@ -212,9 +381,43 @@ StreamingServer::runSession(
             ++report_.degraded;
         else
             ++report_.completed;
+        if (config_.breakerThreshold != 0) {
+            if (outcome.degraded) {
+                ++consecutiveDegraded_;
+                const bool trip =
+                    breaker_ == BreakerState::HalfOpen ||
+                    (breaker_ == BreakerState::Closed &&
+                     consecutiveDegraded_ >= config_.breakerThreshold);
+                if (trip) {
+                    breaker_ = BreakerState::Open;
+                    breakerOpenedAt_ = std::chrono::steady_clock::now();
+                    breakerProbeInFlight_ = false;
+                    ++report_.breakerTrips;
+                    metrics.breakerTrips.add(1);
+                }
+            } else {
+                consecutiveDegraded_ = 0;
+                if (breaker_ == BreakerState::HalfOpen) {
+                    breaker_ = BreakerState::Closed;
+                    breakerProbeInFlight_ = false;
+                }
+            }
+            if (breakerProbe && breaker_ == BreakerState::HalfOpen)
+                breakerProbeInFlight_ = false;
+        }
         outcomes_.push_back(std::move(outcome));
     }
     admission_.release();
+}
+
+void
+StreamingServer::requestDrain()
+{
+    // One relaxed atomic exchange: safe from any thread, including a
+    // partial callback running inline on the offering thread when the
+    // pool has no workers (threads 0/1).
+    if (!draining_.exchange(true, std::memory_order_relaxed))
+        ServeMetrics::get().drainRequested.add(1);
 }
 
 void
@@ -231,6 +434,20 @@ StreamingServer::drain()
                                   firstOffer_)
                                   .count();
     }
+    if (checkpoint_ && started_ && !manifestSaved_) {
+        ServeManifest manifest;
+        manifest.configKey = ServeCheckpoint::configKeyOf(config_);
+        manifest.offered = report_.offered;
+        manifest.admitted = report_.admitted;
+        manifest.shed = report_.shed;
+        manifest.completed = report_.completed;
+        manifest.degraded = report_.degraded;
+        manifest.resumedSessions = report_.resumedSessions;
+        // Best effort: a failed manifest commit only loses the audit
+        // summary, never resumability (units stand alone).
+        if (checkpoint_->saveManifest(manifest).isOk())
+            manifestSaved_ = true;
+    }
 }
 
 ServeReport
@@ -240,7 +457,7 @@ StreamingServer::report() const
     return report_;
 }
 
-std::vector<StreamingServer::SessionOutcome>
+std::vector<SessionOutcome>
 StreamingServer::outcomes() const
 {
     std::lock_guard<std::mutex> lock(statsMutex_);

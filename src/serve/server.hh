@@ -2,18 +2,24 @@
  * @file
  * The long-lived streaming session server behind `darkside serve`:
  * turns the batch pipeline into per-session incremental decode. Every
- * offered utterance passes the AdmissionController (shed above budget),
- * then runs as one pool task: score through the shared AsrSystem cache,
- * feed the frames chunk by chunk through a Session (partial hypothesis
- * after every chunk), and record chunk/session latency into both the
- * local report and the `serve.*` telemetry namespace. Faults — session
- * deadlines, injected decoder faults, poisoned scores — degrade their
- * session only; healthy sessions decode bit-identically to batch.
+ * offered utterance passes the AdmissionController (shed above budget,
+ * over the length cap, or past its deadline budget), then runs as one
+ * pool task: score through the shared AsrSystem cache, feed the frames
+ * chunk by chunk through a Session (partial hypothesis after every
+ * chunk), and record chunk/session latency into both the local report
+ * and the `serve.*` telemetry namespace. Faults — session deadlines,
+ * injected decoder faults, poisoned scores — degrade their session
+ * only; healthy sessions decode bit-identically to batch. A circuit
+ * breaker trips after K consecutive degraded sessions and half-opens
+ * on a cooldown; requestDrain() refuses new offers while in-flight
+ * sessions finish; an attached ServeCheckpoint journals every terminal
+ * session so a killed run resumes bit-identically (docs/SERVING.md).
  */
 
 #ifndef DARKSIDE_SERVE_SERVER_HH
 #define DARKSIDE_SERVE_SERVER_HH
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -30,6 +36,8 @@
 
 namespace darkside {
 
+class ServeCheckpoint;
+
 /** Configuration of one StreamingServer. */
 struct ServeConfig
 {
@@ -41,15 +49,28 @@ struct ServeConfig
     std::size_t chunkFrames = 16;
 
     /** Wall budget per session (whole session, checked at every frame
-     *  boundary by DecodeWatchdog); 0 disables the deadline. */
+     *  boundary by DecodeWatchdog and estimated against at admission);
+     *  0 disables the deadline. */
     double sessionDeadlineSeconds = 0.0;
 
-    /** Session/queue budget. */
+    /** Session/queue budget and shedding policy. */
     AdmissionConfig admission;
 
     /** Worker threads of the session pool (0 = run sessions inline on
      *  the offering thread — the deterministic test configuration). */
     std::size_t threads = 4;
+
+    /** Consecutive degraded sessions that trip the circuit breaker
+     *  (0 disables the breaker). */
+    std::size_t breakerThreshold = 0;
+
+    /** Wall time an open breaker waits before half-opening to admit
+     *  one probe session. */
+    double breakerCooldownSeconds = 0.05;
+
+    /** Replay journaled sessions from the attached ServeCheckpoint
+     *  instead of recomputing them (requires a checkpoint). */
+    bool resume = false;
 };
 
 /** Aggregate serving statistics, valid after drain(). */
@@ -62,6 +83,22 @@ struct ServeReport
     std::uint64_t degraded = 0;
     std::uint64_t chunks = 0;
     std::uint64_t frames = 0;
+
+    /** Shed breakdown; sums (with shedDraining) to `shed`. */
+    std::uint64_t shedQueue = 0;
+    std::uint64_t shedDeadline = 0;
+    std::uint64_t shedLength = 0;
+    std::uint64_t shedBreaker = 0;
+    std::uint64_t shedInjected = 0;
+    /** Offers refused because requestDrain() had been called. */
+    std::uint64_t shedDraining = 0;
+
+    std::uint64_t breakerTrips = 0;
+    std::uint64_t breakerHalfOpens = 0;
+
+    /** Sessions replayed from a journal instead of recomputed (subset
+     *  of completed+degraded). */
+    std::uint64_t resumedSessions = 0;
 
     /** Wall-clock per advanceChunk call (decode only; scoring happens
      *  once at session start). */
@@ -90,6 +127,22 @@ struct ServeReport
     }
 };
 
+/** Terminal outcome of one admitted session. */
+struct SessionOutcome
+{
+    /** Offer order (0-based), the deterministic sort key. */
+    std::size_t index = 0;
+    std::uint64_t utteranceId = 0;
+    bool degraded = false;
+    std::string faultCause;
+    /** Final transcript (healthy sessions: bit-identical to batch
+     *  decode of the same utterance and configuration). */
+    std::vector<WordId> words;
+    double totalCost = 0.0;
+    std::size_t frames = 0;
+    std::size_t chunks = 0;
+};
+
 /**
  * In-process streaming ASR server. Thread-safe: offers may come from
  * any thread; sessions run on the internal pool.
@@ -97,21 +150,7 @@ struct ServeReport
 class StreamingServer
 {
   public:
-    /** Terminal outcome of one admitted session. */
-    struct SessionOutcome
-    {
-        /** Offer order (0-based), the deterministic sort key. */
-        std::size_t index = 0;
-        std::uint64_t utteranceId = 0;
-        bool degraded = false;
-        std::string faultCause;
-        /** Final transcript (healthy sessions: bit-identical to batch
-         *  decode of the same utterance and configuration). */
-        std::vector<WordId> words;
-        double totalCost = 0.0;
-        std::size_t frames = 0;
-        std::size_t chunks = 0;
-    };
+    using SessionOutcome = darkside::SessionOutcome;
 
     /** Partial-hypothesis consumer, called after every chunk from the
      *  session's worker thread. */
@@ -122,8 +161,13 @@ class StreamingServer
     /**
      * @param system shared read-only scoring/model state (the score
      *        cache is the only mutable part, and it is thread-safe)
+     * @param checkpoint optional session journal: terminal sessions are
+     *        committed to it, and with config.resume set, journaled
+     *        sessions are replayed instead of recomputed. Must outlive
+     *        the server.
      */
-    StreamingServer(AsrSystem &system, const ServeConfig &config);
+    StreamingServer(AsrSystem &system, const ServeConfig &config,
+                    ServeCheckpoint *checkpoint = nullptr);
 
     /** Drains in-flight sessions. */
     ~StreamingServer();
@@ -136,11 +180,30 @@ class StreamingServer
 
     /**
      * Offer an utterance as a new session.
-     * @return false when admission shed it (nothing runs).
+     * @return false when it was shed (nothing runs); replayed sessions
+     *         return true like freshly admitted ones.
      */
     bool offer(const Utterance &utt);
 
-    /** Block until every admitted session finished. */
+    /**
+     * Stop admitting: every offer from this point on is refused and
+     * counted under serve.drain.refused; in-flight sessions finish
+     * normally. Non-blocking and async-signal-ish safe (one atomic
+     * flag), so it may be called from any thread, including a partial
+     * callback running inline on the offering thread when threads==0.
+     * Follow with drain() to wait and commit the journal manifest.
+     */
+    void requestDrain();
+
+    /** True once requestDrain() was called. */
+    bool
+    draining() const
+    {
+        return draining_.load(std::memory_order_relaxed);
+    }
+
+    /** Block until every admitted session finished. Commits the
+     *  checkpoint manifest (once) when a checkpoint is attached. */
     void drain();
 
     /** Aggregate statistics (call after drain()). */
@@ -153,20 +216,48 @@ class StreamingServer
     const AdmissionController &admission() const { return admission_; }
 
   private:
+    /** Why offer() refused a session (maps onto serve.shed.* /
+     *  serve.drain.refused). */
+    enum class ShedReason : std::uint8_t {
+        Queue,
+        Deadline,
+        Length,
+        Breaker,
+        Injected,
+        Draining,
+    };
+
+    enum class BreakerState : std::uint8_t { Closed, Open, HalfOpen };
+
+    /** Count one refused offer under its cause. Always returns false
+     *  so offer() can `return shedOffer(...)`. */
+    bool shedOffer(ShedReason reason);
+
     void runSession(const Utterance &utt, std::size_t index,
-                    std::chrono::steady_clock::time_point admitted);
+                    std::chrono::steady_clock::time_point admitted,
+                    bool breakerProbe);
 
     AsrSystem &system_;
     ServeConfig config_;
     ThreadPool pool_;
     AdmissionController admission_;
     PartialCallback partialCallback_;
+    ServeCheckpoint *checkpoint_;
+
+    std::atomic<bool> draining_{false};
 
     mutable std::mutex statsMutex_;
     ServeReport report_;
     std::vector<SessionOutcome> outcomes_;
     bool started_ = false;
     std::chrono::steady_clock::time_point firstOffer_;
+    bool manifestSaved_ = false;
+
+    /** Breaker state, guarded by statsMutex_. */
+    BreakerState breaker_ = BreakerState::Closed;
+    std::size_t consecutiveDegraded_ = 0;
+    std::chrono::steady_clock::time_point breakerOpenedAt_;
+    bool breakerProbeInFlight_ = false;
 
     std::mutex doneMutex_;
     std::condition_variable doneCv_;

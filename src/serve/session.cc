@@ -42,11 +42,21 @@ Session::advanceChunk(const AcousticScores &scores, std::size_t begin,
 {
     ++chunks_;
     if (!degraded_ && !stream_->dead()) {
-        try {
-            stream_->advanceFrames(scores, begin, end);
-        } catch (const FaultError &e) {
+        // An injected chunk stall degrades the session exactly at this
+        // chunk boundary — the worker never blocks, so a stalled
+        // session cannot hold up its pool neighbours.
+        if (auto kind = FaultInjector::global().trigger(
+                "serve.chunk_stall", id_)) {
             degraded_ = true;
-            faultCause_ = e.what();
+            faultCause_ =
+                FaultError("serve.chunk_stall", *kind, id_).what();
+        } else {
+            try {
+                stream_->advanceFrames(scores, begin, end);
+            } catch (const FaultError &e) {
+                degraded_ = true;
+                faultCause_ = e.what();
+            }
         }
     }
     if (degraded_)

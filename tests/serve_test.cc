@@ -1,10 +1,13 @@
 /**
  * @file
  * Tests of the streaming serve layer (src/serve): admission budgets
- * and queue backpressure, deterministic synthetic traffic, inline
- * server equivalence with batch decode, per-session fault isolation
- * (injected decoder faults and expired deadlines degrade one session
- * only), and deterministic load shedding under a blocked worker.
+ * and queue backpressure, the deadline/length-aware shedding policy
+ * and its concurrency-safe ledger, deterministic synthetic traffic,
+ * inline server equivalence with batch decode, per-session fault
+ * isolation (injected decoder faults and expired deadlines degrade
+ * one session only), and deterministic load shedding under a blocked
+ * worker. The drain/resume/chaos side of the serve layer lives in
+ * serve_resilience_test.cc.
  */
 
 #include <gtest/gtest.h>
@@ -92,6 +95,109 @@ TEST(AdmissionController, QueueDepthBackpressureShedsWithFreeSlots)
     gate.release();
 }
 
+TEST(AdmissionController, LengthCapShedsLongUtterances)
+{
+    AdmissionConfig config;
+    config.maxSessions = 8;
+    config.maxSessionFrames = 100;
+    AdmissionController gate(config, nullptr);
+
+    EXPECT_EQ(gate.admit({100, 0.0}), AdmitDecision::Admit);
+    EXPECT_EQ(gate.admit({101, 0.0}), AdmitDecision::ShedLength);
+    EXPECT_EQ(gate.admit({5000, 0.0}), AdmitDecision::ShedLength);
+    EXPECT_EQ(gate.active(), 1u);
+    EXPECT_EQ(gate.shedCount(), 2u);
+    EXPECT_EQ(gate.shedCount(AdmitDecision::ShedLength), 2u);
+    EXPECT_EQ(gate.shedCount(AdmitDecision::ShedQueue), 0u);
+    gate.release();
+
+    // No cap (0) admits anything the budget allows.
+    AdmissionController uncapped(AdmissionConfig{}, nullptr);
+    EXPECT_EQ(uncapped.admit({5000, 0.0}), AdmitDecision::Admit);
+    uncapped.release();
+}
+
+TEST(AdmissionController, DeadlineShedsWhenEstimatedCostExceedsBudget)
+{
+    AdmissionConfig config;
+    config.maxSessions = 8;
+    AdmissionController gate(config, nullptr);
+
+    // Cold estimator: no latency samples yet, the deadline check must
+    // stay disarmed (a cold server never sheds on a guess).
+    EXPECT_EQ(gate.admit({1000, 0.001}), AdmitDecision::Admit);
+    gate.release();
+
+    // Warm it up: 1000 us per frame, well past the warmup threshold.
+    for (std::size_t i = 0; i < AdmissionController::kEstimatorWarmup;
+         ++i)
+        gate.recordChunkLatency(16000.0, 16);
+    EXPECT_GT(gate.p95FrameUs(), 0.0);
+
+    // 200 frames x ~1000 us/frame = ~0.2 s of estimated decode, far
+    // over a 0.1 s budget; 50 frames (~0.05 s) fits.
+    EXPECT_EQ(gate.admit({200, 0.1}), AdmitDecision::ShedDeadline);
+    EXPECT_EQ(gate.admit({50, 0.1}), AdmitDecision::Admit);
+    gate.release();
+    // No deadline (0) disables the check however long the utterance.
+    EXPECT_EQ(gate.admit({100000, 0.0}), AdmitDecision::Admit);
+    gate.release();
+
+    EXPECT_EQ(gate.shedCount(AdmitDecision::ShedDeadline), 1u);
+    EXPECT_EQ(gate.shedCount(), 1u);
+    EXPECT_EQ(gate.active(), 0u);
+}
+
+TEST(AdmissionController, ConcurrentOffersPreserveLedgerIdentity)
+{
+    // Satellite of the resilience work: hammer one gate from many
+    // threads (admissions, releases, latency samples, policy reads)
+    // and check the admitted + shed == offered identity survives —
+    // the sanitizer jobs run this under TSan/ASan.
+    AdmissionConfig config;
+    config.maxSessions = 6;
+    config.maxSessionFrames = 400;
+    AdmissionController gate(config, nullptr);
+
+    constexpr std::size_t kThreads = 8;
+    constexpr std::size_t kOffersPerThread = 500;
+    std::atomic<std::uint64_t> admitted{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&gate, &admitted, t] {
+            for (std::size_t i = 0; i < kOffersPerThread; ++i) {
+                // Mix of short, long (length-shed) and deadline-priced
+                // offers, plus estimator feed from a "finished chunk".
+                const std::size_t frames = 50 + 100 * ((t + i) % 5);
+                const double deadline = (i % 3 == 0) ? 0.05 : 0.0;
+                const AdmitDecision d =
+                    gate.admit({frames, deadline});
+                if (d == AdmitDecision::Admit) {
+                    ++admitted;
+                    gate.recordChunkLatency(100.0 + double(i % 7), 16);
+                    gate.release();
+                }
+                if (i % 11 == 0)
+                    (void)gate.p95FrameUs();
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+
+    const std::uint64_t total = kThreads * kOffersPerThread;
+    EXPECT_EQ(admitted.load() + gate.shedCount(), total);
+    EXPECT_EQ(gate.shedCount(AdmitDecision::ShedQueue) +
+                  gate.shedCount(AdmitDecision::ShedLength) +
+                  gate.shedCount(AdmitDecision::ShedDeadline),
+              gate.shedCount());
+    EXPECT_EQ(gate.active(), 0u);
+    // Every 450-frame offer was over the cap whatever the
+    // interleaving.
+    EXPECT_GT(gate.shedCount(AdmitDecision::ShedLength), 0u);
+}
+
 // ---------------------------------------------------------------------
 // SyntheticTrafficGenerator
 // ---------------------------------------------------------------------
@@ -118,8 +224,9 @@ TEST(SyntheticTraffic, ScheduleIsDeterministicSortedAndFresh)
         EXPECT_EQ(a[i].utterance.words, b[i].utterance.words);
 
         EXPECT_GE(a[i].arrivalSeconds, 0.0);
-        if (i > 0)
+        if (i > 0) {
             EXPECT_GE(a[i].arrivalSeconds, a[i - 1].arrivalSeconds);
+        }
         EXPECT_FALSE(a[i].utterance.words.empty());
         ids.insert(a[i].utterance.id);
     }

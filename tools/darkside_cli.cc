@@ -31,6 +31,7 @@
 #include "fault/fault.hh"
 #include "nbest/adaptive_selectors.hh"
 #include "serve/serve_bench.hh"
+#include "serve/serve_checkpoint.hh"
 #include "store/checkpoint.hh"
 #include "system/defaults.hh"
 #include "telemetry/metrics.hh"
@@ -579,6 +580,27 @@ cmdServe(int argc, const char *const *argv)
                    "admission budget: concurrent sessions", 4.0);
     args.addOption("queue-depth",
                    "admission budget: queued pool tasks", 16.0);
+    args.addOption("max-frames",
+                   "admission length cap in frames (0 = off)", 0.0);
+    args.addOption("breaker-k",
+                   "circuit breaker: consecutive degraded sessions "
+                   "that trip it (0 = off)",
+                   0.0);
+    args.addOption("breaker-cooldown",
+                   "circuit breaker: seconds an open breaker waits "
+                   "before half-opening",
+                   0.05);
+    args.addOption("run-dir",
+                   "run directory: session journal + persistent score "
+                   "cache ('' = no checkpointing)",
+                   "");
+    args.addSwitch("resume",
+                   "resume a killed run: replay journaled sessions "
+                   "from --run-dir");
+    args.addOption("outcomes",
+                   "write the deterministic per-session outcome dump "
+                   "to this path",
+                   "");
     args.addSwitch("no-pace",
                    "offer back to back instead of honoring the "
                    "arrival schedule (maximum admission pressure)");
@@ -608,6 +630,12 @@ cmdServe(int argc, const char *const *argv)
         static_cast<std::size_t>(args.getInt("max-sessions"));
     options.serve.admission.maxQueueDepth =
         static_cast<std::size_t>(args.getInt("queue-depth"));
+    options.serve.admission.maxSessionFrames =
+        static_cast<std::size_t>(args.getInt("max-frames"));
+    options.serve.breakerThreshold =
+        static_cast<std::size_t>(args.getInt("breaker-k"));
+    options.serve.breakerCooldownSeconds =
+        args.getNumber("breaker-cooldown");
     options.traffic.sessions =
         static_cast<std::size_t>(args.getInt("sessions"));
     options.traffic.arrivalsPerSecond = args.getNumber("rate");
@@ -620,14 +648,43 @@ cmdServe(int argc, const char *const *argv)
     if (options.serve.admission.maxSessions == 0)
         fatal("--max-sessions must be at least 1");
 
+    const std::string &run_dir = args.get("run-dir");
+    if (args.getSwitch("resume") && run_dir.empty())
+        fatal("--resume requires --run-dir");
+    std::optional<ServeCheckpoint> checkpoint;
+    if (!run_dir.empty()) {
+        checkpoint.emplace(run_dir);
+        // The run directory doubles as the persistent score cache, so
+        // a resumed run does not re-score utterances whose sessions
+        // never committed.
+        ctx.system.attachStore(
+            std::make_shared<const ArtifactStore>(run_dir));
+        options.checkpoint = &*checkpoint;
+        options.serve.resume = args.getSwitch("resume");
+        inform("serve: %s checkpointed run in '%s'",
+               options.serve.resume ? "resuming" : "starting",
+               run_dir.c_str());
+    }
+
     // Warm the serving level's model + inference engine before the
     // clock starts: a long-lived server trains nothing during traffic.
     ctx.system.engineFor(options.serve.system.prune);
 
+    std::vector<SessionOutcome> outcomes;
     const ServeReport report =
-        runServeWorkload(ctx.system, ctx.testSet, options);
+        runServeWorkload(ctx.system, ctx.testSet, options, &outcomes);
     printServeReport(std::cout, report, options);
     publishServeGauges(report);
+
+    if (!args.get("outcomes").empty()) {
+        std::ofstream os(args.get("outcomes"));
+        os << serveOutcomesText(report, outcomes);
+        if (!os) {
+            std::fprintf(stderr, "cannot write outcomes to '%s'\n",
+                         args.get("outcomes").c_str());
+            return 1;
+        }
+    }
 
     std::string json_path = args.get("json");
     if (json_path.empty() && args.getSwitch("bench"))

@@ -619,14 +619,16 @@ checkDecodeSelectorNamespace(const JsonValue &root)
 /**
  * serve.* namespace: when any serve metric is present the whole
  * counter family and both latency histograms must be, with the
- * documented units. Only serve.sessions.offered is deterministic (it
- * restates the seeded workload); everything else is timing-dependent
- * under concurrent sessions and must say so, which keeps serve runs
- * out of deterministic snapshot diffs. The namespace is closed, and
- * the admission ledger must balance: every offered session was either
- * admitted or shed, and every admitted session either completed or
- * degraded. The chunk-latency histogram must have recorded exactly
- * one sample per chunk.
+ * documented units. Only serve.sessions.offered (it restates the
+ * seeded workload) and the serve.drain.* journal counters (they
+ * restate durable store state, like store.*) are deterministic;
+ * everything else is timing-dependent under concurrent sessions and
+ * must say so, which keeps serve runs out of deterministic snapshot
+ * diffs. The namespace is closed, and the admission ledger must
+ * balance: every offered session was either admitted or shed (with
+ * the shed causes summing to the shed count), and every admitted
+ * session either completed or degraded. The chunk-latency histogram
+ * must have recorded exactly one sample per chunk.
  */
 void
 checkServeNamespace(const JsonValue &root)
@@ -656,6 +658,17 @@ checkServeNamespace(const JsonValue &root)
         {"serve.sessions.degraded", "sessions", false},
         {"serve.chunks", "chunks", false},
         {"serve.frames", "frames", false},
+        {"serve.shed.queue", "sessions", false},
+        {"serve.shed.deadline", "sessions", false},
+        {"serve.shed.length", "sessions", false},
+        {"serve.shed.breaker", "sessions", false},
+        {"serve.shed.injected", "sessions", false},
+        {"serve.breaker.trips", "trips", false},
+        {"serve.breaker.half_opens", "probes", false},
+        {"serve.drain.requested", "drains", true},
+        {"serve.drain.refused", "sessions", true},
+        {"serve.drain.committed_units", "units", true},
+        {"serve.drain.resumed_sessions", "sessions", true},
     };
 
     // The namespace also spans gauges and histograms; any serve.*
@@ -797,6 +810,22 @@ checkServeNamespace(const JsonValue &root)
         fail("serve.sessions.completed + serve.sessions.degraded != "
              "serve.sessions.admitted");
     }
+    double shed_queue = 0.0, shed_deadline = 0.0, shed_length = 0.0;
+    double shed_breaker = 0.0, shed_injected = 0.0;
+    double drain_refused = 0.0;
+    if (counterValue("serve.sessions.shed", shed) &&
+        counterValue("serve.shed.queue", shed_queue) &&
+        counterValue("serve.shed.deadline", shed_deadline) &&
+        counterValue("serve.shed.length", shed_length) &&
+        counterValue("serve.shed.breaker", shed_breaker) &&
+        counterValue("serve.shed.injected", shed_injected) &&
+        counterValue("serve.drain.refused", drain_refused) &&
+        shed_queue + shed_deadline + shed_length + shed_breaker +
+                shed_injected + drain_refused !=
+            shed) {
+        fail("serve.shed.* + serve.drain.refused != "
+             "serve.sessions.shed");
+    }
     auto chunk_hist = serve_hists.find("serve.chunk_latency_us");
     if (counterValue("serve.chunks", chunks) &&
         chunk_hist != serve_hists.end()) {
@@ -858,7 +887,8 @@ checkFile(const char *path, bool expect_faults)
 bool
 loadSnapshot(const char *path,
              const std::vector<std::string> &ignore,
-             darkside::telemetry::Snapshot &out)
+             darkside::telemetry::Snapshot &out,
+             darkside::telemetry::Snapshot *raw = nullptr)
 {
     current_file = path;
     std::ifstream is(path);
@@ -876,24 +906,68 @@ loadSnapshot(const char *path,
     // Deterministic metrics and gauges are the reproducibility
     // contract; non-deterministic ones (wall time, cache races) are
     // expected to differ between any two runs.
+    if (raw)
+        *raw = parsed.value();
     out = parsed.take().deterministic().withoutPrefixes(ignore);
     return true;
 }
 
 int
 diffSnapshots(const char *path_a, const char *path_b,
-              const std::vector<std::string> &ignore)
+              const std::vector<std::string> &ignore,
+              const std::vector<std::string> &require)
 {
     namespace dt = darkside::telemetry;
-    dt::Snapshot a, b;
-    if (!loadSnapshot(path_a, ignore, a) ||
-        !loadSnapshot(path_b, ignore, b))
+    dt::Snapshot a, b, raw_a, raw_b;
+    if (!loadSnapshot(path_a, ignore, a, &raw_a) ||
+        !loadSnapshot(path_b, ignore, b, &raw_b))
         return 1;
     current_file = path_b;
 
     const auto note = [&](const std::string &what) {
         fail(std::string("differs from ") + path_a + ": " + what);
     };
+
+    // --require: counters matching these prefixes must match exactly
+    // even when flagged non-deterministic — the resume acceptance uses
+    // it for the serve session ledger, which replay reproduces
+    // bit-identically although concurrency makes it nondet-flagged.
+    // Compared on the raw snapshots, before the deterministic filter.
+    if (!require.empty()) {
+        const auto wanted = [&](const std::string &name) {
+            for (const auto &p : require) {
+                if (name.rfind(p, 0) == 0)
+                    return true;
+            }
+            return false;
+        };
+        std::map<std::string, std::uint64_t> ra;
+        for (const auto &c : raw_a.counters)
+            if (wanted(c.name))
+                ra[c.name] = c.value;
+        std::size_t compared = 0;
+        for (const auto &c : raw_b.counters) {
+            if (!wanted(c.name))
+                continue;
+            auto it = ra.find(c.name);
+            if (it == ra.end()) {
+                note("required counter '" + c.name +
+                     "' only in second file");
+                continue;
+            }
+            if (it->second != c.value) {
+                note("required counter '" + c.name + "': " +
+                     std::to_string(it->second) + " != " +
+                     std::to_string(c.value));
+            }
+            ra.erase(it);
+            ++compared;
+        }
+        for (const auto &[name, v] : ra)
+            note("required counter '" + name + "' only in first file");
+        if (compared == 0)
+            note("no counter matched any --require prefix");
+    }
 
     std::map<std::string, const dt::CounterSample *> ca;
     for (const auto &c : a.counters)
@@ -970,16 +1044,9 @@ int
 main(int argc, char **argv)
 {
     if (argc > 1 && std::strcmp(argv[1], "--diff") == 0) {
-        std::vector<std::string> ignore;
-        if (argc != 4 &&
-            !(argc == 6 && std::strcmp(argv[4], "--ignore") == 0)) {
-            std::fprintf(stderr,
-                         "usage: metrics_check --diff <a.json> "
-                         "<b.json> [--ignore p1,p2,...]\n");
-            return 2;
-        }
-        if (argc == 6) {
-            std::string prefixes = argv[5];
+        const auto split = [](const char *arg,
+                              std::vector<std::string> &out) {
+            std::string prefixes = arg;
             std::size_t start = 0;
             while (start <= prefixes.size()) {
                 const std::size_t comma = prefixes.find(',', start);
@@ -988,13 +1055,31 @@ main(int argc, char **argv)
                                ? std::string::npos
                                : comma - start);
                 if (!p.empty())
-                    ignore.push_back(p);
+                    out.push_back(p);
                 if (comma == std::string::npos)
                     break;
                 start = comma + 1;
             }
+        };
+        std::vector<std::string> ignore, require;
+        bool usage_ok = argc >= 4;
+        for (int i = 4; i < argc; i += 2) {
+            if (i + 1 < argc && std::strcmp(argv[i], "--ignore") == 0)
+                split(argv[i + 1], ignore);
+            else if (i + 1 < argc &&
+                     std::strcmp(argv[i], "--require") == 0)
+                split(argv[i + 1], require);
+            else
+                usage_ok = false;
         }
-        return diffSnapshots(argv[2], argv[3], ignore);
+        if (!usage_ok) {
+            std::fprintf(stderr,
+                         "usage: metrics_check --diff <a.json> "
+                         "<b.json> [--ignore p1,p2,...] "
+                         "[--require p1,p2,...]\n");
+            return 2;
+        }
+        return diffSnapshots(argv[2], argv[3], ignore, require);
     }
 
     bool expect_faults = false;
@@ -1009,7 +1094,7 @@ main(int argc, char **argv)
                      "usage: metrics_check [--expect-faults] "
                      "<file.json> [...]\n"
                      "       metrics_check --diff <a.json> <b.json> "
-                     "[--ignore p1,p2,...]\n");
+                     "[--ignore p1,p2,...] [--require p1,p2,...]\n");
         return 2;
     }
     for (int i = first_file; i < argc; ++i)
