@@ -8,6 +8,13 @@
  * Viterbi work, which here surfaces as chunk tail latency and shed
  * sessions instead of batch decode time).
  *
+ * The workload runs twice: once with scoring up front (the baseline
+ * where a session's first partial waits for the whole utterance to be
+ * scored) and once with scoring pipelined against decode, so the JSON
+ * reports time-to-first-partial for both arms side by side. The arms
+ * use different traffic seeds so the second never decodes utterances
+ * the first already pushed into the score cache.
+ *
  * Environment knobs (defaults in parentheses):
  *   DARKSIDE_SERVE_SESSIONS (48)  sessions offered
  *   DARKSIDE_SERVE_RATE     (150) open-loop arrivals/sec
@@ -21,6 +28,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "bench/bench_common.hh"
@@ -78,12 +86,41 @@ run(int argc, char **argv)
     // Warm the serving level's engine outside the measured workload.
     ctx.system.engineFor(options.serve.system.prune);
 
+    // Arm 1: score-everything-up-front baseline.
+    ServeWorkloadOptions upfront = options;
+    upfront.serve.pipelineScoring = false;
+    const ServeReport upfrontReport =
+        runServeWorkload(ctx.system, ctx.testSet, upfront);
+    printServeReport(std::cout, upfrontReport, upfront);
+
+    // Arm 2: pipelined scoring, on fresh traffic (seed + 1) so arm 1's
+    // score-cache entries cannot shortcut its first partials.
+    ServeWorkloadOptions pipelined = options;
+    pipelined.traffic.seed = options.traffic.seed + 1;
     const ServeReport report =
-        runServeWorkload(ctx.system, ctx.testSet, options);
-    printServeReport(std::cout, report, options);
+        runServeWorkload(ctx.system, ctx.testSet, pipelined);
+    std::printf("\n");
+    printServeReport(std::cout, report, pipelined);
     publishServeGauges(report);
 
-    const std::string json = serveReportJson(report, options);
+    const double upfrontP50 = upfrontReport.ttfpUs.count()
+        ? upfrontReport.ttfpUs.percentile(50.0)
+        : 0.0;
+    const double pipelinedP50 =
+        report.ttfpUs.count() ? report.ttfpUs.percentile(50.0) : 0.0;
+    std::printf("\nttfp p50: upfront %.1f us | pipelined %.1f us "
+                "(speedup %.2fx)\n",
+                upfrontP50, pipelinedP50,
+                pipelinedP50 > 0.0 ? upfrontP50 / pipelinedP50 : 0.0);
+
+    std::ostringstream combined;
+    combined << "{\n\"upfront\": "
+             << serveReportJson(upfrontReport, upfront)
+             << ",\n\"pipelined\": " << serveReportJson(report, pipelined)
+             << ",\n\"ttfp_p50_speedup\": "
+             << (pipelinedP50 > 0.0 ? upfrontP50 / pipelinedP50 : 0.0)
+             << "\n}\n";
+    const std::string json = combined.str();
     std::printf("\n--- JSON ---\n%s", json.c_str());
 
     std::string path;

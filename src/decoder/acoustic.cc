@@ -129,6 +129,63 @@ AcousticScores::deserialize(const std::string &bytes,
     return scores;
 }
 
+ScoreMatrixBuilder::ScoreMatrixBuilder(const InferenceEngine &engine,
+                                       const std::vector<Vector> &inputs,
+                                       float scale)
+    : engine_(&engine), inputs_(&inputs), scale_(scale),
+      total_(inputs.size()), posteriors_(inputs.size())
+{
+    ds_assert(!inputs.empty());
+    scores_.classes_ = engine.outputSize();
+    // Full allocation up front: rows never move, so a reader may hold
+    // row pointers below the scored boundary while later windows land.
+    scores_.costs_.assign(total_ * scores_.classes_,
+                          std::numeric_limits<float>::quiet_NaN());
+}
+
+bool
+ScoreMatrixBuilder::scoreTo(std::size_t upTo)
+{
+    ds_assert(upTo <= total_);
+    if (upTo <= scored_)
+        return true;
+
+    engine_->forwardRange(*inputs_, scored_, upTo, posteriors_, ws_);
+
+    // Exactly fromPosteriors' per-frame arithmetic, in frame order:
+    // identical cost values and an identical confidence accumulation
+    // order, so the completed matrix is bit-identical to the batch
+    // path for any window boundaries.
+    bool all_finite = true;
+    for (std::size_t f = scored_; f < upTo; ++f) {
+        Vector &frame = posteriors_[f];
+        ds_assert(frame.size() == scores_.classes_);
+        float *row = scores_.costs_.data() + f * scores_.classes_;
+        float peak = 0.0f;
+        std::size_t j = 0;
+        for (float p : frame) {
+            peak = std::max(peak, p);
+            const float cost =
+                -scale_ * std::log(std::max(p, kProbabilityFloor));
+            all_finite = all_finite && std::isfinite(cost);
+            row[j++] = cost;
+        }
+        confidenceSum_ += peak;
+        Vector().swap(frame); // keep live scratch to one window
+    }
+    scored_ = upTo;
+    return all_finite;
+}
+
+AcousticScores
+ScoreMatrixBuilder::take() &&
+{
+    ds_assert(complete());
+    scores_.meanConfidence_ =
+        confidenceSum_ / static_cast<double>(total_);
+    return std::move(scores_);
+}
+
 bool
 AcousticScores::finite() const
 {

@@ -111,12 +111,79 @@ class AcousticScores
 
   private:
     friend class Result<AcousticScores>;
+    friend class ScoreMatrixBuilder;
 
     AcousticScores() = default;
 
     std::vector<float> costs_;
     std::size_t classes_ = 0;
     double meanConfidence_ = 0.0;
+};
+
+/**
+ * Incrementally fills one AcousticScores matrix, frame window by frame
+ * window — the scoring seam of the pipelined streaming server: decode
+ * can consume rows [0, scoredFrames()) while later windows are still
+ * being scored.
+ *
+ * Bit-identity contract: once every frame is scored, the matrix
+ * (costs, class count, mean confidence) is bit-identical to
+ * AcousticScores::fromEngine over the same inputs, for ANY sequence of
+ * scoreTo() boundaries. This holds because the MLP is stateless per
+ * frame — the batched GEMM windows are themselves bit-identical to
+ * per-frame forward (dnn/inference.hh) — and because this builder
+ * replays fromPosteriors' exact per-frame cost/confidence arithmetic
+ * in frame order.
+ *
+ * Concurrency: the cost matrix is fully allocated up front, so row
+ * pointers never move while windows are appended. One thread may call
+ * scoreTo() while another reads rows below a boundary it learned
+ * through external synchronisation (ScoreStream provides it); writes
+ * and reads then touch disjoint rows.
+ *
+ * Not itself thread-safe: at most one thread calls scoreTo() at a
+ * time. The engine and inputs are borrowed and must outlive the
+ * builder.
+ */
+class ScoreMatrixBuilder
+{
+  public:
+    ScoreMatrixBuilder(const InferenceEngine &engine,
+                       const std::vector<Vector> &inputs, float scale);
+
+    std::size_t frameCount() const { return total_; }
+    std::size_t scoredFrames() const { return scored_; }
+    bool complete() const { return scored_ == total_; }
+
+    /**
+     * Score frames [scoredFrames(), upTo); no-op when already past
+     * upTo. @return false when a newly scored cost is non-finite (the
+     * caller abandons the utterance, as the batch path does on a
+     * failed finite() check).
+     */
+    bool scoreTo(std::size_t upTo);
+
+    /** The growing matrix. Rows below scoredFrames() are final; rows
+     *  at or above it are NaN placeholders. Stable address. */
+    const AcousticScores &matrix() const { return scores_; }
+
+    /** Finalise and move the matrix out; requires complete(). */
+    AcousticScores take() &&;
+
+  private:
+    const InferenceEngine *engine_;
+    const std::vector<Vector> *inputs_;
+    float scale_;
+    std::size_t total_;
+    std::size_t scored_ = 0;
+    /** Running sum of per-frame peak posteriors, accumulated in frame
+     *  order so the final mean is bit-identical to fromPosteriors. */
+    double confidenceSum_ = 0.0;
+    InferenceWorkspace ws_;
+    /** Window scratch: posteriors_[f] is freed once converted, so live
+     *  memory stays one window of posteriors, not the utterance. */
+    std::vector<Vector> posteriors_;
+    AcousticScores scores_;
 };
 
 } // namespace darkside

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Hash-sharded LRU cache for per-utterance acoustic scores.
+ *
+ * The single `scoreMutex_`-guarded LRU that used to live inside
+ * AsrSystem serialised every worker on one lock; under the streaming
+ * server that lock sits on the hot path of every session. Here the
+ * cache is split into N independent shards, each with its own mutex,
+ * LRU list and index, so lookups for different utterances proceed in
+ * parallel and only same-shard traffic contends.
+ *
+ * Determinism: the shard of a key is a pure function of the key
+ * (mix64 of the ScoreKey, masked to the power-of-two shard count),
+ * never of the thread that inserts it. Cached *contents* are therefore
+ * identical for any thread count, and for any shard count the cache
+ * holds the same entries as long as capacity is not exceeded — which
+ * is what the shard-count invariance test pins.
+ *
+ * Iterator stability: each shard's index is an unordered_map from key
+ * to an iterator into the shard's std::list. A rehash of the map moves
+ * its own nodes but never invalidates the *list* iterators it stores,
+ * and std::list::splice invalidates nothing, so the map's iterators
+ * stay valid across every LRU refresh and map growth.
+ *
+ * Telemetry: the closed dnn.cache.* family (docs/METRICS.md). The
+ * counters are summed across shards (one registry counter, sharded
+ * adds) and satisfy dnn.cache.hit + dnn.cache.miss == dnn.cache.lookup
+ * exactly — every lookup() increments the lookup counter and exactly
+ * one of hit/miss before returning. Which thread computes first is a
+ * race, so the family is flagged nondeterministic.
+ *
+ * The cache is generic over the cached value so it can live beside the
+ * inference engine whose outputs it holds without depending on the
+ * decoder layer that defines AcousticScores.
+ */
+
+#ifndef DARKSIDE_DNN_SCORE_CACHE_HH
+#define DARKSIDE_DNN_SCORE_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "fault/fault.hh"
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace darkside {
+
+/** (prune level, utterance id) key of the acoustic-score caches. */
+using ScoreKey = std::pair<int, std::uint64_t>;
+
+/** Deterministic ScoreKey hash (also picks the shard). */
+struct ScoreKeyHash
+{
+    std::size_t
+    operator()(const ScoreKey &key) const
+    {
+        return static_cast<std::size_t>(
+            mix64(key.second ^
+                  (static_cast<std::uint64_t>(
+                       static_cast<unsigned>(key.first)) *
+                   0x9e3779b97f4a7c15ull)));
+    }
+};
+
+namespace detail {
+
+/** Registered handles for the closed dnn.cache.* counter family. */
+struct DnnCacheMetrics
+{
+    void noteLookup(bool hit) const;
+    void noteInsert() const;
+    void noteEvict() const;
+
+    static const DnnCacheMetrics &get();
+};
+
+} // namespace detail
+
+/**
+ * Thread-safe sharded LRU of shared_ptr<const Scores>, keyed by
+ * ScoreKey. Shared ownership means eviction can never invalidate a
+ * reader holding the pointer.
+ */
+template <typename Scores>
+class ShardedScoreCache
+{
+  public:
+    /** Outcome of one lookup. */
+    struct Lookup
+    {
+        /** The resident entry, or null on a miss. */
+        std::shared_ptr<const Scores> scores;
+        /**
+         * The key was resident but the fault probe flagged the entry
+         * corrupt; it was dropped (and the lookup counted as a miss).
+         * The caller recomputes and should note the recovery.
+         */
+        bool corruptDiscarded = false;
+    };
+
+    /**
+     * @param capacity total entries across all shards
+     * @param shards requested shard count; rounded up to a power of
+     *        two so shard assignment is a mask, and capped so every
+     *        shard holds at least one entry
+     * @param faultProbe corrupt-cache fault probe consulted on every
+     *        hit, keyed by the utterance id ("" disables)
+     */
+    ShardedScoreCache(std::size_t capacity, std::size_t shards,
+                      const char *faultProbe)
+        : faultProbe_(faultProbe)
+    {
+        ds_assert(capacity > 0);
+        std::size_t count = 1;
+        while (count < shards && count < capacity)
+            count <<= 1;
+        shards_.reserve(count);
+        for (std::size_t i = 0; i < count; ++i)
+            shards_.push_back(std::make_unique<Shard>());
+        mask_ = count - 1;
+        shardCapacity_ = (capacity + count - 1) / count;
+    }
+
+    std::size_t shardCount() const { return shards_.size(); }
+
+    /** Total capacity (shard count x per-shard capacity). */
+    std::size_t
+    capacity() const
+    {
+        return shardCapacity_ * shards_.size();
+    }
+
+    /**
+     * Find `key`, refreshing its recency. Counts one dnn.cache.lookup
+     * and exactly one of dnn.cache.{hit,miss}. A hit on which the
+     * fault probe fires is discarded and reported as a miss with
+     * corruptDiscarded set.
+     */
+    Lookup
+    lookup(const ScoreKey &key)
+    {
+        const auto &metrics = detail::DnnCacheMetrics::get();
+        Shard &shard = shardOf(key);
+        Lookup result;
+        {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            auto it = shard.index.find(key);
+            if (it != shard.index.end()) {
+                if (faultProbe_[0] != '\0' &&
+                    FaultInjector::global().trigger(faultProbe_,
+                                                    key.second)) {
+                    // Corrupt cache entry: the only safe reaction is
+                    // to drop it; the caller recomputes.
+                    shard.lru.erase(it->second);
+                    shard.index.erase(it);
+                    result.corruptDiscarded = true;
+                } else {
+                    // Refresh recency: move the hit to the front.
+                    shard.lru.splice(shard.lru.begin(), shard.lru,
+                                     it->second);
+                    result.scores = it->second->second;
+                }
+            }
+        }
+        metrics.noteLookup(result.scores != nullptr);
+        return result;
+    }
+
+    /**
+     * Insert `scores` under `key` and return the resident entry: the
+     * given pointer normally, the already-resident one when another
+     * thread raced the same key in first (both computed identical
+     * scores, so either is correct). Evicts the shard's LRU tail over
+     * capacity.
+     */
+    std::shared_ptr<const Scores>
+    insert(const ScoreKey &key, std::shared_ptr<const Scores> scores)
+    {
+        const auto &metrics = detail::DnnCacheMetrics::get();
+        Shard &shard = shardOf(key);
+        std::size_t evicted = 0;
+        std::shared_ptr<const Scores> resident;
+        {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            auto it = shard.index.find(key);
+            if (it != shard.index.end()) {
+                shard.lru.splice(shard.lru.begin(), shard.lru,
+                                 it->second);
+                resident = it->second->second;
+            } else {
+                shard.lru.emplace_front(key, std::move(scores));
+                shard.index[key] = shard.lru.begin();
+                while (shard.lru.size() > shardCapacity_) {
+                    shard.index.erase(shard.lru.back().first);
+                    shard.lru.pop_back();
+                    ++evicted;
+                }
+                resident = shard.lru.front().second;
+            }
+        }
+        metrics.noteInsert();
+        for (std::size_t i = 0; i < evicted; ++i)
+            metrics.noteEvict();
+        return resident;
+    }
+
+    /** Resident entries across all shards (racy under concurrency). */
+    std::size_t
+    size() const
+    {
+        std::size_t total = 0;
+        for (const auto &shard : shards_) {
+            std::lock_guard<std::mutex> lock(shard->mutex);
+            total += shard->lru.size();
+        }
+        return total;
+    }
+
+  private:
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        /** Most recent at the front. */
+        std::list<std::pair<ScoreKey, std::shared_ptr<const Scores>>>
+            lru;
+        std::unordered_map<ScoreKey, typename decltype(lru)::iterator,
+                           ScoreKeyHash>
+            index;
+    };
+
+    Shard &
+    shardOf(const ScoreKey &key)
+    {
+        return *shards_[ScoreKeyHash{}(key) & mask_];
+    }
+
+    const char *faultProbe_;
+    std::size_t shardCapacity_ = 0;
+    std::size_t mask_ = 0;
+    /** unique_ptr: Shard owns a mutex and cannot move. */
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+} // namespace darkside
+
+#endif // DARKSIDE_DNN_SCORE_CACHE_HH

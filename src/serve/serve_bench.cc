@@ -152,6 +152,14 @@ printServeReport(std::ostream &os, const ServeReport &report,
                   pct(report.sessionLatencyUs, 99.0));
     os << line;
     std::snprintf(line, sizeof(line),
+                  "first partial (us)   p50 %8.1f | p95 %8.1f | "
+                  "p99 %8.1f  (%s scoring)\n",
+                  pct(report.ttfpUs, 50.0), pct(report.ttfpUs, 95.0),
+                  pct(report.ttfpUs, 99.0),
+                  options.serve.pipelineScoring ? "pipelined"
+                                                : "upfront");
+    os << line;
+    std::snprintf(line, sizeof(line),
                   "throughput           %.1f sessions/s | %.0f "
                   "frames/s | wall %.3f s\n",
                   report.sessionsPerSecond(), report.framesPerSecond(),
@@ -205,6 +213,11 @@ serveReportJson(const ServeReport &report,
          << pct(report.sessionLatencyUs, 50.0)
          << ", \"p95\": " << pct(report.sessionLatencyUs, 95.0)
          << ", \"p99\": " << pct(report.sessionLatencyUs, 99.0)
+         << "},\n  \"pipeline_scoring\": "
+         << (options.serve.pipelineScoring ? "true" : "false")
+         << ",\n  \"ttfp_us\": {\"p50\": " << pct(report.ttfpUs, 50.0)
+         << ", \"p95\": " << pct(report.ttfpUs, 95.0)
+         << ", \"p99\": " << pct(report.ttfpUs, 99.0)
          << "},\n  \"sessions_per_second\": "
          << report.sessionsPerSecond()
          << ",\n  \"frames_per_second\": " << report.framesPerSecond()
@@ -224,6 +237,8 @@ publishServeGauges(const ServeReport &report)
                  pct(report.chunkLatencyUs, 99.0));
     reg.setGauge("serve.sessions_per_sec", "sessions/s",
                  report.sessionsPerSecond());
+    reg.setGauge("serve.ttfp_p50_us", "us", pct(report.ttfpUs, 50.0));
+    reg.setGauge("serve.ttfp_p95_us", "us", pct(report.ttfpUs, 95.0));
 }
 
 } // namespace darkside

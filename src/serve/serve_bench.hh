@@ -77,7 +77,8 @@ std::string serveReportJson(const ServeReport &report,
 
 /**
  * Publish the report's summary statistics as serve.* gauges
- * (serve.chunk_p50_us/p95/p99, serve.sessions_per_sec). Call once,
+ * (serve.chunk_p50_us/p95/p99, serve.sessions_per_sec,
+ * serve.ttfp_p50_us/p95). Call once,
  * after the drain, from a single-threaded context — the gauge
  * discipline of docs/METRICS.md.
  */

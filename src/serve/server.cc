@@ -5,6 +5,7 @@
 
 #include "fault/fault.hh"
 #include "serve/serve_checkpoint.hh"
+#include "system/score_stream.hh"
 #include "telemetry/metrics.hh"
 #include "telemetry/snapshot.hh"
 
@@ -45,6 +46,7 @@ struct ServeMetrics
     telemetry::Counter drainResumedSessions;
     telemetry::Histogram chunkLatencyUs;
     telemetry::Histogram sessionLatencyUs;
+    telemetry::Histogram ttfpUs;
 
     static const ServeMetrics &
     get()
@@ -77,6 +79,8 @@ struct ServeMetrics
                 reg.histogram("serve.chunk_latency_us", "us",
                               {0.0, 20000.0, 50}, false),
                 reg.histogram("serve.session_latency_us", "us",
+                              {0.0, 2000000.0, 50}, false),
+                reg.histogram("serve.ttfp_us", "us",
                               {0.0, 2000000.0, 50}, false),
             };
             return s;
@@ -294,32 +298,44 @@ StreamingServer::runSession(
     outcome.utteranceId = utt.id;
 
     try {
-        // DNN stage once per session, through the shared thread-safe
-        // score cache; the chunk loop then times the streaming decode
-        // alone. Shared ownership keeps LRU eviction by a concurrent
-        // session from invalidating these scores.
-        const auto scores_ptr = system_.scoresFor(utt,
-                                                  config_.system.prune);
-        const AcousticScores &scores = *scores_ptr;
-        if (!scores.finite()) {
+        // DNN stage through the shared sharded score cache. Pipelined
+        // (the default), a per-session prefetch thread scores chunk
+        // k+1 while this worker decodes chunk k, so the first partial
+        // waits for one scored chunk, not the whole utterance; the
+        // upfront baseline scores everything before the chunk loop.
+        // Either way the chunk loop times the streaming decode alone,
+        // and finish() below commits the scores to the same caches the
+        // batch path fills.
+        const auto stream =
+            system_.openScoreStream(utt, config_.system.prune);
+        if (stream->poisoned()) {
             throw FaultError("inference.scores", FaultKind::NanScores,
                              utt.id);
         }
+
+        const std::size_t frames = stream->frameCount();
+        const std::size_t chunk =
+            config_.chunkFrames ? config_.chunkFrames : frames;
+        if (config_.pipelineScoring)
+            stream->startPrefetch(chunk);
+        else
+            stream->ensureScored(frames);
 
         Session session(system_.fst(), config_.system.beam,
                         system_.makeSelector(config_.system), utt.id,
                         config_.sessionDeadlineSeconds);
 
-        const std::size_t frames = scores.frameCount();
-        const std::size_t chunk =
-            config_.chunkFrames ? config_.chunkFrames : frames;
         std::size_t decoded = 0;
+        bool first_chunk = true;
         for (std::size_t begin = 0;
              begin < frames && !session.dead(); begin += chunk) {
             const std::size_t end = std::min(frames, begin + chunk);
+            // Blocks on the prefetch thread (pipelined) or scores the
+            // window inline; rows [0, end) are final afterwards.
+            stream->ensureScored(end);
             const auto t0 = std::chrono::steady_clock::now();
             const PartialHypothesis partial =
-                session.advanceChunk(scores, begin, end);
+                session.advanceChunk(stream->scores(), begin, end);
             const double us = elapsedUs(t0);
 
             metrics.chunks.add(1);
@@ -327,15 +343,30 @@ StreamingServer::runSession(
             metrics.chunkLatencyUs.observe(us);
             admission_.recordChunkLatency(us, end - begin);
             decoded += end - begin;
+            const bool record_ttfp = first_chunk;
+            double ttfp_us = 0.0;
+            if (first_chunk) {
+                first_chunk = false;
+                ttfp_us = elapsedUs(admitted);
+                metrics.ttfpUs.observe(ttfp_us);
+            }
             {
                 std::lock_guard<std::mutex> lock(statsMutex_);
                 ++report_.chunks;
                 report_.frames += end - begin;
                 report_.chunkLatencyUs.add(us);
+                if (record_ttfp)
+                    report_.ttfpUs.add(ttfp_us);
             }
             if (partialCallback_)
                 partialCallback_(utt.id, partial);
         }
+
+        // Commit the completed scores to the LRU + store (scores any
+        // tail a dead session never decoded, as the batch path would
+        // have). A NaN discovered here degrades the session, exactly
+        // like the batch finite() check.
+        stream->finish();
 
         SessionResult result = session.finish();
         outcome.degraded = result.degraded;

@@ -4,10 +4,13 @@
  * turns the batch pipeline into per-session incremental decode. Every
  * offered utterance passes the AdmissionController (shed above budget,
  * over the length cap, or past its deadline budget), then runs as one
- * pool task: score through the shared AsrSystem cache, feed the frames
- * chunk by chunk through a Session (partial hypothesis after every
- * chunk), and record chunk/session latency into both the local report
- * and the `serve.*` telemetry namespace. Faults — session deadlines,
+ * pool task: open a ScoreStream against the shared sharded score
+ * cache (scoring pipelined with decode by default, so the first
+ * partial waits for one scored chunk rather than the whole
+ * utterance), feed the frames chunk by chunk through a Session
+ * (partial hypothesis after every chunk), and record chunk/session/
+ * time-to-first-partial latency into both the local report and the
+ * `serve.*` telemetry namespace. Faults — session deadlines,
  * injected decoder faults, poisoned scores — degrade their session
  * only; healthy sessions decode bit-identically to batch. A circuit
  * breaker trips after K consecutive degraded sessions and half-opens
@@ -47,6 +50,16 @@ struct ServeConfig
 
     /** Frames fed per chunk (0 = the whole utterance in one chunk). */
     std::size_t chunkFrames = 16;
+
+    /**
+     * Score chunk k+1 on a per-session prefetch thread while chunk k
+     * decodes (docs/SERVING.md "Pipelined scoring"): the first partial
+     * waits for one scored chunk instead of the whole utterance.
+     * False restores the score-everything-up-front baseline the
+     * time-to-first-partial bench compares against. Transcripts are
+     * bit-identical either way.
+     */
+    bool pipelineScoring = true;
 
     /** Wall budget per session (whole session, checked at every frame
      *  boundary by DecodeWatchdog and estimated against at admission);
@@ -100,12 +113,16 @@ struct ServeReport
      *  of completed+degraded). */
     std::uint64_t resumedSessions = 0;
 
-    /** Wall-clock per advanceChunk call (decode only; scoring happens
-     *  once at session start). */
+    /** Wall-clock per advanceChunk call (decode only; scoring runs
+     *  ahead of the chunk loop). */
     PercentileTracker chunkLatencyUs;
     /** Wall-clock from admission to session completion (includes
      *  scoring and queueing). */
     PercentileTracker sessionLatencyUs;
+    /** Time-to-first-partial: wall-clock from admission to the first
+     *  chunk's partial hypothesis — the latency pipelined scoring
+     *  attacks (one session entry per session that produced one). */
+    PercentileTracker ttfpUs;
 
     /** First offer to end of drain. */
     double wallSeconds = 0.0;

@@ -280,7 +280,11 @@ SystemConfig::label() const
 AsrSystem::AsrSystem(const Corpus &corpus, const Wfst &fst,
                      const ModelZoo &zoo, const PlatformConfig &platform)
     : corpus_(corpus), fst_(fst), zoo_(zoo), platform_(platform),
-      dnnAccelSim_(platform.dnnAccel), dnnSimCache_(4), engineCache_(4)
+      dnnAccelSim_(platform.dnnAccel), dnnSimCache_(4), engineCache_(4),
+      scoreCache_(kScoreCacheCapacity,
+                  platform.scoreCacheShards ? platform.scoreCacheShards
+                                            : 1,
+                  "system.score_cache")
 {}
 
 std::unique_ptr<HypothesisSelector>
@@ -365,78 +369,73 @@ AsrSystem::engineFor(PruneLevel level)
 }
 
 std::shared_ptr<const AcousticScores>
+AsrSystem::readPersistedScores(const ScoreKey &key)
+{
+    // Between the in-memory LRU and a fresh compute sits the optional
+    // persistent score cache: a verified artifact restores bit-exactly,
+    // so a hit decodes identically to a recompute. A missing,
+    // quarantined or malformed artifact simply falls through.
+    if (!scoreStore_)
+        return nullptr;
+    char score_name[64];
+    std::snprintf(score_name, sizeof(score_name),
+                  "scores/%s_%016llx.bin",
+                  pruneSuffix(static_cast<PruneLevel>(key.first)),
+                  static_cast<unsigned long long>(key.second));
+    auto payload = scoreStore_->read(score_name, kScoresKind);
+    if (!payload)
+        return nullptr;
+    auto restored = AcousticScores::deserialize(
+        payload.value(), scoreStore_->pathOf(score_name));
+    if (!restored.isOk()) {
+        warn("score cache: %s", restored.message().c_str());
+        return nullptr;
+    }
+    return std::make_shared<const AcousticScores>(restored.take());
+}
+
+void
+AsrSystem::persistScores(const ScoreKey &key,
+                         const AcousticScores &scores)
+{
+    // Persist only clean computes (poisoned scores never get here).
+    // Failure to persist only costs a future recompute.
+    if (!scoreStore_)
+        return;
+    char score_name[64];
+    std::snprintf(score_name, sizeof(score_name),
+                  "scores/%s_%016llx.bin",
+                  pruneSuffix(static_cast<PruneLevel>(key.first)),
+                  static_cast<unsigned long long>(key.second));
+    const Status written = scoreStore_->write(score_name, kScoresKind,
+                                              scores.serialize());
+    if (!written) {
+        warn("score cache: cannot persist '%s' (%s)", score_name,
+             written.message().c_str());
+    }
+}
+
+std::shared_ptr<const AcousticScores>
 AsrSystem::scoresFor(const Utterance &utt, PruneLevel level,
                      ThreadPool *pool)
 {
     const ScoreKey key(static_cast<int>(level), utt.id);
     const bool cacheable = utt.id != 0;
 
-    // Hit/miss totals depend on which thread computes first, so they
-    // are registered non-deterministic.
-    auto &reg = telemetry::MetricRegistry::global();
-    static const telemetry::Counter cache_hits =
-        reg.counter("system.score_cache_hits", "lookups", false);
-    static const telemetry::Counter cache_misses =
-        reg.counter("system.score_cache_misses", "lookups", false);
-
     bool discarded_corrupt_hit = false;
     if (cacheable) {
-        std::lock_guard<std::mutex> lock(scoreMutex_);
-        auto it = scoreIndex_.find(key);
-        if (it != scoreIndex_.end()) {
-            if (FaultInjector::global().trigger("system.score_cache",
-                                                utt.id)) {
-                // Corrupt cache entry: the only safe reaction is to
-                // drop it and recompute below.
-                scoreLru_.erase(it->second);
-                scoreIndex_.erase(it);
-                discarded_corrupt_hit = true;
-            } else {
-                // Refresh recency: move the hit to the front.
-                scoreLru_.splice(scoreLru_.begin(), scoreLru_,
-                                 it->second);
-                cache_hits.add(1);
-                return it->second->second;
-            }
-        }
-    }
-    cache_misses.add(1);
-
-    // Between the in-memory LRU and a fresh compute sits the optional
-    // persistent score cache: a verified artifact restores bit-exactly,
-    // so a hit decodes identically to a recompute. A missing,
-    // quarantined or malformed artifact simply falls through.
-    char score_name[64];
-    std::snprintf(score_name, sizeof(score_name),
-                  "scores/%s_%016llx.bin", pruneSuffix(level),
-                  static_cast<unsigned long long>(utt.id));
-    if (cacheable && scoreStore_) {
-        if (auto payload = scoreStore_->read(score_name, kScoresKind)) {
-            auto restored = AcousticScores::deserialize(
-                payload.value(), scoreStore_->pathOf(score_name));
-            if (restored.isOk()) {
-                auto scores = std::make_shared<const AcousticScores>(
-                    restored.take());
-                std::lock_guard<std::mutex> lock(scoreMutex_);
-                auto it = scoreIndex_.find(key);
-                if (it != scoreIndex_.end())
-                    return it->second->second;
-                scoreLru_.emplace_front(key, std::move(scores));
-                scoreIndex_[key] = scoreLru_.begin();
-                while (scoreLru_.size() > kScoreCacheCapacity) {
-                    scoreIndex_.erase(scoreLru_.back().first);
-                    scoreLru_.pop_back();
-                }
-                return scoreLru_.front().second;
-            }
-            warn("score cache: %s", restored.message().c_str());
-        }
+        auto found = scoreCache_.lookup(key);
+        if (found.scores)
+            return found.scores;
+        discarded_corrupt_hit = found.corruptDiscarded;
+        if (auto restored = readPersistedScores(key))
+            return scoreCache_.insert(key, std::move(restored));
     }
 
-    // Compute outside the lock: scoring dominates, and concurrent
+    // Compute outside any lock: scoring dominates, and concurrent
     // requests for *different* utterances must not serialise. Two
     // threads racing on the same utterance compute identical scores;
-    // the second insert below simply reuses the first one's entry.
+    // the insert below simply keeps the first one's entry.
     auto spliced = corpus_.spliceUtterance(utt);
     if (auto kind = FaultInjector::global().trigger("inference.scores",
                                                     utt.id)) {
@@ -457,31 +456,8 @@ AsrSystem::scoresFor(const Utterance &utt, PruneLevel level,
     if (!cacheable)
         return scores;
 
-    // Persist the clean compute (the poisoned path returned above, so
-    // corrupt scores never reach the store). Failure to persist only
-    // costs a future recompute.
-    if (scoreStore_) {
-        const Status written = scoreStore_->write(
-            score_name, kScoresKind, scores->serialize());
-        if (!written) {
-            warn("score cache: cannot persist '%s' (%s)", score_name,
-                 written.message().c_str());
-        }
-    }
-
-    std::lock_guard<std::mutex> lock(scoreMutex_);
-    auto it = scoreIndex_.find(key);
-    if (it != scoreIndex_.end()) {
-        scoreLru_.splice(scoreLru_.begin(), scoreLru_, it->second);
-        return it->second->second;
-    }
-    scoreLru_.emplace_front(key, std::move(scores));
-    scoreIndex_[key] = scoreLru_.begin();
-    while (scoreLru_.size() > kScoreCacheCapacity) {
-        scoreIndex_.erase(scoreLru_.back().first);
-        scoreLru_.pop_back();
-    }
-    return scoreLru_.front().second;
+    persistScores(key, *scores);
+    return scoreCache_.insert(key, std::move(scores));
 }
 
 UtteranceRun

@@ -11,8 +11,6 @@
 #ifndef DARKSIDE_SYSTEM_ASR_SYSTEM_HH
 #define DARKSIDE_SYSTEM_ASR_SYSTEM_HH
 
-#include <list>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -22,6 +20,7 @@
 #include "accel/viterbi/viterbi_accel.hh"
 #include "decoder/viterbi_decoder.hh"
 #include "dnn/inference.hh"
+#include "dnn/score_cache.hh"
 #include "nbest/selectors.hh"
 #include "store/checkpoint.hh"
 #include "system/model_zoo.hh"
@@ -30,6 +29,8 @@
 #include "wfst/wfst.hh"
 
 namespace darkside {
+
+class ScoreStream;
 
 /** Search-side configuration family. */
 enum class SearchMode : std::uint8_t {
@@ -164,6 +165,13 @@ struct PlatformConfig
      * inherently nondeterministic, so opt-in only).
      */
     double decodeWatchdogSeconds = 0.0;
+    /**
+     * Shards of the acoustic-score LRU cache (rounded up to a power of
+     * two). Shard assignment is a pure function of the (level,
+     * utterance id) key, so cached contents are identical for any
+     * thread count; more shards only reduce lock contention.
+     */
+    std::size_t scoreCacheShards = 8;
 };
 
 /**
@@ -244,9 +252,30 @@ class AsrSystem
     scoresFor(const Utterance &utt, PruneLevel level,
               ThreadPool *pool = nullptr);
 
+    /**
+     * Open an incremental scoring stream for an utterance: the
+     * streaming counterpart of scoresFor (src/system/score_stream.hh).
+     * Scores already resident in the LRU or the persistent store
+     * arrive complete; otherwise the stream scores frame windows on
+     * demand (ensureScored) or on a background prefetch thread
+     * (startPrefetch), and finish() commits the completed matrix to
+     * the same caches scoresFor fills. Throws FaultError when the
+     * inference.scores probe injects a non-NaN fault, exactly like
+     * scoresFor.
+     */
+    std::unique_ptr<ScoreStream> openScoreStream(const Utterance &utt,
+                                                 PruneLevel level);
+
   private:
-    /** (prune level, utterance id). */
-    using ScoreKey = std::pair<int, std::uint64_t>;
+    friend class ScoreStream;
+
+    /** LRU + persistent-store read path shared by scoresFor and
+     *  ScoreStream. Null when neither holds the key. */
+    std::shared_ptr<const AcousticScores> readPersistedScores(
+        const ScoreKey &key);
+    /** Best-effort write-through to the persistent store. */
+    void persistScores(const ScoreKey &key,
+                       const AcousticScores &scores);
 
     const Corpus &corpus_;
     const Wfst &fst_;
@@ -260,11 +289,8 @@ class AsrSystem
     std::mutex engineMutex_;
     std::vector<std::optional<InferenceEngine>> engineCache_;
 
-    /** LRU acoustic-score cache: most recent at the list front. */
-    std::mutex scoreMutex_;
-    std::list<std::pair<ScoreKey, std::shared_ptr<const AcousticScores>>>
-        scoreLru_;
-    std::map<ScoreKey, decltype(scoreLru_)::iterator> scoreIndex_;
+    /** Hash-sharded acoustic-score LRU (dnn/score_cache.hh). */
+    ShardedScoreCache<AcousticScores> scoreCache_;
 };
 
 } // namespace darkside

@@ -753,6 +753,56 @@ TEST(FaultMatrix, CorruptScoreCacheEntryIsDiscardedAndRecomputed)
     expectHealthyAggregatesEqual(faulted, warm);
 }
 
+TEST(FaultMatrix, ShardedCacheStressUnderCorruptProbe)
+{
+    // Stress the sharded score cache: every hit on every key is
+    // flagged corrupt for three consecutive multi-threaded runs. Each
+    // discarded entry must be recomputed (recovered, never degraded),
+    // every run must reproduce the clean warm run bit-identically, and
+    // the dnn.cache.* ledger must stay balanced throughout.
+    auto &ctx = context();
+    const SystemConfig config = baselineConfig();
+    const auto utts = ctx.corpus.sampleUtterances(6, 40400);
+    std::vector<std::uint64_t> ids;
+    for (const auto &utt : utts)
+        ids.push_back(utt.id);
+
+    FaultInjector::global().disarm();
+    const TestSetResult warm = ctx.system.runTestSet(utts, config, 2);
+    EXPECT_EQ(warm.degraded, 0u);
+
+    const std::uint64_t injected_before = counterValue("fault.injected");
+    const std::uint64_t recovered_before =
+        counterValue("fault.recovered");
+    const std::uint64_t hits_before = counterValue("dnn.cache.hit");
+    {
+        ScopedFaultPlan plan(
+            keyPlan("system.score_cache", FaultKind::CorruptCache, ids));
+        for (int round = 0; round < 3; ++round) {
+            const TestSetResult faulted =
+                ctx.system.runTestSet(utts, config, 2);
+            EXPECT_EQ(faulted.degraded, 0u) << "round " << round;
+            expectHealthyAggregatesEqual(faulted, warm);
+        }
+    }
+
+    // Every injected corruption was recovered by a recompute, and a
+    // corrupt discard counts as a miss, never a hit.
+    const std::uint64_t injected =
+        counterValue("fault.injected") - injected_before;
+    EXPECT_EQ(injected, 3 * utts.size());
+    EXPECT_EQ(counterValue("fault.recovered") - recovered_before,
+              injected);
+    EXPECT_EQ(counterValue("dnn.cache.hit"), hits_before);
+    EXPECT_EQ(counterValue("dnn.cache.hit") +
+                  counterValue("dnn.cache.miss"),
+              counterValue("dnn.cache.lookup"));
+    EXPECT_LE(counterValue("dnn.cache.evict"),
+              counterValue("dnn.cache.insert"));
+    EXPECT_LE(counterValue("dnn.cache.insert"),
+              counterValue("dnn.cache.miss"));
+}
+
 TEST(FaultMatrix, DecoderTimeoutAbortsThroughTheWatchdog)
 {
     auto &ctx = context();

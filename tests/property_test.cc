@@ -11,10 +11,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <set>
 
+#include "decoder/acoustic.hh"
 #include "decoder/search_telemetry.hh"
 #include "decoder/viterbi_decoder.hh"
 #include "dnn/topology.hh"
@@ -26,6 +28,7 @@
 #include "pruning/magnitude_pruner.hh"
 #include "sim/cache_model.hh"
 #include "system/defaults.hh"
+#include "system/score_stream.hh"
 #include "telemetry/metrics.hh"
 #include "telemetry/snapshot.hh"
 #include "util/bits.hh"
@@ -1060,6 +1063,136 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(SearchMode::RelativeThreshold,
                                          SearchMode::AdaptiveBeam),
                        ::testing::Values(2, 4)));
+
+// ---------------------------------------------------------------------
+// Chunked acoustic scoring: ScoreMatrixBuilder must reproduce
+// AcousticScores::fromEngine bit-identically — every cost row and the
+// mean confidence — for ANY sequence of scoreTo() boundaries, and
+// ScoreStream must commit the finished matrix to the same caches
+// scoresFor fills. This is the scoring half of the pipelined-serving
+// contract: chunk boundaries are call-boundary artifacts, never
+// arithmetic.
+// ---------------------------------------------------------------------
+
+/** Frames per scoring window; 0 = the whole utterance at once. */
+class ChunkedScoringProperty
+    : public ::testing::TestWithParam<std::size_t>
+{};
+
+/** Bitwise row-level equality of two complete score matrices. */
+void
+expectSameScores(const AcousticScores &got, const AcousticScores &want,
+                 const std::string &label)
+{
+    ASSERT_EQ(got.frameCount(), want.frameCount()) << label;
+    ASSERT_EQ(got.classCount(), want.classCount()) << label;
+    for (std::size_t t = 0; t < want.frameCount(); ++t) {
+        ASSERT_EQ(std::memcmp(got.row(t), want.row(t),
+                              want.classCount() * sizeof(float)),
+                  0)
+            << label << " frame " << t;
+    }
+    EXPECT_EQ(got.meanConfidence(), want.meanConfidence()) << label;
+}
+
+TEST_P(ChunkedScoringProperty, BuilderMatchesBatchScoringBitwise)
+{
+    const std::size_t chunk_param = GetParam();
+    auto &ctx = faultContext(777);
+    FaultInjector::global().disarm();
+    const float scale = ctx.system.platform().acousticScale;
+
+    for (PruneLevel level : {PruneLevel::None, PruneLevel::P90}) {
+        const InferenceEngine &engine = ctx.system.engineFor(level);
+        for (const auto &utt : ctx.testSet) {
+            const auto inputs = ctx.corpus.spliceUtterance(utt);
+            const AcousticScores want =
+                AcousticScores::fromEngine(engine, inputs, scale);
+
+            ScoreMatrixBuilder builder(engine, inputs, scale);
+            const std::size_t frames = builder.frameCount();
+            ASSERT_EQ(frames, want.frameCount());
+            const std::size_t chunk = chunk_param
+                ? chunk_param
+                : std::max<std::size_t>(frames, 1);
+            for (std::size_t begin = 0; begin < frames;
+                 begin += chunk) {
+                const std::size_t end = std::min(frames, begin + chunk);
+                ASSERT_TRUE(builder.scoreTo(end));
+                ASSERT_EQ(builder.scoredFrames(), end);
+                // Rows are final the moment their window lands, not
+                // only at take(): the pipelined decode loop reads them
+                // while later windows are still being scored.
+                for (std::size_t t = begin; t < end; ++t) {
+                    ASSERT_EQ(std::memcmp(builder.matrix().row(t),
+                                          want.row(t),
+                                          want.classCount() *
+                                              sizeof(float)),
+                              0)
+                        << "frame " << t;
+                }
+            }
+            ASSERT_TRUE(builder.complete());
+            expectSameScores(std::move(builder).take(), want,
+                             pruneLevelName(level));
+        }
+    }
+}
+
+TEST_P(ChunkedScoringProperty, ScoreStreamCommitsTheScoresForMatrix)
+{
+    const std::size_t chunk_param = GetParam();
+    auto &ctx = faultContext(777);
+    FaultInjector::global().disarm();
+    const PruneLevel level = PruneLevel::P90;
+
+    for (const bool prefetch : {false, true}) {
+        for (std::size_t i = 0; i < ctx.testSet.size(); ++i) {
+            Utterance utt = ctx.testSet[i];
+            // Fresh id per (chunking, arm, utterance): every stream
+            // under test opens cold.
+            utt.id = mix64(0x5c07e5u + chunk_param * 131 + i * 17 +
+                           (prefetch ? 1 : 0)) |
+                1;
+
+            auto stream = ctx.system.openScoreStream(utt, level);
+            ASSERT_FALSE(stream->fromCache());
+            ASSERT_FALSE(stream->poisoned());
+            const std::size_t frames = stream->frameCount();
+            const std::size_t chunk = chunk_param
+                ? chunk_param
+                : std::max<std::size_t>(frames, 1);
+            if (prefetch)
+                stream->startPrefetch(chunk);
+            for (std::size_t begin = 0; begin < frames;
+                 begin += chunk) {
+                stream->ensureScored(std::min(frames, begin + chunk));
+            }
+            const auto committed = stream->finish();
+            ASSERT_TRUE(stream->complete());
+
+            // finish() committed the matrix to the LRU: scoresFor and
+            // a warm stream now serve the very same object.
+            const auto cached = ctx.system.scoresFor(utt, level);
+            EXPECT_EQ(cached.get(), committed.get());
+            auto warm = ctx.system.openScoreStream(utt, level);
+            EXPECT_TRUE(warm->fromCache());
+            EXPECT_TRUE(warm->complete());
+            EXPECT_EQ(warm->finish().get(), committed.get());
+
+            // Bit-identical to the batch scoring path over the same
+            // frames (fresh id: a cold scoresFor compute).
+            Utterance fresh = ctx.testSet[i];
+            fresh.id = mix64(utt.id ^ 0x77u) | 1;
+            const auto want = ctx.system.scoresFor(fresh, level);
+            expectSameScores(*committed, *want,
+                             prefetch ? "prefetch" : "on-demand");
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, ChunkedScoringProperty,
+                         ::testing::Values(1, 7, 0));
 
 } // namespace
 } // namespace darkside

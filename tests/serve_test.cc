@@ -24,6 +24,7 @@
 #include "fault/fault.hh"
 #include "mini_setup.hh"
 #include "serve/admission.hh"
+#include "serve/serve_bench.hh"
 #include "serve/server.hh"
 #include "serve/session.hh"
 #include "serve/traffic.hh"
@@ -304,7 +305,52 @@ TEST(StreamingServe, InlineServerMatchesBatchDecode)
     EXPECT_EQ(report.completed, ctx.testSet.size());
     EXPECT_EQ(report.degraded, 0u);
     EXPECT_EQ(report.chunkLatencyUs.count(), report.chunks);
+    // Every completed session produced a first partial.
+    EXPECT_EQ(report.ttfpUs.count(), report.completed);
     EXPECT_GT(report.frames, 0u);
+}
+
+TEST(StreamingServe, UpfrontScoringMatchesPipelined)
+{
+    // The pipelined-scoring acceptance: with scoring running ahead of
+    // the chunk loop on a prefetch thread, every transcript, cost and
+    // session ledger entry is byte-identical to the
+    // score-everything-up-front baseline.
+    auto &ctx = serveContext();
+    FaultInjector::global().disarm();
+
+    ServeWorkloadOptions options;
+    options.serve.system =
+        ctx.setup.configFor(SearchMode::NBestHash, PruneLevel::P90);
+    options.serve.chunkFrames = 6;
+    options.serve.threads = 0; // inline: deterministic shedding (none)
+    options.serve.admission.maxSessions = 64;
+    options.traffic.sessions = 12;
+    options.traffic.arrivalsPerSecond = 1000.0;
+    options.paceArrivals = false;
+
+    auto outcomesText = [&](bool pipelined) {
+        ServeWorkloadOptions arm = options;
+        arm.serve.pipelineScoring = pipelined;
+        std::vector<SessionOutcome> outcomes;
+        const ServeReport report =
+            runServeWorkload(ctx.system, ctx.testSet, arm, &outcomes);
+        EXPECT_EQ(report.shed, 0u);
+        EXPECT_EQ(report.completed, options.traffic.sessions);
+        EXPECT_EQ(report.ttfpUs.count(), report.completed);
+        return serveOutcomesText(report, outcomes);
+    };
+
+    // Upfront first: its sessions populate the score cache, so the
+    // pipelined arm also proves cached scores short-circuit streams.
+    const std::string upfront = outcomesText(false);
+    const std::string pipelined = outcomesText(true);
+    EXPECT_EQ(upfront, pipelined);
+
+    // Worker threads must not change the outcome either: same traffic
+    // on a 2-worker pool, text still byte-identical.
+    options.serve.threads = 2;
+    EXPECT_EQ(outcomesText(true), upfront);
 }
 
 TEST(StreamingServe, InjectedFaultsDegradeOnlyTheirSession)

@@ -8,8 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <memory>
 #include <string>
 
+#include "dnn/score_cache.hh"
 #include "mini_setup.hh"
 #include "telemetry/metrics.hh"
 #include "telemetry/snapshot.hh"
@@ -294,6 +296,80 @@ TEST(AsrSystem, ScoreCacheReplayMatchesColdRun)
     const TestSetResult warm =
         ctx.system.runTestSet(ctx.testSet, config, 1);
     expectIdenticalResults(cold, warm);
+}
+
+TEST(ShardedScoreCacheUnit, RoundsShardsAndKeepsLruPerShard)
+{
+    // 3 shards round up to 4; 16 total entries leave 4 per shard.
+    ShardedScoreCache<int> cache(16, 3, "");
+    EXPECT_EQ(cache.shardCount(), 4u);
+    EXPECT_EQ(cache.capacity(), 16u);
+    // Shards never outnumber entries: every shard holds at least one.
+    EXPECT_LE(ShardedScoreCache<int>(2, 64, "").shardCount(), 2u);
+
+    // Existing entry wins a racing double-insert: both computed
+    // identical scores, the cache keeps the resident one.
+    const ScoreKey key{2, 42};
+    const auto first = cache.insert(key, std::make_shared<int>(1));
+    const auto second = cache.insert(key, std::make_shared<int>(2));
+    EXPECT_EQ(first.get(), second.get());
+    EXPECT_EQ(*second, 1);
+    EXPECT_EQ(cache.lookup(key).scores.get(), first.get());
+    EXPECT_FALSE(cache.lookup(key).corruptDiscarded);
+
+    // Distinct (level, id) keys never alias.
+    EXPECT_EQ(cache.lookup({3, 42}).scores, nullptr);
+
+    // Flood well past capacity: the cache stays bounded and the most
+    // recently inserted key is always resident (it is its shard's MRU).
+    for (std::uint64_t id = 100; id < 200; ++id) {
+        const ScoreKey k{0, id};
+        cache.insert(k, std::make_shared<int>(static_cast<int>(id)));
+        ASSERT_NE(cache.lookup(k).scores, nullptr);
+        ASSERT_LE(cache.size(), cache.capacity());
+    }
+}
+
+TEST(AsrSystem, ShardCountInvariance)
+{
+    // The shard of a key is a pure function of the key, so the cached
+    // contents — and with them every aggregate and every deterministic
+    // metric — are identical whatever the shard count and whatever the
+    // worker count. Fresh AsrSystems share the trained zoo.
+    auto &ctx = context();
+    const auto config =
+        ctx.setup.configFor(SearchMode::Baseline, PruneLevel::P90);
+    auto &reg = telemetry::MetricRegistry::global();
+
+    struct Run
+    {
+        TestSetResult result;
+        std::string snapshot;
+    };
+    auto run = [&](std::size_t shards, std::size_t threads) {
+        PlatformConfig platform = ctx.setup.platform;
+        platform.scoreCacheShards = shards;
+        AsrSystem system(ctx.corpus, ctx.fst, ctx.zoo, platform);
+        reg.reset();
+        Run r;
+        r.result = system.runTestSet(ctx.testSet, config, threads);
+        // Second pass over the same set: served from the sharded LRU.
+        const TestSetResult warm =
+            system.runTestSet(ctx.testSet, config, threads);
+        expectIdenticalResults(r.result, warm);
+        r.snapshot = reg.snapshot().deterministic().toJson();
+        return r;
+    };
+
+    const Run want = run(1, 1);
+    for (const std::size_t shards : {2u, 4u}) {
+        for (const std::size_t threads : {1u, 2u, 4u}) {
+            const Run got = run(shards, threads);
+            expectIdenticalResults(got.result, want.result);
+            EXPECT_EQ(got.snapshot, want.snapshot)
+                << shards << " shards, " << threads << " threads";
+        }
+    }
 }
 
 TEST(AsrSystem, UncacheableUtterancesStillDecode)

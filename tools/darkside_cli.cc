@@ -604,6 +604,9 @@ cmdServe(int argc, const char *const *argv)
     args.addSwitch("no-pace",
                    "offer back to back instead of honoring the "
                    "arrival schedule (maximum admission pressure)");
+    args.addSwitch("upfront-scoring",
+                   "score each utterance in full before its first "
+                   "chunk instead of pipelining scoring with decode");
     args.addSwitch("bench", "emit the BENCH_serve.json report");
     args.addOption("json",
                    "report JSON path (default BENCH_serve.json with "
@@ -645,6 +648,7 @@ cmdServe(int argc, const char *const *argv)
     options.traffic.seed =
         static_cast<std::uint64_t>(args.getInt("seed"));
     options.paceArrivals = !args.getSwitch("no-pace");
+    options.serve.pipelineScoring = !args.getSwitch("upfront-scoring");
     if (options.serve.admission.maxSessions == 0)
         fatal("--max-sessions must be at least 1");
 

@@ -26,6 +26,11 @@
  *   - dnn.kernel.* namespace (when present): the four kernel-layer
  *     counters exist with the right units, are deterministic, and no
  *     unknown dnn.kernel.* name appears (docs/METRICS.md)
+ *   - dnn.cache.* namespace (when present): the five score-cache
+ *     counters exist with the right units, are flagged
+ *     non-deterministic, no unknown dnn.cache.* name appears, and the
+ *     ledger balances: hit + miss == lookup, insert <= miss, and
+ *     evict <= insert (docs/METRICS.md)
  *   - serve.* namespace (when present): the session/chunk counter
  *     family and latency histograms exist with the right units and
  *     determinism flags, no unknown serve.* name appears, and the
@@ -617,8 +622,96 @@ checkDecodeSelectorNamespace(const JsonValue &root)
 }
 
 /**
+ * dnn.cache.* namespace: the sharded acoustic-score cache registers
+ * its whole counter family at once, so when any member is present
+ * every member must be, with the documented units, all flagged
+ * non-deterministic (shards race under concurrent sessions, and two
+ * threads may miss on the same key where one thread would hit).
+ * The namespace is closed, and the ledger must balance: every lookup
+ * lands as exactly one hit or miss, entries are only inserted after a
+ * miss, and only inserted entries can be evicted.
+ */
+void
+checkDnnCacheNamespace(const JsonValue &root)
+{
+    const JsonValue *counters = root.member("counters");
+    if (!counters || !counters->isArray())
+        return; // section() already reported this
+
+    std::map<std::string, const JsonValue *> cache;
+    for (const JsonValue &c : counters->asArray()) {
+        const JsonValue *name = c.member("name");
+        if (name && name->isString() &&
+            name->asString().rfind("dnn.cache.", 0) == 0)
+            cache[name->asString()] = &c;
+    }
+    if (cache.empty())
+        return;
+
+    const struct
+    {
+        const char *name;
+        const char *unit;
+    } required[] = {
+        {"dnn.cache.lookup", "lookups"},
+        {"dnn.cache.hit", "lookups"},
+        {"dnn.cache.miss", "lookups"},
+        {"dnn.cache.insert", "entries"},
+        {"dnn.cache.evict", "entries"},
+    };
+    for (const auto &r : required) {
+        auto it = cache.find(r.name);
+        if (it == cache.end()) {
+            fail(std::string("dnn.cache.* present but '") + r.name +
+                 "' is missing");
+            continue;
+        }
+        const JsonValue &c = *it->second;
+        const JsonValue *unit = c.member("unit");
+        if (unit && unit->isString() && unit->asString() != r.unit) {
+            fail(std::string(r.name) + ": unit '" + unit->asString() +
+                 "' != '" + r.unit + "'");
+        }
+        const JsonValue *det = c.member("deterministic");
+        if (det && det->isBool() && det->asBool())
+            fail(std::string(r.name) + ": must be non-deterministic");
+    }
+    for (const auto &[name, c] : cache) {
+        bool known = false;
+        for (const auto &r : required)
+            known |= name == r.name;
+        if (!known)
+            fail(name + ": unknown dnn.cache.* counter");
+    }
+
+    const auto counterValue =
+        [&](const char *name, double &out) -> bool {
+        auto it = cache.find(name);
+        if (it == cache.end())
+            return false;
+        const JsonValue *value = it->second->member("value");
+        if (!value || !value->isNonNegativeInteger())
+            return false;
+        out = value->asNumber();
+        return true;
+    };
+    double lookup = 0.0, hit = 0.0, miss = 0.0;
+    double insert = 0.0, evict = 0.0;
+    if (counterValue("dnn.cache.lookup", lookup) &&
+        counterValue("dnn.cache.hit", hit) &&
+        counterValue("dnn.cache.miss", miss) && hit + miss != lookup)
+        fail("dnn.cache.hit + dnn.cache.miss != dnn.cache.lookup");
+    if (counterValue("dnn.cache.miss", miss) &&
+        counterValue("dnn.cache.insert", insert) && insert > miss)
+        fail("dnn.cache.insert > dnn.cache.miss");
+    if (counterValue("dnn.cache.insert", insert) &&
+        counterValue("dnn.cache.evict", evict) && evict > insert)
+        fail("dnn.cache.evict > dnn.cache.insert");
+}
+
+/**
  * serve.* namespace: when any serve metric is present the whole
- * counter family and both latency histograms must be, with the
+ * counter family and the latency histograms must be, with the
  * documented units. Only serve.sessions.offered (it restates the
  * seeded workload) and the serve.drain.* journal counters (they
  * restate durable store state, like store.*) are deterministic;
@@ -683,6 +776,8 @@ checkServeNamespace(const JsonValue &root)
         {"serve.chunk_p95_us", "us"},
         {"serve.chunk_p99_us", "us"},
         {"serve.sessions_per_sec", "sessions/s"},
+        {"serve.ttfp_p50_us", "us"},
+        {"serve.ttfp_p95_us", "us"},
     };
     const JsonValue *gauges = root.member("gauges");
     if (gauges && gauges->isArray()) {
@@ -757,6 +852,7 @@ checkServeNamespace(const JsonValue &root)
     } required_hists[] = {
         {"serve.chunk_latency_us"},
         {"serve.session_latency_us"},
+        {"serve.ttfp_us"},
     };
     for (const auto &r : required_hists) {
         auto it = serve_hists.find(r.name);
@@ -878,6 +974,7 @@ checkFile(const char *path, bool expect_faults)
     checkStoreNamespace(root);
     checkDecodeTraceNamespace(root);
     checkDnnKernelNamespace(root);
+    checkDnnCacheNamespace(root);
     checkDecodeSelectorNamespace(root);
     checkServeNamespace(root);
 }
